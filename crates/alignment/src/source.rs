@@ -1,0 +1,264 @@
+//! Noise sources: the sampling interface mechanisms draw through.
+//!
+//! Mechanisms take `&mut dyn NoiseSource` instead of an RNG directly. In
+//! production they are driven by a [`RecordingSource`] (fresh Laplace
+//! samples; the recording costs one `Vec` push per draw). In alignment
+//! checks the *same mechanism code* is re-run against a [`ReplaySource`]
+//! loaded with the aligned tape `H' = φ(H)`, which also verifies that the
+//! second execution requests draws with exactly the same scales in exactly
+//! the same order — any divergence means the alignment changed the draw
+//! structure and the Definition-6 cost accounting would be meaningless.
+
+use crate::tape::{DrawKind, NoiseTape};
+use free_gap_noise::{ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Laplace};
+use rand::rngs::StdRng;
+
+/// The sampling interface used by alignable mechanisms.
+pub trait NoiseSource {
+    /// Draws one zero-mean Laplace(`scale`) variate.
+    ///
+    /// # Panics
+    /// Replay sources panic when the requested scale differs from the
+    /// recorded one (see module docs).
+    fn laplace(&mut self, scale: f64) -> f64;
+
+    /// Draws one zero-mean discrete Laplace variate over `{kγ}` with
+    /// per-unit privacy rate `unit_epsilon` (pmf ∝ `e^{-unit_epsilon·|kγ|}`).
+    ///
+    /// The recorded Definition-6 scale is `1/unit_epsilon`, so a shift of
+    /// `Δ` costs `unit_epsilon·|Δ|` — the discrete analogue of the Laplace
+    /// accounting.
+    fn discrete_laplace(&mut self, unit_epsilon: f64, gamma: f64) -> f64;
+
+    /// Number of draws served so far.
+    fn draws_taken(&self) -> usize;
+}
+
+/// Samples fresh noise from an RNG and records every draw.
+pub struct RecordingSource<'a> {
+    rng: &'a mut StdRng,
+    tape: NoiseTape,
+}
+
+impl<'a> RecordingSource<'a> {
+    /// Creates a recording source backed by `rng`.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        Self { rng, tape: NoiseTape::new() }
+    }
+
+    /// Consumes the source, returning the recorded tape.
+    pub fn into_tape(self) -> NoiseTape {
+        self.tape
+    }
+
+    /// The tape recorded so far.
+    pub fn tape(&self) -> &NoiseTape {
+        &self.tape
+    }
+}
+
+impl NoiseSource for RecordingSource<'_> {
+    fn laplace(&mut self, scale: f64) -> f64 {
+        let dist = Laplace::new(scale).expect("mechanism requested invalid scale");
+        let v = dist.sample(self.rng);
+        self.tape.push(v, scale);
+        v
+    }
+
+    fn discrete_laplace(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        let dist =
+            DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism requested invalid rate");
+        let v = dist.sample_value(self.rng);
+        self.tape.push_kind(v, 1.0 / unit_epsilon, DrawKind::DiscreteLaplace { gamma });
+        v
+    }
+
+    fn draws_taken(&self) -> usize {
+        self.tape.len()
+    }
+}
+
+/// Samples fresh noise without recording — the zero-overhead production
+/// path. Use [`RecordingSource`] only when a tape is actually needed.
+pub struct SamplingSource<'a> {
+    rng: &'a mut StdRng,
+    count: usize,
+}
+
+impl<'a> SamplingSource<'a> {
+    /// Creates a sampling source backed by `rng`.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        Self { rng, count: 0 }
+    }
+}
+
+impl NoiseSource for SamplingSource<'_> {
+    fn laplace(&mut self, scale: f64) -> f64 {
+        let dist = Laplace::new(scale).expect("mechanism requested invalid scale");
+        self.count += 1;
+        dist.sample(self.rng)
+    }
+
+    fn discrete_laplace(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        let dist =
+            DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism requested invalid rate");
+        self.count += 1;
+        dist.sample_value(self.rng)
+    }
+
+    fn draws_taken(&self) -> usize {
+        self.count
+    }
+}
+
+/// Replays a pre-built (typically aligned) tape, verifying draw structure.
+pub struct ReplaySource {
+    tape: NoiseTape,
+    cursor: usize,
+    overrun: usize,
+}
+
+impl ReplaySource {
+    /// Creates a replay source over `tape`.
+    pub fn new(tape: NoiseTape) -> Self {
+        Self { tape, cursor: 0, overrun: 0 }
+    }
+
+    /// Number of unconsumed draws remaining.
+    pub fn remaining(&self) -> usize {
+        self.tape.len() - self.cursor
+    }
+
+    /// Draws requested *beyond* the tape's end. Non-zero means the aligned
+    /// execution took a longer path than the original — a divergence the
+    /// checker reports (broken alignments do this when a decision flips and
+    /// the replayed run keeps going past the original stopping point).
+    pub fn overrun(&self) -> usize {
+        self.overrun
+    }
+
+    /// True when every recorded draw has been consumed — the paper's
+    /// condition (ii) of Lemma 1 (the number of variables used is determined
+    /// by the output) implies a complete replay must drain the tape.
+    pub fn fully_consumed(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl ReplaySource {
+    /// Shared replay step: validates scale and family, returns the value.
+    fn next_draw(&mut self, scale: f64, kind: DrawKind) -> f64 {
+        if self.cursor >= self.tape.len() {
+            self.overrun += 1;
+            return 0.0;
+        }
+        let d = self.tape.draw(self.cursor);
+        assert!(
+            (d.scale - scale).abs() <= 1e-12 * d.scale.max(scale).max(1.0),
+            "draw {}: aligned execution requested scale {scale} but original drew at {}",
+            self.cursor,
+            d.scale
+        );
+        assert!(
+            d.kind == kind,
+            "draw {}: aligned execution requested {kind:?} but original drew {:?}",
+            self.cursor,
+            d.kind
+        );
+        self.cursor += 1;
+        d.value
+    }
+}
+
+impl NoiseSource for ReplaySource {
+    /// Returns the next recorded draw. Past the tape's end, records the
+    /// overrun and returns 0.0 — the run's output is already known to
+    /// diverge at that point, so the value is immaterial; the checker turns
+    /// a non-zero [`overrun`](ReplaySource::overrun) into an error.
+    fn laplace(&mut self, scale: f64) -> f64 {
+        self.next_draw(scale, DrawKind::Laplace)
+    }
+
+    fn discrete_laplace(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        self.next_draw(1.0 / unit_epsilon, DrawKind::DiscreteLaplace { gamma })
+    }
+
+    fn draws_taken(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+
+    #[test]
+    fn recording_source_records_all_draws() {
+        let mut rng = rng_from_seed(1);
+        let mut src = RecordingSource::new(&mut rng);
+        let a = src.laplace(1.0);
+        let b = src.laplace(2.0);
+        assert_eq!(src.draws_taken(), 2);
+        let tape = src.into_tape();
+        assert_eq!(tape.len(), 2);
+        assert_eq!(tape.value(0), a);
+        assert_eq!(tape.value(1), b);
+        assert_eq!(tape.draw(0).scale, 1.0);
+        assert_eq!(tape.draw(1).scale, 2.0);
+    }
+
+    #[test]
+    fn recording_matches_direct_sampling() {
+        // Same rng stream => same values as sampling the distribution directly.
+        let mut rng1 = rng_from_seed(9);
+        let mut rng2 = rng_from_seed(9);
+        let mut src = RecordingSource::new(&mut rng1);
+        let v = src.laplace(3.0);
+        let direct = Laplace::new(3.0).unwrap().sample(&mut rng2);
+        assert_eq!(v, direct);
+    }
+
+    #[test]
+    fn sampling_source_matches_recording_stream() {
+        let mut rng1 = rng_from_seed(6);
+        let mut rng2 = rng_from_seed(6);
+        let mut fast = SamplingSource::new(&mut rng1);
+        let mut rec = RecordingSource::new(&mut rng2);
+        for scale in [1.0, 2.0, 0.5] {
+            assert_eq!(fast.laplace(scale), rec.laplace(scale));
+        }
+        assert_eq!(fast.draws_taken(), 3);
+    }
+
+    #[test]
+    fn replay_returns_tape_values_in_order() {
+        let mut tape = NoiseTape::new();
+        tape.push(0.25, 1.0);
+        tape.push(-1.5, 2.0);
+        let mut src = ReplaySource::new(tape);
+        assert_eq!(src.remaining(), 2);
+        assert_eq!(src.laplace(1.0), 0.25);
+        assert_eq!(src.laplace(2.0), -1.5);
+        assert!(src.fully_consumed());
+    }
+
+    #[test]
+    fn replay_records_overrun_past_tape_end() {
+        let mut src = ReplaySource::new(NoiseTape::new());
+        assert_eq!(src.overrun(), 0);
+        assert_eq!(src.laplace(1.0), 0.0);
+        assert_eq!(src.laplace(1.0), 0.0);
+        assert_eq!(src.overrun(), 2);
+        assert_eq!(src.draws_taken(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested scale")]
+    fn replay_panics_on_scale_divergence() {
+        let mut tape = NoiseTape::new();
+        tape.push(0.0, 1.0);
+        let mut src = ReplaySource::new(tape);
+        src.laplace(2.0);
+    }
+}

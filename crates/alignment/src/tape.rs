@@ -1,0 +1,251 @@
+//! Recorded noise tapes: the concrete, finite prefix of the paper's `H`.
+
+use std::fmt;
+
+/// Which distribution family a draw came from.
+///
+/// Definition 6's cost `Σ|ηᵢ - η'ᵢ|/αᵢ` applies verbatim to both families
+/// (the discrete Laplace's log-pmf ratio is bounded by `|x - y|/α` for
+/// support-aligned `x, y`), but an alignment is only sound if the aligned
+/// draw stays in the *same* family — replay verifies this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DrawKind {
+    /// Continuous zero-mean Laplace.
+    Laplace,
+    /// Discrete Laplace over multiples of `gamma`; alignment shifts must be
+    /// multiples of `gamma` to stay on the support.
+    DiscreteLaplace {
+        /// The support step `γ`.
+        gamma: f64,
+    },
+}
+
+/// One recorded noise draw: the sampled value, the scale `αᵢ` it was drawn
+/// with (the divisor in the Definition-6 alignment cost), and its family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Draw {
+    /// The sampled noise value `ηᵢ`.
+    pub value: f64,
+    /// The scale `αᵢ` of the distribution it was drawn from (for discrete
+    /// Laplace, the reciprocal of the per-unit privacy rate).
+    pub scale: f64,
+    /// The distribution family.
+    pub kind: DrawKind,
+}
+
+/// A finite sequence of noise draws, in program order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NoiseTape {
+    draws: Vec<Draw>,
+}
+
+impl NoiseTape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tape from raw draws.
+    pub fn from_draws(draws: Vec<Draw>) -> Self {
+        Self { draws }
+    }
+
+    /// Appends a continuous Laplace draw.
+    pub fn push(&mut self, value: f64, scale: f64) {
+        self.draws.push(Draw { value, scale, kind: DrawKind::Laplace });
+    }
+
+    /// Appends a draw with an explicit family.
+    pub fn push_kind(&mut self, value: f64, scale: f64, kind: DrawKind) {
+        self.draws.push(Draw { value, scale, kind });
+    }
+
+    /// Number of draws.
+    pub fn len(&self) -> usize {
+        self.draws.len()
+    }
+
+    /// True when no draws were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.draws.is_empty()
+    }
+
+    /// The recorded draws.
+    pub fn draws(&self) -> &[Draw] {
+        &self.draws
+    }
+
+    /// The draw at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn draw(&self, i: usize) -> Draw {
+        self.draws[i]
+    }
+
+    /// The value at position `i` (convenience for alignment constructors).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn value(&self, i: usize) -> f64 {
+        self.draws[i].value
+    }
+
+    /// Produces an aligned copy of this tape by adding `shift(i, draw)` to
+    /// each value (scales and kinds are preserved — alignments move noise,
+    /// they never change the distribution it was drawn from).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if a discrete draw is shifted by a non-multiple
+    /// of its support step: such a tape has zero probability and the cost
+    /// bound would be vacuous.
+    pub fn aligned_by<F: FnMut(usize, Draw) -> f64>(&self, mut shift: F) -> NoiseTape {
+        NoiseTape {
+            draws: self
+                .draws
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| {
+                    let s = shift(i, d);
+                    if let DrawKind::DiscreteLaplace { gamma } = d.kind {
+                        let steps = s / gamma;
+                        debug_assert!(
+                            (steps - steps.round()).abs() < 1e-9,
+                            "draw {i}: shift {s} is not a multiple of γ = {gamma}"
+                        );
+                    }
+                    Draw { value: d.value + s, scale: d.scale, kind: d.kind }
+                })
+                .collect(),
+        }
+    }
+
+    /// Definition 6 alignment cost between this tape (`H`) and an aligned
+    /// tape (`H'`): `Σᵢ |ηᵢ - η'ᵢ| / αᵢ`.
+    ///
+    /// # Panics
+    /// Panics if the tapes have different lengths or mismatched scales —
+    /// both indicate an alignment that changed the draw structure, which
+    /// Definition 6 does not permit.
+    pub fn alignment_cost(&self, aligned: &NoiseTape) -> f64 {
+        assert_eq!(
+            self.len(),
+            aligned.len(),
+            "aligned tape must have the same number of draws"
+        );
+        self.draws
+            .iter()
+            .zip(aligned.draws())
+            .enumerate()
+            .map(|(i, (a, b))| {
+                assert!(
+                    (a.scale - b.scale).abs() <= 1e-12 * a.scale.max(b.scale).max(1.0),
+                    "draw {i}: scale changed {} -> {}",
+                    a.scale,
+                    b.scale
+                );
+                assert!(a.kind == b.kind, "draw {i}: kind changed {:?} -> {:?}", a.kind, b.kind);
+                (a.value - b.value).abs() / a.scale
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for NoiseTape {
+    /// Prints `value@scale` pairs, e.g. `[1.0000@2.000, -0.5000@4.000]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.draws.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:.4}@{:.3}", d.value, d.scale)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tape() -> NoiseTape {
+        let mut t = NoiseTape::new();
+        t.push(1.0, 2.0);
+        t.push(-0.5, 4.0);
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = tape();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.value(0), 1.0);
+        assert_eq!(t.draw(1), Draw { value: -0.5, scale: 4.0, kind: DrawKind::Laplace });
+    }
+
+    #[test]
+    fn discrete_draws_round_trip_and_validate_shifts() {
+        let mut t = NoiseTape::new();
+        t.push_kind(3.0, 2.0, DrawKind::DiscreteLaplace { gamma: 0.5 });
+        let a = t.aligned_by(|_, _| 1.5); // 3 steps of γ: fine
+        assert_eq!(a.value(0), 4.5);
+        assert_eq!(a.draw(0).kind, DrawKind::DiscreteLaplace { gamma: 0.5 });
+        assert!((t.alignment_cost(&a) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not a multiple")]
+    fn discrete_shift_off_support_is_rejected() {
+        let mut t = NoiseTape::new();
+        t.push_kind(3.0, 2.0, DrawKind::DiscreteLaplace { gamma: 0.5 });
+        let _ = t.aligned_by(|_, _| 0.3);
+    }
+
+    #[test]
+    fn aligned_by_shifts_values_keeps_scales() {
+        let t = tape();
+        let a = t.aligned_by(|i, _| if i == 0 { 2.0 } else { 0.0 });
+        assert_eq!(a.value(0), 3.0);
+        assert_eq!(a.value(1), -0.5);
+        assert_eq!(a.draw(0).scale, 2.0);
+    }
+
+    #[test]
+    fn cost_matches_definition6() {
+        let t = tape();
+        let a = t.aligned_by(|i, _| if i == 0 { 2.0 } else { -1.0 });
+        // |2|/2 + |-1|/4 = 1.25
+        assert!((t.alignment_cost(&a) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_shift_zero_cost() {
+        let t = tape();
+        assert_eq!(t.alignment_cost(&t.clone()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of draws")]
+    fn cost_rejects_length_mismatch() {
+        let t = tape();
+        t.alignment_cost(&NoiseTape::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale changed")]
+    fn cost_rejects_scale_mismatch() {
+        let t = tape();
+        let mut other = NoiseTape::new();
+        other.push(1.0, 2.0);
+        other.push(-0.5, 5.0);
+        t.alignment_cost(&other);
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(format!("{}", tape()), "[1.0000@2.000, -0.5000@4.000]");
+    }
+}

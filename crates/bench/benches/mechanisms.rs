@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks: mechanism throughput on realistic workloads.
+//!
+//! These measure the *cost* of the free-gap mechanisms against their
+//! classic baselines — the paper's claim is that the gap information is
+//! free in privacy; these benches confirm it is also essentially free in
+//! compute (same noise draws, same selection pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
+use free_gap_core::sparse_vector::{AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap};
+use free_gap_core::QueryAnswers;
+use free_gap_data::Dataset;
+use free_gap_noise::rng::rng_from_seed;
+use std::hint::black_box;
+
+fn workload(n_hint: usize) -> QueryAnswers {
+    // A scaled BMS-POS-like count vector; n_hint trims the query count so
+    // benches can sweep workload size.
+    let db = Dataset::BmsPos.generate_scaled(0.02, 7);
+    let counts = db.item_counts();
+    let values: Vec<f64> = counts.to_f64().into_iter().take(n_hint).collect();
+    QueryAnswers::counting(values)
+}
+
+fn bench_noisy_max_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_max");
+    for &n in &[256usize, 1657] {
+        let answers = workload(n);
+        let k = 10.min(n - 1);
+        let classic = ClassicNoisyTopK::new(k, 0.7, true).unwrap();
+        let with_gap = NoisyTopKWithGap::new(k, 0.7, true).unwrap();
+        group.bench_with_input(BenchmarkId::new("classic_topk", n), &answers, |b, a| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| black_box(classic.run(a, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("topk_with_gap", n), &answers, |b, a| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| black_box(with_gap.run(a, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_vector_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_vector");
+    let answers = workload(1657);
+    let threshold = {
+        // A mid-range threshold so the mechanisms process a realistic prefix.
+        let mut sorted: Vec<f64> = answers.values().to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        sorted[40]
+    };
+    let k = 10;
+    let classic = ClassicSparseVector::new(k, 0.7, threshold, true).unwrap();
+    let with_gap = SparseVectorWithGap::new(k, 0.7, threshold, true).unwrap();
+    let adaptive = AdaptiveSparseVector::new(k, 0.7, threshold, true).unwrap();
+    group.bench_function("classic_svt", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| black_box(classic.run(&answers, &mut rng)));
+    });
+    group.bench_function("svt_with_gap", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| black_box(with_gap.run(&answers, &mut rng)));
+    });
+    group.bench_function("adaptive_svt_with_gap", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| black_box(adaptive.run(&answers, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_noisy_max_family, bench_sparse_vector_family
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks: postprocessing cost.
+//!
+//! Theorem 3's matrix form is O(k²); the paper's §5.2 algorithm is O(k).
+//! This bench quantifies the gap (both are microseconds at paper-scale k,
+//! but the linear form matters when BLUE runs inside a 10,000-run sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use free_gap_core::postprocess::{blue_estimates, blue_estimates_matrix, BlueInput};
+use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::{ContinuousDistribution, Laplace};
+use std::hint::black_box;
+
+fn inputs(k: usize) -> (Vec<f64>, Vec<f64>) {
+    let lap = Laplace::new(1.0).unwrap();
+    let mut rng = rng_from_seed(3);
+    let measurements: Vec<f64> = (0..k).map(|i| (k - i) as f64 * 10.0 + lap.sample(&mut rng)).collect();
+    let gaps: Vec<f64> = (0..k - 1).map(|_| 10.0 + lap.sample(&mut rng)).collect();
+    (measurements, gaps)
+}
+
+fn bench_blue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blue");
+    for &k in &[5usize, 25, 100] {
+        let (measurements, gaps) = inputs(k);
+        let input = BlueInput { measurements: &measurements, gaps: &gaps, lambda: 1.0 };
+        group.bench_with_input(BenchmarkId::new("linear", k), &input, |b, inp| {
+            b.iter(|| black_box(blue_estimates(inp).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("matrix", k), &input, |b, inp| {
+            b.iter(|| black_box(blue_estimates_matrix(inp).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_blue
+}
+criterion_main!(benches);

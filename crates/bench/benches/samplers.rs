@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks: noise-sampler throughput.
+//!
+//! The mechanisms draw one or two Laplace variates per query, so sampler
+//! speed dominates the experiments' inner loop; Staircase and Discrete
+//! Laplace are included as the drop-in alternatives §3.1 mentions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::{
+    ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Exponential, Laplace,
+    Staircase,
+};
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let laplace = Laplace::new(2.0).unwrap();
+    group.bench_function("laplace", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| black_box(laplace.sample(&mut rng)));
+    });
+    let exponential = Exponential::new(2.0).unwrap();
+    group.bench_function("exponential", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| black_box(exponential.sample(&mut rng)));
+    });
+    let staircase = Staircase::optimal(1.0, 1.0).unwrap();
+    group.bench_function("staircase", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| black_box(staircase.sample(&mut rng)));
+    });
+    let discrete = DiscreteLaplace::new(1.0, 2f64.powi(-20)).unwrap();
+    group.bench_function("discrete_laplace", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| black_box(discrete.sample_value(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_batch_noise(c: &mut Criterion) {
+    // The per-run inner loop of the experiments: noising a full BMS-POS-size
+    // query vector.
+    let mut group = c.benchmark_group("batch_noise");
+    let laplace = Laplace::new(2.0).unwrap();
+    for &n in &[1_657usize, 41_270] {
+        group.bench_function(format!("laplace_vector_{n}"), |b| {
+            let mut rng = rng_from_seed(1);
+            b.iter(|| {
+                let mut acc = 0.0;
+                for _ in 0..n {
+                    acc += laplace.sample(&mut rng);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_samplers, bench_batch_noise
+}
+criterion_main!(benches);

@@ -1,0 +1,249 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <command> [options]
+//!
+//! Commands:
+//!   datasets           §7.1 dataset table
+//!   fig1a | fig1b      Fig. 1: % MSE improvement vs k (BMS-POS)
+//!   fig2a | fig2b      Fig. 2: % MSE improvement vs ε (kosarak, k = 10)
+//!   fig3               Fig. 3: answers + precision/F-measure (per dataset)
+//!   fig4               Fig. 4: % remaining budget (all datasets)
+//!   ablation-theta     θ sweep for Adaptive-SVT
+//!   ablation-sigma     σ-multiplier sweep for Adaptive-SVT
+//!   ablation-split     selection/measurement budget-split sweep
+//!   ablation-branches  branch-count sweep for multi-branch Adaptive-SVT
+//!   all                everything above, paper defaults
+//!
+//! Options:
+//!   --runs N           Monte-Carlo runs per point (default: per experiment)
+//!   --scale F          dataset record-count fraction in (0, 1] (default 1.0)
+//!   --seed N           root RNG seed (default 20190412)
+//!   --eps F            total privacy budget ε (default 0.7)
+//!   --dataset NAME     bms-pos | kosarak | t40 (fig3/ablations; default bms-pos)
+//!   --csv              emit CSV instead of aligned tables
+//! ```
+//!
+//! The paper averages 10,000 runs per point; defaults here are chosen so the
+//! full suite finishes in minutes on a laptop while the shapes are stable.
+//! Pass `--runs 10000` for the full protocol.
+
+use free_gap_bench::experiments::fig1::Panel;
+use free_gap_bench::experiments::{self, epsilon_grid, k_grid};
+use free_gap_bench::table::Table;
+use free_gap_bench::workloads::parse_dataset;
+use free_gap_bench::ExperimentConfig;
+use free_gap_data::Dataset;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct CliOptions {
+    command: String,
+    runs: Option<usize>,
+    scale: f64,
+    seed: u64,
+    epsilon: f64,
+    dataset: Dataset,
+    csv: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions {
+        command: args.first().cloned().ok_or("missing command (try `repro all`)")?,
+        runs: None,
+        scale: 1.0,
+        seed: 20190412,
+        epsilon: 0.7,
+        dataset: Dataset::BmsPos,
+        csv: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or(format!("{name} expects a value"))
+        };
+        match flag {
+            "--runs" => opts.runs = Some(value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?),
+            "--scale" => opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--eps" => opts.epsilon = value("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--dataset" => {
+                let name = value("--dataset")?;
+                opts.dataset =
+                    parse_dataset(&name).ok_or(format!("unknown dataset `{name}`"))?;
+            }
+            "--csv" => opts.csv = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+        return Err("--scale must be in (0, 1]".into());
+    }
+    Ok(opts)
+}
+
+fn config(opts: &CliOptions, default_runs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        runs: opts.runs.unwrap_or(default_runs),
+        scale: opts.scale,
+        seed: opts.seed,
+        epsilon: opts.epsilon,
+    }
+}
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_aligned());
+    }
+}
+
+// The `all` arm builds its table list with sequential pushes: the experiment
+// sequence reads better that way than as one giant vec![] literal.
+#[allow(clippy::vec_init_then_push)]
+fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
+    let tables = match opts.command.as_str() {
+        "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
+        "fig1a" => vec![experiments::fig1::run(
+            &config(opts, 1000),
+            Panel::Svt,
+            Dataset::BmsPos,
+            &k_grid(),
+        )],
+        "fig1b" => vec![experiments::fig1::run(
+            &config(opts, 1000),
+            Panel::TopK,
+            Dataset::BmsPos,
+            &k_grid(),
+        )],
+        "fig2a" => vec![experiments::fig2::run(
+            &config(opts, 300),
+            Panel::Svt,
+            Dataset::Kosarak,
+            10,
+            &epsilon_grid(),
+        )],
+        "fig2b" => vec![experiments::fig2::run(
+            &config(opts, 300),
+            Panel::TopK,
+            Dataset::Kosarak,
+            10,
+            &epsilon_grid(),
+        )],
+        "fig3" => vec![experiments::fig3::run(&config(opts, 300), opts.dataset, &k_grid())],
+        "fig4" => vec![experiments::fig4::run(
+            &config(opts, 300),
+            &Dataset::ALL,
+            &k_grid(),
+        )],
+        "ablation-theta" => vec![experiments::ablations::theta_sweep(
+            &config(opts, 300),
+            10,
+            &[0.05, 0.1, 0.177, 0.3, 0.5, 0.7, 0.9],
+        )],
+        "ablation-sigma" => vec![experiments::ablations::sigma_sweep(
+            &config(opts, 300),
+            10,
+            &[0.5, 1.0, 2.0, 3.0, 4.0, 6.0],
+        )],
+        "ablation-split" => vec![experiments::ablations::split_sweep(
+            &config(opts, 500),
+            opts.dataset,
+            10,
+            &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        )],
+        "ablation-branches" => vec![experiments::ablations::branches_sweep(
+            &config(opts, 300),
+            opts.dataset,
+            10,
+            &[1, 2, 3, 4, 5],
+        )],
+        "all" => {
+            let mut all = Vec::new();
+            all.push(experiments::datasets::run(&config(opts, 1)));
+            all.push(experiments::fig1::run(
+                &config(opts, 1000),
+                Panel::Svt,
+                Dataset::BmsPos,
+                &k_grid(),
+            ));
+            all.push(experiments::fig1::run(
+                &config(opts, 1000),
+                Panel::TopK,
+                Dataset::BmsPos,
+                &k_grid(),
+            ));
+            all.push(experiments::fig2::run(
+                &config(opts, 300),
+                Panel::Svt,
+                Dataset::Kosarak,
+                10,
+                &epsilon_grid(),
+            ));
+            all.push(experiments::fig2::run(
+                &config(opts, 300),
+                Panel::TopK,
+                Dataset::Kosarak,
+                10,
+                &epsilon_grid(),
+            ));
+            for ds in Dataset::ALL {
+                all.push(experiments::fig3::run(&config(opts, 300), ds, &k_grid()));
+            }
+            all.push(experiments::fig4::run(&config(opts, 300), &Dataset::ALL, &k_grid()));
+            all.push(experiments::ablations::theta_sweep(
+                &config(opts, 300),
+                10,
+                &[0.05, 0.1, 0.177, 0.3, 0.5, 0.7, 0.9],
+            ));
+            all.push(experiments::ablations::sigma_sweep(
+                &config(opts, 300),
+                10,
+                &[0.5, 1.0, 2.0, 3.0, 4.0, 6.0],
+            ));
+            all.push(experiments::ablations::split_sweep(
+                &config(opts, 500),
+                opts.dataset,
+                10,
+                &[0.1, 0.3, 0.5, 0.7, 0.9],
+            ));
+            all.push(experiments::ablations::branches_sweep(
+                &config(opts, 300),
+                opts.dataset,
+                10,
+                &[1, 2, 3, 4, 5],
+            ));
+            all
+        }
+        other => return Err(format!("unknown command `{other}` (try `repro all`)")),
+    };
+    Ok(tables)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: repro <datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&opts) {
+        Ok(tables) => {
+            for t in &tables {
+                emit(t, opts.csv);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! One module per paper artifact (figure/table) plus ablations.
+
+pub mod ablations;
+pub mod datasets;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+
+/// Seed salt per dataset so Monte-Carlo streams differ across panels that
+/// share all other parameters.
+pub(crate) fn dataset_salt(ds: free_gap_data::Dataset) -> u64 {
+    match ds {
+        free_gap_data::Dataset::BmsPos => 0x1000_0000_0000,
+        free_gap_data::Dataset::Kosarak => 0x2000_0000_0000,
+        free_gap_data::Dataset::T40I10D100K => 0x3000_0000_0000,
+    }
+}
+
+/// The k-grid of Figures 1, 3 and 4: `k ∈ {2, 4, …, 24}`.
+pub fn k_grid() -> Vec<usize> {
+    (1..=12).map(|i| 2 * i).collect()
+}
+
+/// The ε-grid of Figure 2: `ε ∈ {0.1, 0.3, …, 1.5}`.
+pub fn epsilon_grid() -> Vec<f64> {
+    (0..8).map(|i| 0.1 + 0.2 * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_match_paper_axes() {
+        let ks = k_grid();
+        assert_eq!(ks.first(), Some(&2));
+        assert_eq!(ks.last(), Some(&24));
+        let es = epsilon_grid();
+        assert_eq!(es.len(), 8);
+        assert!((es[0] - 0.1).abs() < 1e-12);
+        assert!((es[7] - 1.5).abs() < 1e-12);
+    }
+}

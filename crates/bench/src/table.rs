@@ -1,0 +1,165 @@
+//! Plain-text table / CSV emission for experiment results.
+//!
+//! Each experiment produces a [`Table`]; the `repro` binary prints it both
+//! as an aligned human-readable table and as CSV (behind `--csv`), matching
+//! the series the paper plots so EXPERIMENTS.md comparisons are one-to-one.
+
+use std::fmt;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell, printed with 3 decimals.
+    Float(f64),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Text(s) => write!(f, "{s}"),
+            Cell::Int(i) => write!(f, "{i}"),
+            Cell::Float(x) => write!(f, "{x:.3}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// An experiment result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Experiment title (printed as a `#` comment line).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows; each must match `columns` in length.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (title as a `#` comment).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n{}\n", self.title, self.columns.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as an aligned, human-readable table.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("demo", &["k", "value"]);
+        t.push_row(vec![2usize.into(), 1.23456.into()]);
+        t.push_row(vec![10usize.into(), "n/a".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "# demo");
+        assert_eq!(lines[1], "k,value");
+        assert_eq!(lines[2], "2,1.235");
+        assert_eq!(lines[3], "10,n/a");
+    }
+
+    #[test]
+    fn aligned_includes_all_cells() {
+        let s = table().to_aligned();
+        assert!(s.contains("demo"));
+        assert!(s.contains("1.235"));
+        assert!(s.contains("n/a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec![1usize.into()]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Dataset → query-workload loading for the experiments.
+//!
+//! The mechanisms only consume the per-item count vector, so each dataset is
+//! generated once per `(dataset, scale, seed)` and reduced to a
+//! [`QueryAnswers`] (monotone counting queries). Thresholds follow the §7.2
+//! protocol: the count value at a uniformly random descending rank in
+//! `[2k, 8k]`, redrawn per run.
+
+use free_gap_core::QueryAnswers;
+use free_gap_data::workload::rank_random_threshold;
+use free_gap_data::{Dataset, ItemCounts};
+use rand::Rng;
+
+/// A dataset reduced to its counting-query workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which dataset this came from.
+    pub dataset: Dataset,
+    /// Raw per-item counts (for threshold ranks and ground truth).
+    pub counts: ItemCounts,
+    /// The counts as monotone query answers (mechanism input).
+    pub answers: QueryAnswers,
+}
+
+impl Workload {
+    /// Generates the workload at `scale` (record-count fraction) with `seed`.
+    pub fn load(dataset: Dataset, scale: f64, seed: u64) -> Self {
+        let db = dataset.generate_scaled(scale, seed);
+        let counts = db.item_counts();
+        let answers = QueryAnswers::from_counts(counts.as_u64());
+        Self { dataset, counts, answers }
+    }
+
+    /// Number of queries (items).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the workload is empty (never, for the shipped datasets).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Draws the §7.2 rank-random threshold for parameter `k`.
+    pub fn draw_threshold<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> f64 {
+        rank_random_threshold(&self.counts, k, rng)
+    }
+
+    /// Ground-truth indices with counts at or above `threshold`.
+    pub fn truly_above(&self, threshold: f64) -> Vec<usize> {
+        free_gap_data::workload::truly_above(&self.counts, threshold)
+    }
+}
+
+/// Parses a dataset name as used by the `repro` CLI.
+pub fn parse_dataset(name: &str) -> Option<Dataset> {
+    match name.to_ascii_lowercase().as_str() {
+        "bms-pos" | "bmspos" | "bms" => Some(Dataset::BmsPos),
+        "kosarak" => Some(Dataset::Kosarak),
+        "t40" | "t40i10d100k" => Some(Dataset::T40I10D100K),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+
+    #[test]
+    fn load_small_scale() {
+        let w = Workload::load(Dataset::T40I10D100K, 0.01, 5);
+        assert_eq!(w.len(), 942);
+        assert!(w.answers.monotonic());
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn threshold_in_count_range() {
+        let w = Workload::load(Dataset::T40I10D100K, 0.01, 5);
+        let mut rng = rng_from_seed(1);
+        let t = w.draw_threshold(5, &mut rng);
+        let sorted = w.counts.sorted_desc();
+        assert!(t <= sorted[10] as f64, "t = {t} above rank-2k value");
+        assert!(t >= sorted[40.min(sorted.len() - 1)] as f64);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(parse_dataset("BMS-POS"), Some(Dataset::BmsPos));
+        assert_eq!(parse_dataset("kosarak"), Some(Dataset::Kosarak));
+        assert_eq!(parse_dataset("T40"), Some(Dataset::T40I10D100K));
+        assert_eq!(parse_dataset("nope"), None);
+    }
+}

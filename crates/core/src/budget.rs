@@ -1,0 +1,152 @@
+//! Privacy-budget accounting under sequential composition.
+//!
+//! The paper's adaptive mechanism (Algorithm 2) is budget accounting *inside*
+//! a mechanism; this module is the conventional *outer* accountant an
+//! application uses when chaining mechanisms (e.g. the 50/50
+//! selection/measurement split of §5.2 and §6.2).
+
+use crate::error::MechanismError;
+
+/// A sequential-composition privacy accountant for pure ε-DP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates an accountant with `total` budget.
+    ///
+    /// # Errors
+    /// Rejects non-positive or non-finite totals.
+    pub fn new(total: f64) -> Result<Self, MechanismError> {
+        let total = crate::error::require_epsilon(total)?;
+        Ok(Self { total, spent: 0.0 })
+    }
+
+    /// The configured total `ε`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Budget consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Fraction of the budget still available, in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        self.remaining() / self.total
+    }
+
+    /// Records a spend of `epsilon`, failing if it would exceed the total.
+    ///
+    /// A tiny relative slack (1e-12) absorbs floating-point drift when
+    /// callers split a budget into shares that sum exactly to the total.
+    pub fn spend(&mut self, epsilon: f64) -> Result<(), MechanismError> {
+        let epsilon = crate::error::require_epsilon(epsilon)?;
+        let slack = 1e-12 * self.total;
+        if self.spent + epsilon > self.total + slack {
+            return Err(MechanismError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent = (self.spent + epsilon).min(self.total);
+        Ok(())
+    }
+
+    /// True when at least `epsilon` is still available (with the same slack
+    /// as [`spend`](Self::spend)).
+    pub fn can_spend(&self, epsilon: f64) -> bool {
+        epsilon.is_finite()
+            && epsilon > 0.0
+            && self.spent + epsilon <= self.total + 1e-12 * self.total
+    }
+
+    /// Splits the *remaining* budget into `fractions` (which must sum to at
+    /// most 1) and returns the corresponding ε shares without spending them.
+    ///
+    /// # Panics
+    /// Panics if any fraction is non-positive or the sum exceeds 1 + 1e-12.
+    pub fn split(&self, fractions: &[f64]) -> Vec<f64> {
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            fractions.iter().all(|&f| f > 0.0) && sum <= 1.0 + 1e-12,
+            "fractions must be positive and sum to <= 1"
+        );
+        fractions.iter().map(|f| f * self.remaining()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spend_and_remaining() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        assert_eq!(b.remaining(), 1.0);
+        b.spend(0.3).unwrap();
+        b.spend(0.3).unwrap();
+        assert!((b.spent() - 0.6).abs() < 1e-15);
+        assert!((b.remaining() - 0.4).abs() < 1e-15);
+        assert!((b.remaining_fraction() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overspend_rejected() {
+        let mut b = PrivacyBudget::new(0.5).unwrap();
+        b.spend(0.4).unwrap();
+        let err = b.spend(0.2).unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        // The failed spend must not change state.
+        assert!((b.spent() - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        // Ten shares of 0.1 accumulate float error; the slack must absorb it.
+        for _ in 0..10 {
+            b.spend(0.1).unwrap();
+        }
+        assert!(b.remaining() < 1e-12);
+        assert!(!b.can_spend(0.01));
+    }
+
+    #[test]
+    fn can_spend_matches_spend() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.spend(0.75).unwrap();
+        assert!(b.can_spend(0.25));
+        assert!(!b.can_spend(0.26));
+        assert!(!b.can_spend(-1.0));
+        assert!(!b.can_spend(f64::NAN));
+    }
+
+    #[test]
+    fn split_scales_remaining() {
+        let mut b = PrivacyBudget::new(2.0).unwrap();
+        b.spend(1.0).unwrap();
+        let shares = b.split(&[0.5, 0.5]);
+        assert_eq!(shares, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to <= 1")]
+    fn split_rejects_oversubscription() {
+        PrivacyBudget::new(1.0).unwrap().split(&[0.7, 0.7]);
+    }
+
+    #[test]
+    fn rejects_bad_total() {
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+    }
+}

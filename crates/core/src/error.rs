@@ -1,0 +1,115 @@
+//! Error type for mechanism construction and execution.
+
+use std::fmt;
+
+/// Errors raised when configuring or running a mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MechanismError {
+    /// The privacy budget must be positive and finite.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// `k` must satisfy the documented bounds (e.g. `1 <= k < n` for
+    /// Noisy-Top-K, which needs a `(k+1)`-st query for the last gap).
+    InvalidK {
+        /// The rejected `k`.
+        k: usize,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// A ratio/fraction parameter (θ, budget split) left `(0, 1)`.
+    InvalidFraction {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The query workload was too small for the mechanism configuration.
+    NotEnoughQueries {
+        /// Queries supplied.
+        got: usize,
+        /// Queries required.
+        need: usize,
+    },
+    /// The privacy accountant refused an over-budget spend.
+    BudgetExhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount remaining.
+        remaining: f64,
+    },
+}
+
+impl fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MechanismError::InvalidEpsilon { value } => {
+                write!(f, "privacy budget ε must be positive and finite, got {value}")
+            }
+            MechanismError::InvalidK { k, requirement } => {
+                write!(f, "invalid k = {k}: {requirement}")
+            }
+            MechanismError::InvalidFraction { name, value } => {
+                write!(f, "parameter `{name}` must lie in (0, 1), got {value}")
+            }
+            MechanismError::NotEnoughQueries { got, need } => {
+                write!(f, "workload has {got} queries but the mechanism needs {need}")
+            }
+            MechanismError::BudgetExhausted { requested, remaining } => {
+                write!(f, "requested ε = {requested} but only {remaining} remains")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+/// Validates a privacy budget.
+pub(crate) fn require_epsilon(value: f64) -> Result<f64, MechanismError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(MechanismError::InvalidEpsilon { value })
+    }
+}
+
+/// Validates a fraction strictly inside `(0, 1)`.
+pub(crate) fn require_fraction(name: &'static str, value: f64) -> Result<f64, MechanismError> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(MechanismError::InvalidFraction { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert_eq!(require_epsilon(0.5), Ok(0.5));
+        for v in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(require_epsilon(v).is_err());
+        }
+    }
+
+    #[test]
+    fn fraction_validation() {
+        assert!(require_fraction("theta", 0.5).is_ok());
+        for v in [0.0, 1.0, -0.2, 2.0] {
+            assert!(require_fraction("theta", v).is_err());
+        }
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = MechanismError::InvalidK { k: 0, requirement: "k >= 1" };
+        assert!(e.to_string().contains("k >= 1"));
+        let e = MechanismError::BudgetExhausted { requested: 1.0, remaining: 0.25 };
+        assert!(e.to_string().contains("0.25"));
+        let e = MechanismError::NotEnoughQueries { got: 2, need: 4 };
+        assert!(e.to_string().contains('4'));
+    }
+}

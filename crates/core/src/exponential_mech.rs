@@ -1,0 +1,147 @@
+//! Exponential mechanism for private selection (McSherry & Talwar) — the
+//! related-work baseline of §2.
+//!
+//! Selects index `i` with probability proportional to `exp(ε·qᵢ/(2Δ))`
+//! (`exp(ε·qᵢ/Δ)` for monotone workloads, matching the Noisy-Max factor-two
+//! convention). Implemented via the Gumbel-max trick — `argmaxᵢ (ε·qᵢ/(cΔ) +
+//! Gumbelᵢ)` has exactly the softmax distribution — which keeps the
+//! per-query work `O(1)` and numerically stable for large scores.
+
+use crate::answers::QueryAnswers;
+use crate::error::{require_epsilon, MechanismError};
+use free_gap_noise::{ContinuousDistribution, Gumbel};
+use rand::rngs::StdRng;
+
+/// Exponential-mechanism selection over sensitivity-1 utility queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    monotonic: bool,
+}
+
+impl ExponentialMechanism {
+    /// Creates the mechanism with budget `epsilon`.
+    pub fn new(epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
+        Ok(Self { epsilon: require_epsilon(epsilon)?, monotonic })
+    }
+
+    /// The softmax temperature exponent applied to each utility:
+    /// `ε/2` in general, `ε` for monotone utilities.
+    pub fn exponent(&self) -> f64 {
+        if self.monotonic {
+            self.epsilon
+        } else {
+            self.epsilon / 2.0
+        }
+    }
+
+    /// Selection probabilities (softmax of the scaled utilities), computed
+    /// with the max-subtraction trick for stability.
+    pub fn probabilities(&self, answers: &QueryAnswers) -> Vec<f64> {
+        let t = self.exponent();
+        let m = answers.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = answers.values().iter().map(|q| ((q - m) * t).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        weights.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Samples one index via the Gumbel-max trick.
+    ///
+    /// # Panics
+    /// Panics on an empty workload.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> usize {
+        assert!(!answers.is_empty(), "cannot select from an empty workload");
+        let t = self.exponent();
+        let gumbel = Gumbel::standard();
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, &q) in answers.values().iter().enumerate() {
+            let score = q * t + gumbel.sample(rng);
+            if score > best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Samples `k` indices *with replacement-free sequential application*
+    /// (peeling): repeatedly applies the mechanism to the not-yet-selected
+    /// queries, spending `epsilon` each round — total cost `k·ε`. A
+    /// selection baseline for the Top-K experiments.
+    pub fn run_top_k(&self, answers: &QueryAnswers, k: usize, rng: &mut StdRng) -> Vec<usize> {
+        assert!(k <= answers.len(), "k exceeds workload size");
+        let t = self.exponent();
+        let gumbel = Gumbel::standard();
+        let mut scores: Vec<(f64, usize)> = answers
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q * t + gumbel.sample(rng), i))
+            .collect();
+        // One-shot Gumbel top-k is equivalent to sequential peeling with
+        // fresh noise each round (Gumbel race equivalence).
+        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scores.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+
+    fn workload() -> QueryAnswers {
+        QueryAnswers::counting(vec![5.0, 3.0, 1.0])
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ExponentialMechanism::new(0.0, true).is_err());
+        assert_eq!(ExponentialMechanism::new(1.0, true).unwrap().exponent(), 1.0);
+        assert_eq!(ExponentialMechanism::new(1.0, false).unwrap().exponent(), 0.5);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_order_by_utility() {
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        let p = m.probabilities(&workload());
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+        // Softmax ratio: p0/p1 = e^{(5-3)·1} = e².
+        assert!((p[0] / p[1] - 2f64.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gumbel_sampler_matches_softmax() {
+        let m = ExponentialMechanism::new(0.8, true).unwrap();
+        let p = m.probabilities(&workload());
+        let mut rng = rng_from_seed(50);
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[m.run(&workload(), &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let emp = counts[i] as f64 / n as f64;
+            let sigma = (p[i] * (1.0 - p[i]) / n as f64).sqrt();
+            assert!((emp - p[i]).abs() < 5.0 * sigma, "i={i}: {emp} vs {}", p[i]);
+        }
+    }
+
+    #[test]
+    fn top_k_returns_distinct_indices() {
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        let mut rng = rng_from_seed(51);
+        let sel = m.run_top_k(&workload(), 2, &mut rng);
+        assert_eq!(sel.len(), 2);
+        assert_ne!(sel[0], sel[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn empty_workload_panics() {
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        m.run(&QueryAnswers::counting(vec![]), &mut rng_from_seed(1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Evaluation metrics used by §7: precision, recall, F-measure for the
+//! returned query sets and MSE-improvement percentages for the estimators.
+
+use std::collections::HashSet;
+
+/// Precision / recall / F-measure of a returned index set against ground
+/// truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionQuality {
+    /// Fraction of returned items that are truly positive.
+    pub precision: f64,
+    /// Fraction of true positives that were returned.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f_measure: f64,
+}
+
+/// Computes selection quality. Conventions for the degenerate cases follow
+/// the experimental literature: empty returned set ⇒ precision 1 (no false
+/// positives were asserted); empty truth set ⇒ recall 1.
+pub fn selection_quality(returned: &[usize], truth: &[usize]) -> SelectionQuality {
+    let truth_set: HashSet<usize> = truth.iter().copied().collect();
+    let returned_set: HashSet<usize> = returned.iter().copied().collect();
+    let hits = returned_set.intersection(&truth_set).count() as f64;
+    let precision = if returned_set.is_empty() { 1.0 } else { hits / returned_set.len() as f64 };
+    let recall = if truth_set.is_empty() { 1.0 } else { hits / truth_set.len() as f64 };
+    let f_measure = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    SelectionQuality { precision, recall, f_measure }
+}
+
+/// Percent improvement of `candidate` MSE over `baseline` MSE:
+/// `100·(1 - candidate/baseline)`. Positive means the candidate is better.
+pub fn mse_improvement_percent(baseline_mse: f64, candidate_mse: f64) -> f64 {
+    assert!(baseline_mse > 0.0, "baseline MSE must be positive");
+    100.0 * (1.0 - candidate_mse / baseline_mse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_selection() {
+        let q = selection_quality(&[1, 2, 3], &[3, 2, 1]);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f_measure, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // returned {1,2,3,4}, truth {3,4,5,6,7,8}: hits 2.
+        let q = selection_quality(&[1, 2, 3, 4], &[3, 4, 5, 6, 7, 8]);
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        assert!((q.recall - 2.0 / 6.0).abs() < 1e-12);
+        let f = 2.0 * 0.5 * (2.0 / 6.0) / (0.5 + 2.0 / 6.0);
+        assert!((q.f_measure - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let q = selection_quality(&[], &[1]);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f_measure, 0.0);
+        let q = selection_quality(&[1], &[]);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.precision, 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_collapsed() {
+        let q = selection_quality(&[1, 1, 2], &[1]);
+        assert!((q.precision - 0.5).abs() < 1e-12);
+        assert_eq!(q.recall, 1.0);
+    }
+
+    #[test]
+    fn improvement_percent() {
+        assert!((mse_improvement_percent(10.0, 5.0) - 50.0).abs() < 1e-12);
+        assert!((mse_improvement_percent(10.0, 12.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline MSE")]
+    fn improvement_rejects_zero_baseline() {
+        mse_improvement_percent(0.0, 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Classic (index-only) Noisy Max and Noisy Top-K — the baselines Algorithm 1
+//! strictly improves on.
+//!
+//! Identical noise and selection to [`super::NoisyTopKWithGap`]; the only
+//! difference is that the gaps are discarded. Theorem 2's point is that both
+//! versions have exactly the same privacy cost, so this baseline is
+//! implemented independently to make the experiments' comparison honest
+//! (same draw pattern, same selection rule).
+
+use super::{top_indices, top_k_scale};
+use crate::answers::QueryAnswers;
+use crate::error::{require_epsilon, MechanismError};
+use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
+use rand::rngs::StdRng;
+
+/// Index-only Noisy Top-K (Dwork & Roth's Noisy Max generalized to `k`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicNoisyTopK {
+    k: usize,
+    epsilon: f64,
+    monotonic: bool,
+}
+
+impl ClassicNoisyTopK {
+    /// Creates the mechanism with privacy cost `epsilon` (see
+    /// [`super::NoisyTopKWithGap::new`] for the scale convention).
+    pub fn new(k: usize, epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
+        if k == 0 {
+            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+        }
+        Ok(Self { k, epsilon: require_epsilon(epsilon)?, monotonic })
+    }
+
+    /// The number of selected queries.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The per-query Laplace scale.
+    pub fn scale(&self) -> f64 {
+        top_k_scale(self.k, self.epsilon, self.monotonic)
+    }
+
+    /// Runs the mechanism: indices of the `k` largest noisy answers,
+    /// descending.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries (kept identical
+    /// to the gap variant so the two are comparable on the same workloads).
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> Vec<usize> {
+        answers.require_len(self.k + 1).unwrap_or_else(|e| panic!("{e}"));
+        let scale = self.scale();
+        let noisy: Vec<f64> =
+            answers.values().iter().map(|q| q + source.laplace(scale)).collect();
+        top_indices(&noisy, self.k)
+    }
+
+    /// Runs with a plain RNG.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> Vec<usize> {
+        let mut source = SamplingSource::new(rng);
+        self.run_with_source(answers, &mut source)
+    }
+}
+
+impl AlignedMechanism for ClassicNoisyTopK {
+    type Input = QueryAnswers;
+    type Output = Vec<usize>;
+
+    fn run(&self, input: &QueryAnswers, source: &mut dyn NoiseSource) -> Vec<usize> {
+        self.run_with_source(input, source)
+    }
+
+    /// Same alignment as the gap variant (Eq. 2) — the proof never used the
+    /// fact that gaps were withheld, which is the paper's core observation.
+    fn align(
+        &self,
+        input: &QueryAnswers,
+        neighbor: &QueryAnswers,
+        tape: &NoiseTape,
+        output: &Vec<usize>,
+    ) -> NoiseTape {
+        let q = input.values();
+        let qp = neighbor.values();
+        let mut max_d = f64::NEG_INFINITY;
+        let mut max_dp = f64::NEG_INFINITY;
+        for l in 0..q.len() {
+            if !output.contains(&l) {
+                max_d = max_d.max(q[l] + tape.value(l));
+                max_dp = max_dp.max(qp[l] + tape.value(l));
+            }
+        }
+        tape.aligned_by(|i, _| {
+            if output.contains(&i) {
+                (q[i] - qp[i]) + (max_dp - max_d)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// Classic Noisy Max: `k = 1`, returns a single index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicNoisyMax {
+    inner: ClassicNoisyTopK,
+}
+
+impl ClassicNoisyMax {
+    /// Creates the mechanism (see [`ClassicNoisyTopK::new`]).
+    pub fn new(epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
+        Ok(Self { inner: ClassicNoisyTopK::new(1, epsilon, monotonic)? })
+    }
+
+    /// Runs the mechanism, returning the approximate argmax index.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> usize {
+        self.inner.run(answers, rng)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noisy_max::NoisyTopKWithGap;
+    use free_gap_alignment::checker::check_alignment_many;
+    use free_gap_alignment::{AdjacencyModel, Perturbation};
+    use free_gap_noise::rng::rng_from_seed;
+
+    fn workload() -> QueryAnswers {
+        QueryAnswers::counting(vec![50.0, 10.0, 45.0, 30.0, 2.0])
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClassicNoisyTopK::new(0, 1.0, true).is_err());
+        assert!(ClassicNoisyTopK::new(1, -1.0, true).is_err());
+    }
+
+    #[test]
+    fn selection_matches_gap_variant_on_same_noise_stream() {
+        // Same seed => same noise => identical selections: the baseline and
+        // the gap mechanism differ only in released information.
+        let classic = ClassicNoisyTopK::new(3, 0.7, true).unwrap();
+        let with_gap = NoisyTopKWithGap::new(3, 0.7, true).unwrap();
+        for seed in 0..50 {
+            let a = classic.run(&workload(), &mut rng_from_seed(seed));
+            let b = with_gap.run(&workload(), &mut rng_from_seed(seed));
+            assert_eq!(a, b.indices(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn high_epsilon_selects_true_argmax() {
+        let m = ClassicNoisyMax::new(1e6, true).unwrap();
+        assert_eq!(m.run(&workload(), &mut rng_from_seed(1)), 0);
+    }
+
+    #[test]
+    fn alignment_within_budget() {
+        let m = ClassicNoisyTopK::new(2, 0.5, false).unwrap();
+        let d = QueryAnswers::general(vec![5.0, 4.0, 3.0, 2.0]);
+        let mut rng = rng_from_seed(9);
+        for _ in 0..30 {
+            let p = Perturbation::random(AdjacencyModel::General, d.len(), &mut rng);
+            let dp = d.perturbed(p.deltas());
+            let max = check_alignment_many(&m, &d, &dp, 20, &mut rng).unwrap();
+            assert!(max <= 0.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn selection_quality_improves_with_epsilon() {
+        // Accuracy sanity: higher ε finds the true top-2 more often.
+        let d = workload();
+        let truth = vec![0usize, 2];
+        let hit = |eps: f64| {
+            let m = ClassicNoisyTopK::new(2, eps, true).unwrap();
+            let mut rng = rng_from_seed(33);
+            (0..2_000)
+                .filter(|_| {
+                    let mut got = m.run(&d, &mut rng);
+                    got.sort_unstable();
+                    got == truth
+                })
+                .count()
+        };
+        let low = hit(0.05);
+        let high = hit(2.0);
+        assert!(high > low, "high-ε hits {high} should beat low-ε hits {low}");
+    }
+}

@@ -1,0 +1,218 @@
+//! End-to-end select-then-measure pipelines — the protocol of the paper's
+//! §7.2 experiments.
+//!
+//! Both pipelines split the total budget in half: selection (with free
+//! gaps) gets `ε/2`, direct measurement of the selected queries gets the
+//! other `ε/2` (divided evenly among them). The free gap information is
+//! then folded into the measurements by postprocessing:
+//!
+//! * [`topk_select_measure`] — Noisy-Top-K-with-Gap + BLUE (Theorem 3);
+//! * [`svt_select_measure`] — Sparse-Vector-with-Gap + inverse-variance
+//!   combination (§6.2).
+//!
+//! The `measurements` field of each result is the gap-free baseline an
+//! analyst unaware of the free gaps would use; the experiments compare its
+//! MSE against the postprocessed estimates.
+
+use crate::answers::QueryAnswers;
+use crate::error::MechanismError;
+use crate::laplace_mech::LaplaceMechanism;
+use crate::noisy_max::NoisyTopKWithGap;
+use crate::postprocess::blue::{blue_estimates, BlueInput};
+use crate::postprocess::weighted::{combine_gap_with_measurement, topk_lambda_for_even_split};
+use crate::sparse_vector::SparseVectorWithGap;
+use free_gap_alignment::{NoiseSource, SamplingSource};
+use rand::rngs::StdRng;
+
+/// Result of the Top-K select-then-measure pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKPipelineResult {
+    /// Selected query indices, best first.
+    pub indices: Vec<usize>,
+    /// The `k` free gaps from Algorithm 1 (the last one to the runner-up).
+    pub gaps: Vec<f64>,
+    /// Direct noisy measurements `αᵢ` of the selected queries (baseline).
+    pub measurements: Vec<f64>,
+    /// BLUE estimates `βᵢ` combining measurements with the first `k-1` gaps.
+    pub blue: Vec<f64>,
+    /// True answers of the selected queries (for scoring; not private).
+    pub truths: Vec<f64>,
+}
+
+/// Runs the §5.2 protocol: Noisy-Top-K-with-Gap at `ε/2`, Laplace
+/// measurement of the selected queries at `ε/2`, BLUE postprocessing.
+pub fn topk_select_measure(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> Result<TopKPipelineResult, MechanismError> {
+    topk_select_measure_with_split(answers, k, epsilon, 0.5, rng)
+}
+
+/// The §5.2 protocol with an adjustable budget split: `select_fraction` of
+/// `epsilon` goes to selection, the rest to measurement. The BLUE λ adapts:
+/// with monotone factor `c` (1 monotone, 2 general), the gap-noise scale is
+/// `c·k/(fε)` and the measurement scale `k/((1-f)ε)`, so
+/// `λ = (c(1-f)/f)²` — the paper's `λ = 1`/`λ = 4` at `f = 1/2`.
+///
+/// Used by the budget-split ablation (the paper fixes `f = 1/2`).
+pub fn topk_select_measure_with_split(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    select_fraction: f64,
+    rng: &mut StdRng,
+) -> Result<TopKPipelineResult, MechanismError> {
+    answers.require_len(k + 1)?;
+    let f = crate::error::require_fraction("select_fraction", select_fraction)?;
+    let selector = NoisyTopKWithGap::new(k, f * epsilon, answers.monotonic())?;
+    let measurer = LaplaceMechanism::new((1.0 - f) * epsilon)?;
+
+    let selection = selector.run(answers, rng);
+    let indices = selection.indices();
+    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
+
+    let mut source = SamplingSource::new(rng);
+    let measurements = measurer.measure_split(&truths, &mut source);
+
+    let c = if answers.monotonic() { 1.0 } else { 2.0 };
+    let lambda = (c * (1.0 - f) / f).powi(2);
+    debug_assert!(
+        (f - 0.5).abs() > 1e-12
+            || (lambda - topk_lambda_for_even_split(answers.monotonic())).abs() < 1e-12
+    );
+
+    let gaps = selection.gaps();
+    let blue = blue_estimates(&BlueInput {
+        measurements: &measurements,
+        gaps: &gaps[..k - 1],
+        lambda,
+    })?;
+
+    Ok(TopKPipelineResult { indices, gaps, measurements, blue, truths })
+}
+
+/// Result of the SVT select-then-measure pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvtPipelineResult {
+    /// Indices answered above-threshold, in stream order.
+    pub indices: Vec<usize>,
+    /// Their released gaps.
+    pub gaps: Vec<f64>,
+    /// Direct noisy measurements `αᵢ` (baseline).
+    pub measurements: Vec<f64>,
+    /// Inverse-variance combinations of `gap + T` with the measurements.
+    pub combined: Vec<f64>,
+    /// True answers of the answered queries.
+    pub truths: Vec<f64>,
+}
+
+/// Runs the §6.2 protocol: Sparse-Vector-with-Gap at `ε/2` (optimal internal
+/// split), Laplace measurement at `ε/2` over `k` queries, inverse-variance
+/// combination.
+pub fn svt_select_measure(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    threshold: f64,
+    rng: &mut StdRng,
+) -> Result<SvtPipelineResult, MechanismError> {
+    let half = epsilon / 2.0;
+    let selector = SparseVectorWithGap::new(k, half, threshold, answers.monotonic())?;
+    let measurer = LaplaceMechanism::new(half)?;
+
+    let selection = selector.run(answers, rng);
+    let pairs = selection.gaps();
+    let indices: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
+    let gaps: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
+
+    // Measurement budget is sized for k queries even if fewer were answered
+    // (the analyst commits to the split before seeing the selection).
+    let meas_scale = measurer.scale() * k as f64;
+    let mut source = SamplingSource::new(rng);
+    let measurements: Vec<f64> =
+        truths.iter().map(|t| t + source.laplace(meas_scale)).collect();
+
+    let gap_var = selector.gap_variance();
+    let meas_var = 2.0 * meas_scale * meas_scale;
+    let combined = gaps
+        .iter()
+        .zip(&measurements)
+        .map(|(g, a)| combine_gap_with_measurement(*g, threshold, gap_var, *a, meas_var))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(SvtPipelineResult { indices, gaps, measurements, combined, truths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+    use free_gap_noise::stats::RunningMoments;
+
+    fn workload() -> QueryAnswers {
+        QueryAnswers::counting(vec![
+            500.0, 480.0, 20.0, 460.0, 440.0, 10.0, 420.0, 400.0, 5.0, 380.0, 2.0,
+        ])
+    }
+
+    #[test]
+    fn topk_pipeline_shapes() {
+        let mut rng = rng_from_seed(1);
+        let r = topk_select_measure(&workload(), 4, 1.0, &mut rng).unwrap();
+        assert_eq!(r.indices.len(), 4);
+        assert_eq!(r.gaps.len(), 4);
+        assert_eq!(r.measurements.len(), 4);
+        assert_eq!(r.blue.len(), 4);
+        assert_eq!(r.truths.len(), 4);
+    }
+
+    #[test]
+    fn topk_pipeline_blue_beats_measurements() {
+        // Monte-Carlo over the full pipeline: BLUE's MSE should undercut the
+        // measurement-only baseline by about 1 - (1+k)/(2k) (Corollary 1).
+        let k = 5;
+        let mut rng = rng_from_seed(2);
+        let mut mse_blue = RunningMoments::new();
+        let mut mse_meas = RunningMoments::new();
+        for _ in 0..4_000 {
+            let r = topk_select_measure(&workload(), k, 1.0, &mut rng).unwrap();
+            for i in 0..k {
+                mse_blue.push((r.blue[i] - r.truths[i]).powi(2));
+                mse_meas.push((r.measurements[i] - r.truths[i]).powi(2));
+            }
+        }
+        let ratio = mse_blue.mean() / mse_meas.mean();
+        let expect = (1.0 + k as f64) / (2.0 * k as f64); // 0.6 at k = 5
+        assert!((ratio - expect).abs() < 0.05, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn svt_pipeline_shapes_and_improvement() {
+        let k = 5;
+        let threshold = 300.0;
+        let mut rng = rng_from_seed(3);
+        let mut mse_comb = RunningMoments::new();
+        let mut mse_meas = RunningMoments::new();
+        for _ in 0..4_000 {
+            let r = svt_select_measure(&workload(), k, 1.0, threshold, &mut rng).unwrap();
+            assert!(r.indices.len() <= k);
+            for i in 0..r.indices.len() {
+                mse_comb.push((r.combined[i] - r.truths[i]).powi(2));
+                mse_meas.push((r.measurements[i] - r.truths[i]).powi(2));
+            }
+        }
+        let ratio = mse_comb.mean() / mse_meas.mean();
+        let expect = crate::postprocess::weighted::svt_error_ratio(k, true);
+        assert!((ratio - expect).abs() < 0.05, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn rejects_undersized_workloads() {
+        let mut rng = rng_from_seed(4);
+        let small = QueryAnswers::counting(vec![1.0, 2.0]);
+        assert!(topk_select_measure(&small, 2, 1.0, &mut rng).is_err());
+    }
+}

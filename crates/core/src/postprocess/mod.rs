@@ -1,0 +1,18 @@
+//! Postprocessing that converts the free gap information into accuracy:
+//! BLUE for Top-K (Theorem 3), inverse-variance combining for SVT (§6.2),
+//! and free lower-confidence intervals (Lemma 5).
+//!
+//! Everything here is postprocessing of differentially private outputs, so
+//! by the resilience-to-post-processing property it consumes **zero**
+//! additional privacy budget.
+
+pub mod blue;
+pub mod confidence;
+pub mod weighted;
+
+pub use blue::{blue_estimates, blue_estimates_matrix, blue_variance_ratio, BlueInput};
+pub use confidence::{gap_confidence_offset, GapConfidence};
+pub use weighted::{
+    combine_gap_with_measurement, inverse_variance_combine, svt_error_ratio,
+    topk_lambda_for_even_split,
+};

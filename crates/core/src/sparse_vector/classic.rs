@@ -1,0 +1,245 @@
+//! Classic Sparse Vector Technique (the correct variant catalogued by Lyu et
+//! al., the paper's [31]) — the baseline of §7.3.
+//!
+//! Given a stream of sensitivity-1 queries and a public threshold `T`, adds
+//! `Lap(1/ε₁)` to the threshold once, `Lap(ck/ε₂)` to each query
+//! (`c` = 2 general, 1 monotone), answers `⊤`/`⊥` by comparing, and stops
+//! after `k` `⊤`s. Total cost `ε = ε₁ + ε₂` regardless of how many `⊥`s are
+//! emitted — answering below-threshold queries is free.
+
+use super::{optimal_threshold_share, SvOutput};
+use crate::answers::QueryAnswers;
+use crate::error::{require_epsilon, require_fraction, MechanismError};
+use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
+use rand::rngs::StdRng;
+
+/// Classic SVT (no gap release).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassicSparseVector {
+    k: usize,
+    epsilon: f64,
+    threshold: f64,
+    threshold_share: f64,
+    monotonic: bool,
+}
+
+impl ClassicSparseVector {
+    /// Creates the mechanism: find up to `k` queries above `threshold` with
+    /// total budget `epsilon`, using the Lyu-et-al optimal budget split.
+    pub fn new(
+        k: usize,
+        epsilon: f64,
+        threshold: f64,
+        monotonic: bool,
+    ) -> Result<Self, MechanismError> {
+        if k == 0 {
+            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+        }
+        Ok(Self {
+            k,
+            epsilon: require_epsilon(epsilon)?,
+            threshold,
+            threshold_share: optimal_threshold_share(k, monotonic),
+            monotonic,
+        })
+    }
+
+    /// Overrides the threshold/query budget split (`θ ∈ (0,1)` is the
+    /// threshold's share).
+    pub fn with_threshold_share(mut self, share: f64) -> Result<Self, MechanismError> {
+        self.threshold_share = require_fraction("threshold_share", share)?;
+        Ok(self)
+    }
+
+    /// The answer cap `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Threshold-noise budget `ε₁ = θε`.
+    pub fn epsilon1(&self) -> f64 {
+        self.threshold_share * self.epsilon
+    }
+
+    /// Query-noise budget `ε₂ = (1-θ)ε`.
+    pub fn epsilon2(&self) -> f64 {
+        (1.0 - self.threshold_share) * self.epsilon
+    }
+
+    /// Laplace scale of the threshold noise, `1/ε₁`.
+    pub fn threshold_scale(&self) -> f64 {
+        1.0 / self.epsilon1()
+    }
+
+    /// Laplace scale of each query's noise, `ck/ε₂`.
+    pub fn query_scale(&self) -> f64 {
+        let c = if self.monotonic { 1.0 } else { 2.0 };
+        c * self.k as f64 / self.epsilon2()
+    }
+
+    /// Runs the mechanism against a noise source. Shared by the classic and
+    /// gap-releasing variants: `release_gaps` controls whether above answers
+    /// carry the noisy gap or a placeholder `0.0`.
+    pub(crate) fn run_impl(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+        release_gaps: bool,
+    ) -> SvOutput {
+        let noisy_threshold = self.threshold + source.laplace(self.threshold_scale());
+        let qscale = self.query_scale();
+        let mut above = Vec::new();
+        let mut answered = 0usize;
+        for &q in answers.values() {
+            if answered == self.k {
+                break;
+            }
+            let noisy = q + source.laplace(qscale);
+            if noisy >= noisy_threshold {
+                above.push(Some(if release_gaps { noisy - noisy_threshold } else { 0.0 }));
+                answered += 1;
+            } else {
+                above.push(None);
+            }
+        }
+        SvOutput { above }
+    }
+
+    /// Runs with a plain RNG.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.run_impl(answers, &mut source, false)
+    }
+
+    /// Builds the SVT alignment shared by the classic and gap variants:
+    /// threshold noise up by 1 (or 0 in the favorable monotone direction),
+    /// each `⊤` query's noise shifted to keep clearing the higher threshold.
+    pub(crate) fn align_impl(
+        &self,
+        input: &QueryAnswers,
+        neighbor: &QueryAnswers,
+        tape: &NoiseTape,
+        output: &SvOutput,
+    ) -> NoiseTape {
+        let q = input.values();
+        let qp = neighbor.values();
+        // Footnote 6: when all queries shrink (qᵢ >= q'ᵢ) on a monotone
+        // workload, the threshold can stay put and winners shift by qᵢ - q'ᵢ.
+        let favorable = self.monotonic
+            && q.iter().zip(qp).all(|(a, b)| a >= b);
+        let threshold_shift = if favorable { 0.0 } else { 1.0 };
+        tape.aligned_by(|draw_idx, _| {
+            if draw_idx == 0 {
+                threshold_shift
+            } else {
+                let qi = draw_idx - 1; // draw i+1 belongs to query i
+                match output.above.get(qi) {
+                    Some(Some(_)) => threshold_shift + q[qi] - qp[qi],
+                    _ => 0.0,
+                }
+            }
+        })
+    }
+}
+
+impl AlignedMechanism for ClassicSparseVector {
+    type Input = QueryAnswers;
+    type Output = SvOutput;
+
+    fn run(&self, input: &QueryAnswers, source: &mut dyn NoiseSource) -> SvOutput {
+        self.run_impl(input, source, false)
+    }
+
+    fn align(
+        &self,
+        input: &QueryAnswers,
+        neighbor: &QueryAnswers,
+        tape: &NoiseTape,
+        output: &SvOutput,
+    ) -> NoiseTape {
+        self.align_impl(input, neighbor, tape, output)
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_alignment::checker::check_alignment_many;
+    use free_gap_alignment::{AdjacencyModel, Perturbation};
+    use free_gap_noise::rng::rng_from_seed;
+
+    fn workload() -> QueryAnswers {
+        QueryAnswers::counting(vec![100.0, 5.0, 90.0, 4.0, 95.0, 3.0, 85.0, 2.0])
+    }
+
+    #[test]
+    fn validation_and_budget_split() {
+        assert!(ClassicSparseVector::new(0, 1.0, 50.0, true).is_err());
+        assert!(ClassicSparseVector::new(1, 0.0, 50.0, true).is_err());
+        let m = ClassicSparseVector::new(4, 1.0, 50.0, true).unwrap();
+        assert!((m.epsilon1() + m.epsilon2() - 1.0).abs() < 1e-12);
+        assert!(m.with_threshold_share(1.5).is_err());
+        let m = m.with_threshold_share(0.5).unwrap();
+        assert_eq!(m.epsilon1(), 0.5);
+        // monotone scale: k/ε₂ = 4/0.5
+        assert_eq!(m.query_scale(), 8.0);
+    }
+
+    #[test]
+    fn stops_after_k_aboves() {
+        let m = ClassicSparseVector::new(2, 100.0, 50.0, true).unwrap();
+        let out = m.run(&workload(), &mut rng_from_seed(1));
+        assert_eq!(out.answered(), 2);
+        // With huge ε it answers the first two truly-above queries (0, 2)
+        // and stops: query 4 is never processed.
+        assert_eq!(out.above_indices(), vec![0, 2]);
+        assert_eq!(out.processed(), 3);
+    }
+
+    #[test]
+    fn below_threshold_answers_are_free_and_unlimited() {
+        let lows = QueryAnswers::counting(vec![0.0; 500]);
+        let m = ClassicSparseVector::new(1, 1.0, 100.0, true).unwrap();
+        let out = m.run(&lows, &mut rng_from_seed(2));
+        // Processes the whole stream without finding k aboves (w.h.p.).
+        assert_eq!(out.processed(), 500);
+        assert!(out.answered() <= 1);
+    }
+
+    #[test]
+    fn alignment_within_budget_general() {
+        let m = ClassicSparseVector::new(2, 0.8, 60.0, false).unwrap();
+        let d = QueryAnswers::general(workload().values().to_vec());
+        let mut rng = rng_from_seed(5);
+        for _ in 0..40 {
+            let p = Perturbation::random(AdjacencyModel::General, d.len(), &mut rng);
+            let dp = d.perturbed(p.deltas());
+            let max = check_alignment_many(&m, &d, &dp, 15, &mut rng).unwrap();
+            assert!(max <= 0.8 + 1e-9, "cost {max}");
+        }
+    }
+
+    #[test]
+    fn alignment_within_budget_monotone_both_directions() {
+        let m = ClassicSparseVector::new(2, 0.8, 60.0, true).unwrap();
+        let d = workload();
+        let mut rng = rng_from_seed(6);
+        for model in [AdjacencyModel::MonotoneUp, AdjacencyModel::MonotoneDown] {
+            for _ in 0..20 {
+                let p = Perturbation::random(model, d.len(), &mut rng);
+                let dp = d.perturbed(p.deltas());
+                let max = check_alignment_many(&m, &d, &dp, 15, &mut rng).unwrap();
+                assert!(max <= 0.8 + 1e-9, "cost {max} under {model:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Multi-branch Adaptive Sparse Vector — the extension §6.1 sketches:
+//! *"Algorithm 2 can be easily extended with multiple additional 'if'
+//! branches. For simplicity we do not include such variations."* We include
+//! it.
+//!
+//! With `m` branches the per-answer budgets form a geometric ladder
+//! `ε₁/2^{m-1} < … < ε₁/2 < ε₁`: each query is first tested with the
+//! cheapest (noisiest) branch against a 2-standard-deviation margin, then
+//! successively more expensive branches, ending with the margin-0 baseline
+//! test. A query `2^{m-1}`× … far above the threshold costs `ε₁/2^{m-1}`,
+//! so the same budget can answer up to `2^{m-1}·k` such queries.
+//!
+//! `m = 1` recovers Sparse-Vector-with-Gap; `m = 2` is exactly Algorithm 2
+//! (draw-for-draw: the test-suite checks output equality on shared noise
+//! streams).
+//!
+//! The local alignment generalizes Eq. (3) verbatim: the threshold noise
+//! moves up by one, losing branch noises stay, and the single winning
+//! branch noise of each answer absorbs `1 + qᵢ - q'ᵢ`; the Definition-6
+//! cost telescopes to `ε₀ + Σ (winning branch budgets) ≤ ε`.
+
+use super::{optimal_threshold_share, Branch};
+use crate::answers::QueryAnswers;
+use crate::error::{require_epsilon, require_fraction, MechanismError};
+use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
+use rand::rngs::StdRng;
+
+/// Per-query outcome of the multi-branch mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MultiBranchOutcome {
+    /// Above threshold via branch `branch` (0 = cheapest), at cost `cost`.
+    Above {
+        /// Branch index, `0 ..= m-1` from cheapest to baseline.
+        branch: usize,
+        /// The released noisy gap.
+        gap: f64,
+        /// Budget consumed for this answer.
+        cost: f64,
+    },
+    /// Below threshold: free.
+    Below,
+}
+
+impl MultiBranchOutcome {
+    /// True for any above-threshold branch.
+    pub fn is_above(&self) -> bool {
+        matches!(self, MultiBranchOutcome::Above { .. })
+    }
+}
+
+/// Output of [`MultiBranchAdaptiveSparseVector`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBranchSvOutput {
+    /// One outcome per processed query.
+    pub outcomes: Vec<MultiBranchOutcome>,
+    /// Total budget consumed (including the threshold share).
+    pub spent: f64,
+    /// The mechanism's budget `ε`.
+    pub epsilon: f64,
+}
+
+impl MultiBranchSvOutput {
+    /// Number of above-threshold answers.
+    pub fn answered(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_above()).count()
+    }
+
+    /// Number of answers via branch index `b`.
+    pub fn answered_via(&self, b: usize) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, MultiBranchOutcome::Above { branch, .. } if *branch == b))
+            .count()
+    }
+
+    /// Indices answered above-threshold.
+    pub fn above_indices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_above())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Unspent budget fraction.
+    pub fn remaining_fraction(&self) -> f64 {
+        ((self.epsilon - self.spent) / self.epsilon).max(0.0)
+    }
+}
+
+/// Adaptive Sparse Vector with `m ≥ 1` test branches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiBranchAdaptiveSparseVector {
+    k: usize,
+    epsilon: f64,
+    threshold: f64,
+    theta: f64,
+    monotonic: bool,
+    branches: usize,
+}
+
+impl MultiBranchAdaptiveSparseVector {
+    /// Maximum supported branch count; the ladder's noise scale grows as
+    /// `2^{m-1}`, so deeper ladders are useless in practice and risk
+    /// under/overflow in the margins.
+    pub const MAX_BRANCHES: usize = 16;
+
+    /// Creates the mechanism. `branches = 1` is Sparse-Vector-with-Gap,
+    /// `branches = 2` is Algorithm 2.
+    pub fn new(
+        k: usize,
+        epsilon: f64,
+        threshold: f64,
+        monotonic: bool,
+        branches: usize,
+    ) -> Result<Self, MechanismError> {
+        if k == 0 {
+            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+        }
+        if branches == 0 || branches > Self::MAX_BRANCHES {
+            return Err(MechanismError::InvalidK {
+                k: branches,
+                requirement: "branch count must be in 1..=16",
+            });
+        }
+        Ok(Self {
+            k,
+            epsilon: require_epsilon(epsilon)?,
+            threshold,
+            theta: optimal_threshold_share(k, monotonic),
+            monotonic,
+            branches,
+        })
+    }
+
+    /// Overrides the budget-allocation hyperparameter `θ`.
+    pub fn with_theta(mut self, theta: f64) -> Result<Self, MechanismError> {
+        self.theta = require_fraction("theta", theta)?;
+        Ok(self)
+    }
+
+    /// Number of branches `m`.
+    pub fn branches(&self) -> usize {
+        self.branches
+    }
+
+    /// Threshold budget `ε₀ = θε`.
+    pub fn epsilon0(&self) -> f64 {
+        self.theta * self.epsilon
+    }
+
+    /// Baseline per-answer budget `ε₁ = (1-θ)ε/k` (the most expensive rung).
+    pub fn epsilon1(&self) -> f64 {
+        (1.0 - self.theta) * self.epsilon / self.k as f64
+    }
+
+    /// Budget of branch `b` (0 = cheapest): `ε₁ / 2^{m-1-b}`.
+    pub fn branch_budget(&self, b: usize) -> f64 {
+        assert!(b < self.branches, "branch index out of range");
+        self.epsilon1() / (1u64 << (self.branches - 1 - b)) as f64
+    }
+
+    /// Laplace scale of branch `b`'s noise: `c / branch_budget(b)`.
+    pub fn branch_scale(&self, b: usize) -> f64 {
+        let c = if self.monotonic { 1.0 } else { 2.0 };
+        c / self.branch_budget(b)
+    }
+
+    /// Acceptance margin of branch `b`: 2 standard deviations of its noise
+    /// for every rung except the baseline, which uses margin 0.
+    pub fn branch_margin(&self, b: usize) -> f64 {
+        if b + 1 == self.branches {
+            0.0
+        } else {
+            2.0 * std::f64::consts::SQRT_2 * self.branch_scale(b)
+        }
+    }
+
+    /// Runs the mechanism against a noise source.
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> MultiBranchSvOutput {
+        let eps1 = self.epsilon1();
+        let noisy_threshold = self.threshold + source.laplace(1.0 / self.epsilon0());
+        let mut outcomes = Vec::new();
+        let mut spent = self.epsilon0();
+        for &q in answers.values() {
+            // All m noises drawn unconditionally: data-independent structure.
+            let mut outcome = MultiBranchOutcome::Below;
+            for b in 0..self.branches {
+                let noise = source.laplace(self.branch_scale(b));
+                if outcome.is_above() {
+                    continue; // branch already won; later draws are discarded
+                }
+                let gap = q + noise - noisy_threshold;
+                if gap >= self.branch_margin(b) {
+                    let cost = self.branch_budget(b);
+                    spent += cost;
+                    outcome = MultiBranchOutcome::Above { branch: b, gap, cost };
+                }
+            }
+            outcomes.push(outcome);
+            if spent + eps1 > self.epsilon * (1.0 + 1e-12) {
+                break;
+            }
+        }
+        MultiBranchSvOutput { outcomes, spent, epsilon: self.epsilon }
+    }
+
+    /// Runs with a plain RNG.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> MultiBranchSvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.run_with_source(answers, &mut source)
+    }
+}
+
+impl AlignedMechanism for MultiBranchAdaptiveSparseVector {
+    type Input = QueryAnswers;
+    type Output = MultiBranchSvOutput;
+
+    fn run(&self, input: &QueryAnswers, source: &mut dyn NoiseSource) -> MultiBranchSvOutput {
+        self.run_with_source(input, source)
+    }
+
+    fn align(
+        &self,
+        input: &QueryAnswers,
+        neighbor: &QueryAnswers,
+        tape: &NoiseTape,
+        output: &MultiBranchSvOutput,
+    ) -> NoiseTape {
+        let q = input.values();
+        let qp = neighbor.values();
+        let favorable = self.monotonic && q.iter().zip(qp).all(|(a, b)| a >= b);
+        let threshold_shift = if favorable { 0.0 } else { 1.0 };
+        let m = self.branches;
+        tape.aligned_by(|draw_idx, _| {
+            if draw_idx == 0 {
+                return threshold_shift;
+            }
+            let qi = (draw_idx - 1) / m;
+            let branch = (draw_idx - 1) % m;
+            match output.outcomes.get(qi) {
+                Some(MultiBranchOutcome::Above { branch: wb, .. }) if *wb == branch => {
+                    threshold_shift + q[qi] - qp[qi]
+                }
+                _ => 0.0,
+            }
+        })
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn outputs_match(&self, a: &MultiBranchSvOutput, b: &MultiBranchSvOutput) -> bool {
+        a.outcomes.len() == b.outcomes.len()
+            && a.outcomes.iter().zip(&b.outcomes).all(|(x, y)| match (x, y) {
+                (MultiBranchOutcome::Below, MultiBranchOutcome::Below) => true,
+                (
+                    MultiBranchOutcome::Above { branch: bx, gap: gx, cost: cx },
+                    MultiBranchOutcome::Above { branch: by, gap: gy, cost: cy },
+                ) => {
+                    bx == by
+                        && cx == cy
+                        && (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
+                }
+                _ => false,
+            })
+    }
+}
+
+/// Maps a two-branch outcome onto the Algorithm-2 [`Branch`] labels.
+pub fn as_algorithm2_branch(outcome: &MultiBranchOutcome) -> Option<Branch> {
+    match outcome {
+        MultiBranchOutcome::Above { branch: 0, .. } => Some(Branch::Top),
+        MultiBranchOutcome::Above { branch: 1, .. } => Some(Branch::Middle),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse_vector::{AdaptiveOutcome, AdaptiveSparseVector, SparseVectorWithGap};
+    use free_gap_alignment::checker::check_alignment_many;
+    use free_gap_alignment::{AdjacencyModel, Perturbation};
+    use free_gap_noise::rng::rng_from_seed;
+
+    fn mech(k: usize, branches: usize, threshold: f64) -> MultiBranchAdaptiveSparseVector {
+        MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, branches).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MultiBranchAdaptiveSparseVector::new(0, 0.7, 0.0, true, 2).is_err());
+        assert!(MultiBranchAdaptiveSparseVector::new(1, 0.7, 0.0, true, 0).is_err());
+        assert!(MultiBranchAdaptiveSparseVector::new(1, 0.7, 0.0, true, 17).is_err());
+        assert!(MultiBranchAdaptiveSparseVector::new(1, 0.0, 0.0, true, 2).is_err());
+    }
+
+    #[test]
+    fn budget_ladder_is_geometric() {
+        let m = mech(4, 3, 10.0);
+        let e1 = m.epsilon1();
+        assert!((m.branch_budget(2) - e1).abs() < 1e-15);
+        assert!((m.branch_budget(1) - e1 / 2.0).abs() < 1e-15);
+        assert!((m.branch_budget(0) - e1 / 4.0).abs() < 1e-15);
+        assert_eq!(m.branch_margin(2), 0.0);
+        assert!(m.branch_margin(0) > m.branch_margin(1));
+    }
+
+    #[test]
+    fn two_branches_equal_algorithm_2_on_shared_noise() {
+        let answers = QueryAnswers::counting(vec![100.0, 5.0, 90.0, 60.0, 4.0, 95.0, 3.0]);
+        let multi = mech(3, 2, 58.0);
+        let alg2 = AdaptiveSparseVector::new(3, 0.7, 58.0, true).unwrap();
+        for seed in 0..60 {
+            let a = multi.run(&answers, &mut rng_from_seed(seed));
+            let b = alg2.run(&answers, &mut rng_from_seed(seed));
+            assert_eq!(a.outcomes.len(), b.outcomes.len(), "seed {seed}");
+            for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+                match (x, y) {
+                    (MultiBranchOutcome::Below, AdaptiveOutcome::Below) => {}
+                    (
+                        MultiBranchOutcome::Above { gap: gx, cost: cx, .. },
+                        AdaptiveOutcome::Above { gap: gy, cost: cy, .. },
+                    ) => {
+                        assert!((gx - gy).abs() < 1e-12, "seed {seed}");
+                        assert!((cx - cy).abs() < 1e-15, "seed {seed}");
+                        assert_eq!(
+                            as_algorithm2_branch(x),
+                            match y {
+                                AdaptiveOutcome::Above { branch, .. } => Some(*branch),
+                                AdaptiveOutcome::Below => None,
+                            }
+                        );
+                    }
+                    other => panic!("seed {seed}: divergent outcomes {other:?}"),
+                }
+            }
+            assert!((a.spent - b.spent).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_branch_equals_sparse_vector_with_gap_decisions() {
+        // m = 1: single margin-0 test at budget ε₁ — Wang et al.'s mechanism
+        // with per-answer budget ε₁ and the same stopping rule.
+        let answers = QueryAnswers::counting(vec![100.0, 5.0, 90.0, 60.0, 4.0, 95.0]);
+        let multi = mech(3, 1, 58.0);
+        let svg = SparseVectorWithGap::new(3, 0.7, 58.0, true).unwrap();
+        // Same θ split and same noise-draw structure (1 threshold + 1 per
+        // query), so identical streams give identical decisions and gaps.
+        for seed in 0..60 {
+            let a = multi.run(&answers, &mut rng_from_seed(seed));
+            let b = svg.run(&answers, &mut rng_from_seed(seed));
+            let a_gaps: Vec<(usize, f64)> = a
+                .outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| match o {
+                    MultiBranchOutcome::Above { gap, .. } => Some((i, *gap)),
+                    MultiBranchOutcome::Below => None,
+                })
+                .collect();
+            assert_eq!(a_gaps.len(), b.gaps().len(), "seed {seed}");
+            for ((ia, ga), (ib, gb)) in a_gaps.iter().zip(b.gaps().iter()) {
+                assert_eq!(ia, ib);
+                assert!((ga - gb).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_ladders_answer_more_far_above_queries() {
+        let answers = QueryAnswers::counting(vec![1e12; 400]);
+        let mut rng = rng_from_seed(1);
+        let mut last = 0usize;
+        for m in [1usize, 2, 3, 4] {
+            let out = mech(5, m, 0.0).run(&answers, &mut rng);
+            let answered = out.answered();
+            assert!(
+                answered >= last,
+                "m = {m}: answered {answered} < previous {last}"
+            );
+            last = answered;
+        }
+        // m = 4 should approach 2^3·k = 40 answers.
+        assert!(last >= 30, "m = 4 answered only {last}");
+    }
+
+    #[test]
+    fn spends_at_most_epsilon() {
+        let answers = QueryAnswers::counting(vec![12.0; 200]);
+        let m = mech(4, 3, 10.0);
+        let mut rng = rng_from_seed(3);
+        for _ in 0..100 {
+            let out = m.run(&answers, &mut rng);
+            assert!(out.spent <= 0.7 + 1e-9, "spent {}", out.spent);
+        }
+    }
+
+    #[test]
+    fn alignment_within_budget_all_branch_counts() {
+        let d = QueryAnswers::counting(vec![100.0, 5.0, 90.0, 4.0, 95.0, 3.0]);
+        let mut rng = rng_from_seed(4);
+        for m in [1usize, 2, 3, 4] {
+            let mech = mech(2, m, 60.0);
+            for model in [AdjacencyModel::MonotoneUp, AdjacencyModel::MonotoneDown] {
+                for _ in 0..15 {
+                    let p = Perturbation::random(model, d.len(), &mut rng);
+                    let dp = d.perturbed(p.deltas());
+                    let max = check_alignment_many(&mech, &d, &dp, 10, &mut rng)
+                        .unwrap_or_else(|e| panic!("m = {m}: {e}"));
+                    assert!(max <= 0.7 + 1e-9, "m = {m}: cost {max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alignment_general_queries() {
+        let d = QueryAnswers::general(vec![100.0, 5.0, 90.0, 4.0, 95.0]);
+        let mech = MultiBranchAdaptiveSparseVector::new(2, 0.8, 60.0, false, 3).unwrap();
+        let mut rng = rng_from_seed(5);
+        for _ in 0..30 {
+            let p = Perturbation::random(AdjacencyModel::General, d.len(), &mut rng);
+            let dp = d.perturbed(p.deltas());
+            let max = check_alignment_many(&mech, &d, &dp, 10, &mut rng).unwrap();
+            assert!(max <= 0.8 + 1e-9, "cost {max}");
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # free-gap-data
+//!
+//! Dataset substrate for the `free-gap` workspace (reproduction of Ding et
+//! al., *Free Gap Information from the Differentially Private Sparse Vector
+//! and Noisy Max Mechanisms*, VLDB 2019).
+//!
+//! The paper evaluates on three transaction datasets (§7.1):
+//!
+//! | Dataset      | Records  | Unique items |
+//! |--------------|----------|--------------|
+//! | BMS-POS      | 515,597  | 1,657        |
+//! | Kosarak      | 990,002  | 41,270       |
+//! | T40I10D100K  | 100,000  | 942          |
+//!
+//! The first two are real datasets that cannot be redistributed here, and the
+//! third comes from the closed-source IBM Almaden Quest generator. This crate
+//! therefore provides **statistical surrogates** (see `DESIGN.md` §5): each
+//! generator reproduces the record count, the unique-item count and a
+//! heavy-tailed item-popularity profile. The paper's mechanisms only
+//! consume the *vector of per-item counts* (monotone counting queries of
+//! sensitivity 1) with thresholds chosen by rank, so matching those
+//! marginals preserves the experimental behaviour.
+//!
+//! Contents:
+//!
+//! * [`transaction`] — transaction database type and add/remove-record
+//!   adjacency.
+//! * [`zipf`] / [`poisson`] — sampling primitives for the generators.
+//! * [`generator`] — `BmsPosLike`, `KosarakLike` and the Quest-style
+//!   `QuestGenerator`, plus the [`generator::Dataset`] enum tying them to the
+//!   paper's names.
+//! * [`queries`] — item-count query workloads (the paper's `q₁, …, qₙ`).
+//! * [`workload`] — true top-k, rank-based threshold selection (§7.2 picks
+//!   `T` uniformly from the top-2k..top-8k values), above-threshold ground
+//!   truth.
+//! * [`stats`] — the §7.1 dataset-statistics table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod poisson;
+pub mod queries;
+pub mod stats;
+pub mod transaction;
+pub mod workload;
+pub mod zipf;
+
+pub use generator::{Dataset, DatasetConfig};
+pub use queries::ItemCounts;
+pub use stats::DatasetStats;
+pub use transaction::TransactionDb;
+pub use zipf::Zipf;

@@ -1,0 +1,90 @@
+//! Poisson sampling for transaction lengths.
+//!
+//! The Quest generator draws basket sizes around a target mean (`T = 40` for
+//! T40I10D100K); the surrogate models this as Poisson. Knuth's
+//! multiply-uniforms method is exact and fast enough for the λ ≤ 64 range the
+//! generators use (λ = 40 needs ~41 uniforms per draw; the product stays far
+//! above the f64 underflow threshold `e^{-708}`).
+
+use rand::Rng;
+
+/// Draws one Poisson(λ) variate with Knuth's algorithm.
+///
+/// # Panics
+/// Panics if `lambda` is not finite and positive, or is large enough
+/// (`> 500`) that the multiplicative method would lose precision.
+pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
+    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+    assert!(lambda <= 500.0, "multiplicative Poisson only supports lambda <= 500");
+    let limit = (-lambda).exp();
+    let mut product: f64 = 1.0;
+    let mut k = 0u64;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Poisson pmf `P(K = k)` computed in log space for stability.
+pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
+    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+    let mut log_p = -lambda + k as f64 * lambda.ln();
+    for i in 1..=k {
+        log_p -= (i as f64).ln();
+    }
+    log_p.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+    use free_gap_noise::stats::RunningMoments;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lambda() {
+        sample_poisson(0.0, &mut rng_from_seed(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda <= 500")]
+    fn rejects_huge_lambda() {
+        sample_poisson(1e4, &mut rng_from_seed(1));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for lambda in [0.5, 5.0, 40.0] {
+            let total: f64 = (0..400).map(|k| poisson_pmf(lambda, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "lambda = {lambda}");
+        }
+    }
+
+    #[test]
+    fn moments_match_lambda() {
+        for lambda in [2.0, 40.0] {
+            let mut rng = rng_from_seed(7);
+            let mut m = RunningMoments::new();
+            for _ in 0..100_000 {
+                m.push(sample_poisson(lambda, &mut rng) as f64);
+            }
+            assert!((m.mean() - lambda).abs() / lambda < 0.02, "mean for {lambda}: {}", m.mean());
+            assert!((m.variance() - lambda).abs() / lambda < 0.05, "var for {lambda}");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_pmf_at_mode() {
+        let lambda = 5.0;
+        let mut rng = rng_from_seed(3);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| sample_poisson(lambda, &mut rng) == 5).count() as f64;
+        let p = poisson_pmf(lambda, 5);
+        let sigma = (p * (1.0 - p) / n as f64).sqrt();
+        assert!((hits / n as f64 - p).abs() < 5.0 * sigma);
+    }
+}

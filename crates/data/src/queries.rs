@@ -1,0 +1,128 @@
+//! Item-count query workloads.
+//!
+//! The paper's experiments use one counting query per item: "how many
+//! transactions contain item *i*?" (§7.1). These queries are *monotonic*
+//! (Definition 7) with global sensitivity 1 under add/remove-one-record
+//! adjacency, which is what makes the tighter `ε/2` analysis of Theorem 2 and
+//! the `Lap(1/ε)`-noise variant of Algorithm 2 applicable.
+
+/// The answer vector of the per-item counting queries on one database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemCounts {
+    counts: Vec<u64>,
+}
+
+impl ItemCounts {
+    /// Wraps a raw count vector.
+    pub fn new(counts: Vec<u64>) -> Self {
+        Self { counts }
+    }
+
+    /// Number of queries (items).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The raw counts.
+    pub fn as_u64(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The counts as `f64` query answers (the form mechanisms consume).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| c as f64).collect()
+    }
+
+    /// Count of a single item.
+    ///
+    /// # Panics
+    /// Panics if `item` is out of range.
+    pub fn count(&self, item: usize) -> u64 {
+        self.counts[item]
+    }
+
+    /// The counts sorted in descending order (used for rank-based threshold
+    /// selection and ground-truth top-k).
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut v = self.counts.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// The value at descending rank `r` (0-based: `r = 0` is the maximum).
+    ///
+    /// Returns `None` when `r` is out of range.
+    pub fn value_at_rank(&self, r: usize) -> Option<u64> {
+        self.sorted_desc().get(r).copied()
+    }
+
+    /// Indices of the `k` largest counts, in descending count order.
+    /// Ties are broken by smaller index first (deterministic).
+    pub fn top_k_indices(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.counts.len()).collect();
+        idx.sort_by(|&a, &b| self.counts[b].cmp(&self.counts[a]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Ground truth for precision/recall: the number of queries whose true
+    /// answer is at least `threshold`. Uses `>=` to mirror the mechanisms'
+    /// noisy comparisons, which are also `>=`.
+    pub fn num_at_or_above(&self, threshold: f64) -> usize {
+        self.counts.iter().filter(|&&c| c as f64 >= threshold).count()
+    }
+}
+
+impl From<Vec<u64>> for ItemCounts {
+    fn from(v: Vec<u64>) -> Self {
+        Self::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> ItemCounts {
+        ItemCounts::new(vec![5, 9, 1, 9, 3])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = counts();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        assert_eq!(c.count(1), 9);
+        assert_eq!(c.to_f64(), vec![5.0, 9.0, 1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_desc_and_ranks() {
+        let c = counts();
+        assert_eq!(c.sorted_desc(), vec![9, 9, 5, 3, 1]);
+        assert_eq!(c.value_at_rank(0), Some(9));
+        assert_eq!(c.value_at_rank(2), Some(5));
+        assert_eq!(c.value_at_rank(5), None);
+    }
+
+    #[test]
+    fn top_k_breaks_ties_by_index() {
+        let c = counts();
+        assert_eq!(c.top_k_indices(3), vec![1, 3, 0]);
+        assert_eq!(c.top_k_indices(0), Vec::<usize>::new());
+        assert_eq!(c.top_k_indices(99).len(), 5);
+    }
+
+    #[test]
+    fn above_threshold_ground_truth() {
+        let c = counts();
+        assert_eq!(c.num_at_or_above(9.0), 2);
+        assert_eq!(c.num_at_or_above(3.5), 3);
+        assert_eq!(c.num_at_or_above(0.0), 5);
+    }
+}

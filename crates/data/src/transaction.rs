@@ -1,0 +1,198 @@
+//! Transaction databases and record-level adjacency.
+//!
+//! A record is one transaction: a sorted, de-duplicated set of item ids drawn
+//! from a fixed universe `0..universe`. Differential-privacy adjacency is
+//! add/remove-one-record (the Dwork'06 convention the paper cites for
+//! counting queries): removing a transaction decreases the count of every
+//! item it contains by exactly 1, so per-item counting queries are monotone
+//! with sensitivity 1 — the paper's query model.
+
+use crate::queries::ItemCounts;
+
+/// A collection of transactions over the item universe `0..universe`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransactionDb {
+    universe: u32,
+    records: Vec<Vec<u32>>,
+}
+
+impl TransactionDb {
+    /// Creates an empty database over `0..universe`.
+    pub fn new(universe: u32) -> Self {
+        Self { universe, records: Vec::new() }
+    }
+
+    /// Creates a database from raw records. Each record is sorted and
+    /// de-duplicated; item ids must be `< universe`.
+    ///
+    /// # Panics
+    /// Panics if any item id is out of range.
+    pub fn from_records(universe: u32, records: Vec<Vec<u32>>) -> Self {
+        let mut db = Self::new(universe);
+        db.records.reserve(records.len());
+        for r in records {
+            db.push(r);
+        }
+        db
+    }
+
+    /// Item-universe size (number of possible items, the paper's `n` queries).
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// Number of records (transactions).
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns the records.
+    pub fn records(&self) -> &[Vec<u32>] {
+        &self.records
+    }
+
+    /// Appends a transaction (sorted and de-duplicated on insert).
+    ///
+    /// # Panics
+    /// Panics if an item id is `>= universe`.
+    pub fn push(&mut self, mut record: Vec<u32>) {
+        record.sort_unstable();
+        record.dedup();
+        if let Some(&max) = record.last() {
+            assert!(max < self.universe, "item id {max} outside universe {}", self.universe);
+        }
+        self.records.push(record);
+    }
+
+    /// Total number of (transaction, item) incidences.
+    pub fn total_item_occurrences(&self) -> usize {
+        self.records.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct items that actually occur.
+    pub fn num_unique_items(&self) -> usize {
+        let mut seen = vec![false; self.universe as usize];
+        for r in &self.records {
+            for &i in r {
+                seen[i as usize] = true;
+            }
+        }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Per-item counting-query answers: `counts[i]` = number of transactions
+    /// containing item `i`. This is the paper's query vector `q(D)`.
+    pub fn item_counts(&self) -> ItemCounts {
+        let mut counts = vec![0u64; self.universe as usize];
+        for r in &self.records {
+            for &i in r {
+                counts[i as usize] += 1;
+            }
+        }
+        ItemCounts::new(counts)
+    }
+
+    /// The adjacent database obtained by removing record `idx`
+    /// (add/remove-one adjacency, `D ~ D'`).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn neighbor_without(&self, idx: usize) -> TransactionDb {
+        assert!(idx < self.records.len(), "record index out of bounds");
+        let mut records = self.records.clone();
+        records.remove(idx);
+        Self { universe: self.universe, records }
+    }
+
+    /// The adjacent database obtained by appending `record`.
+    pub fn neighbor_with(&self, record: Vec<u32>) -> TransactionDb {
+        let mut db = self.clone();
+        db.push(record);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_records(
+            5,
+            vec![vec![0, 1, 2], vec![1, 2], vec![2], vec![4, 1], vec![]],
+        )
+    }
+
+    #[test]
+    fn counts_are_per_item_record_counts() {
+        let db = sample_db();
+        assert_eq!(db.item_counts().as_u64(), &[1, 3, 3, 0, 1]);
+        assert_eq!(db.num_records(), 5);
+        assert_eq!(db.total_item_occurrences(), 8);
+        assert_eq!(db.num_unique_items(), 4); // item 3 never occurs
+    }
+
+    #[test]
+    fn push_sorts_and_dedups() {
+        let mut db = TransactionDb::new(10);
+        db.push(vec![3, 1, 3, 2, 1]);
+        assert_eq!(db.records()[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn push_rejects_out_of_range() {
+        let mut db = TransactionDb::new(3);
+        db.push(vec![3]);
+    }
+
+    #[test]
+    fn remove_neighbor_changes_counts_by_at_most_one_monotonically() {
+        let db = sample_db();
+        let counts = db.item_counts();
+        for idx in 0..db.num_records() {
+            let neigh = db.neighbor_without(idx);
+            assert_eq!(neigh.num_records(), db.num_records() - 1);
+            let nc = neigh.item_counts();
+            for i in 0..5 {
+                let delta = counts.as_u64()[i] as i64 - nc.as_u64()[i] as i64;
+                assert!((0..=1).contains(&delta), "sensitivity violated at item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_neighbor_is_inverse_of_remove() {
+        let db = sample_db();
+        let record = db.records()[0].clone();
+        let bigger = db.neighbor_with(record.clone());
+        let back = bigger.neighbor_without(bigger.num_records() - 1);
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn neighbor_without_bounds_check() {
+        sample_db().neighbor_without(99);
+    }
+
+    proptest! {
+        #[test]
+        fn counting_queries_are_monotone_sensitivity_one(
+            records in proptest::collection::vec(
+                proptest::collection::vec(0u32..20, 0..8), 1..20),
+            idx_seed in 0usize..1000,
+        ) {
+            let db = TransactionDb::from_records(20, records);
+            let idx = idx_seed % db.num_records();
+            let neigh = db.neighbor_without(idx);
+            let (a, b) = (db.item_counts(), neigh.item_counts());
+            for i in 0..20 {
+                let d = a.as_u64()[i] as i64 - b.as_u64()[i] as i64;
+                // monotone: removing a record can only decrease counts, by <= 1
+                prop_assert!((0..=1).contains(&d));
+            }
+        }
+    }
+}

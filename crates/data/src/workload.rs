@@ -1,0 +1,116 @@
+//! Workload helpers used by the experiments.
+//!
+//! The paper's experiment protocol (§7.2, §7.3):
+//!
+//! * queries are per-item counts;
+//! * for Sparse-Vector experiments the public threshold `T` is "randomly
+//!   picked from the top 2k to top 8k in each dataset for each run" — i.e.
+//!   the value at a uniformly random descending rank in `[2k, 8k]`;
+//! * ground truth for precision/recall is whether the *true* count clears
+//!   the threshold.
+
+use crate::queries::ItemCounts;
+use rand::Rng;
+
+/// Picks the paper's rank-random threshold: the count value at a uniformly
+/// random descending rank in `[2k, 8k]` (clamped to the query count).
+///
+/// # Panics
+/// Panics if `counts` is empty or `k == 0`.
+pub fn rank_random_threshold<R: Rng + ?Sized>(
+    counts: &ItemCounts,
+    k: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(!counts.is_empty(), "empty workload");
+    assert!(k > 0, "k must be positive");
+    let n = counts.len();
+    let lo = (2 * k).min(n - 1);
+    let hi = (8 * k).min(n - 1);
+    let rank = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+    counts.value_at_rank(rank).expect("rank clamped to range") as f64
+}
+
+/// True indices whose counts are at least `threshold` (the recall universe).
+pub fn truly_above(counts: &ItemCounts, threshold: f64) -> Vec<usize> {
+    counts
+        .as_u64()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c as f64 >= threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The true top-`k` set and the `k+1`-st value (useful for gap ground truth).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKTruth {
+    /// Indices of the k largest counts, descending, ties by index.
+    pub indices: Vec<usize>,
+    /// Their true counts, aligned with `indices`.
+    pub values: Vec<f64>,
+    /// The (k+1)-st largest count, if it exists.
+    pub runner_up: Option<f64>,
+}
+
+/// Computes the ground-truth top-`k` for a workload.
+pub fn top_k_truth(counts: &ItemCounts, k: usize) -> TopKTruth {
+    let indices = counts.top_k_indices(k);
+    let values = indices.iter().map(|&i| counts.count(i) as f64).collect();
+    let runner_up = counts.value_at_rank(k).map(|v| v as f64);
+    TopKTruth { indices, values, runner_up }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+
+    fn counts() -> ItemCounts {
+        // counts: idx 0..10 with values 100, 90, ..., 10 descending
+        ItemCounts::new((0..10).map(|i| 100 - 10 * i as u64).collect())
+    }
+
+    #[test]
+    fn threshold_lies_between_rank_bounds() {
+        let c = counts();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..100 {
+            let t = rank_random_threshold(&c, 1, &mut rng);
+            // ranks 2..=8 => values 80..=20
+            assert!((20.0..=80.0).contains(&t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn threshold_clamps_for_large_k() {
+        let c = counts();
+        let mut rng = rng_from_seed(2);
+        // 2k = 40 > n-1 = 9, so rank clamps to 9 => smallest value.
+        let t = rank_random_threshold(&c, 20, &mut rng);
+        assert_eq!(t, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn threshold_rejects_zero_k() {
+        rank_random_threshold(&counts(), 0, &mut rng_from_seed(1));
+    }
+
+    #[test]
+    fn truly_above_uses_geq() {
+        let c = counts();
+        let above = truly_above(&c, 80.0);
+        assert_eq!(above, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_truth_fields() {
+        let t = top_k_truth(&counts(), 3);
+        assert_eq!(t.indices, vec![0, 1, 2]);
+        assert_eq!(t.values, vec![100.0, 90.0, 80.0]);
+        assert_eq!(t.runner_up, Some(70.0));
+        let all = top_k_truth(&counts(), 10);
+        assert_eq!(all.runner_up, None);
+    }
+}

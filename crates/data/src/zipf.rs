@@ -1,0 +1,136 @@
+//! Zipf (power-law) sampling over a finite item universe.
+//!
+//! Item popularity in real transaction data (retail baskets, click streams)
+//! is heavy-tailed; the surrogate generators model it with a Zipf law
+//! `P(item has rank r) ∝ r^{-s}`. The sampler precomputes the cumulative
+//! weight table once (`O(n)`) and draws by binary search (`O(log n)`), which
+//! is fast enough for the multi-million-draw dataset builds.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s >= 0`:
+/// `P(rank = r) ∝ (r + 1)^{-s}`.
+///
+/// `s = 0` degenerates to the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty universe");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cumulative.push(acc);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (construction requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r >= self.cumulative.len() {
+            return 0.0;
+        }
+        let total = *self.cumulative.last().expect("non-empty");
+        let lo = if r == 0 { 0.0 } else { self.cumulative[r - 1] };
+        (self.cumulative[r] - lo) / total
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rng.gen::<f64>() * total;
+        // First index whose cumulative weight exceeds u.
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_negative_exponent() {
+        Zipf::new(10, -1.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(50), 0.0);
+    }
+
+    #[test]
+    fn pmf_follows_power_law() {
+        let z = Zipf::new(100, 2.0);
+        // p(0)/p(1) = 2^2
+        assert!((z.pmf(0) / z.pmf(1) - 4.0).abs() < 1e-9);
+        // p(1)/p(3) = (4/2)^2
+        assert!((z.pmf(1) / z.pmf(3) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = rng_from_seed(42);
+        let n = 200_000;
+        let mut counts = [0usize; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            let p = z.pmf(r);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((emp - p).abs() < 5.0 * sigma + 1e-9, "rank {r}: {emp} vs {p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn samples_in_range(n in 1usize..500, s in 0.0f64..3.0, seed in 0u64..100) {
+            let z = Zipf::new(n, s);
+            let mut rng = rng_from_seed(seed);
+            for _ in 0..32 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+    }
+}

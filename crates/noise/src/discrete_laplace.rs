@@ -1,0 +1,220 @@
+//! Discrete (two-sided geometric) Laplace over multiples of a base `γ`.
+//!
+//! Appendix A.1 of the paper analyses a discretized Laplace whose support is
+//! `{0, ±γ, ±2γ, …}` with mass
+//!
+//! ```text
+//! f(kγ; ε) = (1 - e^{-εγ}) / (1 + e^{-εγ}) · e^{-εγ|k|}
+//! ```
+//!
+//! This is the distribution a finite-precision implementation actually adds
+//! (the paper expects `γ` near machine epsilon, `≈ 2^{-52}`), and it is the
+//! input to the tie-probability bound in [`crate::tie`].
+//!
+//! Sampling uses the classic decomposition `K = G₁ - G₂` with `G₁, G₂` i.i.d.
+//! [`crate::Geometric`] with ratio `α = e^{-εγ}`: the difference of two
+//! geometrics has exactly the two-sided law above.
+
+use crate::error::NoiseError;
+use crate::geometric::Geometric;
+use crate::traits::DiscreteDistribution;
+use rand::Rng;
+
+/// Discrete Laplace distribution over `{kγ : k ∈ ℤ}` with decay `α = e^{-εγ}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteLaplace {
+    geometric: Geometric,
+    base: f64,
+}
+
+impl DiscreteLaplace {
+    /// Creates a discrete Laplace with privacy parameter `epsilon` (per unit
+    /// of value) and support step `gamma`.
+    ///
+    /// The continuous analogue is `Lap(1/ε)`; as `γ → 0` this distribution
+    /// converges to it.
+    pub fn new(epsilon: f64, gamma: f64) -> Result<Self, NoiseError> {
+        Ok(Self { geometric: Geometric::for_budget(epsilon, gamma)?, base: gamma })
+    }
+
+    /// Creates the distribution directly from the decay ratio `α ∈ (0,1)` and
+    /// the support step.
+    pub fn from_alpha(alpha: f64, gamma: f64) -> Result<Self, NoiseError> {
+        if !(gamma.is_finite() && gamma > 0.0) {
+            return Err(NoiseError::InvalidScale { name: "gamma", value: gamma });
+        }
+        Ok(Self { geometric: Geometric::new(alpha)?, base: gamma })
+    }
+
+    /// The decay ratio `α = e^{-εγ}`.
+    pub fn alpha(&self) -> f64 {
+        self.geometric.alpha()
+    }
+
+    /// Normalization constant `(1 - α) / (1 + α)` (the mass at zero).
+    pub fn mass_at_zero(&self) -> f64 {
+        (1.0 - self.alpha()) / (1.0 + self.alpha())
+    }
+}
+
+impl DiscreteDistribution for DiscreteLaplace {
+    fn base(&self) -> f64 {
+        self.base
+    }
+
+    fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let g1 = self.geometric.sample(rng) as i64;
+        let g2 = self.geometric.sample(rng) as i64;
+        g1 - g2
+    }
+
+    fn pmf(&self, k: i64) -> f64 {
+        let a = self.alpha();
+        self.mass_at_zero() * a.powf(k.unsigned_abs() as f64)
+    }
+
+    /// Closed-form CDF:
+    /// `F(k) = 1 - α^{k+1}/(1+α)` for `k >= 0`; `F(k) = α^{-k}/(1+α)` for `k < 0`.
+    fn cdf(&self, k: i64) -> f64 {
+        let a = self.alpha();
+        if k >= 0 {
+            1.0 - a.powf(k as f64 + 1.0) / (1.0 + a)
+        } else {
+            a.powf(-k as f64) / (1.0 + a)
+        }
+    }
+
+    fn mean_index(&self) -> f64 {
+        0.0
+    }
+
+    /// `Var(K) = 2α / (1 - α)²` (difference of two independent geometrics).
+    fn variance_index(&self) -> f64 {
+        2.0 * self.geometric.variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::RunningMoments;
+    use proptest::prelude::*;
+
+    fn dl(eps: f64, gamma: f64) -> DiscreteLaplace {
+        DiscreteLaplace::new(eps, gamma).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(DiscreteLaplace::new(0.0, 1.0).is_err());
+        assert!(DiscreteLaplace::new(1.0, 0.0).is_err());
+        assert!(DiscreteLaplace::from_alpha(1.0, 1.0).is_err());
+        assert!(DiscreteLaplace::from_alpha(0.5, -1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = dl(0.8, 1.0);
+        let total: f64 = (-200..=200).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_symmetric() {
+        let d = dl(0.5, 0.25);
+        for k in 0..30 {
+            assert!((d.pmf(k) - d.pmf(-k)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_partial_sums() {
+        let d = dl(1.2, 1.0);
+        let mut acc = 0.0;
+        for k in -40..=40 {
+            acc += d.pmf(k);
+            assert!((acc - d.cdf(k)).abs() < 1e-12, "k = {k}: acc {acc} vs {}", d.cdf(k));
+        }
+    }
+
+    #[test]
+    fn cdf_consistent_at_origin() {
+        let d = dl(0.9, 1.0);
+        assert!((d.cdf(0) - d.cdf(-1) - d.pmf(0)).abs() < 1e-14);
+        // Median at 0 for a symmetric distribution: F(-1) + pmf(0)/... = ...
+        assert!(d.cdf(-1) < 0.5 && d.cdf(0) > 0.5);
+    }
+
+    #[test]
+    fn variance_matches_series() {
+        let d = dl(0.6, 1.0);
+        let var: f64 = (-400i64..=400).map(|k| (k * k) as f64 * d.pmf(k)).sum();
+        assert!((var - d.variance_index()).abs() < 1e-9, "{var} vs {}", d.variance_index());
+    }
+
+    #[test]
+    fn sampler_matches_pmf() {
+        let d = dl(1.0, 1.0);
+        let mut rng = rng_from_seed(33);
+        let n = 300_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(d.sample_index(&mut rng)).or_insert(0usize) += 1;
+        }
+        for k in -3..=3 {
+            let emp = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
+            let p = d.pmf(k);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((emp - p).abs() < 5.0 * sigma, "k = {k}: emp {emp} vs pmf {p}");
+        }
+    }
+
+    #[test]
+    fn sample_value_scales_by_base() {
+        let d = dl(1.0, 0.5);
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let v = d.sample_value(&mut rng);
+            let k = (v / 0.5).round();
+            assert!((v - k * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_to_continuous_laplace_variance() {
+        // With eps=1 and gamma small, Var(value) -> 2 (the Lap(1) variance).
+        let d = dl(1.0, 1e-3);
+        assert!((d.variance_value() - 2.0).abs() < 1e-2, "{}", d.variance_value());
+    }
+
+    #[test]
+    fn sample_mean_near_zero() {
+        let d = dl(0.7, 1.0);
+        let mut rng = rng_from_seed(17);
+        let mut m = RunningMoments::new();
+        for _ in 0..200_000 {
+            m.push(d.sample_index(&mut rng) as f64);
+        }
+        assert!(m.mean().abs() < 0.05, "mean = {}", m.mean());
+        let rel = (m.variance() - d.variance_index()).abs() / d.variance_index();
+        assert!(rel < 0.05, "rel var err = {rel}");
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(eps in 0.05f64..3.0, k in -50i64..50) {
+            let d = dl(eps, 1.0);
+            prop_assert!(d.cdf(k) <= d.cdf(k + 1) + 1e-15);
+        }
+
+        #[test]
+        fn log_pmf_ratio_bounded_by_eps_gamma(eps in 0.05f64..3.0, k in -30i64..30) {
+            // DP property of the discrete mechanism: adjacent outputs differ by
+            // one support step, so pmf ratio <= e^{eps*gamma}.
+            let d = dl(eps, 1.0);
+            let ratio = d.pmf(k) / d.pmf(k + 1);
+            prop_assert!(ratio.ln().abs() <= eps * 1.0 + 1e-10);
+        }
+    }
+}

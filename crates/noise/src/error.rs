@@ -1,0 +1,109 @@
+//! Error type for distribution construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced when constructing or evaluating a noise distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A scale/rate parameter was non-positive or non-finite.
+    InvalidScale {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A probability argument fell outside `(0, 1)` (or `[0, 1]` where noted).
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter fell outside its documented domain.
+    OutOfDomain {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the expected domain.
+        expected: &'static str,
+    },
+    /// An iterative solver (quantile bisection, confidence-bound search)
+    /// failed to converge to the requested tolerance.
+    NoConvergence {
+        /// What was being solved for.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NoiseError::InvalidScale { name, value } => {
+                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+            }
+            NoiseError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` must be a probability in (0, 1), got {value}")
+            }
+            NoiseError::OutOfDomain { name, value, expected } => {
+                write!(f, "parameter `{name}` = {value} outside domain ({expected})")
+            }
+            NoiseError::NoConvergence { what } => {
+                write!(f, "iterative solver for {what} did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+/// Validates that `value` is a finite, strictly positive scale parameter.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, NoiseError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(NoiseError::InvalidScale { name, value })
+    }
+}
+
+/// Validates that `value` lies strictly inside `(0, 1)`.
+pub(crate) fn require_open_unit(name: &'static str, value: f64) -> Result<f64, NoiseError> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(NoiseError::InvalidProbability { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn require_positive_accepts_positive() {
+        assert_eq!(require_positive("b", 1.5), Ok(1.5));
+    }
+
+    #[test]
+    fn require_positive_rejects_zero_negative_nan_inf() {
+        for v in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(require_positive("b", v).is_err(), "{v} should be rejected");
+        }
+    }
+
+    #[test]
+    fn require_open_unit_bounds() {
+        assert!(require_open_unit("p", 0.5).is_ok());
+        for v in [0.0, 1.0, -0.1, 1.1, f64::NAN] {
+            assert!(require_open_unit("p", v).is_err(), "{v} should be rejected");
+        }
+    }
+
+    #[test]
+    fn display_messages_mention_parameter() {
+        let e = NoiseError::InvalidScale { name: "scale", value: -3.0 };
+        assert!(e.to_string().contains("scale"));
+        let e = NoiseError::NoConvergence { what: "quantile" };
+        assert!(e.to_string().contains("quantile"));
+    }
+}

@@ -1,0 +1,131 @@
+//! One-sided exponential distribution `Exp(β)`.
+//!
+//! Used directly as a one-sided noise primitive and internally by the
+//! [`crate::Staircase`] sampler (its geometric layer index is a discretized
+//! exponential). Density `f(x) = exp(-x/β)/β` on `x >= 0`.
+
+use crate::error::{require_open_unit, require_positive, NoiseError};
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+
+/// Exponential distribution with scale `β > 0` (rate `1/β`), support `[0, ∞)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    scale: f64,
+}
+
+impl Exponential {
+    /// Creates `Exp(scale)`; `scale` must be finite and positive.
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        Ok(Self { scale: require_positive("scale", scale)? })
+    }
+
+    /// The scale parameter `β` (the mean).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Survival function `P(X > x)`.
+    pub fn sf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-x / self.scale).exp()
+        }
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF on 1-u with u in [0,1): ln argument stays in (0,1].
+        let u: f64 = rng.gen();
+        -self.scale * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            (-x / self.scale).exp() / self.scale
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-x / self.scale).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, NoiseError> {
+        let p = require_open_unit("p", p)?;
+        Ok(-self.scale * (1.0 - p).ln())
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.scale * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::{ks_statistic, RunningMoments};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let e = Exponential::new(2.0).unwrap();
+        assert_eq!(e.mean(), 2.0);
+        assert_eq!(e.variance(), 4.0);
+    }
+
+    #[test]
+    fn samples_nonnegative_and_match_moments() {
+        let e = Exponential::new(0.7).unwrap();
+        let mut rng = rng_from_seed(9);
+        let mut m = RunningMoments::new();
+        for _ in 0..100_000 {
+            let x = e.sample(&mut rng);
+            assert!(x >= 0.0);
+            m.push(x);
+        }
+        assert!((m.mean() - 0.7).abs() < 0.01);
+        assert!((m.variance() - 0.49).abs() < 0.02);
+    }
+
+    #[test]
+    fn ks_distance_small() {
+        let e = Exponential::new(1.0).unwrap();
+        let xs = e.sample_n(&mut rng_from_seed(1), 50_000);
+        let d = ks_statistic(&xs, |x| e.cdf(x));
+        assert!(d < 0.009, "KS = {d}");
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(p in 1e-6f64..1.0-1e-6, scale in 0.01f64..50.0) {
+            let e = Exponential::new(scale).unwrap();
+            let x = e.quantile(p).unwrap();
+            prop_assert!((e.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn sf_complements_cdf(x in -5.0f64..100.0, scale in 0.1f64..10.0) {
+            let e = Exponential::new(scale).unwrap();
+            prop_assert!((e.sf(x) + e.cdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+}

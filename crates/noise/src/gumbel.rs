@@ -1,0 +1,148 @@
+//! Standard Gumbel distribution — the sampling engine behind the
+//! exponential mechanism (the Gumbel-max trick: `argmaxᵢ(sᵢ + Gᵢ)` is a
+//! softmax sample of the scores `sᵢ`).
+//!
+//! Density `f(x) = e^{-(x + e^{-x})}`, CDF `F(x) = e^{-e^{-x}}`,
+//! mean `γ_EM` (Euler–Mascheroni), variance `π²/6`.
+
+use crate::error::{require_open_unit, require_positive, NoiseError};
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+
+/// Euler–Mascheroni constant (mean of the standard Gumbel).
+pub const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+
+/// Gumbel distribution with location 0 and scale `β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    scale: f64,
+}
+
+impl Gumbel {
+    /// Creates a Gumbel with the given scale (`β = 1` is the standard form).
+    pub fn new(scale: f64) -> Result<Self, NoiseError> {
+        Ok(Self { scale: require_positive("scale", scale)? })
+    }
+
+    /// The standard Gumbel (`β = 1`).
+    pub fn standard() -> Self {
+        Self { scale: 1.0 }
+    }
+
+    /// The scale parameter `β`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl ContinuousDistribution for Gumbel {
+    /// Inverse-CDF sampling: `x = -β·ln(-ln u)`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -self.scale * (-(u.ln())).ln()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let z = x / self.scale;
+        ((-z - (-z).exp()).exp()) / self.scale
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        (-(-x / self.scale).exp()).exp()
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, NoiseError> {
+        let p = require_open_unit("p", p)?;
+        Ok(-self.scale * (-(p.ln())).ln())
+    }
+
+    fn mean(&self) -> f64 {
+        EULER_MASCHERONI * self.scale
+    }
+
+    /// `Var = π²β²/6`.
+    fn variance(&self) -> f64 {
+        std::f64::consts::PI * std::f64::consts::PI * self.scale * self.scale / 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::{ks_statistic, RunningMoments};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Gumbel::new(0.0).is_err());
+        assert!(Gumbel::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gumbel::standard();
+        let (a, b, n) = (-15.0, 40.0, 400_000);
+        let h = (b - a) / n as f64;
+        let mut area = 0.0;
+        for i in 0..n {
+            let x0 = a + i as f64 * h;
+            area += 0.5 * h * (g.pdf(x0) + g.pdf(x0 + h));
+        }
+        assert!((area - 1.0).abs() < 1e-6, "area = {area}");
+    }
+
+    #[test]
+    fn moments_match_samples() {
+        let g = Gumbel::new(2.0).unwrap();
+        let mut rng = rng_from_seed(1);
+        let mut m = RunningMoments::new();
+        for _ in 0..200_000 {
+            m.push(g.sample(&mut rng));
+        }
+        assert!((m.mean() - g.mean()).abs() < 0.02, "mean {}", m.mean());
+        assert!((m.variance() - g.variance()).abs() / g.variance() < 0.03);
+    }
+
+    #[test]
+    fn sampler_ks() {
+        let g = Gumbel::standard();
+        let xs = g.sample_n(&mut rng_from_seed(2), 50_000);
+        let d = ks_statistic(&xs, |x| g.cdf(x));
+        assert!(d < 0.009, "KS = {d}");
+    }
+
+    #[test]
+    fn gumbel_max_equals_softmax() {
+        // The property the exponential mechanism relies on.
+        let scores = [1.0f64, 0.0, -0.5];
+        let g = Gumbel::standard();
+        let mut rng = rng_from_seed(3);
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let winner = (0..3)
+                .map(|i| (scores[i] + g.sample(&mut rng), i))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
+                .unwrap()
+                .1;
+            counts[winner] += 1;
+        }
+        let z: f64 = scores.iter().map(|s| s.exp()).sum();
+        for i in 0..3 {
+            let p = scores[i].exp() / z;
+            let emp = counts[i] as f64 / n as f64;
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!((emp - p).abs() < 5.0 * sigma, "i={i}: {emp} vs {p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(p in 1e-6f64..1.0-1e-6, scale in 0.1f64..10.0) {
+            let g = Gumbel::new(scale).unwrap();
+            let x = g.quantile(p).unwrap();
+            prop_assert!((g.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Distribution of the difference of two independent zero-mean Laplace
+//! variables — the paper's Lemma 5.
+//!
+//! In (Adaptive-)Sparse-Vector-with-Gap the released gap for query `qᵢ` is
+//! `qᵢ(D) + ηᵢ - T - η`, so its randomness is `ηᵢ - η` with
+//! `ηᵢ ~ Lap(1/ε*)` (query noise; `ε*` is `ε₁` or `ε₂` depending on branch)
+//! and `η ~ Lap(1/ε₀)` (threshold noise). Lemma 5 gives the closed-form lower
+//! tail
+//!
+//! ```text
+//! P(ηᵢ - η ≥ -t) = 1 - (ε₀²e^{-ε*t} - ε*²e^{-ε₀t}) / (2(ε₀² - ε*²))   ε₀ ≠ ε*
+//! P(ηᵢ - η ≥ -t) = 1 - ((2 + ε₀t)/4)·e^{-ε₀t}                         ε₀ = ε*
+//! ```
+//!
+//! from which §6.2 derives the free lower-confidence interval: with
+//! probability `c`, the true answer is at least `(gap + T) - t_c` where
+//! `t_c` solves `P(ηᵢ - η ≥ -t_c) = c` ([`LaplaceDiff::confidence_offset`]).
+
+use crate::error::{require_open_unit, require_positive, NoiseError};
+use crate::laplace::Laplace;
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+
+/// Relative difference under which the two rates are treated as equal to
+/// avoid catastrophic cancellation in the `ε₀ ≠ ε*` closed forms.
+const EQUAL_RATE_REL_TOL: f64 = 1e-9;
+
+/// Distribution of `X = η_query - η_threshold` with `η_query ~ Lap(1/rate_query)`
+/// and `η_threshold ~ Lap(1/rate_threshold)`, independent.
+///
+/// The distribution is symmetric about zero with variance
+/// `2/rate_query² + 2/rate_threshold²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceDiff {
+    /// `ε*` in the paper: the rate (inverse scale) of the query noise.
+    rate_query: f64,
+    /// `ε₀` in the paper: the rate (inverse scale) of the threshold noise.
+    rate_threshold: f64,
+}
+
+impl LaplaceDiff {
+    /// Creates the difference distribution from the two rates
+    /// (`rate = 1/scale`; the paper's `ε*` and `ε₀`).
+    pub fn new(rate_query: f64, rate_threshold: f64) -> Result<Self, NoiseError> {
+        Ok(Self {
+            rate_query: require_positive("rate_query", rate_query)?,
+            rate_threshold: require_positive("rate_threshold", rate_threshold)?,
+        })
+    }
+
+    /// Query-noise rate `ε*`.
+    pub fn rate_query(&self) -> f64 {
+        self.rate_query
+    }
+
+    /// Threshold-noise rate `ε₀`.
+    pub fn rate_threshold(&self) -> f64 {
+        self.rate_threshold
+    }
+
+    fn rates_effectively_equal(&self) -> bool {
+        let m = self.rate_query.max(self.rate_threshold);
+        (self.rate_query - self.rate_threshold).abs() <= EQUAL_RATE_REL_TOL * m
+    }
+
+    /// Lemma 5: the lower-tail mass `g(t) = P(X < -t)` for `t >= 0`.
+    ///
+    /// `P(X ≥ -t) = 1 - g(t)`; see [`lower_tail`](Self::lower_tail).
+    pub fn tail_mass(&self, t: f64) -> f64 {
+        debug_assert!(t >= 0.0);
+        let e0 = self.rate_threshold;
+        let es = self.rate_query;
+        if self.rates_effectively_equal() {
+            ((2.0 + e0 * t) / 4.0) * (-e0 * t).exp()
+        } else {
+            (e0 * e0 * (-es * t).exp() - es * es * (-e0 * t).exp())
+                / (2.0 * (e0 * e0 - es * es))
+        }
+    }
+
+    /// Lemma 5 exactly as stated: `P(X ≥ -t)` for `t >= 0`.
+    pub fn lower_tail(&self, t: f64) -> f64 {
+        1.0 - self.tail_mass(t)
+    }
+
+    /// Solves `P(X ≥ -t) = confidence` for `t` (the §6.2 interval half-width).
+    ///
+    /// For `confidence >= 0.5` the returned `t` is non-negative; for smaller
+    /// confidences it is negative (the bound moves above the point estimate).
+    /// The §6.2 usage is: with probability `confidence`, the true query answer
+    /// is at least `(gap + T) - t`.
+    pub fn confidence_offset(&self, confidence: f64) -> Result<f64, NoiseError> {
+        let c = require_open_unit("confidence", confidence)?;
+        // P(X >= -t) = 1 - F(-t)  =>  F(-t) = 1 - c  =>  t = -quantile(1 - c).
+        Ok(-self.quantile(1.0 - c)?)
+    }
+}
+
+impl ContinuousDistribution for LaplaceDiff {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Direct simulation keeps the sampler trivially correct; both Laplace
+        // constructions are infallible for validated positive rates.
+        let q = Laplace::new(1.0 / self.rate_query).expect("validated rate");
+        let t = Laplace::new(1.0 / self.rate_threshold).expect("validated rate");
+        q.sample(rng) - t.sample(rng)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        let e0 = self.rate_threshold;
+        let es = self.rate_query;
+        let z = x.abs();
+        if self.rates_effectively_equal() {
+            (e0 / 4.0 + e0 * e0 * z / 4.0) * (-e0 * z).exp()
+        } else {
+            e0 * es * (e0 * (-es * z).exp() - es * (-e0 * z).exp())
+                / (2.0 * (e0 * e0 - es * es))
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            // P(X <= x) = P(X >= -x) by symmetry.
+            self.lower_tail(x)
+        } else {
+            self.tail_mass(-x)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64, NoiseError> {
+        let p = require_open_unit("p", p)?;
+        if p == 0.5 {
+            return Ok(0.0);
+        }
+        // Symmetric: solve on the right half and mirror.
+        if p < 0.5 {
+            return Ok(-self.quantile(1.0 - p)?);
+        }
+        let mut hi = 1.0 / self.rate_query + 1.0 / self.rate_threshold;
+        let mut guard = 0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 300 {
+                return Err(NoiseError::NoConvergence { what: "laplace-diff quantile" });
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    fn mean(&self) -> f64 {
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        2.0 / (self.rate_query * self.rate_query)
+            + 2.0 / (self.rate_threshold * self.rate_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::stats::{ks_statistic, RunningMoments};
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(LaplaceDiff::new(0.0, 1.0).is_err());
+        assert!(LaplaceDiff::new(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_both_branches() {
+        for d in [
+            LaplaceDiff::new(1.0, 1.0).unwrap(),
+            LaplaceDiff::new(2.0, 0.5).unwrap(),
+        ] {
+            let (a, b, n) = (-80.0, 80.0, 800_000);
+            let h = (b - a) / n as f64;
+            let mut area = 0.0;
+            for i in 0..n {
+                let x0 = a + i as f64 * h;
+                area += 0.5 * h * (d.pdf(x0) + d.pdf(x0 + h));
+            }
+            assert!((area - 1.0).abs() < 1e-6, "area = {area}");
+        }
+    }
+
+    #[test]
+    fn cdf_matches_numeric_integral() {
+        let d = LaplaceDiff::new(1.5, 0.7).unwrap();
+        for x in [-4.0, -1.0, 0.0, 0.5, 2.0, 6.0] {
+            let (a, n) = (-120.0, 600_000);
+            let h = (x - a) / n as f64;
+            let mut area = 0.0;
+            for i in 0..n {
+                let x0 = a + i as f64 * h;
+                area += 0.5 * h * (d.pdf(x0) + d.pdf(x0 + h));
+            }
+            assert!((area - d.cdf(x)).abs() < 1e-6, "x = {x}: {area} vs {}", d.cdf(x));
+        }
+    }
+
+    #[test]
+    fn lemma5_at_zero_is_half() {
+        for d in [
+            LaplaceDiff::new(1.0, 1.0).unwrap(),
+            LaplaceDiff::new(3.0, 0.2).unwrap(),
+        ] {
+            assert!((d.lower_tail(0.0) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn equal_rate_branch_is_continuous_limit() {
+        // The ε₀ ≠ ε* formula evaluated at nearly-equal rates must agree with
+        // the equal-rate branch.
+        let exact = LaplaceDiff::new(1.0, 1.0).unwrap();
+        let near = LaplaceDiff::new(1.0, 1.0 + 1e-5).unwrap();
+        for t in [0.0, 0.5, 1.0, 3.0, 7.0] {
+            assert!(
+                (exact.lower_tail(t) - near.lower_tail(t)).abs() < 1e-4,
+                "t = {t}: {} vs {}",
+                exact.lower_tail(t),
+                near.lower_tail(t)
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_lemma5() {
+        let d = LaplaceDiff::new(2.0, 0.5).unwrap();
+        let mut rng = rng_from_seed(77);
+        let n = 200_000;
+        for t in [0.0, 1.0, 3.0] {
+            let hits = (0..n).filter(|_| d.sample(&mut rng) >= -t).count() as f64;
+            let p = d.lower_tail(t);
+            let sigma = (p * (1.0 - p) / n as f64).sqrt();
+            assert!(
+                (hits / n as f64 - p).abs() < 5.0 * sigma,
+                "t = {t}: emp {} vs {p}",
+                hits / n as f64
+            );
+        }
+    }
+
+    #[test]
+    fn confidence_offset_95_covers() {
+        // With prob ~0.95 the noise X satisfies X >= -t95.
+        let d = LaplaceDiff::new(1.0, 4.0).unwrap();
+        let t95 = d.confidence_offset(0.95).unwrap();
+        assert!(t95 > 0.0);
+        let mut rng = rng_from_seed(123);
+        let n = 200_000;
+        let cover = (0..n).filter(|_| d.sample(&mut rng) >= -t95).count() as f64 / n as f64;
+        assert!((cover - 0.95).abs() < 0.005, "coverage = {cover}");
+    }
+
+    #[test]
+    fn confidence_offset_below_half_is_negative() {
+        let d = LaplaceDiff::new(1.0, 1.0).unwrap();
+        assert!(d.confidence_offset(0.25).unwrap() < 0.0);
+        assert!((d.confidence_offset(0.5).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_sum_of_parts() {
+        let d = LaplaceDiff::new(2.0, 0.5).unwrap();
+        assert!((d.variance() - (2.0 / 4.0 + 2.0 / 0.25)).abs() < 1e-12);
+        let mut rng = rng_from_seed(4);
+        let mut m = RunningMoments::new();
+        for _ in 0..300_000 {
+            m.push(d.sample(&mut rng));
+        }
+        assert!((m.variance() - d.variance()).abs() / d.variance() < 0.03);
+    }
+
+    #[test]
+    fn sampler_ks() {
+        let d = LaplaceDiff::new(1.0, 1.0).unwrap();
+        let xs = d.sample_n(&mut rng_from_seed(15), 50_000);
+        let ks = ks_statistic(&xs, |x| d.cdf(x));
+        assert!(ks < 0.009, "KS = {ks}");
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_inverts_cdf(p in 0.01f64..0.99,
+                                rq in 0.1f64..5.0, rt in 0.1f64..5.0) {
+            let d = LaplaceDiff::new(rq, rt).unwrap();
+            let x = d.quantile(p).unwrap();
+            prop_assert!((d.cdf(x) - p).abs() < 1e-7);
+        }
+
+        #[test]
+        fn tail_mass_decreasing(rq in 0.1f64..5.0, rt in 0.1f64..5.0, t in 0.0f64..20.0) {
+            let d = LaplaceDiff::new(rq, rt).unwrap();
+            prop_assert!(d.tail_mass(t) >= d.tail_mass(t + 0.5) - 1e-12);
+        }
+
+        #[test]
+        fn cdf_symmetry(rq in 0.1f64..5.0, rt in 0.1f64..5.0, x in 0.0f64..20.0) {
+            let d = LaplaceDiff::new(rq, rt).unwrap();
+            prop_assert!((d.cdf(-x) - (1.0 - d.cdf(x))).abs() < 1e-10);
+        }
+    }
+}

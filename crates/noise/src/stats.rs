@@ -1,0 +1,304 @@
+//! Streaming and batch statistics used by the test-suite and the experiment
+//! harness: Welford moments, empirical CDFs, Kolmogorov–Smirnov distances,
+//! mean-squared error and simple percentiles.
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance `M2 / n` (0 when fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance `M2 / (n-1)`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean, `sqrt(sample_variance / n)`.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+/// Empirical CDF built from a sample (sorted internally once).
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the empirical CDF; non-finite values are rejected by panic in
+    /// debug builds and filtered in release (they carry no order).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        debug_assert!(samples.iter().all(|x| x.is_finite()), "non-finite sample");
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Self { sorted: samples }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)` = fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point: number of elements <= x.
+        let k = self.sorted.partition_point(|&s| s <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Order-statistic percentile (`q` in `[0, 1]`, nearest-rank).
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let idx = ((q * (self.sorted.len() - 1) as f64).round() as usize)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+}
+
+/// Two-sided Kolmogorov–Smirnov statistic between `samples` and a reference
+/// CDF: `sup_x |F̂(x) - F(x)|`, evaluated at the jump points.
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> f64 {
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        // empirical CDF jumps from i/n to (i+1)/n at x
+        let lo = (f - i as f64 / n).abs();
+        let hi = ((i + 1) as f64 / n - f).abs();
+        d = d.max(lo).max(hi);
+    }
+    d
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Mean squared error between paired estimates and truths.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mean_squared_error(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "paired slices must match");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0, -3.0];
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        let mu = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mu).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert!((m.sample_variance() - var * xs.len() as f64 / (xs.len() - 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut m = RunningMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        m.push(5.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut seq = RunningMoments::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-12);
+        assert!((a.variance() - seq.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningMoments::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&RunningMoments::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+        let mut e = RunningMoments::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 2);
+        assert!((e.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_cdf_basics() {
+        let cdf = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.eval(0.0), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.percentile(0.0), Some(1.0));
+        assert_eq!(cdf.percentile(1.0), Some(3.0));
+        assert_eq!(cdf.percentile(1.5), None);
+    }
+
+    #[test]
+    fn empirical_cdf_empty() {
+        let cdf = EmpiricalCdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.percentile(0.5), None);
+    }
+
+    #[test]
+    fn ks_of_perfect_uniform_grid() {
+        // Points at (i+0.5)/n have KS = 0.5/n against U[0,1].
+        let n = 100;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.5 / n as f64).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_distribution() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        // Compare uniform samples against a very skewed CDF.
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0).powi(4));
+        assert!(d > 0.3, "d = {d}");
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+        assert_eq!(mean_squared_error(&[1.0, 3.0], &[0.0, 0.0]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired slices")]
+    fn mse_length_mismatch_panics() {
+        mean_squared_error(&[1.0], &[]);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_variance_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..200)) {
+            let mut m = RunningMoments::new();
+            for x in &xs { m.push(*x); }
+            prop_assert!(m.variance() >= -1e-9);
+        }
+
+        #[test]
+        fn ecdf_monotone(xs in proptest::collection::vec(-100.0f64..100.0, 1..100),
+                         a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let cdf = EmpiricalCdf::new(xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.eval(lo) <= cdf.eval(hi));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Distribution traits shared by the noise family.
+
+use rand::Rng;
+
+/// A continuous real-valued distribution with closed-form density and CDF.
+///
+/// All implementations in this crate are symmetric about their mean unless
+/// documented otherwise (the [`crate::Exponential`] is one-sided).
+pub trait ContinuousDistribution {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function (inverse CDF) for `p in (0, 1)`.
+    ///
+    /// Returns an error if `p` is outside the open unit interval or the
+    /// solver fails to converge.
+    fn quantile(&self, p: f64) -> Result<f64, crate::NoiseError>;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+
+    /// Standard deviation (square root of [`variance`](Self::variance)).
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A discrete distribution over integer multiples of a base step.
+///
+/// The support is `{ k * base : k in Z }` (or a sub-range for one-sided
+/// distributions); methods are indexed by the *integer* `k`, while
+/// [`sample_value`](Self::sample_value) returns `k * base` directly.
+pub trait DiscreteDistribution {
+    /// The spacing between support points (the paper's `γ`).
+    fn base(&self) -> f64;
+
+    /// Draws one sample, returned as the integer index `k`.
+    fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> i64;
+
+    /// Draws one sample, returned as the real value `k * base`.
+    fn sample_value<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_index(rng) as f64 * self.base()
+    }
+
+    /// Probability mass at index `k`.
+    fn pmf(&self, k: i64) -> f64;
+
+    /// Cumulative distribution `P(K <= k)`.
+    fn cdf(&self, k: i64) -> f64;
+
+    /// Mean of the *index* variable `K` (multiply by `base` for the value).
+    fn mean_index(&self) -> f64;
+
+    /// Variance of the *index* variable `K`.
+    fn variance_index(&self) -> f64;
+
+    /// Variance of the value variable `K * base`.
+    fn variance_value(&self) -> f64 {
+        self.variance_index() * self.base() * self.base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::Laplace;
+
+    #[test]
+    fn sample_n_len_and_determinism() {
+        let lap = Laplace::new(1.0).unwrap();
+        let xs = lap.sample_n(&mut rng_from_seed(3), 100);
+        let ys = lap.sample_n(&mut rng_from_seed(3), 100);
+        assert_eq!(xs.len(), 100);
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_variance() {
+        let lap = Laplace::new(2.0).unwrap();
+        assert!((lap.std_dev() - lap.variance().sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration tests: every experiment in the harness runs end-to-end at a
+//! reduced scale and produces tables of the expected shape.
+
+use free_gap_bench::experiments::fig1::Panel;
+use free_gap_bench::experiments::{self, epsilon_grid, k_grid};
+use free_gap_bench::ExperimentConfig;
+use free_gap_data::Dataset;
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig { runs: 40, scale: 0.005, seed: 99, epsilon: 0.7 }
+}
+
+#[test]
+fn grids_cover_the_paper_axes() {
+    assert!(k_grid().contains(&10));
+    assert!(epsilon_grid().iter().any(|e| (e - 0.7).abs() < 1e-9));
+}
+
+#[test]
+fn datasets_table_smoke() {
+    let t = experiments::datasets::run(&tiny());
+    assert_eq!(t.rows.len(), 3);
+    assert!(t.to_csv().contains("BMS-POS"));
+    assert!(t.to_aligned().contains("kosarak"));
+}
+
+#[test]
+fn fig1_both_panels_smoke() {
+    for panel in [Panel::Svt, Panel::TopK] {
+        let t = experiments::fig1::run(&tiny(), panel, Dataset::BmsPos, &[2, 6]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.columns.len(), 4);
+        // Theory column is positive and under 50%.
+        for row in &t.rows {
+            let theory: f64 = row[2].to_string().parse().unwrap();
+            assert!(theory > 0.0 && theory < 50.0, "{theory}");
+        }
+    }
+}
+
+#[test]
+fn fig2_smoke() {
+    let t = experiments::fig2::run(&tiny(), Panel::TopK, Dataset::T40I10D100K, 5, &[0.5, 1.0]);
+    assert_eq!(t.rows.len(), 2);
+}
+
+#[test]
+fn fig3_smoke_all_datasets() {
+    for ds in Dataset::ALL {
+        let t = experiments::fig3::run(&tiny(), ds, &[4]);
+        assert_eq!(t.rows.len(), 1, "{}", ds.name());
+        let svt: f64 = t.rows[0][1].to_string().parse().unwrap();
+        let adaptive: f64 = t.rows[0][2].to_string().parse().unwrap();
+        assert!(svt <= 4.0 + 1e-9);
+        assert!(adaptive >= svt, "{}: adaptive {adaptive} vs svt {svt}", ds.name());
+    }
+}
+
+#[test]
+fn fig4_smoke() {
+    let t = experiments::fig4::run(&tiny(), &[Dataset::T40I10D100K], &[4, 8]);
+    assert_eq!(t.rows.len(), 2);
+    for row in &t.rows {
+        let remaining: f64 = row[2].to_string().parse().unwrap();
+        assert!((0.0..=100.0).contains(&remaining));
+    }
+}
+
+#[test]
+fn ablations_smoke() {
+    let t = experiments::ablations::theta_sweep(&tiny(), 4, &[0.3]);
+    assert_eq!(t.rows.len(), 1);
+    let t = experiments::ablations::sigma_sweep(&tiny(), 4, &[2.0]);
+    assert_eq!(t.rows.len(), 1);
+    let t = experiments::ablations::split_sweep(&tiny(), Dataset::T40I10D100K, 4, &[0.5]);
+    assert_eq!(t.rows.len(), 1);
+}
