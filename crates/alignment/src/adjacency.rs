@@ -71,7 +71,10 @@ impl Perturbation {
     /// Panics if any `|δᵢ| > 1` or is non-finite.
     pub fn from_deltas(deltas: Vec<f64>) -> Self {
         for (i, d) in deltas.iter().enumerate() {
-            assert!(d.is_finite() && d.abs() <= 1.0, "delta {i} = {d} violates sensitivity 1");
+            assert!(
+                d.is_finite() && d.abs() <= 1.0,
+                "delta {i} = {d} violates sensitivity 1"
+            );
         }
         Self { deltas }
     }
@@ -87,7 +90,11 @@ impl Perturbation {
     /// Panics if lengths differ.
     pub fn apply(&self, answers: &[f64]) -> Vec<f64> {
         assert_eq!(answers.len(), self.deltas.len(), "length mismatch");
-        answers.iter().zip(&self.deltas).map(|(a, d)| a + d).collect()
+        answers
+            .iter()
+            .zip(&self.deltas)
+            .map(|(a, d)| a + d)
+            .collect()
     }
 
     /// True when the perturbation is monotone (all non-negative or all

@@ -54,16 +54,25 @@ impl fmt::Display for AlignmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AlignmentError::OutputMismatch { original, aligned } => {
-                write!(f, "aligned run diverged: M(D,H) = {original} but M(D',φ(H)) = {aligned}")
+                write!(
+                    f,
+                    "aligned run diverged: M(D,H) = {original} but M(D',φ(H)) = {aligned}"
+                )
             }
             AlignmentError::CostExceeded { cost, epsilon } => {
                 write!(f, "alignment cost {cost} exceeds ε = {epsilon}")
             }
             AlignmentError::TapeNotDrained { remaining } => {
-                write!(f, "aligned run left {remaining} draws unconsumed (draw structure diverged)")
+                write!(
+                    f,
+                    "aligned run left {remaining} draws unconsumed (draw structure diverged)"
+                )
             }
             AlignmentError::TapeOverrun { extra } => {
-                write!(f, "aligned run requested {extra} draws past the tape (control flow diverged)")
+                write!(
+                    f,
+                    "aligned run requested {extra} draws past the tape (control flow diverged)"
+                )
             }
         }
     }
@@ -102,10 +111,14 @@ pub fn check_alignment<M: AlignedMechanism>(
     let mut replay = ReplaySource::new(aligned_tape.clone());
     let aligned_output = mechanism.run(neighbor, &mut replay);
     if replay.overrun() > 0 {
-        return Err(AlignmentError::TapeOverrun { extra: replay.overrun() });
+        return Err(AlignmentError::TapeOverrun {
+            extra: replay.overrun(),
+        });
     }
     if !replay.fully_consumed() {
-        return Err(AlignmentError::TapeNotDrained { remaining: replay.remaining() });
+        return Err(AlignmentError::TapeNotDrained {
+            remaining: replay.remaining(),
+        });
     }
 
     // (4) verify the two Lemma-1 obligations.
@@ -121,7 +134,12 @@ pub fn check_alignment<M: AlignedMechanism>(
         return Err(AlignmentError::CostExceeded { cost, epsilon });
     }
 
-    Ok(AlignmentReport { original_tape, aligned_tape, cost, epsilon })
+    Ok(AlignmentReport {
+        original_tape,
+        aligned_tape,
+        cost,
+        epsilon,
+    })
 }
 
 /// Convenience: runs [`check_alignment`] for `trials` independent noise
@@ -182,7 +200,10 @@ mod tests {
 
     #[test]
     fn laplace_mechanism_aligns_exactly() {
-        let mech = LaplaceSum { epsilon: 0.3, sensitivity: 100.0 };
+        let mech = LaplaceSum {
+            epsilon: 0.3,
+            sensitivity: 100.0,
+        };
         let mut rng = rng_from_seed(8);
         let max = check_alignment_many(&mech, &5_000.0, &4_930.0, 300, &mut rng).unwrap();
         // cost = |q - q'| * eps / sensitivity = 70 * 0.3/100 = 0.21 exactly.
@@ -191,7 +212,10 @@ mod tests {
 
     #[test]
     fn over_budget_alignment_reports_cost() {
-        let mech = LaplaceSum { epsilon: 0.3, sensitivity: 100.0 };
+        let mech = LaplaceSum {
+            epsilon: 0.3,
+            sensitivity: 100.0,
+        };
         let mut rng = rng_from_seed(8);
         // |q - q'| = 200 > sensitivity: cost 0.6 > ε.
         let err = check_alignment(&mech, &5_000.0, &4_800.0, &mut rng).unwrap_err();
@@ -232,7 +256,10 @@ mod tests {
     fn undrained_tape_is_detected() {
         let mut rng = rng_from_seed(1);
         let err = check_alignment(&ShrinkingDraws, &3usize, &2usize, &mut rng).unwrap_err();
-        assert!(matches!(err, AlignmentError::TapeNotDrained { remaining: 1 }));
+        assert!(matches!(
+            err,
+            AlignmentError::TapeNotDrained { remaining: 1 }
+        ));
     }
 
     #[test]
@@ -256,12 +283,18 @@ mod tests {
         }
         let mut rng = rng_from_seed(1);
         let err = check_alignment(&EchoInput, &1usize, &2usize, &mut rng).unwrap_err();
-        assert!(matches!(err, AlignmentError::OutputMismatch { .. }), "{err}");
+        assert!(
+            matches!(err, AlignmentError::OutputMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn errors_display_readably() {
-        let e = AlignmentError::CostExceeded { cost: 1.5, epsilon: 1.0 };
+        let e = AlignmentError::CostExceeded {
+            cost: 1.5,
+            epsilon: 1.0,
+        };
         assert!(e.to_string().contains("1.5"));
         let e = AlignmentError::TapeNotDrained { remaining: 2 };
         assert!(e.to_string().contains("2 draws"));

@@ -93,7 +93,12 @@ where
         }
     }
 
-    EmpiricalEpsilon { epsilon_hat, witness, distinct_outputs, trials }
+    EmpiricalEpsilon {
+        epsilon_hat,
+        witness,
+        distinct_outputs,
+        trials,
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +129,12 @@ mod tests {
         let dprime: Vec<f64> = vec![2.0, 3.0, 2.0]; // each query moved by <= 1
         let audit = empirical_epsilon(noisy_argmax, &d, &dprime, 60_000, 300, &mut rng);
         // Budget is ε = 1; allow generous sampling slack.
-        assert!(audit.epsilon_hat < 1.15, "ε̂ = {} via {}", audit.epsilon_hat, audit.witness);
+        assert!(
+            audit.epsilon_hat < 1.15,
+            "ε̂ = {} via {}",
+            audit.epsilon_hat,
+            audit.witness
+        );
         assert_eq!(audit.distinct_outputs, 3);
     }
 
@@ -158,8 +168,8 @@ mod tests {
             best
         }
         let _ = argmax(&[1.0, 0.0], &mut rng); // exercise the helper
-        // Gap 0.15 against Lap(0.05) noise keeps both outputs frequent enough
-        // to qualify while the true log-ratio is ln(0.938/0.062) ≈ 2.7.
+                                               // Gap 0.15 against Lap(0.05) noise keeps both outputs frequent enough
+                                               // to qualify while the true log-ratio is ln(0.938/0.062) ≈ 2.7.
         let d = vec![0.15, 0.0];
         let dprime = vec![0.0, 0.15];
         let audit = empirical_epsilon(leaky, &d, &dprime, 40_000, 50, &mut rng);

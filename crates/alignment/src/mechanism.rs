@@ -77,10 +77,20 @@ mod tests {
             input + source.laplace(scale) >= self.threshold
         }
 
-        fn align(&self, _input: &f64, _neighbor: &f64, tape: &NoiseTape, output: &bool) -> NoiseTape {
+        fn align(
+            &self,
+            _input: &f64,
+            _neighbor: &f64,
+            tape: &NoiseTape,
+            output: &bool,
+        ) -> NoiseTape {
             // Example 2's piecewise alignment: push the noise up for ⊤ runs,
             // down for ⊥ runs, by the full sensitivity.
-            let delta = if *output { self.sensitivity } else { -self.sensitivity };
+            let delta = if *output {
+                self.sensitivity
+            } else {
+                -self.sensitivity
+            };
             tape.aligned_by(|_, _| delta)
         }
 
@@ -91,7 +101,11 @@ mod tests {
 
     #[test]
     fn example2_alignment_checks_out() {
-        let mech = ThresholdMechanism { threshold: 10_000.0, sensitivity: 100.0, epsilon: 0.5 };
+        let mech = ThresholdMechanism {
+            threshold: 10_000.0,
+            sensitivity: 100.0,
+            epsilon: 0.5,
+        };
         let mut rng = rng_from_seed(17);
         for trial in 0..200 {
             let d = 9_900.0 + (trial as f64);

@@ -43,7 +43,10 @@ pub struct RecordingSource<'a> {
 impl<'a> RecordingSource<'a> {
     /// Creates a recording source backed by `rng`.
     pub fn new(rng: &'a mut StdRng) -> Self {
-        Self { rng, tape: NoiseTape::new() }
+        Self {
+            rng,
+            tape: NoiseTape::new(),
+        }
     }
 
     /// Consumes the source, returning the recorded tape.
@@ -69,7 +72,8 @@ impl NoiseSource for RecordingSource<'_> {
         let dist =
             DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism requested invalid rate");
         let v = dist.sample_value(self.rng);
-        self.tape.push_kind(v, 1.0 / unit_epsilon, DrawKind::DiscreteLaplace { gamma });
+        self.tape
+            .push_kind(v, 1.0 / unit_epsilon, DrawKind::DiscreteLaplace { gamma });
         v
     }
 
@@ -121,7 +125,11 @@ pub struct ReplaySource {
 impl ReplaySource {
     /// Creates a replay source over `tape`.
     pub fn new(tape: NoiseTape) -> Self {
-        Self { tape, cursor: 0, overrun: 0 }
+        Self {
+            tape,
+            cursor: 0,
+            overrun: 0,
+        }
     }
 
     /// Number of unconsumed draws remaining.

@@ -52,7 +52,11 @@ impl NoiseTape {
 
     /// Appends a continuous Laplace draw.
     pub fn push(&mut self, value: f64, scale: f64) {
-        self.draws.push(Draw { value, scale, kind: DrawKind::Laplace });
+        self.draws.push(Draw {
+            value,
+            scale,
+            kind: DrawKind::Laplace,
+        });
     }
 
     /// Appends a draw with an explicit family.
@@ -114,7 +118,11 @@ impl NoiseTape {
                             "draw {i}: shift {s} is not a multiple of γ = {gamma}"
                         );
                     }
-                    Draw { value: d.value + s, scale: d.scale, kind: d.kind }
+                    Draw {
+                        value: d.value + s,
+                        scale: d.scale,
+                        kind: d.kind,
+                    }
                 })
                 .collect(),
         }
@@ -144,7 +152,12 @@ impl NoiseTape {
                     a.scale,
                     b.scale
                 );
-                assert!(a.kind == b.kind, "draw {i}: kind changed {:?} -> {:?}", a.kind, b.kind);
+                assert!(
+                    a.kind == b.kind,
+                    "draw {i}: kind changed {:?} -> {:?}",
+                    a.kind,
+                    b.kind
+                );
                 (a.value - b.value).abs() / a.scale
             })
             .sum()
@@ -182,7 +195,14 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
         assert_eq!(t.value(0), 1.0);
-        assert_eq!(t.draw(1), Draw { value: -0.5, scale: 4.0, kind: DrawKind::Laplace });
+        assert_eq!(
+            t.draw(1),
+            Draw {
+                value: -0.5,
+                scale: 4.0,
+                kind: DrawKind::Laplace
+            }
+        );
     }
 
     #[test]

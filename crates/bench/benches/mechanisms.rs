@@ -3,14 +3,19 @@
 //! These measure the *cost* of the free-gap mechanisms against their
 //! classic baselines — the paper's claim is that the gap information is
 //! free in privacy; these benches confirm it is also essentially free in
-//! compute (same noise draws, same selection pass).
+//! compute (same noise draws, same selection pass) — and the batched
+//! `run_with_scratch` fast paths against the allocating `run` paths
+//! (see `repro bench` for the full grid with JSON output).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
-use free_gap_core::sparse_vector::{AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap};
+use free_gap_core::scratch::{SvtScratch, TopKScratch};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap,
+};
 use free_gap_core::QueryAnswers;
 use free_gap_data::Dataset;
-use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::rng::{fast_rng_from_seed, rng_from_seed};
 use std::hint::black_box;
 
 fn workload(n_hint: usize) -> QueryAnswers {
@@ -37,6 +42,24 @@ fn bench_noisy_max_family(c: &mut Criterion) {
             let mut rng = rng_from_seed(1);
             b.iter(|| black_box(with_gap.run(a, &mut rng)));
         });
+        group.bench_with_input(
+            BenchmarkId::new("topk_with_gap_scratch", n),
+            &answers,
+            |b, a| {
+                let mut rng = rng_from_seed(1);
+                let mut scratch = TopKScratch::new();
+                b.iter(|| black_box(with_gap.run_with_scratch(a, &mut rng, &mut scratch)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("topk_with_gap_scratch_fast", n),
+            &answers,
+            |b, a| {
+                let mut rng = fast_rng_from_seed(1);
+                let mut scratch = TopKScratch::new();
+                b.iter(|| black_box(with_gap.run_with_scratch(a, &mut rng, &mut scratch)));
+            },
+        );
     }
     group.finish();
 }
@@ -65,6 +88,16 @@ fn bench_sparse_vector_family(c: &mut Criterion) {
     group.bench_function("adaptive_svt_with_gap", |b| {
         let mut rng = rng_from_seed(2);
         b.iter(|| black_box(adaptive.run(&answers, &mut rng)));
+    });
+    group.bench_function("adaptive_svt_with_gap_scratch", |b| {
+        let mut rng = rng_from_seed(2);
+        let mut scratch = SvtScratch::new();
+        b.iter(|| black_box(adaptive.run_with_scratch(&answers, &mut rng, &mut scratch)));
+    });
+    group.bench_function("adaptive_svt_with_gap_scratch_fast", |b| {
+        let mut rng = fast_rng_from_seed(2);
+        let mut scratch = SvtScratch::new();
+        b.iter(|| black_box(adaptive.run_with_scratch(&answers, &mut rng, &mut scratch)));
     });
     group.finish();
 }

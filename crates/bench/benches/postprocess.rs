@@ -13,7 +13,9 @@ use std::hint::black_box;
 fn inputs(k: usize) -> (Vec<f64>, Vec<f64>) {
     let lap = Laplace::new(1.0).unwrap();
     let mut rng = rng_from_seed(3);
-    let measurements: Vec<f64> = (0..k).map(|i| (k - i) as f64 * 10.0 + lap.sample(&mut rng)).collect();
+    let measurements: Vec<f64> = (0..k)
+        .map(|i| (k - i) as f64 * 10.0 + lap.sample(&mut rng))
+        .collect();
     let gaps: Vec<f64> = (0..k - 1).map(|_| 10.0 + lap.sample(&mut rng)).collect();
     (measurements, gaps)
 }
@@ -22,7 +24,11 @@ fn bench_blue(c: &mut Criterion) {
     let mut group = c.benchmark_group("blue");
     for &k in &[5usize, 25, 100] {
         let (measurements, gaps) = inputs(k);
-        let input = BlueInput { measurements: &measurements, gaps: &gaps, lambda: 1.0 };
+        let input = BlueInput {
+            measurements: &measurements,
+            gaps: &gaps,
+            lambda: 1.0,
+        };
         group.bench_with_input(BenchmarkId::new("linear", k), &input, |b, inp| {
             b.iter(|| black_box(blue_estimates(inp).unwrap()));
         });

@@ -5,10 +5,9 @@
 //! Laplace are included as the drop-in alternatives §3.1 mentions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::rng::{fast_rng_from_seed, rng_from_seed};
 use free_gap_noise::{
-    ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Exponential, Laplace,
-    Staircase,
+    ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Exponential, Laplace, Staircase,
 };
 use std::hint::black_box;
 
@@ -39,11 +38,12 @@ fn bench_samplers(c: &mut Criterion) {
 
 fn bench_batch_noise(c: &mut Criterion) {
     // The per-run inner loop of the experiments: noising a full BMS-POS-size
-    // query vector.
+    // query vector, per-sample vs the batched `fill_into` fast path (with
+    // both the default ChaCha `StdRng` and the Monte-Carlo `FastRng`).
     let mut group = c.benchmark_group("batch_noise");
     let laplace = Laplace::new(2.0).unwrap();
     for &n in &[1_657usize, 41_270] {
-        group.bench_function(format!("laplace_vector_{n}"), |b| {
+        group.bench_function(format!("laplace_sample_loop_{n}"), |b| {
             let mut rng = rng_from_seed(1);
             b.iter(|| {
                 let mut acc = 0.0;
@@ -51,6 +51,22 @@ fn bench_batch_noise(c: &mut Criterion) {
                     acc += laplace.sample(&mut rng);
                 }
                 black_box(acc)
+            });
+        });
+        group.bench_function(format!("laplace_fill_into_{n}"), |b| {
+            let mut rng = rng_from_seed(1);
+            let mut buf = vec![0.0; n];
+            b.iter(|| {
+                laplace.fill_into(&mut rng, &mut buf);
+                black_box(buf[n - 1])
+            });
+        });
+        group.bench_function(format!("laplace_fill_into_fast_{n}"), |b| {
+            let mut rng = fast_rng_from_seed(1);
+            let mut buf = vec![0.0; n];
+            b.iter(|| {
+                laplace.fill_into(&mut rng, &mut buf);
+                black_box(buf[n - 1])
             });
         });
     }

@@ -13,15 +13,18 @@
 //!   ablation-sigma     σ-multiplier sweep for Adaptive-SVT
 //!   ablation-split     selection/measurement budget-split sweep
 //!   ablation-branches  branch-count sweep for multi-branch Adaptive-SVT
-//!   all                everything above, paper defaults
+//!   bench              mechanism-throughput grid → BENCH_mechanisms.json
+//!   all                everything above except `bench`, paper defaults
 //!
 //! Options:
-//!   --runs N           Monte-Carlo runs per point (default: per experiment)
+//!   --runs N           Monte-Carlo runs per point (default: per experiment;
+//!                      for `bench`: fixed runs per cell instead of a time budget)
 //!   --scale F          dataset record-count fraction in (0, 1] (default 1.0)
 //!   --seed N           root RNG seed (default 20190412)
 //!   --eps F            total privacy budget ε (default 0.7)
 //!   --dataset NAME     bms-pos | kosarak | t40 (fig3/ablations; default bms-pos)
 //!   --csv              emit CSV instead of aligned tables
+//!   --json PATH        where `bench` writes its JSON (default BENCH_mechanisms.json)
 //! ```
 //!
 //! The paper averages 10,000 runs per point; defaults here are chosen so the
@@ -30,6 +33,7 @@
 
 use free_gap_bench::experiments::fig1::Panel;
 use free_gap_bench::experiments::{self, epsilon_grid, k_grid};
+use free_gap_bench::perf;
 use free_gap_bench::table::Table;
 use free_gap_bench::workloads::parse_dataset;
 use free_gap_bench::ExperimentConfig;
@@ -45,36 +49,66 @@ struct CliOptions {
     epsilon: f64,
     dataset: Dataset,
     csv: bool,
+    json: String,
+    /// Which workload-shaping options were passed explicitly (the `bench`
+    /// command uses a fixed synthetic workload and rejects them).
+    workload_flags: Vec<&'static str>,
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
     let mut opts = CliOptions {
-        command: args.first().cloned().ok_or("missing command (try `repro all`)")?,
+        command: args
+            .first()
+            .cloned()
+            .ok_or("missing command (try `repro all`)")?,
         runs: None,
         scale: 1.0,
         seed: 20190412,
         epsilon: 0.7,
         dataset: Dataset::BmsPos,
         csv: false,
+        json: "BENCH_mechanisms.json".to_string(),
+        workload_flags: Vec::new(),
     };
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
         let mut value = |name: &str| -> Result<String, String> {
             i += 1;
-            args.get(i).cloned().ok_or(format!("{name} expects a value"))
+            args.get(i)
+                .cloned()
+                .ok_or(format!("{name} expects a value"))
         };
         match flag {
-            "--runs" => opts.runs = Some(value("--runs")?.parse().map_err(|e| format!("--runs: {e}"))?),
-            "--scale" => opts.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--eps" => opts.epsilon = value("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?,
+            "--runs" => {
+                opts.runs = Some(
+                    value("--runs")?
+                        .parse()
+                        .map_err(|e| format!("--runs: {e}"))?,
+                )
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+                opts.workload_flags.push("--scale");
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--eps" => {
+                opts.epsilon = value("--eps")?.parse().map_err(|e| format!("--eps: {e}"))?;
+                opts.workload_flags.push("--eps");
+            }
             "--dataset" => {
                 let name = value("--dataset")?;
-                opts.dataset =
-                    parse_dataset(&name).ok_or(format!("unknown dataset `{name}`"))?;
+                opts.dataset = parse_dataset(&name).ok_or(format!("unknown dataset `{name}`"))?;
+                opts.workload_flags.push("--dataset");
             }
             "--csv" => opts.csv = true,
+            "--json" => opts.json = value("--json")?,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -107,6 +141,26 @@ fn emit(table: &Table, csv: bool) {
 #[allow(clippy::vec_init_then_push)]
 fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
     let tables = match opts.command.as_str() {
+        "bench" => {
+            // The throughput grid uses a fixed synthetic workload at ε = 0.7
+            // so recorded baselines stay comparable across PRs; reject
+            // options that would otherwise be silently ignored.
+            if let Some(flag) = opts.workload_flags.first() {
+                return Err(format!(
+                    "`bench` uses a fixed synthetic workload; {flag} is not supported (only --runs, --seed, --csv, --json apply)"
+                ));
+            }
+            let bench_config = perf::BenchConfig {
+                seed: opts.seed,
+                runs: opts.runs,
+                ..perf::BenchConfig::default()
+            };
+            let records = perf::run_grid(&bench_config);
+            std::fs::write(&opts.json, perf::to_json(opts.seed, &records))
+                .map_err(|e| format!("writing {}: {e}", opts.json))?;
+            eprintln!("wrote {}", opts.json);
+            vec![perf::to_table(&records)]
+        }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
         "fig1a" => vec![experiments::fig1::run(
             &config(opts, 1000),
@@ -134,7 +188,11 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             10,
             &epsilon_grid(),
         )],
-        "fig3" => vec![experiments::fig3::run(&config(opts, 300), opts.dataset, &k_grid())],
+        "fig3" => vec![experiments::fig3::run(
+            &config(opts, 300),
+            opts.dataset,
+            &k_grid(),
+        )],
         "fig4" => vec![experiments::fig4::run(
             &config(opts, 300),
             &Dataset::ALL,
@@ -194,7 +252,11 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             for ds in Dataset::ALL {
                 all.push(experiments::fig3::run(&config(opts, 300), ds, &k_grid()));
             }
-            all.push(experiments::fig4::run(&config(opts, 300), &Dataset::ALL, &k_grid()));
+            all.push(experiments::fig4::run(
+                &config(opts, 300),
+                &Dataset::ALL,
+                &k_grid(),
+            ));
             all.push(experiments::ablations::theta_sweep(
                 &config(opts, 300),
                 10,
@@ -230,7 +292,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv]");
+            eprintln!("usage: repro <bench|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv] [--json PATH]");
             return ExitCode::FAILURE;
         }
     };

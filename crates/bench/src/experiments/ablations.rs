@@ -11,15 +11,13 @@
 //!   the §5.2 select-then-measure protocol (paper: 1/2). The sweep traces
 //!   the MSE improvement of BLUE as the split moves.
 
-use crate::runner::{mean_and_stderr, parallel_runs};
+use crate::runner::{mean_and_stderr, parallel_runs, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;
 use crate::ExperimentConfig;
 use free_gap_core::metrics::{mse_improvement_percent, selection_quality};
-use free_gap_core::pipelines::topk_select_measure_with_split;
-use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, Branch, MultiBranchAdaptiveSparseVector,
-};
+use free_gap_core::pipelines::{topk_select_measure_with_split_scratch, PipelineScratch};
+use free_gap_core::sparse_vector::{AdaptiveSparseVector, Branch, MultiBranchAdaptiveSparseVector};
 use free_gap_core::QueryAnswers;
 use free_gap_data::Dataset;
 use free_gap_noise::rng::rng_from_seed;
@@ -41,8 +39,9 @@ fn near_threshold_workload(
     seed: u64,
 ) -> (QueryAnswers, f64, Vec<usize>) {
     let mut rng = rng_from_seed(seed ^ 0x0AB1_A7E5);
-    let mut values: Vec<f64> =
-        (0..n).map(|_| threshold + spread * (2.0 * rng.gen::<f64>() - 1.0)).collect();
+    let mut values: Vec<f64> = (0..n)
+        .map(|_| threshold + spread * (2.0 * rng.gen::<f64>() - 1.0))
+        .collect();
     values.shuffle(&mut rng);
     let truly_above = values
         .iter()
@@ -65,27 +64,36 @@ fn sweep_adaptive_svt(
 ) -> SweepPoint {
     // Spread chosen relative to the middle-branch noise at the paper's θ so
     // decisions are genuinely uncertain.
-    let reference = AdaptiveSparseVector::new(k, config.epsilon, 0.0, true)
-        .expect("validated parameters");
+    let reference =
+        AdaptiveSparseVector::new(k, config.epsilon, 0.0, true).expect("validated parameters");
     let spread = 4.0 * reference.middle_scale();
-    let (answers, threshold, truth) =
-        near_threshold_workload(400, 1_000.0, spread, config.seed);
-    let stats = parallel_runs(config.runs, config.seed ^ seed_salt, |_, rng| {
-        let mech = build(threshold);
-        let out = mech.run(&answers, rng);
-        let q = selection_quality(&out.above_indices(), &truth);
-        let answered = out.answered() as f64;
-        let top_share = if out.answered() == 0 {
-            0.0
-        } else {
-            out.answered_via(Branch::Top) as f64 / answered
-        };
-        (answered, top_share, q.precision, q.f_measure)
-    });
+    let (answers, threshold, truth) = near_threshold_workload(400, 1_000.0, spread, config.seed);
+    let stats = parallel_runs_with_state(
+        config.runs,
+        config.seed ^ seed_salt,
+        free_gap_core::scratch::SvtScratch::new,
+        |_, rng, scratch| {
+            let mech = build(threshold);
+            let out = mech.run_with_scratch(&answers, rng, scratch);
+            let q = selection_quality(&out.above_indices(), &truth);
+            let answered = out.answered() as f64;
+            let top_share = if out.answered() == 0 {
+                0.0
+            } else {
+                out.answered_via(Branch::Top) as f64 / answered
+            };
+            (answered, top_share, q.precision, q.f_measure)
+        },
+    );
     let mean_of = |f: &dyn Fn(&SweepPoint) -> f64| {
         mean_and_stderr(&stats.iter().map(f).collect::<Vec<_>>()).0
     };
-    (mean_of(&|s| s.0), mean_of(&|s| s.1), mean_of(&|s| s.2), mean_of(&|s| s.3))
+    (
+        mean_of(&|s| s.0),
+        mean_of(&|s| s.1),
+        mean_of(&|s| s.2),
+        mean_of(&|s| s.3),
+    )
 }
 
 /// E-X1: sweep Algorithm 2's θ at fixed `k`, on the near-threshold workload.
@@ -173,14 +181,8 @@ pub fn branches_sweep(
         let stats = parallel_runs(config.runs, config.seed ^ (m as u64) << 4, |_, rng| {
             let threshold = workload.draw_threshold(k, rng);
             let truth = workload.truly_above(threshold);
-            let mech = MultiBranchAdaptiveSparseVector::new(
-                k,
-                config.epsilon,
-                threshold,
-                true,
-                m,
-            )
-            .expect("validated parameters");
+            let mech = MultiBranchAdaptiveSparseVector::new(k, config.epsilon, threshold, true, m)
+                .expect("validated parameters");
             let out = mech.run(&workload.answers, rng);
             let q = selection_quality(&out.above_indices(), &truth);
             let answered = out.answered();
@@ -189,7 +191,12 @@ pub fn branches_sweep(
             } else {
                 out.answered_via(0) as f64 / answered as f64
             };
-            (answered as f64, cheapest, q.precision, out.remaining_fraction() * 100.0)
+            (
+                answered as f64,
+                cheapest,
+                q.precision,
+                out.remaining_fraction() * 100.0,
+            )
         });
         let mean_of = |f: &dyn Fn(&SweepPoint) -> f64| {
             mean_and_stderr(&stats.iter().map(f).collect::<Vec<_>>()).0
@@ -233,24 +240,30 @@ pub fn split_sweep(
         &["select_fraction", "topk_recall", "improvement_pct", "blue_mse", "baseline_mse"],
     );
     for (fi, &fraction) in fractions.iter().enumerate() {
-        let samples = parallel_runs(config.runs, config.seed ^ (fi as u64) << 20, |_, rng| {
-            let r = topk_select_measure_with_split(
-                &workload.answers,
-                k,
-                config.epsilon,
-                fraction,
-                rng,
-            )
-            .expect("validated parameters");
-            let mut blue = 0.0;
-            let mut base = 0.0;
-            for i in 0..k {
-                blue += (r.blue[i] - r.truths[i]).powi(2);
-                base += (r.measurements[i] - r.truths[i]).powi(2);
-            }
-            let recall = selection_quality(&r.indices, &true_top).recall;
-            (blue, base, recall)
-        });
+        let samples = parallel_runs_with_state(
+            config.runs,
+            config.seed ^ (fi as u64) << 20,
+            PipelineScratch::new,
+            |_, rng, scratch| {
+                let r = topk_select_measure_with_split_scratch(
+                    &workload.answers,
+                    k,
+                    config.epsilon,
+                    fraction,
+                    rng,
+                    scratch,
+                )
+                .expect("validated parameters");
+                let mut blue = 0.0;
+                let mut base = 0.0;
+                for i in 0..k {
+                    blue += (r.blue[i] - r.truths[i]).powi(2);
+                    base += (r.measurements[i] - r.truths[i]).powi(2);
+                }
+                let recall = selection_quality(&r.indices, &true_top).recall;
+                (blue, base, recall)
+            },
+        );
         let n = (config.runs * k) as f64;
         let blue_mse = samples.iter().map(|s| s.0).sum::<f64>() / n;
         let base_mse = samples.iter().map(|s| s.1).sum::<f64>() / n;
@@ -271,7 +284,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> ExperimentConfig {
-        ExperimentConfig { runs: 100, scale: 0.01, seed: 5, epsilon: 0.7 }
+        ExperimentConfig {
+            runs: 100,
+            scale: 0.01,
+            seed: 5,
+            epsilon: 0.7,
+        }
     }
 
     #[test]
@@ -304,8 +322,11 @@ mod tests {
     #[test]
     fn branches_sweep_monotone_answers_on_far_above_workload() {
         let t = branches_sweep(&cfg(), Dataset::BmsPos, 5, &[1, 2, 3]);
-        let answers: Vec<f64> =
-            t.rows.iter().map(|r| r[1].to_string().parse().unwrap()).collect();
+        let answers: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[1].to_string().parse().unwrap())
+            .collect();
         assert!(answers[1] > answers[0], "m=2 vs m=1: {answers:?}");
         assert!(answers[2] >= answers[1] - 0.5, "m=3 vs m=2: {answers:?}");
     }
@@ -315,7 +336,11 @@ mod tests {
         let (a, t, above) = near_threshold_workload(200, 1000.0, 50.0, 9);
         assert_eq!(a.len(), 200);
         // Roughly half above (uniform spread around T).
-        assert!((above.len() as f64 - 100.0).abs() < 30.0, "{} above", above.len());
+        assert!(
+            (above.len() as f64 - 100.0).abs() < 30.0,
+            "{} above",
+            above.len()
+        );
         assert!(a.values().iter().all(|v| (v - t).abs() <= 50.0));
         let (b, _, _) = near_threshold_workload(200, 1000.0, 50.0, 9);
         assert_eq!(a, b);
@@ -325,7 +350,10 @@ mod tests {
     fn split_sweep_exposes_the_tradeoff() {
         let t = split_sweep(&cfg(), Dataset::BmsPos, 5, &[0.15, 0.5, 0.85]);
         let col = |i: usize| -> Vec<f64> {
-            t.rows.iter().map(|r| r[i].to_string().parse().unwrap()).collect()
+            t.rows
+                .iter()
+                .map(|r| r[i].to_string().parse().unwrap())
+                .collect()
         };
         let recall = col(1);
         let improvement = col(2);
@@ -333,7 +361,10 @@ mod tests {
         // More selection budget => better recall of the true top-k…
         assert!(recall[2] > recall[0], "recall {recall:?}");
         // …and larger relative BLUE improvement (measurements degrade)…
-        assert!(improvement[2] > improvement[0], "improvement {improvement:?}");
+        assert!(
+            improvement[2] > improvement[0],
+            "improvement {improvement:?}"
+        );
         // …while the measurement baseline itself gets worse.
         assert!(base_mse[2] > base_mse[0], "baseline mse {base_mse:?}");
     }

@@ -13,7 +13,14 @@ pub fn run(config: &ExperimentConfig) -> Table {
              kosarak 990,002×41,270, T40I10D100K 100,000×942)",
             config.scale
         ),
-        &["dataset", "records", "unique_items", "mean_len", "max_count", "median_count"],
+        &[
+            "dataset",
+            "records",
+            "unique_items",
+            "mean_len",
+            "max_count",
+            "median_count",
+        ],
     );
     for ds in Dataset::ALL {
         let db = ds.generate_scaled(config.scale, config.seed);
@@ -36,7 +43,10 @@ mod tests {
 
     #[test]
     fn table_has_three_rows_with_published_item_counts() {
-        let cfg = ExperimentConfig { scale: 0.005, ..Default::default() };
+        let cfg = ExperimentConfig {
+            scale: 0.005,
+            ..Default::default()
+        };
         let t = run(&cfg);
         assert_eq!(t.rows.len(), 3);
         // unique items column is exact at any scale (full-support injection)

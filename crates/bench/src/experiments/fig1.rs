@@ -11,12 +11,14 @@
 //! the selected queries' estimates against their true counts, pooled over
 //! all runs.
 
-use crate::runner::parallel_runs;
+use crate::runner::parallel_runs_with_state;
 use crate::table::Table;
 use crate::workloads::Workload;
 use crate::ExperimentConfig;
 use free_gap_core::metrics::mse_improvement_percent;
-use free_gap_core::pipelines::{svt_select_measure, topk_select_measure};
+use free_gap_core::pipelines::{
+    svt_select_measure_scratch, topk_select_measure_scratch, PipelineScratch,
+};
 use free_gap_core::postprocess::{blue_variance_ratio, svt_error_ratio};
 use free_gap_data::Dataset;
 
@@ -38,12 +40,7 @@ struct SseSample {
 }
 
 /// Runs one panel of Figure 1 over `k_values`, on `dataset`.
-pub fn run(
-    config: &ExperimentConfig,
-    panel: Panel,
-    dataset: Dataset,
-    k_values: &[usize],
-) -> Table {
+pub fn run(config: &ExperimentConfig, panel: Panel, dataset: Dataset, k_values: &[usize]) -> Table {
     let workload = Workload::load(dataset, config.scale, config.seed);
     let label = match panel {
         Panel::Svt => "fig1a: Sparse-Vector-with-Gap + measures",
@@ -60,31 +57,51 @@ pub fn run(
     );
 
     for &k in k_values {
-        let samples = parallel_runs(config.runs, config.seed ^ (k as u64) << 32, |_, rng| {
-            let mut s = SseSample::default();
-            match panel {
-                Panel::TopK => {
-                    let r = topk_select_measure(&workload.answers, k, config.epsilon, rng)
+        // Each Monte-Carlo worker reuses one scratch across its whole chunk:
+        // the batched pipeline paths keep the inner loop allocation-free.
+        let samples = parallel_runs_with_state(
+            config.runs,
+            config.seed ^ (k as u64) << 32,
+            PipelineScratch::new,
+            |_, rng, scratch| {
+                let mut s = SseSample::default();
+                match panel {
+                    Panel::TopK => {
+                        let r = topk_select_measure_scratch(
+                            &workload.answers,
+                            k,
+                            config.epsilon,
+                            rng,
+                            scratch,
+                        )
                         .expect("workload sized for k");
-                    for i in 0..k {
-                        s.improved += (r.blue[i] - r.truths[i]).powi(2);
-                        s.baseline += (r.measurements[i] - r.truths[i]).powi(2);
+                        for i in 0..k {
+                            s.improved += (r.blue[i] - r.truths[i]).powi(2);
+                            s.baseline += (r.measurements[i] - r.truths[i]).powi(2);
+                        }
+                        s.n = k;
                     }
-                    s.n = k;
-                }
-                Panel::Svt => {
-                    let t = workload.draw_threshold(k, rng);
-                    let r = svt_select_measure(&workload.answers, k, config.epsilon, t, rng)
+                    Panel::Svt => {
+                        let t = workload.draw_threshold(k, rng);
+                        let r = svt_select_measure_scratch(
+                            &workload.answers,
+                            k,
+                            config.epsilon,
+                            t,
+                            rng,
+                            scratch,
+                        )
                         .expect("valid configuration");
-                    for i in 0..r.indices.len() {
-                        s.improved += (r.combined[i] - r.truths[i]).powi(2);
-                        s.baseline += (r.measurements[i] - r.truths[i]).powi(2);
+                        for i in 0..r.indices.len() {
+                            s.improved += (r.combined[i] - r.truths[i]).powi(2);
+                            s.baseline += (r.measurements[i] - r.truths[i]).powi(2);
+                        }
+                        s.n = r.indices.len();
                     }
-                    s.n = r.indices.len();
                 }
-            }
-            s
-        });
+                s
+            },
+        );
 
         let (mut imp, mut base, mut n) = (0.0, 0.0, 0usize);
         for s in &samples {
@@ -107,7 +124,12 @@ mod tests {
     use super::*;
 
     fn small_config() -> ExperimentConfig {
-        ExperimentConfig { runs: 150, scale: 0.01, seed: 7, epsilon: 0.7 }
+        ExperimentConfig {
+            runs: 150,
+            scale: 0.01,
+            seed: 7,
+            epsilon: 0.7,
+        }
     }
 
     #[test]
@@ -117,7 +139,10 @@ mod tests {
         for row in &t.rows {
             let emp: f64 = row[1].to_string().parse().unwrap();
             let theory: f64 = row[2].to_string().parse().unwrap();
-            assert!((emp - theory).abs() < 8.0, "empirical {emp} vs theory {theory}");
+            assert!(
+                (emp - theory).abs() < 8.0,
+                "empirical {emp} vs theory {theory}"
+            );
         }
     }
 
@@ -127,6 +152,9 @@ mod tests {
         let emp: f64 = t.rows[0][1].to_string().parse().unwrap();
         let theory: f64 = t.rows[0][2].to_string().parse().unwrap();
         assert!(emp > 10.0, "improvement {emp} too small");
-        assert!((emp - theory).abs() < 12.0, "empirical {emp} vs theory {theory}");
+        assert!(
+            (emp - theory).abs() < 12.0,
+            "empirical {emp} vs theory {theory}"
+        );
     }
 }

@@ -7,12 +7,14 @@
 //! them at every budget.
 
 use super::fig1::Panel;
-use crate::runner::parallel_runs;
+use crate::runner::parallel_runs_with_state;
 use crate::table::Table;
 use crate::workloads::Workload;
 use crate::ExperimentConfig;
 use free_gap_core::metrics::mse_improvement_percent;
-use free_gap_core::pipelines::{svt_select_measure, topk_select_measure};
+use free_gap_core::pipelines::{
+    svt_select_measure_scratch, topk_select_measure_scratch, PipelineScratch,
+};
 use free_gap_core::postprocess::{blue_variance_ratio, svt_error_ratio};
 use free_gap_data::Dataset;
 
@@ -39,11 +41,15 @@ pub fn run(
     );
 
     for (ei, &epsilon) in epsilons.iter().enumerate() {
-        let samples = parallel_runs(config.runs, config.seed ^ (ei as u64) << 40, |_, rng| {
-            match panel {
+        let samples = parallel_runs_with_state(
+            config.runs,
+            config.seed ^ (ei as u64) << 40,
+            PipelineScratch::new,
+            |_, rng, scratch| match panel {
                 Panel::TopK => {
-                    let r = topk_select_measure(&workload.answers, k, epsilon, rng)
-                        .expect("workload sized for k");
+                    let r =
+                        topk_select_measure_scratch(&workload.answers, k, epsilon, rng, scratch)
+                            .expect("workload sized for k");
                     let mut imp = 0.0;
                     let mut base = 0.0;
                     for i in 0..k {
@@ -54,8 +60,9 @@ pub fn run(
                 }
                 Panel::Svt => {
                     let t = workload.draw_threshold(k, rng);
-                    let r = svt_select_measure(&workload.answers, k, epsilon, t, rng)
-                        .expect("valid configuration");
+                    let r =
+                        svt_select_measure_scratch(&workload.answers, k, epsilon, t, rng, scratch)
+                            .expect("valid configuration");
                     let mut imp = 0.0;
                     let mut base = 0.0;
                     for i in 0..r.indices.len() {
@@ -64,8 +71,8 @@ pub fn run(
                     }
                     (imp, base, r.indices.len())
                 }
-            }
-        });
+            },
+        );
 
         let (mut imp, mut base, mut n) = (0.0, 0.0, 0usize);
         for (i, b, c) in &samples {
@@ -78,7 +85,12 @@ pub fn run(
             Panel::TopK => 100.0 * (1.0 - blue_variance_ratio(k, 1.0)),
             Panel::Svt => 100.0 * (1.0 - svt_error_ratio(k, true)),
         };
-        table.push_row(vec![epsilon.into(), improvement.into(), theory.into(), n.into()]);
+        table.push_row(vec![
+            epsilon.into(),
+            improvement.into(),
+            theory.into(),
+            n.into(),
+        ]);
     }
     table
 }
@@ -89,7 +101,12 @@ mod tests {
 
     #[test]
     fn improvement_stable_across_epsilon() {
-        let cfg = ExperimentConfig { runs: 200, scale: 0.02, seed: 3, epsilon: 0.7 };
+        let cfg = ExperimentConfig {
+            runs: 200,
+            scale: 0.02,
+            seed: 3,
+            epsilon: 0.7,
+        };
         let t = run(&cfg, Panel::TopK, Dataset::Kosarak, 10, &[0.3, 1.1]);
         let a: f64 = t.rows[0][1].to_string().parse().unwrap();
         let b: f64 = t.rows[1][1].to_string().parse().unwrap();

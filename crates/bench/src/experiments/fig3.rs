@@ -14,13 +14,15 @@
 //! with precision comparable to SVT and therefore an F-measure about 1.5×
 //! higher.
 
-use crate::runner::{mean_and_stderr, parallel_runs};
+use crate::runner::{mean_and_stderr, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;
 use crate::ExperimentConfig;
 use free_gap_core::metrics::selection_quality;
 use free_gap_core::sparse_vector::{AdaptiveSparseVector, Branch, ClassicSparseVector};
 use free_gap_data::Dataset;
+use free_gap_noise::rng::rng_from_seed;
+use rand::Rng;
 
 /// Per-run observations.
 #[derive(Debug, Clone, Copy)]
@@ -59,31 +61,54 @@ pub fn run(config: &ExperimentConfig, dataset: Dataset, k_values: &[usize]) -> T
 
     let salt = super::dataset_salt(dataset);
     for &k in k_values {
-        let stats = parallel_runs(config.runs, config.seed ^ salt ^ (k as u64) << 24, |_, rng| {
-            let threshold = workload.draw_threshold(k, rng);
-            let truth = workload.truly_above(threshold);
+        // One scratch per mechanism: the scratch's predictive batch sizing
+        // assumes consecutive runs of the *same* mechanism (SVT draws ~1 per
+        // query, adaptive 2), so sharing one would mis-size every prefill.
+        let stats = parallel_runs_with_state(
+            config.runs,
+            config.seed ^ salt ^ (k as u64) << 24,
+            || {
+                (
+                    free_gap_core::scratch::SvtScratch::new(),
+                    free_gap_core::scratch::SvtScratch::new(),
+                )
+            },
+            |_, rng, (svt_scratch, adaptive_scratch)| {
+                let threshold = workload.draw_threshold(k, rng);
+                let truth = workload.truly_above(threshold);
 
-            // Mechanisms are cheap value types; build them per run with the
-            // freshly drawn threshold.
-            let svt = ClassicSparseVector::new(k, config.epsilon, threshold, true)
-                .expect("validated parameters");
-            let adaptive = AdaptiveSparseVector::new(k, config.epsilon, threshold, true)
-                .expect("validated parameters");
+                // Mechanisms are cheap value types; build them per run with the
+                // freshly drawn threshold.
+                let svt = ClassicSparseVector::new(k, config.epsilon, threshold, true)
+                    .expect("validated parameters");
+                let adaptive = AdaptiveSparseVector::new(k, config.epsilon, threshold, true)
+                    .expect("validated parameters");
 
-            let s = svt.run(&workload.answers, rng);
-            let a = adaptive.run(&workload.answers, rng);
-            let sq = selection_quality(&s.above_indices(), &truth);
-            let aq = selection_quality(&a.above_indices(), &truth);
-            RunStats {
-                svt_answers: s.answered() as f64,
-                adaptive_top: a.answered_via(Branch::Top) as f64,
-                adaptive_middle: a.answered_via(Branch::Middle) as f64,
-                svt_precision: sq.precision,
-                svt_f: sq.f_measure,
-                adaptive_precision: aq.precision,
-                adaptive_f: aq.f_measure,
-            }
-        });
+                // SvtScratch buffers a history-dependent lookahead from the
+                // stream it draws on, so each mechanism gets its own
+                // sub-stream (seeded by a fixed number of draws from the run
+                // stream) — results stay independent of worker chunking.
+                let mut svt_rng = rng_from_seed(rng.gen::<u64>());
+                let mut adaptive_rng = rng_from_seed(rng.gen::<u64>());
+                let s = svt.run_with_scratch(&workload.answers, &mut svt_rng, svt_scratch);
+                let a = adaptive.run_with_scratch(
+                    &workload.answers,
+                    &mut adaptive_rng,
+                    adaptive_scratch,
+                );
+                let sq = selection_quality(&s.above_indices(), &truth);
+                let aq = selection_quality(&a.above_indices(), &truth);
+                RunStats {
+                    svt_answers: s.answered() as f64,
+                    adaptive_top: a.answered_via(Branch::Top) as f64,
+                    adaptive_middle: a.answered_via(Branch::Middle) as f64,
+                    svt_precision: sq.precision,
+                    svt_f: sq.f_measure,
+                    adaptive_precision: aq.precision,
+                    adaptive_f: aq.f_measure,
+                }
+            },
+        );
 
         let col = |f: &dyn Fn(&RunStats) -> f64| {
             let xs: Vec<f64> = stats.iter().map(f).collect();
@@ -112,7 +137,12 @@ mod tests {
 
     #[test]
     fn adaptive_answers_more_with_comparable_precision() {
-        let cfg = ExperimentConfig { runs: 120, scale: 0.01, seed: 11, epsilon: 0.7 };
+        let cfg = ExperimentConfig {
+            runs: 120,
+            scale: 0.01,
+            seed: 11,
+            epsilon: 0.7,
+        };
         let t = run(&cfg, Dataset::BmsPos, &[10]);
         let row = &t.rows[0];
         let svt_answers: f64 = row[1].to_string().parse().unwrap();
@@ -125,7 +155,10 @@ mod tests {
             adaptive_answers > svt_answers,
             "adaptive {adaptive_answers} vs svt {svt_answers}"
         );
-        assert!((svt_p - ad_p).abs() < 0.25, "precision gap too large: {svt_p} vs {ad_p}");
+        assert!(
+            (svt_p - ad_p).abs() < 0.25,
+            "precision gap too large: {svt_p} vs {ad_p}"
+        );
         assert!(ad_f > svt_f, "F-measure should improve: {ad_f} vs {svt_f}");
     }
 }

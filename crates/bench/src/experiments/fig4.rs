@@ -6,7 +6,7 @@
 //! far above the threshold. The paper reports roughly 40% remaining across
 //! all three datasets.
 
-use crate::runner::{mean_and_stderr, parallel_runs};
+use crate::runner::{mean_and_stderr, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;
 use crate::ExperimentConfig;
@@ -26,14 +26,20 @@ pub fn run(config: &ExperimentConfig, datasets: &[Dataset], k_values: &[usize]) 
         let workload = Workload::load(ds, config.scale, config.seed);
         let salt = super::dataset_salt(ds);
         for &k in k_values {
-            let fractions =
-                parallel_runs(config.runs, config.seed ^ salt ^ (k as u64) << 16, |_, rng| {
+            let fractions = parallel_runs_with_state(
+                config.runs,
+                config.seed ^ salt ^ (k as u64) << 16,
+                free_gap_core::scratch::SvtScratch::new,
+                |_, rng, scratch| {
                     let threshold = workload.draw_threshold(k, rng);
                     let mech = AdaptiveSparseVector::new(k, config.epsilon, threshold, true)
                         .expect("validated parameters")
                         .with_answer_limit(k);
-                    mech.run(&workload.answers, rng).remaining_fraction() * 100.0
-                });
+                    mech.run_with_scratch(&workload.answers, rng, scratch)
+                        .remaining_fraction()
+                        * 100.0
+                },
+            );
             let (mean, se) = mean_and_stderr(&fractions);
             table.push_row(vec![k.into(), ds.name().into(), mean.into(), se.into()]);
         }
@@ -47,7 +53,12 @@ mod tests {
 
     #[test]
     fn substantial_budget_remains() {
-        let cfg = ExperimentConfig { runs: 120, scale: 0.01, seed: 2, epsilon: 0.7 };
+        let cfg = ExperimentConfig {
+            runs: 120,
+            scale: 0.01,
+            seed: 2,
+            epsilon: 0.7,
+        };
         let t = run(&cfg, &[Dataset::BmsPos], &[10]);
         let remaining: f64 = t.rows[0][2].to_string().parse().unwrap();
         // Paper reports ~40%; accept a generous band for the surrogate.

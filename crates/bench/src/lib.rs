@@ -13,16 +13,30 @@
 //! | `fig3` | Fig. 3: answers + precision/F-measure, SVT vs Adaptive | [`experiments::fig3`] |
 //! | `fig4` | Fig. 4: % remaining budget | [`experiments::fig4`] |
 //! | `ablation-*` | θ / σ / budget-split sweeps (not in the paper) | [`experiments::ablations`] |
+//! | `bench` | mechanism-throughput grid (not in the paper) | [`perf`] |
 //!
 //! Every experiment is a pure function of `(ExperimentConfig, parameters)`;
 //! the `repro` binary is a thin CLI over them. Monte-Carlo runs are
 //! parallelized over threads with per-run derived RNG streams
-//! ([`runner::parallel_runs`]) so results are independent of thread count.
+//! ([`runner::parallel_runs`]) so results are independent of thread count,
+//! and each worker thread reuses one set of scratch buffers across its whole
+//! chunk ([`runner::parallel_runs_with_state`] + the `run_with_scratch`
+//! fast paths of `free-gap-core`), keeping the Monte-Carlo inner loops
+//! allocation-free.
+//!
+//! ## Performance tracking
+//!
+//! `repro bench` times every mechanism's allocating path against its batched
+//! scratch path (with both the deterministic `StdRng` and the Monte-Carlo
+//! `FastRng`) over an `n × k` grid and writes `BENCH_mechanisms.json`
+//! (schema documented in [`perf`]). The checked-in copy is the baseline for
+//! this machine class; regenerate on comparable hardware before comparing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod runner;
 pub mod table;
 pub mod workloads;
@@ -44,6 +58,11 @@ pub struct ExperimentConfig {
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        Self { runs: 1000, scale: 1.0, seed: 20190412, epsilon: 0.7 }
+        Self {
+            runs: 1000,
+            scale: 1.0,
+            seed: 20190412,
+            epsilon: 0.7,
+        }
     }
 }

@@ -1,0 +1,502 @@
+//! Mechanism-throughput harness: the `repro bench` command.
+//!
+//! Times Monte-Carlo loops of each mechanism over an `n × k` grid, once per
+//! execution path:
+//!
+//! | path | meaning |
+//! |------|---------|
+//! | `dyn` | the allocating `run` path — `dyn NoiseSource` dispatch, fresh buffers per run (the "before") |
+//! | `scratch` | `run_with_scratch` — batched noise, reused buffers, monomorphic `StdRng` |
+//! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`] (Xoshiro) — the Monte-Carlo fast path |
+//!
+//! All three paths execute the *same mechanism*: `scratch` is bit-identical
+//! to `dyn` per run (see `free_gap_core::scratch`), and `scratch_fast` only
+//! swaps the generator. Results are printed as a table and written to
+//! `BENCH_mechanisms.json` so the perf trajectory is tracked across PRs —
+//! compare the file in version control against a fresh run on the same
+//! machine before claiming a regression or a win.
+//!
+//! The headline before/after comparison is `dyn` (the only path that
+//! existed before the batching work) against `scratch_fast` (the Monte-Carlo
+//! substrate those loops now use: batching + monomorphization + the fast
+//! generator together) — ~2× on the 100k-query cells. The `scratch` column
+//! isolates how much of that is batching alone under the deterministic
+//! ChaCha generator (~1.1×): per-draw cost there is dominated by ChaCha and
+//! `ln`, which batching cannot remove.
+//!
+//! ## `BENCH_mechanisms.json` protocol
+//!
+//! A single JSON object:
+//!
+//! ```json
+//! {
+//!   "schema": "free-gap-bench/mechanisms/v1",
+//!   "seed": 20190412,
+//!   "grid": { "n": [1000, ...], "k": [10, ...] },
+//!   "results": [
+//!     { "mechanism": "NoisyTopKWithGap", "path": "scratch", "n": 100000,
+//!       "k": 10, "runs": 137, "elapsed_secs": 0.301,
+//!       "runs_per_sec": 455.1 },
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! `runs_per_sec` is the headline number; `runs`/`elapsed_secs` let a reader
+//! judge measurement quality. Records appear for every
+//! `mechanism × path × n × k` cell, so "the speedup" for a cell is the ratio
+//! of its `scratch`(`_fast`) and `dyn` records.
+
+use crate::table::Table;
+use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
+use free_gap_core::scratch::{SvtScratch, TopKScratch};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap,
+};
+use free_gap_core::QueryAnswers;
+use free_gap_noise::rng::{derive_fast_stream, derive_stream};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed cell of the benchmark grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Mechanism name (type name, e.g. `NoisyTopKWithGap`).
+    pub mechanism: &'static str,
+    /// Execution path: `dyn`, `scratch` or `scratch_fast`.
+    pub path: &'static str,
+    /// Workload size (number of queries).
+    pub n: usize,
+    /// Selection parameter `k`.
+    pub k: usize,
+    /// Completed Monte-Carlo runs inside the timing window.
+    pub runs: usize,
+    /// Wall-clock seconds spent on those runs.
+    pub elapsed_secs: f64,
+}
+
+impl BenchRecord {
+    /// Throughput in mechanism runs per second.
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.runs as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Configuration for the throughput harness.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Root seed for workload generation and per-run streams.
+    pub seed: u64,
+    /// Fixed run count per cell (split across timing windows); `None`
+    /// uses the time budget instead.
+    pub runs: Option<usize>,
+    /// Time budget per cell in seconds when `runs` is `None`.
+    pub budget_secs: f64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20190412,
+            runs: None,
+            budget_secs: 1.0,
+        }
+    }
+}
+
+/// The workload sizes of the default grid (the largest matches the paper's
+/// biggest dataset order of magnitude).
+pub const N_GRID: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// The `k` values of the default grid.
+pub const K_GRID: [usize; 2] = [10, 25];
+
+/// A monotone counting workload of size `n`: Zipf-like counts, jittered so
+/// rankings are non-trivial, in **shuffled** stream order (transaction
+/// datasets do not arrive count-sorted, and SVT throughput is dominated by
+/// how deep it scans before collecting its `k` answers). Deterministic in
+/// `seed`.
+fn synthetic_counts(n: usize, seed: u64) -> QueryAnswers {
+    let mut rng = derive_stream(seed, 0xBEEC);
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| 1_000_000.0 / (i + 1) as f64 + rng.gen_range(0.0..50.0))
+        .collect();
+    values.shuffle(&mut rng);
+    QueryAnswers::counting(values)
+}
+
+/// SVT threshold at descending rank `4k` (mid-range per the §7.2 protocol).
+fn rank_threshold(answers: &QueryAnswers, k: usize) -> f64 {
+    let mut sorted: Vec<f64> = answers.values().to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite counts"));
+    sorted[(4 * k).min(sorted.len() - 1)]
+}
+
+/// Timing windows per cell; the fastest window is reported. On shared
+/// machines a single window is hostage to whatever else ran during it —
+/// best-of-three approximates the uncontended throughput, symmetrically
+/// for every path.
+const WINDOWS: usize = 3;
+
+/// Times `body(run_index)` over [`WINDOWS`] windows (each a third of the
+/// run target / time budget) and returns the fastest window.
+fn time_cell(config: &BenchConfig, mut body: impl FnMut(u64)) -> (usize, f64) {
+    // Warm up: populate caches/buffers outside the timed windows.
+    body(u64::MAX);
+    let mut next_run = 0u64;
+    let mut best: Option<(usize, f64)> = None;
+    for _ in 0..WINDOWS {
+        let start = Instant::now();
+        let mut runs = 0usize;
+        loop {
+            body(next_run);
+            next_run += 1;
+            runs += 1;
+            match config.runs {
+                Some(target) => {
+                    if runs >= target.div_ceil(WINDOWS) {
+                        break;
+                    }
+                }
+                None => {
+                    // Check the clock in batches of 16 to keep `Instant::now`
+                    // out of the hot loop.
+                    if runs.is_multiple_of(16)
+                        && start.elapsed().as_secs_f64() >= config.budget_secs / WINDOWS as f64
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let better = match best {
+            Some((b_runs, b_elapsed)) => runs as f64 * b_elapsed > b_runs as f64 * elapsed,
+            None => true,
+        };
+        if better {
+            best = Some((runs, elapsed));
+        }
+    }
+    best.expect("at least one window ran")
+}
+
+/// Times one `mechanism × n × k` cell across all three paths, pushing a
+/// record per path. `scratch_run` receives `fast = true` for the FastRng
+/// variant so one closure (and one scratch borrow) serves both.
+#[allow(clippy::too_many_arguments)]
+fn bench_cell(
+    records: &mut Vec<BenchRecord>,
+    config: &BenchConfig,
+    mechanism: &'static str,
+    n: usize,
+    k: usize,
+    mut dyn_run: impl FnMut(u64),
+    mut scratch_run: impl FnMut(u64, bool),
+) {
+    let mut push = |path, (runs, elapsed_secs)| {
+        records.push(BenchRecord {
+            mechanism,
+            path,
+            n,
+            k,
+            runs,
+            elapsed_secs,
+        });
+    };
+    push("dyn", time_cell(config, &mut dyn_run));
+    push("scratch", time_cell(config, |r| scratch_run(r, false)));
+    push("scratch_fast", time_cell(config, |r| scratch_run(r, true)));
+}
+
+/// Expands to the `(run_index, fast)` closure for one mechanism's scratch
+/// paths: the two arms differ only in which generator family the per-run
+/// stream is derived from.
+macro_rules! scratch_runner {
+    ($mech:ident, $answers:expr, $scratch:ident, $seed:ident) => {
+        |r, fast| {
+            if fast {
+                black_box($mech.run_with_scratch(
+                    $answers,
+                    &mut derive_fast_stream($seed, r),
+                    &mut $scratch,
+                ));
+            } else {
+                black_box($mech.run_with_scratch(
+                    $answers,
+                    &mut derive_stream($seed, r),
+                    &mut $scratch,
+                ));
+            }
+        }
+    };
+}
+
+/// Runs the full `mechanism × path × n × k` grid.
+pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
+    let seed = config.seed;
+    let mut records = Vec::new();
+    for &n in &N_GRID {
+        let answers = synthetic_counts(n, seed);
+        for &k in &K_GRID {
+            let threshold = rank_threshold(&answers, k);
+            let mut topk_scratch = TopKScratch::new();
+            // One SVT scratch per mechanism: predictive batch sizing assumes
+            // consecutive runs of the same mechanism.
+            let mut svt_gap_scratch = SvtScratch::new();
+            let mut classic_svt_scratch = SvtScratch::new();
+            let mut adaptive_scratch = SvtScratch::new();
+
+            let topk = NoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "NoisyTopKWithGap",
+                n,
+                k,
+                |r| {
+                    black_box(topk.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(topk, &answers, topk_scratch, seed),
+            );
+
+            let classic_topk = ClassicNoisyTopK::new(k, 0.7, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "ClassicNoisyTopK",
+                n,
+                k,
+                |r| {
+                    black_box(classic_topk.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(classic_topk, &answers, topk_scratch, seed),
+            );
+
+            let svt_gap =
+                SparseVectorWithGap::new(k, 0.7, threshold, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "SparseVectorWithGap",
+                n,
+                k,
+                |r| {
+                    black_box(svt_gap.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(svt_gap, &answers, svt_gap_scratch, seed),
+            );
+
+            let classic_svt =
+                ClassicSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "ClassicSparseVector",
+                n,
+                k,
+                |r| {
+                    black_box(classic_svt.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(classic_svt, &answers, classic_svt_scratch, seed),
+            );
+
+            let adaptive =
+                AdaptiveSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "AdaptiveSparseVector",
+                n,
+                k,
+                |r| {
+                    black_box(adaptive.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(adaptive, &answers, adaptive_scratch, seed),
+            );
+        }
+    }
+    records
+}
+
+/// Renders the records as a table with one row per `mechanism × n × k` and
+/// the three paths side by side (speedups relative to `dyn`).
+pub fn to_table(records: &[BenchRecord]) -> Table {
+    let mut table = Table::new(
+        "bench: mechanism throughput (runs/sec; speedup vs dyn path)".to_string(),
+        &[
+            "mechanism",
+            "n",
+            "k",
+            "dyn_rps",
+            "scratch_rps",
+            "scratch_speedup",
+            "fast_rps",
+            "fast_speedup",
+        ],
+    );
+    // Group by cell key and look paths up by name — no reliance on record
+    // order, and a cell missing any path is skipped rather than misread.
+    let mut keys: Vec<(&'static str, usize, usize)> = Vec::new();
+    for r in records {
+        let key = (r.mechanism, r.n, r.k);
+        if !keys.contains(&key) {
+            keys.push(key);
+        }
+    }
+    for (mechanism, n, k) in keys {
+        let find = |path: &str| {
+            records
+                .iter()
+                .find(|r| r.mechanism == mechanism && r.n == n && r.k == k && r.path == path)
+        };
+        let (Some(dyn_rec), Some(scratch_rec), Some(fast_rec)) =
+            (find("dyn"), find("scratch"), find("scratch_fast"))
+        else {
+            continue;
+        };
+        let base = dyn_rec.runs_per_sec();
+        let ratio = |r: &BenchRecord| {
+            if base > 0.0 {
+                r.runs_per_sec() / base
+            } else {
+                0.0
+            }
+        };
+        table.push_row(vec![
+            mechanism.into(),
+            n.into(),
+            k.into(),
+            base.into(),
+            scratch_rec.runs_per_sec().into(),
+            ratio(scratch_rec).into(),
+            fast_rec.runs_per_sec().into(),
+            ratio(fast_rec).into(),
+        ]);
+    }
+    table
+}
+
+/// Serializes the records to the `BENCH_mechanisms.json` schema.
+pub fn to_json(seed: u64, records: &[BenchRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 160 + 256);
+    out.push_str("{\n  \"schema\": \"free-gap-bench/mechanisms/v1\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"grid\": {{ \"n\": {:?}, \"k\": {:?} }},\n",
+        N_GRID, K_GRID
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"mechanism\": \"{}\", \"path\": \"{}\", \"n\": {}, \"k\": {}, \
+             \"runs\": {}, \"elapsed_secs\": {:.6}, \"runs_per_sec\": {:.3} }}{}\n",
+            r.mechanism,
+            r.path,
+            r.n,
+            r.k,
+            r.runs,
+            r.elapsed_secs,
+            r.runs_per_sec(),
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig {
+            seed: 7,
+            runs: Some(2),
+            budget_secs: 0.01,
+        }
+    }
+
+    #[test]
+    fn grid_covers_every_mechanism_path_cell() {
+        let records = run_grid(&tiny_config());
+        // 5 mechanisms × 3 paths × |N_GRID| × |K_GRID|.
+        assert_eq!(records.len(), 5 * 3 * N_GRID.len() * K_GRID.len());
+        assert!(records.iter().all(|r| r.runs >= 1));
+        assert!(records.iter().all(|r| r.elapsed_secs > 0.0));
+        // Every triple is (dyn, scratch, scratch_fast) over one cell.
+        for chunk in records.chunks(3) {
+            assert_eq!(chunk[0].path, "dyn");
+            assert_eq!(chunk[1].path, "scratch");
+            assert_eq!(chunk[2].path, "scratch_fast");
+            assert_eq!(chunk[0].mechanism, chunk[1].mechanism);
+            assert_eq!(chunk[0].n, chunk[2].n);
+            assert_eq!(chunk[0].k, chunk[2].k);
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_grep() {
+        let records = vec![
+            BenchRecord {
+                mechanism: "NoisyTopKWithGap",
+                path: "dyn",
+                n: 1000,
+                k: 10,
+                runs: 5,
+                elapsed_secs: 0.5,
+            },
+            BenchRecord {
+                mechanism: "NoisyTopKWithGap",
+                path: "scratch",
+                n: 1000,
+                k: 10,
+                runs: 20,
+                elapsed_secs: 0.5,
+            },
+        ];
+        let json = to_json(1, &records);
+        assert!(json.contains("\"schema\": \"free-gap-bench/mechanisms/v1\""));
+        assert!(json.contains("\"runs_per_sec\": 10.000"));
+        assert!(json.contains("\"runs_per_sec\": 40.000"));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn table_reports_speedups_relative_to_dyn() {
+        let mk = |path, runs| BenchRecord {
+            mechanism: "AdaptiveSparseVector",
+            path,
+            n: 100,
+            k: 5,
+            runs,
+            elapsed_secs: 1.0,
+        };
+        let t = to_table(&[mk("dyn", 10), mk("scratch", 25), mk("scratch_fast", 40)]);
+        assert_eq!(t.rows.len(), 1);
+        let csv = t.to_csv();
+        assert!(csv.contains("2.5"), "scratch speedup missing: {csv}");
+        assert!(csv.contains('4'), "fast speedup missing: {csv}");
+    }
+
+    #[test]
+    fn runs_per_sec_handles_zero_elapsed() {
+        let r = BenchRecord {
+            mechanism: "x",
+            path: "dyn",
+            n: 1,
+            k: 1,
+            runs: 5,
+            elapsed_secs: 0.0,
+        };
+        assert_eq!(r.runs_per_sec(), 0.0);
+    }
+}

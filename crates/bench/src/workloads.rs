@@ -28,7 +28,11 @@ impl Workload {
         let db = dataset.generate_scaled(scale, seed);
         let counts = db.item_counts();
         let answers = QueryAnswers::from_counts(counts.as_u64());
-        Self { dataset, counts, answers }
+        Self {
+            dataset,
+            counts,
+            answers,
+        }
     }
 
     /// Number of queries (items).

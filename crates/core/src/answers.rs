@@ -20,13 +20,19 @@ impl QueryAnswers {
     /// Wraps answers to general (not necessarily monotone) sensitivity-1
     /// queries.
     pub fn general(values: Vec<f64>) -> Self {
-        Self { values, monotonic: false }
+        Self {
+            values,
+            monotonic: false,
+        }
     }
 
     /// Wraps answers to monotone queries (e.g. counting queries) — enables
     /// the paper's tighter `ε/2`-style accounting.
     pub fn counting(values: Vec<f64>) -> Self {
-        Self { values, monotonic: true }
+        Self {
+            values,
+            monotonic: true,
+        }
     }
 
     /// Builds from `u64` counts (the `free-gap-data` item-count form).
@@ -59,7 +65,10 @@ impl QueryAnswers {
         if self.values.len() >= need {
             Ok(())
         } else {
-            Err(MechanismError::NotEnoughQueries { got: self.values.len(), need })
+            Err(MechanismError::NotEnoughQueries {
+                got: self.values.len(),
+                need,
+            })
         }
     }
 

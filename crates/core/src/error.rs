@@ -45,7 +45,10 @@ impl fmt::Display for MechanismError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MechanismError::InvalidEpsilon { value } => {
-                write!(f, "privacy budget ε must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "privacy budget ε must be positive and finite, got {value}"
+                )
             }
             MechanismError::InvalidK { k, requirement } => {
                 write!(f, "invalid k = {k}: {requirement}")
@@ -54,9 +57,15 @@ impl fmt::Display for MechanismError {
                 write!(f, "parameter `{name}` must lie in (0, 1), got {value}")
             }
             MechanismError::NotEnoughQueries { got, need } => {
-                write!(f, "workload has {got} queries but the mechanism needs {need}")
+                write!(
+                    f,
+                    "workload has {got} queries but the mechanism needs {need}"
+                )
             }
-            MechanismError::BudgetExhausted { requested, remaining } => {
+            MechanismError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
                 write!(f, "requested ε = {requested} but only {remaining} remains")
             }
         }
@@ -105,9 +114,15 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = MechanismError::InvalidK { k: 0, requirement: "k >= 1" };
+        let e = MechanismError::InvalidK {
+            k: 0,
+            requirement: "k >= 1",
+        };
         assert!(e.to_string().contains("k >= 1"));
-        let e = MechanismError::BudgetExhausted { requested: 1.0, remaining: 0.25 };
+        let e = MechanismError::BudgetExhausted {
+            requested: 1.0,
+            remaining: 0.25,
+        };
         assert!(e.to_string().contains("0.25"));
         let e = MechanismError::NotEnoughQueries { got: 2, need: 4 };
         assert!(e.to_string().contains('4'));

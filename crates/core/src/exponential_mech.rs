@@ -22,7 +22,10 @@ pub struct ExponentialMechanism {
 impl ExponentialMechanism {
     /// Creates the mechanism with budget `epsilon`.
     pub fn new(epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
-        Ok(Self { epsilon: require_epsilon(epsilon)?, monotonic })
+        Ok(Self {
+            epsilon: require_epsilon(epsilon)?,
+            monotonic,
+        })
     }
 
     /// The softmax temperature exponent applied to each utility:
@@ -39,8 +42,16 @@ impl ExponentialMechanism {
     /// with the max-subtraction trick for stability.
     pub fn probabilities(&self, answers: &QueryAnswers) -> Vec<f64> {
         let t = self.exponent();
-        let m = answers.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> = answers.values().iter().map(|q| ((q - m) * t).exp()).collect();
+        let m = answers
+            .values()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = answers
+            .values()
+            .iter()
+            .map(|q| ((q - m) * t).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / total).collect()
     }
@@ -98,8 +109,14 @@ mod tests {
     #[test]
     fn validation() {
         assert!(ExponentialMechanism::new(0.0, true).is_err());
-        assert_eq!(ExponentialMechanism::new(1.0, true).unwrap().exponent(), 1.0);
-        assert_eq!(ExponentialMechanism::new(1.0, false).unwrap().exponent(), 0.5);
+        assert_eq!(
+            ExponentialMechanism::new(1.0, true).unwrap().exponent(),
+            1.0
+        );
+        assert_eq!(
+            ExponentialMechanism::new(1.0, false).unwrap().exponent(),
+            0.5
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl LaplaceMechanism {
     /// query (or a vector measured under *parallel* per-query budgets — see
     /// [`measure_each`](Self::measure_each)).
     pub fn new(epsilon: f64) -> Result<Self, MechanismError> {
-        Ok(Self { epsilon: require_epsilon(epsilon)?, sensitivity: 1.0 })
+        Ok(Self {
+            epsilon: require_epsilon(epsilon)?,
+            sensitivity: 1.0,
+        })
     }
 
     /// Overrides the sensitivity (`Δ`) used for the noise scale.
@@ -54,7 +57,10 @@ impl LaplaceMechanism {
     /// the queries are answered on disjoint data (parallel composition) or
     /// when `self.epsilon` is already the per-query share.
     pub fn measure_each(&self, answers: &[f64], source: &mut dyn NoiseSource) -> Vec<f64> {
-        answers.iter().map(|a| a + source.laplace(self.scale())).collect()
+        answers
+            .iter()
+            .map(|a| a + source.laplace(self.scale()))
+            .collect()
     }
 
     /// Sequential-composition measurement: splits `self.epsilon` evenly over
@@ -122,8 +128,14 @@ mod tests {
     #[test]
     fn construction_validation() {
         assert!(LaplaceMechanism::new(0.0).is_err());
-        assert!(LaplaceMechanism::new(1.0).unwrap().with_sensitivity(-1.0).is_err());
-        let m = LaplaceMechanism::new(0.5).unwrap().with_sensitivity(2.0).unwrap();
+        assert!(LaplaceMechanism::new(1.0)
+            .unwrap()
+            .with_sensitivity(-1.0)
+            .is_err());
+        let m = LaplaceMechanism::new(0.5)
+            .unwrap()
+            .with_sensitivity(2.0)
+            .unwrap();
         assert_eq!(m.scale(), 4.0);
     }
 

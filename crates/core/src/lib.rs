@@ -34,6 +34,29 @@
 //! from its privacy proof (Lemma 2 / Lemma 4) so the test-suite can execute
 //! the proof obligations on concrete runs.
 //!
+//! ## Execution paths: `run` vs `run_with_scratch`
+//!
+//! Each mechanism has two equivalent execution paths:
+//!
+//! * **`run` / `run_with_source`** — draws noise through `dyn
+//!   NoiseSource`. This is the path the alignment checker interposes on
+//!   (recording and replaying tapes), and the reference semantics.
+//! * **`run_with_scratch`** — the batched fast path for Monte-Carlo and
+//!   high-traffic serving: noise is drawn in batches via
+//!   [`free_gap_noise::ContinuousDistribution::fill_into`], noisy-value
+//!   buffers live in a reusable [`scratch::TopKScratch`] /
+//!   [`scratch::SvtScratch`], and the RNG is a monomorphic generic (no
+//!   virtual dispatch). Outputs are **bit-for-bit identical** to `run` on
+//!   the same RNG stream; the scratch path may consume *more* of the
+//!   stream (batch lookahead), so derive a fresh
+//!   [`free_gap_noise::rng::derive_stream`] per run.
+//!
+//! See [`scratch`] for the full contract and an example, and
+//! [`pipelines::PipelineScratch`] for the select-then-measure versions.
+//! The `repro bench` command in `free-gap-bench` tracks the speedup
+//! (≈1.1× like-for-like, ≈2× with the
+//! [`free_gap_noise::rng::FastRng`] Monte-Carlo generator).
+//!
 //! ## Example
 //!
 //! ```
@@ -63,9 +86,11 @@ pub mod metrics;
 pub mod noisy_max;
 pub mod pipelines;
 pub mod postprocess;
+pub mod scratch;
 pub mod sparse_vector;
 pub mod staircase_mech;
 
 pub use answers::QueryAnswers;
 pub use budget::PrivacyBudget;
 pub use error::MechanismError;
+pub use scratch::{SvtScratch, TopKScratch};

@@ -22,14 +22,26 @@ pub fn selection_quality(returned: &[usize], truth: &[usize]) -> SelectionQualit
     let truth_set: HashSet<usize> = truth.iter().copied().collect();
     let returned_set: HashSet<usize> = returned.iter().copied().collect();
     let hits = returned_set.intersection(&truth_set).count() as f64;
-    let precision = if returned_set.is_empty() { 1.0 } else { hits / returned_set.len() as f64 };
-    let recall = if truth_set.is_empty() { 1.0 } else { hits / truth_set.len() as f64 };
+    let precision = if returned_set.is_empty() {
+        1.0
+    } else {
+        hits / returned_set.len() as f64
+    };
+    let recall = if truth_set.is_empty() {
+        1.0
+    } else {
+        hits / truth_set.len() as f64
+    };
     let f_measure = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    SelectionQuality { precision, recall, f_measure }
+    SelectionQuality {
+        precision,
+        recall,
+        f_measure,
+    }
 }
 
 /// Percent improvement of `candidate` MSE over `baseline` MSE:

@@ -7,11 +7,13 @@
 //! implemented independently to make the experiments' comparison honest
 //! (same draw pattern, same selection rule).
 
-use super::{top_indices, top_k_scale};
+use super::{top_indices, top_indices_into, top_k_scale};
 use crate::answers::QueryAnswers;
 use crate::error::{require_epsilon, MechanismError};
+use crate::scratch::TopKScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Index-only Noisy Top-K (Dwork & Roth's Noisy Max generalized to `k`).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,9 +28,16 @@ impl ClassicNoisyTopK {
     /// [`super::NoisyTopKWithGap::new`] for the scale convention).
     pub fn new(k: usize, epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
-        Ok(Self { k, epsilon: require_epsilon(epsilon)?, monotonic })
+        Ok(Self {
+            k,
+            epsilon: require_epsilon(epsilon)?,
+            monotonic,
+        })
     }
 
     /// The number of selected queries.
@@ -52,10 +61,15 @@ impl ClassicNoisyTopK {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> Vec<usize> {
-        answers.require_len(self.k + 1).unwrap_or_else(|e| panic!("{e}"));
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
         let scale = self.scale();
-        let noisy: Vec<f64> =
-            answers.values().iter().map(|q| q + source.laplace(scale)).collect();
+        let noisy: Vec<f64> = answers
+            .values()
+            .iter()
+            .map(|q| q + source.laplace(scale))
+            .collect();
         top_indices(&noisy, self.k)
     }
 
@@ -63,6 +77,27 @@ impl ClassicNoisyTopK {
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> Vec<usize> {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched, allocation-free fast path (see
+    /// [`NoisyTopKWithGap::run_with_scratch`](crate::noisy_max::NoisyTopKWithGap::run_with_scratch)
+    /// and [`crate::scratch`]). Output is bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> Vec<usize> {
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        scratch.fill_noisy(answers.values(), self.scale(), rng);
+        top_indices_into(&scratch.noisy, self.k, &mut scratch.top);
+        scratch.top.clone()
     }
 }
 
@@ -116,7 +151,9 @@ pub struct ClassicNoisyMax {
 impl ClassicNoisyMax {
     /// Creates the mechanism (see [`ClassicNoisyTopK::new`]).
     pub fn new(epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
-        Ok(Self { inner: ClassicNoisyTopK::new(1, epsilon, monotonic)? })
+        Ok(Self {
+            inner: ClassicNoisyTopK::new(1, epsilon, monotonic)?,
+        })
     }
 
     /// Runs the mechanism, returning the approximate argmax index.
@@ -193,6 +230,9 @@ mod tests {
         };
         let low = hit(0.05);
         let high = hit(2.0);
-        assert!(high > low, "high-ε hits {high} should beat low-ε hits {low}");
+        assert!(
+            high > low,
+            "high-ε hits {high} should beat low-ε hits {low}"
+        );
     }
 }

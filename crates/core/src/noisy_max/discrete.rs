@@ -48,12 +48,20 @@ impl DiscreteNoisyTopKWithGap {
         gamma: f64,
     ) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
         if !(gamma.is_finite() && gamma > 0.0) {
             return Err(MechanismError::InvalidEpsilon { value: gamma });
         }
-        Ok(Self { k, epsilon: require_epsilon(epsilon)?, monotonic, gamma })
+        Ok(Self {
+            k,
+            epsilon: require_epsilon(epsilon)?,
+            monotonic,
+            gamma,
+        })
     }
 
     /// The per-query noise rate per unit of value: `ε/(2k)` in general,
@@ -92,7 +100,9 @@ impl DiscreteNoisyTopKWithGap {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> TopKOutput {
-        answers.require_len(self.k + 1).unwrap_or_else(|e| panic!("{e}"));
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
         self.validate_lattice(answers);
         let rate = self.unit_epsilon();
         let noisy: Vec<f64> = answers
@@ -102,7 +112,10 @@ impl DiscreteNoisyTopKWithGap {
             .collect();
         let top = top_indices(&noisy, self.k + 1);
         let items = (0..self.k)
-            .map(|i| TopKItem { index: top[i], gap: noisy[top[i]] - noisy[top[i + 1]] })
+            .map(|i| TopKItem {
+                index: top[i],
+                gap: noisy[top[i]] - noisy[top[i + 1]],
+            })
             .collect();
         TopKOutput { items }
     }
@@ -192,7 +205,11 @@ mod tests {
             let out = m.run(&workload(), &mut rng);
             for item in &out.items {
                 assert!(item.gap >= 0.0);
-                assert!((item.gap - item.gap.round()).abs() < 1e-9, "gap {}", item.gap);
+                assert!(
+                    (item.gap - item.gap.round()).abs() < 1e-9,
+                    "gap {}",
+                    item.gap
+                );
             }
         }
     }
@@ -216,8 +233,12 @@ mod tests {
         let cont = NoisyTopKWithGap::new(1, 1.0, true).unwrap();
         let mut rng = rng_from_seed(2);
         let n = 20_000;
-        let d_hits = (0..n).filter(|_| disc.run(&answers, &mut rng).indices() == [0]).count();
-        let c_hits = (0..n).filter(|_| cont.run(&answers, &mut rng).indices() == [0]).count();
+        let d_hits = (0..n)
+            .filter(|_| disc.run(&answers, &mut rng).indices() == [0])
+            .count();
+        let c_hits = (0..n)
+            .filter(|_| cont.run(&answers, &mut rng).indices() == [0])
+            .count();
         let diff = (d_hits as f64 - c_hits as f64).abs() / n as f64;
         assert!(diff < 0.02, "selection rates diverge: {d_hits} vs {c_hits}");
     }

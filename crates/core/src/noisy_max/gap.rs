@@ -12,11 +12,13 @@
 //! `qᵢ - q'ᵢ + max_{l∉I}(q'_l + η_l) - max_{l∉I}(q_l + η_l)`,
 //! which preserves every win margin exactly.
 
-use super::{top_indices, top_k_scale};
+use super::{top_indices, top_indices_into, top_k_scale};
 use crate::answers::QueryAnswers;
 use crate::error::{require_epsilon, MechanismError};
+use crate::scratch::TopKScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// One selected query: its index and the noisy gap to the next-best noisy
 /// answer (`gᵢ = q̃_{jᵢ} - q̃_{jᵢ₊₁}` in the paper's notation).
@@ -65,9 +67,16 @@ impl NoisyTopKWithGap {
     /// cost* at `epsilon` and chooses the noise accordingly.
     pub fn new(k: usize, epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
-        Ok(Self { k, epsilon: require_epsilon(epsilon)?, monotonic })
+        Ok(Self {
+            k,
+            epsilon: require_epsilon(epsilon)?,
+            monotonic,
+        })
     }
 
     /// The number of selected queries `k`.
@@ -100,11 +109,17 @@ impl NoisyTopKWithGap {
             .require_len(self.k + 1)
             .unwrap_or_else(|e| panic!("{e}"));
         let scale = self.scale();
-        let noisy: Vec<f64> =
-            answers.values().iter().map(|q| q + source.laplace(scale)).collect();
+        let noisy: Vec<f64> = answers
+            .values()
+            .iter()
+            .map(|q| q + source.laplace(scale))
+            .collect();
         let top = top_indices(&noisy, self.k + 1);
         let items = (0..self.k)
-            .map(|i| TopKItem { index: top[i], gap: noisy[top[i]] - noisy[top[i + 1]] })
+            .map(|i| TopKItem {
+                index: top[i],
+                gap: noisy[top[i]] - noisy[top[i + 1]],
+            })
             .collect();
         TopKOutput { items }
     }
@@ -113,6 +128,35 @@ impl NoisyTopKWithGap {
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> TopKOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched, allocation-free fast path: noise is drawn in one
+    /// [`fill_into`](free_gap_noise::ContinuousDistribution::fill_into)
+    /// pass into `scratch`'s reused buffers and the RNG is monomorphic (no
+    /// `dyn` dispatch). Output is bit-identical to [`run`](Self::run) on the
+    /// same RNG stream; see [`crate::scratch`] for the contract.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries, like
+    /// [`run_with_source`](Self::run_with_source).
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> TopKOutput {
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        scratch.fill_noisy(answers.values(), self.scale(), rng);
+        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
+        let items = (0..self.k)
+            .map(|i| TopKItem {
+                index: scratch.top[i],
+                gap: scratch.noisy[scratch.top[i]] - scratch.noisy[scratch.top[i + 1]],
+            })
+            .collect();
+        TopKOutput { items }
     }
 }
 
@@ -182,7 +226,9 @@ pub struct NoisyMaxWithGap {
 impl NoisyMaxWithGap {
     /// Creates the mechanism (see [`NoisyTopKWithGap::new`]).
     pub fn new(epsilon: f64, monotonic: bool) -> Result<Self, MechanismError> {
-        Ok(Self { inner: NoisyTopKWithGap::new(1, epsilon, monotonic)? })
+        Ok(Self {
+            inner: NoisyTopKWithGap::new(1, epsilon, monotonic)?,
+        })
     }
 
     /// Runs the mechanism, returning `(argmax index, gap to runner-up)`.
@@ -277,7 +323,11 @@ mod tests {
         let mut rng = rng_from_seed(21);
         for trial in 0..50 {
             let p = Perturbation::random(
-                if trial % 2 == 0 { AdjacencyModel::MonotoneUp } else { AdjacencyModel::MonotoneDown },
+                if trial % 2 == 0 {
+                    AdjacencyModel::MonotoneUp
+                } else {
+                    AdjacencyModel::MonotoneDown
+                },
                 d.len(),
                 &mut rng,
             );
@@ -307,7 +357,8 @@ mod tests {
         // nothing and the cost is 0 regardless of ε.
         let m = NoisyTopKWithGap::new(2, 0.9, true).unwrap();
         let d = workload();
-        let dp = d.perturbed(Perturbation::extreme(AdjacencyModel::MonotoneUp, d.len(), 0).deltas());
+        let dp =
+            d.perturbed(Perturbation::extreme(AdjacencyModel::MonotoneUp, d.len(), 0).deltas());
         let mut rng = rng_from_seed(30);
         let max = check_alignment_many(&m, &d, &dp, 300, &mut rng).unwrap();
         assert!(max.abs() < 1e-9, "uniform shift should cost 0, got {max}");
@@ -328,7 +379,10 @@ mod tests {
         let mut rng = rng_from_seed(30);
         let max = check_alignment_many(&m, &d, &dp, 300, &mut rng).unwrap();
         assert!(max <= 0.9 + 1e-9, "cost {max} over budget");
-        assert!(max > 0.9 - 1e-9, "expected a run that attains ε, best was {max}");
+        assert!(
+            max > 0.9 - 1e-9,
+            "expected a run that attains ε, best was {max}"
+        );
     }
 
     #[test]

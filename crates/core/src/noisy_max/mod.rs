@@ -19,10 +19,20 @@ pub use pairwise::{pairwise_gap, pairwise_gap_variance};
 /// beats a full sort for the paper's `m = k + 1 ≤ 26` against `n` up to
 /// 41,270 (Kosarak).
 pub(crate) fn top_indices(values: &[f64], m: usize) -> Vec<usize> {
+    let mut buf = Vec::new();
+    top_indices_into(values, m, &mut buf);
+    buf
+}
+
+/// [`top_indices`] writing into a caller-owned buffer — the allocation-free
+/// form used by the scratch fast paths. `buf` is cleared first.
+#[inline]
+pub(crate) fn top_indices_into(values: &[f64], m: usize, buf: &mut Vec<usize>) {
+    buf.clear();
     if m == 0 {
-        return Vec::new();
+        return;
     }
-    let mut buf: Vec<usize> = Vec::with_capacity(m + 1);
+    buf.reserve(m + 1);
     for i in 0..values.len() {
         if buf.len() == m && values[i] <= values[*buf.last().expect("non-empty")] {
             continue;
@@ -34,7 +44,6 @@ pub(crate) fn top_indices(values: &[f64], m: usize) -> Vec<usize> {
             buf.pop();
         }
     }
-    buf
 }
 
 /// The per-query Laplace scale of the Noisy Top-K family at budget `epsilon`:

@@ -18,7 +18,10 @@ use super::top_k_scale;
 /// to it).
 pub fn pairwise_gap(output: &TopKOutput, a: usize, b: usize) -> f64 {
     let k = output.items.len();
-    assert!(a >= 1 && a < b && b <= k + 1, "need 1 <= a < b <= k+1, got a={a}, b={b}, k={k}");
+    assert!(
+        a >= 1 && a < b && b <= k + 1,
+        "need 1 <= a < b <= k+1, got a={a}, b={b}, k={k}"
+    );
     output.items[(a - 1)..(b - 1)].iter().map(|it| it.gap).sum()
 }
 
@@ -90,7 +93,15 @@ mod tests {
         let expect = pairwise_gap_variance(4, 8.0, true);
         let rel_adj = (adjacent.variance() - expect).abs() / expect;
         let rel_dist = (distant.variance() - expect).abs() / expect;
-        assert!(rel_adj < 0.1, "adjacent var {} vs {expect}", adjacent.variance());
-        assert!(rel_dist < 0.1, "distant var {} vs {expect}", distant.variance());
+        assert!(
+            rel_adj < 0.1,
+            "adjacent var {} vs {expect}",
+            adjacent.variance()
+        );
+        assert!(
+            rel_dist < 0.1,
+            "distant var {} vs {expect}",
+            distant.variance()
+        );
     }
 }

@@ -20,9 +20,44 @@ use crate::laplace_mech::LaplaceMechanism;
 use crate::noisy_max::NoisyTopKWithGap;
 use crate::postprocess::blue::{blue_estimates, BlueInput};
 use crate::postprocess::weighted::{combine_gap_with_measurement, topk_lambda_for_even_split};
+use crate::scratch::{SvtScratch, TopKScratch};
 use crate::sparse_vector::SparseVectorWithGap;
 use free_gap_alignment::{NoiseSource, SamplingSource};
+use free_gap_noise::{ContinuousDistribution, Laplace};
 use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Reusable buffers for the select-then-measure pipelines' batched fast
+/// paths ([`topk_select_measure_scratch`], [`svt_select_measure_scratch`]).
+///
+/// One instance per Monte-Carlo worker thread; see [`crate::scratch`] for
+/// the equivalence contract.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineScratch {
+    topk: TopKScratch,
+    svt: SvtScratch,
+    meas_noise: Vec<f64>,
+}
+
+impl PipelineScratch {
+    /// Creates an empty scratch (buffers grow on first run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batched `Lap(scale)` measurement of `truths`: exactly one draw per
+    /// value, so the RNG stream matches the sequential measurement loop.
+    fn measure<R: Rng + ?Sized>(&mut self, truths: &[f64], scale: f64, rng: &mut R) -> Vec<f64> {
+        let lap = Laplace::new(scale).expect("pipeline-validated scale");
+        self.meas_noise.resize(truths.len(), 0.0);
+        lap.fill_into(rng, &mut self.meas_noise);
+        truths
+            .iter()
+            .zip(&self.meas_noise)
+            .map(|(t, n)| t + n)
+            .collect()
+    }
+}
 
 /// Result of the Top-K select-then-measure pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,7 +125,69 @@ pub fn topk_select_measure_with_split(
         lambda,
     })?;
 
-    Ok(TopKPipelineResult { indices, gaps, measurements, blue, truths })
+    Ok(TopKPipelineResult {
+        indices,
+        gaps,
+        measurements,
+        blue,
+        truths,
+    })
+}
+
+/// Batched fast path of [`topk_select_measure`]: selection and measurement
+/// noise are drawn via the scratch buffers and a monomorphic RNG. The result
+/// is bit-identical to the allocating pipeline on the same RNG stream (both
+/// draw exactly `n + k` Laplace variates in the same order).
+pub fn topk_select_measure_scratch<R: Rng + ?Sized>(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    rng: &mut R,
+    scratch: &mut PipelineScratch,
+) -> Result<TopKPipelineResult, MechanismError> {
+    topk_select_measure_with_split_scratch(answers, k, epsilon, 0.5, rng, scratch)
+}
+
+/// Batched fast path of [`topk_select_measure_with_split`]; see
+/// [`topk_select_measure_scratch`].
+pub fn topk_select_measure_with_split_scratch<R: Rng + ?Sized>(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    select_fraction: f64,
+    rng: &mut R,
+    scratch: &mut PipelineScratch,
+) -> Result<TopKPipelineResult, MechanismError> {
+    answers.require_len(k + 1)?;
+    let f = crate::error::require_fraction("select_fraction", select_fraction)?;
+    let selector = NoisyTopKWithGap::new(k, f * epsilon, answers.monotonic())?;
+    let measurer = LaplaceMechanism::new((1.0 - f) * epsilon)?;
+
+    let selection = selector.run_with_scratch(answers, rng, &mut scratch.topk);
+    let indices = selection.indices();
+    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
+
+    // measure_split's convention: ε shared evenly across the k measurements.
+    let meas_scale = measurer.scale() * truths.len().max(1) as f64;
+    let measurements = scratch.measure(&truths, meas_scale, rng);
+
+    let c = if answers.monotonic() { 1.0 } else { 2.0 };
+    let lambda = (c * (1.0 - f) / f).powi(2);
+
+    let gaps = selection.gaps();
+    let blue = blue_estimates(&BlueInput {
+        measurements: &measurements,
+        gaps: &gaps[..k - 1],
+        lambda,
+    })?;
+
+    Ok(TopKPipelineResult {
+        indices,
+        gaps,
+        measurements,
+        blue,
+        truths,
+    })
 }
 
 /// Result of the SVT select-then-measure pipeline.
@@ -132,8 +229,10 @@ pub fn svt_select_measure(
     // (the analyst commits to the split before seeing the selection).
     let meas_scale = measurer.scale() * k as f64;
     let mut source = SamplingSource::new(rng);
-    let measurements: Vec<f64> =
-        truths.iter().map(|t| t + source.laplace(meas_scale)).collect();
+    let measurements: Vec<f64> = truths
+        .iter()
+        .map(|t| t + source.laplace(meas_scale))
+        .collect();
 
     let gap_var = selector.gap_variance();
     let meas_var = 2.0 * meas_scale * meas_scale;
@@ -143,7 +242,66 @@ pub fn svt_select_measure(
         .map(|(g, a)| combine_gap_with_measurement(*g, threshold, gap_var, *a, meas_var))
         .collect::<Result<Vec<_>, _>>()?;
 
-    Ok(SvtPipelineResult { indices, gaps, measurements, combined, truths })
+    Ok(SvtPipelineResult {
+        indices,
+        gaps,
+        measurements,
+        combined,
+        truths,
+    })
+}
+
+/// Batched fast path of [`svt_select_measure`]: the SVT selection draws
+/// from the scratch's chunked unit-noise buffer and the measurements are one
+/// batched `fill_into` pass.
+///
+/// Unlike the Top-K pipeline, SVT's draw count is data-dependent, so the
+/// scratch path consumes the RNG stream differently from the sequential
+/// path (buffered chunks) — per-run outputs are equal in distribution, not
+/// bit-identical. The measurement stream is derived from `rng` *before* the
+/// selection so the selection's history-dependent lookahead cannot shift the
+/// measurements: outputs are a pure function of the stream handed in. Use a
+/// fresh derived stream per run, as with every scratch entry point.
+pub fn svt_select_measure_scratch<R: Rng + ?Sized>(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    threshold: f64,
+    rng: &mut R,
+    scratch: &mut PipelineScratch,
+) -> Result<SvtPipelineResult, MechanismError> {
+    let half = epsilon / 2.0;
+    let selector = SparseVectorWithGap::new(k, half, threshold, answers.monotonic())?;
+    let measurer = LaplaceMechanism::new(half)?;
+
+    // Sub-stream for measurement, split off before the over-drawing
+    // selection (see the stream discipline in [`crate::scratch`]).
+    let mut meas_rng = free_gap_noise::rng::rng_from_seed(rng.gen::<u64>());
+    let selection = selector.run_with_scratch(answers, rng, &mut scratch.svt);
+    let pairs = selection.gaps();
+    let indices: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
+    let gaps: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
+    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
+
+    // Measurement budget is sized for k queries even if fewer were answered.
+    let meas_scale = measurer.scale() * k as f64;
+    let measurements = scratch.measure(&truths, meas_scale, &mut meas_rng);
+
+    let gap_var = selector.gap_variance();
+    let meas_var = 2.0 * meas_scale * meas_scale;
+    let combined = gaps
+        .iter()
+        .zip(&measurements)
+        .map(|(g, a)| combine_gap_with_measurement(*g, threshold, gap_var, *a, meas_var))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    Ok(SvtPipelineResult {
+        indices,
+        gaps,
+        measurements,
+        combined,
+        truths,
+    })
 }
 
 #[cfg(test)]
@@ -214,5 +372,51 @@ mod tests {
         let mut rng = rng_from_seed(4);
         let small = QueryAnswers::counting(vec![1.0, 2.0]);
         assert!(topk_select_measure(&small, 2, 1.0, &mut rng).is_err());
+        let mut scratch = PipelineScratch::new();
+        assert!(topk_select_measure_scratch(&small, 2, 1.0, &mut rng, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn topk_scratch_pipeline_is_bit_identical() {
+        // The Top-K pipeline draws a data-independent number of variates, so
+        // the scratch path reproduces the allocating path exactly.
+        let mut scratch = PipelineScratch::new();
+        for seed in 0..50 {
+            let expect =
+                topk_select_measure(&workload(), 4, 1.0, &mut rng_from_seed(seed)).unwrap();
+            let got = topk_select_measure_scratch(
+                &workload(),
+                4,
+                1.0,
+                &mut rng_from_seed(seed),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(expect, got, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn svt_scratch_pipeline_matches_in_distribution() {
+        // SVT draw counts are data-dependent; assert the scratch pipeline
+        // reproduces the error-reduction statistics of the sequential one.
+        let k = 5;
+        let threshold = 300.0;
+        let mut rng = rng_from_seed(8);
+        let mut scratch = PipelineScratch::new();
+        let mut mse_comb = RunningMoments::new();
+        let mut mse_meas = RunningMoments::new();
+        for _ in 0..4_000 {
+            let r =
+                svt_select_measure_scratch(&workload(), k, 1.0, threshold, &mut rng, &mut scratch)
+                    .unwrap();
+            for i in 0..r.indices.len() {
+                mse_comb.push((r.combined[i] - r.truths[i]).powi(2));
+                mse_meas.push((r.measurements[i] - r.truths[i]).powi(2));
+            }
+        }
+        let ratio = mse_comb.mean() / mse_meas.mean();
+        let expect = crate::postprocess::weighted::svt_error_ratio(k, true);
+        assert!((ratio - expect).abs() < 0.05, "ratio {ratio} vs {expect}");
     }
 }

@@ -44,7 +44,9 @@ fn validate(input: &BlueInput<'_>) -> Result<usize, MechanismError> {
         });
     }
     if !(input.lambda.is_finite() && input.lambda > 0.0) {
-        return Err(MechanismError::InvalidEpsilon { value: input.lambda });
+        return Err(MechanismError::InvalidEpsilon {
+            value: input.lambda,
+        });
     }
     Ok(k)
 }
@@ -71,8 +73,8 @@ pub fn blue_estimates(input: &BlueInput<'_>) -> Result<Vec<f64>, MechanismError>
         if i > 0 {
             prefix += input.gaps[i - 1];
         }
-        let beta =
-            (alpha_sum + lambda * kf * input.measurements[i] + p - kf * prefix) / ((1.0 + lambda) * kf);
+        let beta = (alpha_sum + lambda * kf * input.measurements[i] + p - kf * prefix)
+            / ((1.0 + lambda) * kf);
         estimates.push(beta);
     }
     Ok(estimates)
@@ -125,7 +127,12 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes() {
-        assert!(blue_estimates(&BlueInput { measurements: &[], gaps: &[], lambda: 1.0 }).is_err());
+        assert!(blue_estimates(&BlueInput {
+            measurements: &[],
+            gaps: &[],
+            lambda: 1.0
+        })
+        .is_err());
         assert!(blue_estimates(&BlueInput {
             measurements: &[1.0, 2.0],
             gaps: &[],
@@ -143,8 +150,12 @@ mod tests {
     #[test]
     fn k_equals_one_returns_measurement() {
         // With no gaps, the BLUE is just the measurement itself.
-        let out =
-            blue_estimates(&BlueInput { measurements: &[7.5], gaps: &[], lambda: 1.0 }).unwrap();
+        let out = blue_estimates(&BlueInput {
+            measurements: &[7.5],
+            gaps: &[],
+            lambda: 1.0,
+        })
+        .unwrap();
         assert_eq!(out, vec![7.5]);
         assert_eq!(blue_variance_ratio(1, 1.0), 1.0);
     }
@@ -173,10 +184,18 @@ mod tests {
         let meas = [9.0, 7.5, 7.0, 3.0, 2.5];
         let gaps = [1.2, 0.4, 3.8, 0.6];
         for lambda in [0.5, 1.0, 2.0] {
-            let a =
-                blue_estimates(&BlueInput { measurements: &meas, gaps: &gaps, lambda }).unwrap();
-            let b = blue_estimates_matrix(&BlueInput { measurements: &meas, gaps: &gaps, lambda })
-                .unwrap();
+            let a = blue_estimates(&BlueInput {
+                measurements: &meas,
+                gaps: &gaps,
+                lambda,
+            })
+            .unwrap();
+            let b = blue_estimates_matrix(&BlueInput {
+                measurements: &meas,
+                gaps: &gaps,
+                lambda,
+            })
+            .unwrap();
             for (x, y) in a.iter().zip(&b) {
                 assert!((x - y).abs() < 1e-10, "λ={lambda}: {a:?} vs {b:?}");
             }
@@ -199,10 +218,15 @@ mod tests {
         for _ in 0..60_000 {
             let alphas: Vec<f64> = q.iter().map(|v| v + sigma_xi.sample(&mut rng)).collect();
             let etas: Vec<f64> = (0..k).map(|_| sigma_eta.sample(&mut rng)).collect();
-            let gaps: Vec<f64> =
-                (0..k - 1).map(|i| q[i] + etas[i] - q[i + 1] - etas[i + 1]).collect();
-            let betas =
-                blue_estimates(&BlueInput { measurements: &alphas, gaps: &gaps, lambda }).unwrap();
+            let gaps: Vec<f64> = (0..k - 1)
+                .map(|i| q[i] + etas[i] - q[i + 1] - etas[i + 1])
+                .collect();
+            let betas = blue_estimates(&BlueInput {
+                measurements: &alphas,
+                gaps: &gaps,
+                lambda,
+            })
+            .unwrap();
             for i in 0..k {
                 mse_blue.push((betas[i] - q[i]) * (betas[i] - q[i]));
                 mse_meas.push((alphas[i] - q[i]) * (alphas[i] - q[i]));

@@ -36,10 +36,16 @@ pub fn gap_confidence_offset(
     rate_threshold: f64,
     confidence: f64,
 ) -> Result<f64, MechanismError> {
-    let diff = LaplaceDiff::new(rate_query, rate_threshold)
-        .map_err(|_| MechanismError::InvalidEpsilon { value: rate_query.min(rate_threshold) })?;
+    let diff = LaplaceDiff::new(rate_query, rate_threshold).map_err(|_| {
+        MechanismError::InvalidEpsilon {
+            value: rate_query.min(rate_threshold),
+        }
+    })?;
     diff.confidence_offset(confidence)
-        .map_err(|_| MechanismError::InvalidFraction { name: "confidence", value: confidence })
+        .map_err(|_| MechanismError::InvalidFraction {
+            name: "confidence",
+            value: confidence,
+        })
 }
 
 /// Builds the §6.2 confidence certificate for one answered gap.
@@ -111,6 +117,9 @@ mod tests {
             }
         }
         let rate = covered as f64 / total as f64;
-        assert!((rate - 0.90).abs() < 0.01, "coverage {rate} over {total} runs");
+        assert!(
+            (rate - 0.90).abs() < 0.01,
+            "coverage {rate} over {total} runs"
+        );
     }
 }

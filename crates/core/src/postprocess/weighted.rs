@@ -51,14 +51,23 @@ pub fn combine_gap_with_measurement(
     measurement: f64,
     measurement_variance: f64,
 ) -> Result<f64, MechanismError> {
-    inverse_variance_combine(measurement, measurement_variance, gap + threshold, gap_variance)
+    inverse_variance_combine(
+        measurement,
+        measurement_variance,
+        gap + threshold,
+        gap_variance,
+    )
 }
 
 /// The §6.2 closed-form error ratio `Var(β)/Var(α)` for the half/half budget
 /// protocol with the optimal internal SVT split.
 pub fn svt_error_ratio(k: usize, monotonic: bool) -> f64 {
     let kf = k as f64;
-    let c = if monotonic { kf.powf(2.0 / 3.0) } else { (2.0 * kf).powf(2.0 / 3.0) };
+    let c = if monotonic {
+        kf.powf(2.0 / 3.0)
+    } else {
+        (2.0 * kf).powf(2.0 / 3.0)
+    };
     let cube = (1.0 + c).powi(3);
     cube / (cube + kf * kf)
 }

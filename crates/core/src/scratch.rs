@@ -1,0 +1,357 @@
+//! Reusable scratch buffers for the allocation-free mechanism fast paths.
+//!
+//! The `run` methods on each mechanism draw noise through `dyn NoiseSource`
+//! — one virtual call and one `Laplace::new` per draw — and allocate a fresh
+//! noisy-value vector per run. That is the right shape for the alignment
+//! checker (which must interpose on every draw), but it is pure overhead for
+//! Monte-Carlo loops that execute the same mechanism tens of thousands of
+//! times on workloads with up to ~100k queries (§7 of the paper).
+//!
+//! The `run_with_scratch` entry points take one of the scratch types below
+//! and a plain [`rand::Rng`]:
+//!
+//! * noise is drawn **in batches** via
+//!   [`ContinuousDistribution::fill_into`], not draw-by-draw;
+//! * noisy-value buffers live in the scratch and are **reused across runs**;
+//! * the RNG is a **monomorphic** generic parameter, so the whole inner loop
+//!   inlines — no `dyn` dispatch anywhere.
+//!
+//! Outputs are guaranteed **bit-for-bit identical** to the corresponding
+//! allocating path run against the same RNG stream (asserted by the
+//! `scratch_equivalence` test-suite).
+//!
+//! ## Stream discipline
+//!
+//! An [`SvtScratch`] entry point buffers lookahead from the stream it is
+//! given, and *how much* depends on the scratch's consumption history (the
+//! prediction that sizes its batches). Outputs are unaffected — they depend
+//! only on the draws actually served — but the stream's final position is
+//! not reproducible across scratch histories. Two rules keep everything
+//! deterministic:
+//!
+//! 1. derive a fresh stream per run
+//!    ([`free_gap_noise::rng::derive_stream`]), and
+//! 2. make the scratch call the **last** consumer of that stream — when one
+//!    run executes several mechanisms, give each its own sub-stream (e.g.
+//!    seed one from a `rng.gen::<u64>()` drawn up front) instead of running
+//!    them back-to-back on a shared stream.
+//!
+//! [`TopKScratch`] draws exactly `n` variates (no lookahead), so it is
+//! exempt from rule 2 — which is what lets the Top-K pipeline stay
+//! bit-identical end-to-end.
+//!
+//! ```
+//! use free_gap_core::answers::QueryAnswers;
+//! use free_gap_core::noisy_max::NoisyTopKWithGap;
+//! use free_gap_core::scratch::TopKScratch;
+//! use free_gap_noise::rng::derive_stream;
+//!
+//! let answers = QueryAnswers::counting(vec![120.0, 40.0, 97.0, 80.0, 3.0]);
+//! let mech = NoisyTopKWithGap::new(3, 1.0, true).unwrap();
+//! let mut scratch = TopKScratch::new();
+//! for run in 0..100 {
+//!     let out = mech.run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch);
+//!     assert_eq!(out.items.len(), 3);
+//! }
+//! ```
+
+use free_gap_noise::{ContinuousDistribution, Laplace};
+use rand::Rng;
+
+/// Reusable buffers for the Noisy Top-K family's batched fast path.
+///
+/// Holds the noisy-answer vector (length `n`) and the selection buffer
+/// (length `k + 1`); both are grown on first use and reused afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct TopKScratch {
+    pub(crate) noisy: Vec<f64>,
+    pub(crate) top: Vec<usize>,
+}
+
+impl TopKScratch {
+    /// Creates an empty scratch (buffers grow on first run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills `noisy` with `answers[i] + Lap(scale)` via the batched
+    /// [`ContinuousDistribution::fill_into_offset`] — noise generation and
+    /// the `+ q` offset fused, so the `n`-sized buffer is written exactly
+    /// once (at `n = 100k` a second pass is measurable memory traffic).
+    pub(crate) fn fill_noisy<R: Rng + ?Sized>(&mut self, answers: &[f64], scale: f64, rng: &mut R) {
+        let lap = Laplace::new(scale).expect("mechanism-validated scale");
+        self.noisy.resize(answers.len(), 0.0);
+        lap.fill_into_offset(rng, answers, &mut self.noisy);
+    }
+}
+
+/// Reusable unit-noise buffer for the Sparse Vector family's batched fast
+/// path.
+///
+/// SVT draws at several scales (threshold noise, per-branch query noise), so
+/// the scratch buffers *unit* `Lap(1)` draws and rescales per draw — IEEE
+/// multiplication makes `unit * scale` bit-identical to drawing
+/// `Lap(scale)` directly, while one `fill_into` pass amortizes the sampling
+/// loop. The first batch of a run is sized by the *previous* run's
+/// consumption (Monte-Carlo runs of one mechanism consume near-identical
+/// draw counts), so overdraw waste stays marginal on both short and long
+/// runs.
+#[derive(Debug, Clone)]
+pub struct SvtScratch {
+    unit: Vec<f64>,
+    cursor: usize,
+    /// Fresh draws pulled from the RNG since the last [`begin`](Self::begin)
+    /// (served = `filled - (unit.len() - cursor)`; tracked at refill time so
+    /// the per-draw hot path carries no extra bookkeeping).
+    filled: usize,
+    /// Predicted consumption of the next run (last run's served count).
+    predicted: usize,
+}
+
+impl SvtScratch {
+    /// Smallest batch ever drawn (also the first-ever prediction).
+    const MIN_CHUNK: usize = 16;
+    /// Largest batch: 4096 doubles = 32 KiB, comfortably L1-resident, so
+    /// long runs stream through a hot buffer instead of round-tripping one
+    /// run-sized buffer through DRAM.
+    const CACHE_CHUNK: usize = 4096;
+
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self {
+            unit: Vec::new(),
+            cursor: 0,
+            filled: 0,
+            predicted: Self::MIN_CHUNK,
+        }
+    }
+
+    /// Starts a new run: discards draws buffered from the previous RNG
+    /// stream and predicts this run's consumption from the last one.
+    ///
+    /// SVT stops after a data-dependent number of draws, so a fixed batch
+    /// size either overdraws badly (short runs) or refills constantly (long
+    /// runs). Consecutive Monte-Carlo runs of the same mechanism on the
+    /// same workload consume nearly the same count, so the previous run's
+    /// usage is an excellent first-batch size; after that, refills fall
+    /// back to a modest fixed chunk.
+    pub(crate) fn begin(&mut self) {
+        let served = self.filled - (self.unit.len() - self.cursor);
+        if served > 0 {
+            self.predicted = served.max(Self::MIN_CHUNK);
+        }
+        self.unit.clear();
+        self.cursor = 0;
+        self.filled = 0;
+    }
+
+    /// Next unit-Laplace draw, refilling the buffer in batches as needed.
+    #[inline]
+    pub(crate) fn next_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.cursor == self.unit.len() {
+            self.refill(rng);
+        }
+        let v = self.unit[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    /// Next `Lap(scale)` draw (bit-identical to sampling at `scale`).
+    #[inline]
+    pub(crate) fn next_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, scale: f64) -> f64 {
+        self.next_unit(rng) * scale
+    }
+
+    /// Predicted draw consumption of the current run (last run's usage) —
+    /// used by mechanisms to pre-size their output buffers.
+    pub(crate) fn predicted_draws(&self) -> usize {
+        self.predicted
+    }
+
+    /// The buffered unit draws ahead of the cursor, truncated to whole
+    /// pairs, refilling first if fewer than one pair is available. Callers
+    /// iterate the slice (e.g. `chunks_exact(2)`) with zero per-pair cursor
+    /// arithmetic, then commit consumption with [`consume`](Self::consume).
+    /// Draw order is identical to sequential [`next_unit`](Self::next_unit)
+    /// draws.
+    #[inline]
+    pub(crate) fn peek_pairs<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[f64] {
+        if self.cursor + 2 > self.unit.len() {
+            self.refill_keeping_leftover(rng);
+        }
+        let whole = (self.unit.len() - self.cursor) & !1;
+        &self.unit[self.cursor..self.cursor + whole]
+    }
+
+    /// Advances the cursor past `draws` units previously obtained from
+    /// [`peek_pairs`](Self::peek_pairs).
+    #[inline]
+    pub(crate) fn consume(&mut self, draws: usize) {
+        debug_assert!(self.cursor + draws <= self.unit.len());
+        self.cursor += draws;
+    }
+
+    /// Size of the next batch: the predicted remainder of this run, clamped
+    /// to `[MIN_CHUNK, CACHE_CHUNK]` — tapering toward the prediction keeps
+    /// end-of-run overdraw small while the cap keeps every batch hot in L1.
+    fn next_batch_size(&self) -> usize {
+        self.predicted
+            .saturating_sub(self.filled)
+            .clamp(Self::MIN_CHUNK, Self::CACHE_CHUNK)
+    }
+
+    #[cold]
+    fn refill<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let size = self.next_batch_size();
+        let unit = Laplace::new(1.0).expect("unit scale is valid");
+        self.unit.resize(size, 0.0);
+        unit.fill_into(rng, &mut self.unit);
+        self.cursor = 0;
+        self.filled += size;
+    }
+
+    /// Refill for [`peek_pairs`](Self::peek_pairs): an already-drawn buffered
+    /// unit (if any) moves to the front so the stream order is identical to
+    /// sequential draws, and fresh draws fill the rest.
+    #[cold]
+    fn refill_keeping_leftover<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let leftover = self.unit.len() - self.cursor;
+        debug_assert!(leftover < 2);
+        let carried = if leftover == 1 {
+            Some(self.unit[self.cursor])
+        } else {
+            None
+        };
+        let size = self.next_batch_size();
+        let unit = Laplace::new(1.0).expect("unit scale is valid");
+        self.unit.resize(size.max(2), 0.0);
+        match carried {
+            Some(v) => {
+                self.unit[0] = v;
+                unit.fill_into(rng, &mut self.unit[1..]);
+                self.filled += self.unit.len() - 1;
+            }
+            None => {
+                unit.fill_into(rng, &mut self.unit);
+                self.filled += self.unit.len();
+            }
+        }
+        self.cursor = 0;
+    }
+}
+
+impl Default for SvtScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_noise::rng::rng_from_seed;
+
+    #[test]
+    fn fill_noisy_adds_answers_to_batch_noise() {
+        let answers = [10.0, 20.0, 30.0];
+        let mut scratch = TopKScratch::new();
+        scratch.fill_noisy(&answers, 2.0, &mut rng_from_seed(1));
+        let noise = Laplace::new(2.0)
+            .unwrap()
+            .sample_n(&mut rng_from_seed(1), 3);
+        for i in 0..3 {
+            assert_eq!(scratch.noisy[i], answers[i] + noise[i]);
+        }
+    }
+
+    #[test]
+    fn fill_noisy_shrinks_and_grows_with_workload() {
+        let mut scratch = TopKScratch::new();
+        scratch.fill_noisy(&[1.0; 10], 1.0, &mut rng_from_seed(2));
+        assert_eq!(scratch.noisy.len(), 10);
+        scratch.fill_noisy(&[1.0; 3], 1.0, &mut rng_from_seed(2));
+        assert_eq!(scratch.noisy.len(), 3);
+    }
+
+    #[test]
+    fn svt_scratch_replays_the_sequential_unit_stream() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut expect_rng = rng_from_seed(3);
+        let mut scratch = SvtScratch::new();
+        let mut rng = rng_from_seed(3);
+        scratch.begin();
+        for i in 0..1000 {
+            let got = scratch.next_unit(&mut rng);
+            let want = unit.sample(&mut expect_rng);
+            assert_eq!(got, want, "draw {i}");
+        }
+    }
+
+    #[test]
+    fn begin_discards_stale_buffered_draws() {
+        let mut scratch = SvtScratch::new();
+        scratch.begin();
+        let first = scratch.next_unit(&mut rng_from_seed(4));
+        // New run, new stream: must not serve leftovers from seed 4.
+        scratch.begin();
+        let fresh = scratch.next_unit(&mut rng_from_seed(5));
+        let want = Laplace::new(1.0).unwrap().sample(&mut rng_from_seed(5));
+        assert_eq!(fresh, want);
+        assert_ne!(first, fresh);
+    }
+
+    #[test]
+    fn peek_pairs_preserve_sequential_order_across_refills() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut expect_rng = rng_from_seed(7);
+        let mut scratch = SvtScratch::new();
+        let mut rng = rng_from_seed(7);
+        scratch.begin();
+        // Odd leading draw forces the pair path to carry a leftover across
+        // every refill boundary (MIN_CHUNK is even).
+        let first = scratch.next_unit(&mut rng);
+        assert_eq!(first, unit.sample(&mut expect_rng));
+        let mut pairs_seen = 0usize;
+        while pairs_seen < 500 {
+            let block = scratch.peek_pairs(&mut rng);
+            assert!(block.len() >= 2 && block.len().is_multiple_of(2));
+            // Consume only part of some blocks to exercise partial commits.
+            let take = (block.len() / 2).min(3) * 2;
+            for pair in block[..take].chunks_exact(2) {
+                let (a, b) = (pair[0] * 2.0, pair[1] * 3.0);
+                assert_eq!(
+                    a,
+                    unit.sample(&mut expect_rng) * 2.0,
+                    "pair {pairs_seen} first"
+                );
+                assert_eq!(
+                    b,
+                    unit.sample(&mut expect_rng) * 3.0,
+                    "pair {pairs_seen} second"
+                );
+                pairs_seen += 1;
+            }
+            scratch.consume(take);
+        }
+    }
+
+    #[test]
+    fn prefill_tracks_previous_consumption() {
+        let mut scratch = SvtScratch::new();
+        let mut rng = rng_from_seed(6);
+        scratch.begin();
+        for _ in 0..1000 {
+            scratch.next_unit(&mut rng);
+        }
+        // Next run's first batch should be sized like the last run...
+        scratch.begin();
+        assert_eq!(scratch.predicted, 1000);
+        scratch.next_unit(&mut rng);
+        assert_eq!(scratch.unit.len(), 1000);
+        // ...and a run that uses almost none leaves only marginal waste.
+        scratch.begin();
+        scratch.next_unit(&mut rng);
+        scratch.begin();
+        assert_eq!(scratch.predicted, SvtScratch::MIN_CHUNK);
+    }
+}

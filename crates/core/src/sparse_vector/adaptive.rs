@@ -26,8 +26,10 @@
 use super::{optimal_threshold_share, AdaptiveOutcome, AdaptiveSvOutput, Branch};
 use crate::answers::QueryAnswers;
 use crate::error::{require_epsilon, require_fraction, MechanismError};
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Adaptive-Sparse-Vector-with-Gap (Algorithm 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,7 +57,10 @@ impl AdaptiveSparseVector {
         monotonic: bool,
     ) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
         Ok(Self {
             k,
@@ -168,11 +173,19 @@ impl AdaptiveSparseVector {
             let outcome = if top_gap >= sigma {
                 spent += eps2;
                 answered += 1;
-                AdaptiveOutcome::Above { gap: top_gap, branch: Branch::Top, cost: eps2 }
+                AdaptiveOutcome::Above {
+                    gap: top_gap,
+                    branch: Branch::Top,
+                    cost: eps2,
+                }
             } else if mid_gap >= 0.0 {
                 spent += eps1;
                 answered += 1;
-                AdaptiveOutcome::Above { gap: mid_gap, branch: Branch::Middle, cost: eps1 }
+                AdaptiveOutcome::Above {
+                    gap: mid_gap,
+                    branch: Branch::Middle,
+                    cost: eps1,
+                }
             } else {
                 AdaptiveOutcome::Below
             };
@@ -182,13 +195,106 @@ impl AdaptiveSparseVector {
                 break;
             }
         }
-        AdaptiveSvOutput { outcomes, spent, epsilon: self.epsilon }
+        AdaptiveSvOutput {
+            outcomes,
+            spent,
+            epsilon: self.epsilon,
+        }
     }
 
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> AdaptiveSvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched, monomorphic fast path; see [`crate::scratch`]. Identical
+    /// branch logic and budget accounting to
+    /// [`run_with_source`](Self::run_with_source); output is bit-identical
+    /// to [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> AdaptiveSvOutput {
+        let eps1 = self.epsilon1();
+        let eps2 = self.epsilon2();
+        let sigma = self.sigma();
+        let top_scale = self.top_scale();
+        let middle_scale = self.middle_scale();
+        let limit = self.answer_limit.unwrap_or(usize::MAX);
+        // Same stopping product as the dyn path, hoisted out of the loop.
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
+        scratch.begin();
+        // One outcome per (ξ, η) draw pair: pre-size from the scratch's
+        // consumption prediction to skip the realloc chain on long streams.
+        let capacity = (scratch.predicted_draws() / 2 + 1).min(answers.len());
+        let noisy_threshold = self.threshold + scratch.next_scaled(rng, 1.0 / self.epsilon0());
+
+        let mut outcomes = Vec::with_capacity(capacity);
+        let mut spent = self.epsilon0();
+        let mut answered = 0usize;
+        let values = answers.values();
+        let mut qi = 0usize;
+        // Blocked consumption: iterate whole buffered pair-blocks with
+        // `chunks_exact(2)` so the hot loop carries no per-query cursor or
+        // bounds arithmetic. Draw order (ξᵢ then ηᵢ, query by query) is
+        // identical to the dyn path.
+        while qi < values.len() {
+            let mut taken = 0usize;
+            let mut stopped = false;
+            let pairs = scratch.peek_pairs(rng);
+            let block = pairs.len().min(2 * (values.len() - qi));
+            for pair in pairs[..block].chunks_exact(2) {
+                if answered >= limit {
+                    break;
+                }
+                // Both noises drawn unconditionally, exactly like line 7 of
+                // Algorithm 2: the draw structure must not depend on data.
+                let q = values[qi];
+                let xi = pair[0] * top_scale;
+                let eta = pair[1] * middle_scale;
+                qi += 1;
+                taken += 2;
+                let top_gap = q + xi - noisy_threshold;
+                let mid_gap = q + eta - noisy_threshold;
+                let outcome = if top_gap >= sigma {
+                    spent += eps2;
+                    answered += 1;
+                    AdaptiveOutcome::Above {
+                        gap: top_gap,
+                        branch: Branch::Top,
+                        cost: eps2,
+                    }
+                } else if mid_gap >= 0.0 {
+                    spent += eps1;
+                    answered += 1;
+                    AdaptiveOutcome::Above {
+                        gap: mid_gap,
+                        branch: Branch::Middle,
+                        cost: eps1,
+                    }
+                } else {
+                    AdaptiveOutcome::Below
+                };
+                outcomes.push(outcome);
+                // Line 16: stop when a worst-case answer no longer fits.
+                if spent + eps1 > budget_cap {
+                    stopped = true;
+                    break;
+                }
+            }
+            scratch.consume(taken);
+            if stopped || answered >= limit {
+                break;
+            }
+        }
+        AdaptiveSvOutput {
+            outcomes,
+            spent,
+            epsilon: self.epsilon,
+        }
     }
 }
 
@@ -224,8 +330,14 @@ impl AlignedMechanism for AdaptiveSparseVector {
             let is_xi = (draw_idx - 1) % 2 == 0;
             let shift = threshold_shift + q[qi] - qp[qi];
             match output.outcomes.get(qi) {
-                Some(AdaptiveOutcome::Above { branch: Branch::Top, .. }) if is_xi => shift,
-                Some(AdaptiveOutcome::Above { branch: Branch::Middle, .. }) if !is_xi => shift,
+                Some(AdaptiveOutcome::Above {
+                    branch: Branch::Top,
+                    ..
+                }) if is_xi => shift,
+                Some(AdaptiveOutcome::Above {
+                    branch: Branch::Middle,
+                    ..
+                }) if !is_xi => shift,
                 _ => 0.0,
             }
         })
@@ -237,18 +349,29 @@ impl AlignedMechanism for AdaptiveSparseVector {
 
     fn outputs_match(&self, a: &AdaptiveSvOutput, b: &AdaptiveSvOutput) -> bool {
         a.outcomes.len() == b.outcomes.len()
-            && a.outcomes.iter().zip(&b.outcomes).all(|(x, y)| match (x, y) {
-                (AdaptiveOutcome::Below, AdaptiveOutcome::Below) => true,
-                (
-                    AdaptiveOutcome::Above { gap: gx, branch: bx, cost: cx },
-                    AdaptiveOutcome::Above { gap: gy, branch: by, cost: cy },
-                ) => {
-                    bx == by
-                        && cx == cy
-                        && (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
-                }
-                _ => false,
-            })
+            && a.outcomes
+                .iter()
+                .zip(&b.outcomes)
+                .all(|(x, y)| match (x, y) {
+                    (AdaptiveOutcome::Below, AdaptiveOutcome::Below) => true,
+                    (
+                        AdaptiveOutcome::Above {
+                            gap: gx,
+                            branch: bx,
+                            cost: cx,
+                        },
+                        AdaptiveOutcome::Above {
+                            gap: gy,
+                            branch: by,
+                            cost: cy,
+                        },
+                    ) => {
+                        bx == by
+                            && cx == cy
+                            && (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
+                    }
+                    _ => false,
+                })
     }
 }
 
@@ -272,7 +395,10 @@ mod tests {
         // σ = 2·√2·(1/ε₂) for monotone workloads.
         assert!((m.sigma() - 2.0 * std::f64::consts::SQRT_2 / m.epsilon2()).abs() < 1e-9);
         // general σ = 2·√2·(2/ε₂) = 4√2/ε₂, the paper's constant.
-        let g = AdaptiveSparseVector::new(4, 0.7, 50.0, false).unwrap().with_theta(0.2).unwrap();
+        let g = AdaptiveSparseVector::new(4, 0.7, 50.0, false)
+            .unwrap()
+            .with_theta(0.2)
+            .unwrap();
         assert!((g.sigma() - 4.0 * std::f64::consts::SQRT_2 / g.epsilon2()).abs() < 1e-9);
     }
 

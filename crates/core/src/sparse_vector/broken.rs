@@ -53,9 +53,16 @@ impl NoisyValueSvt {
     /// Creates the (broken) mechanism with its claimed budget.
     pub fn new(k: usize, claimed_epsilon: f64, threshold: f64) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
-        Ok(Self { k, claimed_epsilon: require_epsilon(claimed_epsilon)?, threshold })
+        Ok(Self {
+            k,
+            claimed_epsilon: require_epsilon(claimed_epsilon)?,
+            threshold,
+        })
     }
 
     /// The budget the flawed proof claims.
@@ -140,9 +147,7 @@ impl AlignedMechanism for NoisyValueSvt {
         a.len() == b.len()
             && a.iter().zip(b).all(|(x, y)| match (x, y) {
                 (None, None) => true,
-                (Some(vx), Some(vy)) => {
-                    (vx - vy).abs() <= 1e-9 * vx.abs().max(vy.abs()).max(1.0)
-                }
+                (Some(vx), Some(vy)) => (vx - vy).abs() <= 1e-9 * vx.abs().max(vy.abs()).max(1.0),
                 _ => false,
             })
     }
@@ -162,9 +167,16 @@ impl UnscaledNoiseSvt {
     /// Creates the (broken) mechanism with its claimed budget.
     pub fn new(k: usize, claimed_epsilon: f64, threshold: f64) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
-        Ok(Self { k, claimed_epsilon: require_epsilon(claimed_epsilon)?, threshold })
+        Ok(Self {
+            k,
+            claimed_epsilon: require_epsilon(claimed_epsilon)?,
+            threshold,
+        })
     }
 
     /// The budget the flawed proof claims.
@@ -258,7 +270,10 @@ pub struct NoQueryNoiseSvt {
 impl NoQueryNoiseSvt {
     /// Creates the (broken) mechanism with its claimed budget.
     pub fn new(claimed_epsilon: f64, threshold: f64) -> Result<Self, MechanismError> {
-        Ok(Self { claimed_epsilon: require_epsilon(claimed_epsilon)?, threshold })
+        Ok(Self {
+            claimed_epsilon: require_epsilon(claimed_epsilon)?,
+            threshold,
+        })
     }
 
     /// The budget the flawed proof claims.
@@ -273,7 +288,13 @@ impl NoQueryNoiseSvt {
         let above = answers
             .values()
             .iter()
-            .map(|&q| if q >= noisy_threshold { Some(0.0) } else { None })
+            .map(|&q| {
+                if q >= noisy_threshold {
+                    Some(0.0)
+                } else {
+                    None
+                }
+            })
             .collect();
         SvOutput { above }
     }

@@ -10,8 +10,10 @@
 use super::{optimal_threshold_share, SvOutput};
 use crate::answers::QueryAnswers;
 use crate::error::{require_epsilon, require_fraction, MechanismError};
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Classic SVT (no gap release).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,7 +35,10 @@ impl ClassicSparseVector {
         monotonic: bool,
     ) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
         Ok(Self {
             k,
@@ -101,7 +106,11 @@ impl ClassicSparseVector {
             }
             let noisy = q + source.laplace(qscale);
             if noisy >= noisy_threshold {
-                above.push(Some(if release_gaps { noisy - noisy_threshold } else { 0.0 }));
+                above.push(Some(if release_gaps {
+                    noisy - noisy_threshold
+                } else {
+                    0.0
+                }));
                 answered += 1;
             } else {
                 above.push(None);
@@ -114,6 +123,55 @@ impl ClassicSparseVector {
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_impl(answers, &mut source, false)
+    }
+
+    /// Scratch-path twin of [`run_impl`](Self::run_impl): identical
+    /// decision logic, but noise comes from `scratch`'s batched unit-Laplace
+    /// buffer (rescaled per draw) and the RNG is monomorphic. Shared by the
+    /// classic and gap-releasing variants.
+    pub(crate) fn run_impl_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        release_gaps: bool,
+    ) -> SvOutput {
+        scratch.begin();
+        // One decision per query draw: pre-size from the scratch's
+        // consumption prediction to skip the realloc chain on long streams.
+        let capacity = scratch.predicted_draws().min(answers.len());
+        let noisy_threshold = self.threshold + scratch.next_scaled(rng, self.threshold_scale());
+        let qscale = self.query_scale();
+        let mut above = Vec::with_capacity(capacity);
+        let mut answered = 0usize;
+        for &q in answers.values() {
+            if answered == self.k {
+                break;
+            }
+            let noisy = q + scratch.next_scaled(rng, qscale);
+            if noisy >= noisy_threshold {
+                above.push(Some(if release_gaps {
+                    noisy - noisy_threshold
+                } else {
+                    0.0
+                }));
+                answered += 1;
+            } else {
+                above.push(None);
+            }
+        }
+        SvOutput { above }
+    }
+
+    /// Batched fast path without gap release; see [`crate::scratch`].
+    /// Output is bit-identical to [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        self.run_impl_with_scratch(answers, rng, scratch, false)
     }
 
     /// Builds the SVT alignment shared by the classic and gap variants:
@@ -130,8 +188,7 @@ impl ClassicSparseVector {
         let qp = neighbor.values();
         // Footnote 6: when all queries shrink (qᵢ >= q'ᵢ) on a monotone
         // workload, the threshold can stay put and winners shift by qᵢ - q'ᵢ.
-        let favorable = self.monotonic
-            && q.iter().zip(qp).all(|(a, b)| a >= b);
+        let favorable = self.monotonic && q.iter().zip(qp).all(|(a, b)| a >= b);
         let threshold_shift = if favorable { 0.0 } else { 1.0 };
         tape.aligned_by(|draw_idx, _| {
             if draw_idx == 0 {

@@ -39,7 +39,10 @@ impl DiscreteSparseVectorWithGap {
         monotonic: bool,
     ) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
         let gamma = 1.0;
         let t_steps = threshold / gamma;
@@ -161,9 +164,7 @@ impl AlignedMechanism for DiscreteSparseVectorWithGap {
         a.above.len() == b.above.len()
             && a.above.iter().zip(&b.above).all(|(x, y)| match (x, y) {
                 (None, None) => true,
-                (Some(gx), Some(gy)) => {
-                    (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
-                }
+                (Some(gx), Some(gy)) => (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0),
                 _ => false,
             })
     }
@@ -239,7 +240,12 @@ mod tests {
         let dp = vec![4.0, 6.0, 5.0];
         let mut rng = rng_from_seed(3);
         let audit = empirical_epsilon(run, &d, &dp, 60_000, 200, &mut rng);
-        assert!(audit.epsilon_hat <= eps + 0.2, "ε̂ = {} via {}", audit.epsilon_hat, audit.witness);
+        assert!(
+            audit.epsilon_hat <= eps + 0.2,
+            "ε̂ = {} via {}",
+            audit.epsilon_hat,
+            audit.witness
+        );
     }
 
     #[test]
@@ -248,11 +254,16 @@ mod tests {
         let cont = super::super::SparseVectorWithGap::new(2, 1.0, 60.0, true).unwrap();
         let mut rng = rng_from_seed(4);
         let runs = 4_000;
-        let d_answers: usize =
-            (0..runs).map(|_| disc.run(&workload(), &mut rng).answered()).sum();
-        let c_answers: usize =
-            (0..runs).map(|_| cont.run(&workload(), &mut rng).answered()).sum();
+        let d_answers: usize = (0..runs)
+            .map(|_| disc.run(&workload(), &mut rng).answered())
+            .sum();
+        let c_answers: usize = (0..runs)
+            .map(|_| cont.run(&workload(), &mut rng).answered())
+            .sum();
         let gap = (d_answers as f64 - c_answers as f64).abs() / runs as f64;
-        assert!(gap < 0.1, "answer counts diverge: {d_answers} vs {c_answers}");
+        assert!(
+            gap < 0.1,
+            "answer counts diverge: {d_answers} vs {c_answers}"
+        );
     }
 }

@@ -10,8 +10,10 @@ use super::classic::ClassicSparseVector;
 use super::SvOutput;
 use crate::answers::QueryAnswers;
 use crate::error::MechanismError;
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Sparse-Vector-with-Gap.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +29,9 @@ impl SparseVectorWithGap {
         threshold: f64,
         monotonic: bool,
     ) -> Result<Self, MechanismError> {
-        Ok(Self { inner: ClassicSparseVector::new(k, epsilon, threshold, monotonic)? })
+        Ok(Self {
+            inner: ClassicSparseVector::new(k, epsilon, threshold, monotonic)?,
+        })
     }
 
     /// Overrides the threshold/query budget split.
@@ -77,6 +81,18 @@ impl SparseVectorWithGap {
     ) -> SvOutput {
         self.inner.run_impl(answers, source, true)
     }
+
+    /// Batched fast path with gap release; see [`crate::scratch`]. Output is
+    /// bit-identical to [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        self.inner
+            .run_impl_with_scratch(answers, rng, scratch, true)
+    }
 }
 
 impl AlignedMechanism for SparseVectorWithGap {
@@ -109,9 +125,7 @@ impl AlignedMechanism for SparseVectorWithGap {
         a.above.len() == b.above.len()
             && a.above.iter().zip(&b.above).all(|(x, y)| match (x, y) {
                 (None, None) => true,
-                (Some(gx), Some(gy)) => {
-                    (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
-                }
+                (Some(gx), Some(gy)) => (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0),
                 _ => false,
             })
     }
@@ -156,7 +170,11 @@ mod tests {
                 }
             }
         }
-        assert!((est.mean() - 100.0).abs() < 1.0, "mean estimate = {}", est.mean());
+        assert!(
+            (est.mean() - 100.0).abs() < 1.0,
+            "mean estimate = {}",
+            est.mean()
+        );
     }
 
     #[test]
@@ -174,7 +192,11 @@ mod tests {
         }
         let expect = m.gap_variance();
         let rel = (mo.variance() - expect).abs() / expect;
-        assert!(rel < 0.05, "empirical {} vs closed form {expect}", mo.variance());
+        assert!(
+            rel < 0.05,
+            "empirical {} vs closed form {expect}",
+            mo.variance()
+        );
     }
 
     #[test]

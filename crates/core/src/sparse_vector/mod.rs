@@ -14,8 +14,7 @@ pub use classic::ClassicSparseVector;
 pub use discrete::DiscreteSparseVectorWithGap;
 pub use gap::SparseVectorWithGap;
 pub use multi_branch::{
-    as_algorithm2_branch, MultiBranchAdaptiveSparseVector, MultiBranchOutcome,
-    MultiBranchSvOutput,
+    as_algorithm2_branch, MultiBranchAdaptiveSparseVector, MultiBranchOutcome, MultiBranchSvOutput,
 };
 pub use output::{AdaptiveOutcome, AdaptiveSvOutput, Branch, SvOutput};
 
@@ -54,7 +53,10 @@ mod tests {
         assert!((mono - 1.0 / (1.0 + 4f64.powf(2.0 / 3.0))).abs() < 1e-12);
         let gen = optimal_threshold_share(k, false);
         assert!((gen - 1.0 / (1.0 + 8f64.powf(2.0 / 3.0))).abs() < 1e-12);
-        assert!(gen < mono, "general split gives the threshold a smaller share");
+        assert!(
+            gen < mono,
+            "general split gives the threshold a smaller share"
+        );
     }
 
     #[test]

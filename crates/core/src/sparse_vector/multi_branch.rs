@@ -116,7 +116,10 @@ impl MultiBranchAdaptiveSparseVector {
         branches: usize,
     ) -> Result<Self, MechanismError> {
         if k == 0 {
-            return Err(MechanismError::InvalidK { k, requirement: "k must be at least 1" });
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
         }
         if branches == 0 || branches > Self::MAX_BRANCHES {
             return Err(MechanismError::InvalidK {
@@ -199,7 +202,11 @@ impl MultiBranchAdaptiveSparseVector {
                 if gap >= self.branch_margin(b) {
                     let cost = self.branch_budget(b);
                     spent += cost;
-                    outcome = MultiBranchOutcome::Above { branch: b, gap, cost };
+                    outcome = MultiBranchOutcome::Above {
+                        branch: b,
+                        gap,
+                        cost,
+                    };
                 }
             }
             outcomes.push(outcome);
@@ -207,7 +214,11 @@ impl MultiBranchAdaptiveSparseVector {
                 break;
             }
         }
-        MultiBranchSvOutput { outcomes, spent, epsilon: self.epsilon }
+        MultiBranchSvOutput {
+            outcomes,
+            spent,
+            epsilon: self.epsilon,
+        }
     }
 
     /// Runs with a plain RNG.
@@ -258,18 +269,29 @@ impl AlignedMechanism for MultiBranchAdaptiveSparseVector {
 
     fn outputs_match(&self, a: &MultiBranchSvOutput, b: &MultiBranchSvOutput) -> bool {
         a.outcomes.len() == b.outcomes.len()
-            && a.outcomes.iter().zip(&b.outcomes).all(|(x, y)| match (x, y) {
-                (MultiBranchOutcome::Below, MultiBranchOutcome::Below) => true,
-                (
-                    MultiBranchOutcome::Above { branch: bx, gap: gx, cost: cx },
-                    MultiBranchOutcome::Above { branch: by, gap: gy, cost: cy },
-                ) => {
-                    bx == by
-                        && cx == cy
-                        && (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
-                }
-                _ => false,
-            })
+            && a.outcomes
+                .iter()
+                .zip(&b.outcomes)
+                .all(|(x, y)| match (x, y) {
+                    (MultiBranchOutcome::Below, MultiBranchOutcome::Below) => true,
+                    (
+                        MultiBranchOutcome::Above {
+                            branch: bx,
+                            gap: gx,
+                            cost: cx,
+                        },
+                        MultiBranchOutcome::Above {
+                            branch: by,
+                            gap: gy,
+                            cost: cy,
+                        },
+                    ) => {
+                        bx == by
+                            && cx == cy
+                            && (gx - gy).abs() <= 1e-9 * gx.abs().max(gy.abs()).max(1.0)
+                    }
+                    _ => false,
+                })
     }
 }
 
@@ -326,8 +348,12 @@ mod tests {
                 match (x, y) {
                     (MultiBranchOutcome::Below, AdaptiveOutcome::Below) => {}
                     (
-                        MultiBranchOutcome::Above { gap: gx, cost: cx, .. },
-                        AdaptiveOutcome::Above { gap: gy, cost: cy, .. },
+                        MultiBranchOutcome::Above {
+                            gap: gx, cost: cx, ..
+                        },
+                        AdaptiveOutcome::Above {
+                            gap: gy, cost: cy, ..
+                        },
                     ) => {
                         assert!((gx - gy).abs() < 1e-12, "seed {seed}");
                         assert!((cx - cy).abs() < 1e-15, "seed {seed}");

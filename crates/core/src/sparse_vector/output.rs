@@ -141,8 +141,16 @@ mod tests {
         AdaptiveSvOutput {
             outcomes: vec![
                 AdaptiveOutcome::Below,
-                AdaptiveOutcome::Above { gap: 3.0, branch: Branch::Top, cost: 0.05 },
-                AdaptiveOutcome::Above { gap: 1.0, branch: Branch::Middle, cost: 0.1 },
+                AdaptiveOutcome::Above {
+                    gap: 3.0,
+                    branch: Branch::Top,
+                    cost: 0.05,
+                },
+                AdaptiveOutcome::Above {
+                    gap: 1.0,
+                    branch: Branch::Middle,
+                    cost: 0.1,
+                },
                 AdaptiveOutcome::Below,
             ],
             spent: 0.35,
@@ -164,7 +172,9 @@ mod tests {
 
     #[test]
     fn sv_output_accessors() {
-        let o = SvOutput { above: vec![None, Some(2.5), None, Some(0.5)] };
+        let o = SvOutput {
+            above: vec![None, Some(2.5), None, Some(0.5)],
+        };
         assert_eq!(o.above_indices(), vec![1, 3]);
         assert_eq!(o.answered(), 2);
         assert_eq!(o.gaps(), vec![(1, 2.5), (3, 0.5)]);

@@ -30,7 +30,10 @@ pub struct StaircaseMechanism {
 impl StaircaseMechanism {
     /// Creates the mechanism with budget `epsilon` per sensitivity-1 query.
     pub fn new(epsilon: f64) -> Result<Self, MechanismError> {
-        Ok(Self { epsilon: require_epsilon(epsilon)?, sensitivity: 1.0 })
+        Ok(Self {
+            epsilon: require_epsilon(epsilon)?,
+            sensitivity: 1.0,
+        })
     }
 
     /// Overrides the sensitivity `Δ`.
@@ -52,14 +55,18 @@ impl StaircaseMechanism {
 
     /// Per-coordinate noise variance under [`measure_split`](Self::measure_split).
     pub fn split_variance(&self, k: usize) -> f64 {
-        self.noise_for_batch(k).expect("validated at construction").variance()
+        self.noise_for_batch(k)
+            .expect("validated at construction")
+            .variance()
     }
 
     /// Sequential-composition measurement: splits the budget evenly over
     /// the answers (the staircase counterpart of
     /// [`crate::laplace_mech::LaplaceMechanism::measure_split`]).
     pub fn measure_split(&self, answers: &[f64], rng: &mut StdRng) -> Vec<f64> {
-        let noise = self.noise_for_batch(answers.len()).expect("validated at construction");
+        let noise = self
+            .noise_for_batch(answers.len())
+            .expect("validated at construction");
         answers.iter().map(|a| a + noise.sample(rng)).collect()
     }
 }
@@ -74,7 +81,10 @@ mod tests {
     #[test]
     fn validation() {
         assert!(StaircaseMechanism::new(0.0).is_err());
-        assert!(StaircaseMechanism::new(1.0).unwrap().with_sensitivity(-1.0).is_err());
+        assert!(StaircaseMechanism::new(1.0)
+            .unwrap()
+            .with_sensitivity(-1.0)
+            .is_err());
     }
 
     #[test]
@@ -98,7 +108,10 @@ mod tests {
         for (eps, k) in [(4.0, 1usize), (8.0, 2)] {
             let stair = StaircaseMechanism::new(eps).unwrap().split_variance(k);
             let lap = LaplaceMechanism::new(eps).unwrap().split_variance(k);
-            assert!(stair < lap, "ε={eps}, k={k}: staircase {stair} vs laplace {lap}");
+            assert!(
+                stair < lap,
+                "ε={eps}, k={k}: staircase {stair} vs laplace {lap}"
+            );
         }
     }
 

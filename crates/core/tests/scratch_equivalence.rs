@@ -1,0 +1,168 @@
+//! Scratch-path ⇔ allocating-path equivalence: for every mechanism with a
+//! batched fast path, `run_with_scratch` on a fresh RNG stream must produce
+//! **bit-for-bit** the same output as `run` on an identically seeded stream.
+//!
+//! This is the contract that lets the bench harness and Monte-Carlo loops
+//! use the fast paths while the paper-protocol experiments and the alignment
+//! checker keep their numbers: the two paths are the same mechanism, not two
+//! implementations that merely agree in distribution.
+
+use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
+use free_gap_core::scratch::{SvtScratch, TopKScratch};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap,
+};
+use free_gap_core::QueryAnswers;
+use free_gap_noise::rng::derive_stream;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A mid-sized monotone workload with a mix of clear winners, near-ties and
+/// noise-level entries, regenerated deterministically per seed.
+fn workload(seed: u64, n: usize) -> QueryAnswers {
+    let mut rng = derive_stream(seed, 999);
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = (n - i) as f64 * 0.37;
+            base + rng.gen_range(0.0..30.0)
+        })
+        .collect();
+    QueryAnswers::counting(values)
+}
+
+#[test]
+fn topk_with_gap_scratch_is_bit_identical() {
+    let m = NoisyTopKWithGap::new(10, 0.7, true).unwrap();
+    let answers = workload(1, 400);
+    let mut scratch = TopKScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(42, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(42, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+        // PartialEq on f64 gaps is exact equality: spot-check bits too.
+        for (a, b) in expect.items.iter().zip(&got.items) {
+            assert_eq!(a.gap.to_bits(), b.gap.to_bits(), "run {run}");
+        }
+    }
+}
+
+#[test]
+fn classic_topk_scratch_is_bit_identical() {
+    let m = ClassicNoisyTopK::new(5, 1.1, false).unwrap();
+    let answers = workload(2, 250);
+    let mut scratch = TopKScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(7, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+    }
+}
+
+#[test]
+fn classic_svt_scratch_is_bit_identical() {
+    let answers = workload(3, 500);
+    let threshold = answers.values()[30];
+    let m = ClassicSparseVector::new(8, 0.7, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(11, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(11, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+    }
+}
+
+#[test]
+fn svt_with_gap_scratch_is_bit_identical() {
+    let answers = workload(4, 500);
+    let threshold = answers.values()[25];
+    let m = SparseVectorWithGap::new(6, 0.9, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(13, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(13, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+        for ((_, a), (_, b)) in expect.gaps().iter().zip(got.gaps().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "run {run}");
+        }
+    }
+}
+
+#[test]
+fn adaptive_svt_scratch_is_bit_identical() {
+    let answers = workload(5, 600);
+    let threshold = answers.values()[40];
+    let m = AdaptiveSparseVector::new(8, 0.7, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(17, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(17, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+        assert_eq!(expect.spent.to_bits(), got.spent.to_bits(), "run {run}");
+    }
+}
+
+#[test]
+fn adaptive_svt_scratch_honors_answer_limit() {
+    let answers = QueryAnswers::counting(vec![1e7; 200]);
+    let m = AdaptiveSparseVector::new(10, 0.7, 10.0, true)
+        .unwrap()
+        .with_answer_limit(10);
+    let mut scratch = SvtScratch::new();
+    for run in 0..50u64 {
+        let expect = m.run(&answers, &mut derive_stream(19, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(19, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+        assert_eq!(got.answered(), 10);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_four_scratch_paths_match_on_random_workloads(
+        n in 12usize..120,
+        k in 1usize..6,
+        seed in 0u64..50_000,
+        monotone in proptest::bool::ANY,
+        threshold_rank in 2usize..10,
+    ) {
+        let base = workload(seed, n);
+        let answers = if monotone {
+            base
+        } else {
+            QueryAnswers::general(base.values().to_vec())
+        };
+        let mut sorted: Vec<f64> = answers.values().to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = sorted[threshold_rank.min(n - 1)];
+
+        let mut topk_scratch = TopKScratch::new();
+        let mut svt_scratch = SvtScratch::new();
+
+        let topk = NoisyTopKWithGap::new(k, 0.8, monotone).unwrap();
+        prop_assert_eq!(
+            topk.run(&answers, &mut derive_stream(seed, 0)),
+            topk.run_with_scratch(&answers, &mut derive_stream(seed, 0), &mut topk_scratch)
+        );
+
+        let classic_topk = ClassicNoisyTopK::new(k, 0.8, monotone).unwrap();
+        prop_assert_eq!(
+            classic_topk.run(&answers, &mut derive_stream(seed, 1)),
+            classic_topk.run_with_scratch(
+                &answers, &mut derive_stream(seed, 1), &mut topk_scratch)
+        );
+
+        let svt = SparseVectorWithGap::new(k, 0.8, threshold, monotone).unwrap();
+        prop_assert_eq!(
+            svt.run(&answers, &mut derive_stream(seed, 2)),
+            svt.run_with_scratch(&answers, &mut derive_stream(seed, 2), &mut svt_scratch)
+        );
+
+        let adaptive = AdaptiveSparseVector::new(k, 0.8, threshold, monotone).unwrap();
+        prop_assert_eq!(
+            adaptive.run(&answers, &mut derive_stream(seed, 3)),
+            adaptive.run_with_scratch(&answers, &mut derive_stream(seed, 3), &mut svt_scratch)
+        );
+    }
+}

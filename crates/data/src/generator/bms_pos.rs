@@ -62,7 +62,12 @@ impl BmsPosLike {
         for _ in 0..self.config.records {
             // Baskets have at least one item.
             let len = sample_poisson(self.config.mean_len, &mut rng).max(1) as usize;
-            records.push(draw_distinct_items(&zipf, len, self.config.universe, &mut rng));
+            records.push(draw_distinct_items(
+                &zipf,
+                len,
+                self.config.universe,
+                &mut rng,
+            ));
         }
         ensure_full_support(&mut records, self.config.universe, &mut rng);
         TransactionDb::from_records(self.config.universe, records)

@@ -214,8 +214,7 @@ mod tests {
         let mut rng = rng_from_seed(5);
         let injected = ensure_full_support(&mut db, 4, &mut rng);
         assert_eq!(injected, 2);
-        let all: std::collections::HashSet<u32> =
-            db.iter().flatten().copied().collect();
+        let all: std::collections::HashSet<u32> = db.iter().flatten().copied().collect();
         assert_eq!(all.len(), 4);
     }
 

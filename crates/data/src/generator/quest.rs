@@ -156,7 +156,9 @@ impl QuestGenerator {
             while txn.len() < target && guard < target * 40 + 100 {
                 guard += 1;
                 let u = rng.gen::<f64>() * total_weight;
-                let pi = cumulative.partition_point(|&c| c <= u).min(patterns.len() - 1);
+                let pi = cumulative
+                    .partition_point(|&c| c <= u)
+                    .min(patterns.len() - 1);
                 let pat = &patterns[pi];
                 for &item in &pat.items {
                     if txn.len() >= target {
@@ -190,7 +192,10 @@ mod tests {
         assert_eq!(db.num_records(), 2_000);
         assert_eq!(db.num_unique_items(), 942);
         let mean = db.total_item_occurrences() as f64 / db.num_records() as f64;
-        assert!((mean - 40.0).abs() < 4.0, "mean transaction length = {mean}");
+        assert!(
+            (mean - 40.0).abs() < 4.0,
+            "mean transaction length = {mean}"
+        );
     }
 
     #[test]

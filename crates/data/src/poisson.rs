@@ -14,8 +14,14 @@ use rand::Rng;
 /// Panics if `lambda` is not finite and positive, or is large enough
 /// (`> 500`) that the multiplicative method would lose precision.
 pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
-    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
-    assert!(lambda <= 500.0, "multiplicative Poisson only supports lambda <= 500");
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be positive"
+    );
+    assert!(
+        lambda <= 500.0,
+        "multiplicative Poisson only supports lambda <= 500"
+    );
     let limit = (-lambda).exp();
     let mut product: f64 = 1.0;
     let mut k = 0u64;
@@ -30,7 +36,10 @@ pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
 
 /// Poisson pmf `P(K = k)` computed in log space for stability.
 pub fn poisson_pmf(lambda: f64, k: u64) -> f64 {
-    assert!(lambda.is_finite() && lambda > 0.0, "lambda must be positive");
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be positive"
+    );
     let mut log_p = -lambda + k as f64 * lambda.ln();
     for i in 1..=k {
         log_p -= (i as f64).ln();
@@ -72,8 +81,15 @@ mod tests {
             for _ in 0..100_000 {
                 m.push(sample_poisson(lambda, &mut rng) as f64);
             }
-            assert!((m.mean() - lambda).abs() / lambda < 0.02, "mean for {lambda}: {}", m.mean());
-            assert!((m.variance() - lambda).abs() / lambda < 0.05, "var for {lambda}");
+            assert!(
+                (m.mean() - lambda).abs() / lambda < 0.02,
+                "mean for {lambda}: {}",
+                m.mean()
+            );
+            assert!(
+                (m.variance() - lambda).abs() / lambda < 0.05,
+                "var for {lambda}"
+            );
         }
     }
 
@@ -82,7 +98,9 @@ mod tests {
         let lambda = 5.0;
         let mut rng = rng_from_seed(3);
         let n = 200_000;
-        let hits = (0..n).filter(|_| sample_poisson(lambda, &mut rng) == 5).count() as f64;
+        let hits = (0..n)
+            .filter(|_| sample_poisson(lambda, &mut rng) == 5)
+            .count() as f64;
         let p = poisson_pmf(lambda, 5);
         let sigma = (p * (1.0 - p) / n as f64).sqrt();
         assert!((hits / n as f64 - p).abs() < 5.0 * sigma);

@@ -74,7 +74,10 @@ impl ItemCounts {
     /// answer is at least `threshold`. Uses `>=` to mirror the mechanisms'
     /// noisy comparisons, which are also `>=`.
     pub fn num_at_or_above(&self, threshold: f64) -> usize {
-        self.counts.iter().filter(|&&c| c as f64 >= threshold).count()
+        self.counts
+            .iter()
+            .filter(|&&c| c as f64 >= threshold)
+            .count()
     }
 }
 

@@ -27,8 +27,7 @@ impl DatasetStats {
     /// Computes statistics for a database.
     pub fn compute(name: impl Into<String>, db: &TransactionDb) -> Self {
         let counts = db.item_counts();
-        let mut nonzero: Vec<u64> =
-            counts.as_u64().iter().copied().filter(|&c| c > 0).collect();
+        let mut nonzero: Vec<u64> = counts.as_u64().iter().copied().filter(|&c| c > 0).collect();
         nonzero.sort_unstable();
         let total = db.total_item_occurrences();
         Self {
@@ -54,7 +53,13 @@ impl DatasetStats {
     pub fn table_header() -> String {
         format!(
             "{:<14} {:>10} {:>14} {:>12} {:>10} {:>10} {:>12}",
-            "Dataset", "Records", "Unique Items", "Occurrences", "Mean Len", "Max Cnt", "Median Cnt"
+            "Dataset",
+            "Records",
+            "Unique Items",
+            "Occurrences",
+            "Mean Len",
+            "Max Cnt",
+            "Median Cnt"
         )
     }
 }

@@ -19,7 +19,10 @@ pub struct TransactionDb {
 impl TransactionDb {
     /// Creates an empty database over `0..universe`.
     pub fn new(universe: u32) -> Self {
-        Self { universe, records: Vec::new() }
+        Self {
+            universe,
+            records: Vec::new(),
+        }
     }
 
     /// Creates a database from raw records. Each record is sorted and
@@ -59,7 +62,11 @@ impl TransactionDb {
         record.sort_unstable();
         record.dedup();
         if let Some(&max) = record.last() {
-            assert!(max < self.universe, "item id {max} outside universe {}", self.universe);
+            assert!(
+                max < self.universe,
+                "item id {max} outside universe {}",
+                self.universe
+            );
         }
         self.records.push(record);
     }
@@ -101,7 +108,10 @@ impl TransactionDb {
         assert!(idx < self.records.len(), "record index out of bounds");
         let mut records = self.records.clone();
         records.remove(idx);
-        Self { universe: self.universe, records }
+        Self {
+            universe: self.universe,
+            records,
+        }
     }
 
     /// The adjacent database obtained by appending `record`.

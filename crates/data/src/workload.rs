@@ -17,11 +17,7 @@ use rand::Rng;
 ///
 /// # Panics
 /// Panics if `counts` is empty or `k == 0`.
-pub fn rank_random_threshold<R: Rng + ?Sized>(
-    counts: &ItemCounts,
-    k: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn rank_random_threshold<R: Rng + ?Sized>(counts: &ItemCounts, k: usize, rng: &mut R) -> f64 {
     assert!(!counts.is_empty(), "empty workload");
     assert!(k > 0, "k must be positive");
     let n = counts.len();
@@ -58,7 +54,11 @@ pub fn top_k_truth(counts: &ItemCounts, k: usize) -> TopKTruth {
     let indices = counts.top_k_indices(k);
     let values = indices.iter().map(|&i| counts.count(i) as f64).collect();
     let runner_up = counts.value_at_rank(k).map(|v| v as f64);
-    TopKTruth { indices, values, runner_up }
+    TopKTruth {
+        indices,
+        values,
+        runner_up,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs a non-empty universe");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for r in 0..n {
@@ -59,7 +62,9 @@ impl Zipf {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.gen::<f64>() * total;
         // First index whose cumulative weight exceeds u.
-        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -119,7 +124,10 @@ mod tests {
             let emp = c as f64 / n as f64;
             let p = z.pmf(r);
             let sigma = (p * (1.0 - p) / n as f64).sqrt();
-            assert!((emp - p).abs() < 5.0 * sigma + 1e-9, "rank {r}: {emp} vs {p}");
+            assert!(
+                (emp - p).abs() < 5.0 * sigma + 1e-9,
+                "rank {r}: {emp} vs {p}"
+            );
         }
     }
 

@@ -34,16 +34,25 @@ impl DiscreteLaplace {
     /// The continuous analogue is `Lap(1/ε)`; as `γ → 0` this distribution
     /// converges to it.
     pub fn new(epsilon: f64, gamma: f64) -> Result<Self, NoiseError> {
-        Ok(Self { geometric: Geometric::for_budget(epsilon, gamma)?, base: gamma })
+        Ok(Self {
+            geometric: Geometric::for_budget(epsilon, gamma)?,
+            base: gamma,
+        })
     }
 
     /// Creates the distribution directly from the decay ratio `α ∈ (0,1)` and
     /// the support step.
     pub fn from_alpha(alpha: f64, gamma: f64) -> Result<Self, NoiseError> {
         if !(gamma.is_finite() && gamma > 0.0) {
-            return Err(NoiseError::InvalidScale { name: "gamma", value: gamma });
+            return Err(NoiseError::InvalidScale {
+                name: "gamma",
+                value: gamma,
+            });
         }
-        Ok(Self { geometric: Geometric::new(alpha)?, base: gamma })
+        Ok(Self {
+            geometric: Geometric::new(alpha)?,
+            base: gamma,
+        })
     }
 
     /// The decay ratio `α = e^{-εγ}`.
@@ -134,7 +143,11 @@ mod tests {
         let mut acc = 0.0;
         for k in -40..=40 {
             acc += d.pmf(k);
-            assert!((acc - d.cdf(k)).abs() < 1e-12, "k = {k}: acc {acc} vs {}", d.cdf(k));
+            assert!(
+                (acc - d.cdf(k)).abs() < 1e-12,
+                "k = {k}: acc {acc} vs {}",
+                d.cdf(k)
+            );
         }
     }
 
@@ -150,7 +163,11 @@ mod tests {
     fn variance_matches_series() {
         let d = dl(0.6, 1.0);
         let var: f64 = (-400i64..=400).map(|k| (k * k) as f64 * d.pmf(k)).sum();
-        assert!((var - d.variance_index()).abs() < 1e-9, "{var} vs {}", d.variance_index());
+        assert!(
+            (var - d.variance_index()).abs() < 1e-9,
+            "{var} vs {}",
+            d.variance_index()
+        );
     }
 
     #[test]
@@ -166,7 +183,10 @@ mod tests {
             let emp = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
             let p = d.pmf(k);
             let sigma = (p * (1.0 - p) / n as f64).sqrt();
-            assert!((emp - p).abs() < 5.0 * sigma, "k = {k}: emp {emp} vs pmf {p}");
+            assert!(
+                (emp - p).abs() < 5.0 * sigma,
+                "k = {k}: emp {emp} vs pmf {p}"
+            );
         }
     }
 
@@ -185,7 +205,11 @@ mod tests {
     fn converges_to_continuous_laplace_variance() {
         // With eps=1 and gamma small, Var(value) -> 2 (the Lap(1) variance).
         let d = dl(1.0, 1e-3);
-        assert!((d.variance_value() - 2.0).abs() < 1e-2, "{}", d.variance_value());
+        assert!(
+            (d.variance_value() - 2.0).abs() < 1e-2,
+            "{}",
+            d.variance_value()
+        );
     }
 
     #[test]

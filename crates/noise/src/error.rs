@@ -40,13 +40,26 @@ impl fmt::Display for NoiseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NoiseError::InvalidScale { name, value } => {
-                write!(f, "parameter `{name}` must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be positive and finite, got {value}"
+                )
             }
             NoiseError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in (0, 1), got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in (0, 1), got {value}"
+                )
             }
-            NoiseError::OutOfDomain { name, value, expected } => {
-                write!(f, "parameter `{name}` = {value} outside domain ({expected})")
+            NoiseError::OutOfDomain {
+                name,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "parameter `{name}` = {value} outside domain ({expected})"
+                )
             }
             NoiseError::NoConvergence { what } => {
                 write!(f, "iterative solver for {what} did not converge")
@@ -101,7 +114,10 @@ mod tests {
 
     #[test]
     fn display_messages_mention_parameter() {
-        let e = NoiseError::InvalidScale { name: "scale", value: -3.0 };
+        let e = NoiseError::InvalidScale {
+            name: "scale",
+            value: -3.0,
+        };
         assert!(e.to_string().contains("scale"));
         let e = NoiseError::NoConvergence { what: "quantile" };
         assert!(e.to_string().contains("quantile"));

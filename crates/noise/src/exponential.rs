@@ -17,7 +17,9 @@ pub struct Exponential {
 impl Exponential {
     /// Creates `Exp(scale)`; `scale` must be finite and positive.
     pub fn new(scale: f64) -> Result<Self, NoiseError> {
-        Ok(Self { scale: require_positive("scale", scale)? })
+        Ok(Self {
+            scale: require_positive("scale", scale)?,
+        })
     }
 
     /// The scale parameter `β` (the mean).

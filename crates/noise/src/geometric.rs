@@ -20,17 +20,26 @@ impl Geometric {
     /// Creates the distribution from the decay ratio `α ∈ (0, 1)`.
     pub fn new(alpha: f64) -> Result<Self, NoiseError> {
         let alpha = require_open_unit("alpha", alpha)?;
-        Ok(Self { alpha, ln_alpha: alpha.ln() })
+        Ok(Self {
+            alpha,
+            ln_alpha: alpha.ln(),
+        })
     }
 
     /// Creates the decay used by an ε-DP integer mechanism with step `γ`:
     /// `α = exp(-ε γ)`.
     pub fn for_budget(epsilon: f64, gamma: f64) -> Result<Self, NoiseError> {
         if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(NoiseError::InvalidScale { name: "epsilon", value: epsilon });
+            return Err(NoiseError::InvalidScale {
+                name: "epsilon",
+                value: epsilon,
+            });
         }
         if !(gamma.is_finite() && gamma > 0.0) {
-            return Err(NoiseError::InvalidScale { name: "gamma", value: gamma });
+            return Err(NoiseError::InvalidScale {
+                name: "gamma",
+                value: gamma,
+            });
         }
         Self::new((-epsilon * gamma).exp())
     }
@@ -136,7 +145,11 @@ mod tests {
         for _ in 0..200_000 {
             m.push(g.sample(&mut rng) as f64);
         }
-        assert!((m.mean() - g.mean()).abs() / g.mean() < 0.02, "mean = {}", m.mean());
+        assert!(
+            (m.mean() - g.mean()).abs() / g.mean() < 0.02,
+            "mean = {}",
+            m.mean()
+        );
         assert!((m.variance() - g.variance()).abs() / g.variance() < 0.05);
     }
 

@@ -21,7 +21,9 @@ pub struct Gumbel {
 impl Gumbel {
     /// Creates a Gumbel with the given scale (`β = 1` is the standard form).
     pub fn new(scale: f64) -> Result<Self, NoiseError> {
-        Ok(Self { scale: require_positive("scale", scale)? })
+        Ok(Self {
+            scale: require_positive("scale", scale)?,
+        })
     }
 
     /// The standard Gumbel (`β = 1`).

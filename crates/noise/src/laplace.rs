@@ -22,7 +22,9 @@ pub struct Laplace {
 impl Laplace {
     /// Creates `Lap(scale)`; `scale` must be finite and positive.
     pub fn new(scale: f64) -> Result<Self, NoiseError> {
-        Ok(Self { scale: require_positive("scale", scale)? })
+        Ok(Self {
+            scale: require_positive("scale", scale)?,
+        })
     }
 
     /// Creates the Laplace mechanism noise `Lap(sensitivity / epsilon)`.
@@ -59,6 +61,7 @@ impl Laplace {
 impl ContinuousDistribution for Laplace {
     /// Inverse-CDF sampling: `x = -b * sgn(u) * ln(1 - 2|u|)` for
     /// `u ~ U(-1/2, 1/2)`.
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // `gen::<f64>()` is U[0,1); shift to (-0.5, 0.5]. u = 0.5 maps to the
         // extreme left tail with probability 0 in practice but stays finite
@@ -69,6 +72,32 @@ impl ContinuousDistribution for Laplace {
             -magnitude
         } else {
             magnitude
+        }
+    }
+
+    /// Batch inverse-CDF sampling: one uniform draw per sample, fused into a
+    /// single pass over `out`. Bit-identical to a [`sample`](Self::sample)
+    /// loop on the same RNG stream (same draw order, same arithmetic).
+    #[inline]
+    fn fill_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        let scale = self.scale;
+        for slot in out {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            let magnitude = -scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+            *slot = if u < 0.0 { -magnitude } else { magnitude };
+        }
+    }
+
+    /// Fused offset + batch sampling (`out[i] = base[i] + Lap(b)`): the
+    /// Noisy-Max hot loop, one buffer write per query.
+    #[inline]
+    fn fill_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        assert_eq!(base.len(), out.len(), "offset/output length mismatch");
+        let scale = self.scale;
+        for (slot, b) in out.iter_mut().zip(base) {
+            let u: f64 = rng.gen::<f64>() - 0.5;
+            let magnitude = -scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+            *slot = b + if u < 0.0 { -magnitude } else { magnitude };
         }
     }
 

@@ -73,8 +73,7 @@ impl LaplaceDiff {
         if self.rates_effectively_equal() {
             ((2.0 + e0 * t) / 4.0) * (-e0 * t).exp()
         } else {
-            (e0 * e0 * (-es * t).exp() - es * es * (-e0 * t).exp())
-                / (2.0 * (e0 * e0 - es * es))
+            (e0 * e0 * (-es * t).exp() - es * es * (-e0 * t).exp()) / (2.0 * (e0 * e0 - es * es))
         }
     }
 
@@ -112,8 +111,7 @@ impl ContinuousDistribution for LaplaceDiff {
         if self.rates_effectively_equal() {
             (e0 / 4.0 + e0 * e0 * z / 4.0) * (-e0 * z).exp()
         } else {
-            e0 * es * (e0 * (-es * z).exp() - es * (-e0 * z).exp())
-                / (2.0 * (e0 * e0 - es * es))
+            e0 * es * (e0 * (-es * z).exp() - es * (-e0 * z).exp()) / (2.0 * (e0 * e0 - es * es))
         }
     }
 
@@ -141,7 +139,9 @@ impl ContinuousDistribution for LaplaceDiff {
             hi *= 2.0;
             guard += 1;
             if guard > 300 {
-                return Err(NoiseError::NoConvergence { what: "laplace-diff quantile" });
+                return Err(NoiseError::NoConvergence {
+                    what: "laplace-diff quantile",
+                });
             }
         }
         let mut lo = 0.0;
@@ -207,7 +207,11 @@ mod tests {
                 let x0 = a + i as f64 * h;
                 area += 0.5 * h * (d.pdf(x0) + d.pdf(x0 + h));
             }
-            assert!((area - d.cdf(x)).abs() < 1e-6, "x = {x}: {area} vs {}", d.cdf(x));
+            assert!(
+                (area - d.cdf(x)).abs() < 1e-6,
+                "x = {x}: {area} vs {}",
+                d.cdf(x)
+            );
         }
     }
 

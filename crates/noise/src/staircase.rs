@@ -41,7 +41,13 @@ impl Staircase {
         let delta = require_positive("sensitivity", sensitivity)?;
         let gamma = require_open_unit("gamma", gamma)?;
         let b = (-epsilon).exp();
-        Ok(Self { epsilon, delta, gamma, b, geometric: Geometric::new(b)? })
+        Ok(Self {
+            epsilon,
+            delta,
+            gamma,
+            b,
+            geometric: Geometric::new(b)?,
+        })
     }
 
     /// Creates the distribution with the variance-optimal split
@@ -131,7 +137,9 @@ impl ContinuousDistribution for Staircase {
             hi *= 2.0;
             guard += 1;
             if guard > 200 {
-                return Err(NoiseError::NoConvergence { what: "staircase quantile" });
+                return Err(NoiseError::NoConvergence {
+                    what: "staircase quantile",
+                });
             }
         }
         let mut lo = 0.0;
@@ -239,7 +247,11 @@ mod tests {
                 let x0 = a + i as f64 * h;
                 area += 0.5 * h * (s.pdf(x0) + s.pdf(x0 + h));
             }
-            assert!((area - s.cdf(x)).abs() < 1e-4, "x = {x}: {area} vs {}", s.cdf(x));
+            assert!(
+                (area - s.cdf(x)).abs() < 1e-4,
+                "x = {x}: {area} vs {}",
+                s.cdf(x)
+            );
         }
     }
 
@@ -260,7 +272,12 @@ mod tests {
             m.push(s.sample(&mut rng));
         }
         let rel = (m.variance() - s.variance()).abs() / s.variance();
-        assert!(rel < 0.03, "rel var err = {rel}: {} vs {}", m.variance(), s.variance());
+        assert!(
+            rel < 0.03,
+            "rel var err = {rel}: {} vs {}",
+            m.variance(),
+            s.variance()
+        );
     }
 
     #[test]
@@ -269,7 +286,11 @@ mod tests {
         let eps = 4.0;
         let stair = Staircase::optimal(eps, 1.0).unwrap();
         let lap_var = 2.0 / (eps * eps);
-        assert!(stair.variance() < lap_var, "{} !< {lap_var}", stair.variance());
+        assert!(
+            stair.variance() < lap_var,
+            "{} !< {lap_var}",
+            stair.variance()
+        );
     }
 
     proptest! {

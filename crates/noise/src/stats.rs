@@ -121,8 +121,8 @@ impl EmpiricalCdf {
         if self.sorted.is_empty() || !(0.0..=1.0).contains(&q) {
             return None;
         }
-        let idx = ((q * (self.sorted.len() - 1) as f64).round() as usize)
-            .min(self.sorted.len() - 1);
+        let idx =
+            ((q * (self.sorted.len() - 1) as f64).round() as usize).min(self.sorted.len() - 1);
         Some(self.sorted[idx])
     }
 }
@@ -186,7 +186,9 @@ mod tests {
         let var = xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / xs.len() as f64;
         assert!((m.mean() - mu).abs() < 1e-12);
         assert!((m.variance() - var).abs() < 1e-12);
-        assert!((m.sample_variance() - var * xs.len() as f64 / (xs.len() - 1) as f64).abs() < 1e-12);
+        assert!(
+            (m.sample_variance() - var * xs.len() as f64 / (xs.len() - 1) as f64).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -21,10 +21,16 @@ use rand::Rng;
 
 fn validate(epsilon: f64, gamma: f64) -> Result<(), NoiseError> {
     if !(epsilon.is_finite() && epsilon > 0.0) {
-        return Err(NoiseError::InvalidScale { name: "epsilon", value: epsilon });
+        return Err(NoiseError::InvalidScale {
+            name: "epsilon",
+            value: epsilon,
+        });
     }
     if !(gamma.is_finite() && gamma > 0.0) {
-        return Err(NoiseError::InvalidScale { name: "gamma", value: gamma });
+        return Err(NoiseError::InvalidScale {
+            name: "gamma",
+            value: gamma,
+        });
     }
     Ok(())
 }
@@ -100,9 +106,7 @@ mod tests {
     /// Brute-force `P(tie) = Σ_ℓ P(η₁ = ℓ)·P(η₂ = ℓ + m)` from the pmf.
     fn brute_force_tie(epsilon: f64, gamma: f64, m: i64) -> f64 {
         let d = DiscreteLaplace::new(epsilon, gamma).unwrap();
-        (-4000i64..4000)
-            .map(|l| d.pmf(l) * d.pmf(l + m))
-            .sum()
+        (-4000i64..4000).map(|l| d.pmf(l) * d.pmf(l + m)).sum()
     }
 
     #[test]
@@ -127,7 +131,10 @@ mod tests {
                     // The appendix chain of inequalities needs γε modest; the
                     // final bound holds whenever γε(1+γεme^{-γεm}) ≤ γε(1+e⁻¹).
                     if gamma * eps <= 1.0 {
-                        assert!(p <= bound + 1e-12, "eps={eps} γ={gamma} m={m}: {p} > {bound}");
+                        assert!(
+                            p <= bound + 1e-12,
+                            "eps={eps} γ={gamma} m={m}: {p} > {bound}"
+                        );
                     }
                 }
             }

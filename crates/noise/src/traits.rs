@@ -33,9 +33,44 @@ pub trait ContinuousDistribution {
         self.variance().sqrt()
     }
 
-    /// Draws `n` samples into a fresh vector.
+    /// Fills `out` with independent samples — the batch entry point of the
+    /// workspace's Monte-Carlo hot paths.
+    ///
+    /// The default implementation loops [`sample`](Self::sample);
+    /// distributions with a tight inverse-CDF (e.g. [`crate::Laplace`])
+    /// override it with a fused loop. Implementations must consume the RNG
+    /// exactly as repeated `sample` calls would, so `fill_into` and a
+    /// `sample` loop produce **bit-identical** streams from the same RNG
+    /// state — the scratch-buffer mechanism paths in `free-gap-core` rely on
+    /// this to stay equivalent to the allocating paths.
+    fn fill_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Fills `out[i] = base[i] + sampleᵢ` in one fused pass — the
+    /// noise-a-query-vector primitive of the mechanism fast paths, writing
+    /// the output buffer exactly once.
+    ///
+    /// Same RNG-consumption contract as [`fill_into`](Self::fill_into):
+    /// bit-identical to `base[i] + self.sample(rng)` in a loop.
+    ///
+    /// # Panics
+    /// Panics if `base` and `out` have different lengths.
+    fn fill_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        assert_eq!(base.len(), out.len(), "offset/output length mismatch");
+        for (slot, b) in out.iter_mut().zip(base) {
+            *slot = b + self.sample(rng);
+        }
+    }
+
+    /// Draws `n` samples into a fresh vector (delegates to
+    /// [`fill_into`](Self::fill_into)).
     fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
-        (0..n).map(|_| self.sample(rng)).collect()
+        let mut out = vec![0.0; n];
+        self.fill_into(rng, &mut out);
+        out
     }
 }
 
@@ -79,6 +114,7 @@ mod tests {
     use super::*;
     use crate::rng::rng_from_seed;
     use crate::Laplace;
+    use proptest::prelude::*;
 
     #[test]
     fn sample_n_len_and_determinism() {
@@ -93,5 +129,65 @@ mod tests {
     fn std_dev_is_sqrt_variance() {
         let lap = Laplace::new(2.0).unwrap();
         assert!((lap.std_dev() - lap.variance().sqrt()).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn fill_into_matches_sample_loop_bitwise(
+            seed in 0u64..10_000,
+            scale in 0.01f64..50.0,
+            n in 0usize..300,
+        ) {
+            // The batched path must consume the RNG exactly like repeated
+            // `sample` calls: same stream position, same bits out.
+            let lap = Laplace::new(scale).unwrap();
+            let mut batched = vec![0.0; n];
+            lap.fill_into(&mut rng_from_seed(seed), &mut batched);
+            let mut rng = rng_from_seed(seed);
+            for (i, &b) in batched.iter().enumerate() {
+                let s = lap.sample(&mut rng);
+                prop_assert!(s == b, "draw {i}: sequential {s} vs batched {b}");
+            }
+        }
+
+        #[test]
+        fn fill_into_offset_matches_sample_loop_bitwise(
+            seed in 0u64..10_000,
+            scale in 0.01f64..50.0,
+            n in 0usize..300,
+        ) {
+            let lap = Laplace::new(scale).unwrap();
+            let base: Vec<f64> = (0..n).map(|i| i as f64 * 0.7 - 3.0).collect();
+            let mut fused = vec![0.0; n];
+            lap.fill_into_offset(&mut rng_from_seed(seed), &base, &mut fused);
+            let mut rng = rng_from_seed(seed);
+            for i in 0..n {
+                let expect = base[i] + lap.sample(&mut rng);
+                prop_assert!(expect == fused[i], "slot {i}: {expect} vs {}", fused[i]);
+            }
+        }
+
+        #[test]
+        fn sample_n_matches_fill_into(seed in 0u64..10_000, n in 0usize..200) {
+            let lap = Laplace::new(1.5).unwrap();
+            let via_n = lap.sample_n(&mut rng_from_seed(seed), n);
+            let mut via_fill = vec![0.0; n];
+            lap.fill_into(&mut rng_from_seed(seed), &mut via_fill);
+            prop_assert_eq!(via_n, via_fill);
+        }
+
+        #[test]
+        fn unit_laplace_scales_exactly(seed in 0u64..10_000, scale in 0.01f64..100.0) {
+            // The SVT scratch path draws unit Laplace noise and multiplies by
+            // the per-draw scale; IEEE multiplication keeps that bit-identical
+            // to drawing at the target scale directly.
+            let unit = Laplace::new(1.0).unwrap();
+            let direct = Laplace::new(scale).unwrap();
+            let mut a = rng_from_seed(seed);
+            let mut b = rng_from_seed(seed);
+            for _ in 0..32 {
+                prop_assert!(unit.sample(&mut a) * scale == direct.sample(&mut b));
+            }
+        }
     }
 }

@@ -19,7 +19,7 @@ fn main() {
 
     let epsilon = 0.7;
     let k = 10; // budget sized for k baseline answers
-    // Public threshold at the value of descending rank 5k.
+                // Public threshold at the value of descending rank 5k.
     let threshold = counts.sorted_desc()[5 * k] as f64;
     let truly_above = counts.num_at_or_above(threshold);
     println!(
@@ -60,12 +60,14 @@ fn main() {
     let adaptive = AdaptiveSparseVector::new(k, epsilon, threshold, true).unwrap();
     let mut rng = rng_from_seed(5);
     let out = adaptive.run(&answers, &mut rng);
-    println!("\none run: answered {} queries; first five with certificates:", out.answered());
+    println!(
+        "\none run: answered {} queries; first five with certificates:",
+        out.answered()
+    );
     for (idx, gap) in out.gaps().into_iter().take(5) {
         // Branch budgets: this demo conservatively uses the middle branch's
         // (larger-noise) rates for the certificate.
-        let t95 =
-            gap_confidence_offset(adaptive.epsilon2(), adaptive.epsilon0(), 0.95).unwrap();
+        let t95 = gap_confidence_offset(adaptive.epsilon2(), adaptive.epsilon0(), 0.95).unwrap();
         println!(
             "  item {idx:>5}: estimate {est:9.1}, true {truth:>6}, 95% lower bound {lb:9.1}",
             est = gap + threshold,

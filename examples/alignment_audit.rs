@@ -22,8 +22,11 @@ fn main() {
     let topk = NoisyTopKWithGap::new(3, 0.7, true).unwrap();
     let mut max_cost: f64 = 0.0;
     for t in 0..trials {
-        let model =
-            if t % 2 == 0 { AdjacencyModel::MonotoneUp } else { AdjacencyModel::MonotoneDown };
+        let model = if t % 2 == 0 {
+            AdjacencyModel::MonotoneUp
+        } else {
+            AdjacencyModel::MonotoneDown
+        };
         let p = Perturbation::random(model, answers.len(), &mut rng);
         let neighbor = answers.perturbed(p.deltas());
         let report = check_alignment(&topk, &answers, &neighbor, &mut rng)
@@ -36,8 +39,11 @@ fn main() {
     let adaptive = AdaptiveSparseVector::new(2, 0.7, 90.0, true).unwrap();
     let mut max_cost: f64 = 0.0;
     for t in 0..trials {
-        let model =
-            if t % 2 == 0 { AdjacencyModel::MonotoneUp } else { AdjacencyModel::MonotoneDown };
+        let model = if t % 2 == 0 {
+            AdjacencyModel::MonotoneUp
+        } else {
+            AdjacencyModel::MonotoneDown
+        };
         let p = Perturbation::random(model, answers.len(), &mut rng);
         let neighbor = answers.perturbed(p.deltas());
         let report = check_alignment(&adaptive, &answers, &neighbor, &mut rng)
@@ -84,7 +90,8 @@ fn main() {
 
     // Meanwhile an honest over-claim is caught too: sensitivity violations.
     println!("\nnegative control #3: sensitivity-violating workload on correct SVT…");
-    let correct = ClassicSparseVector::new(2, 0.35, 90.0, true).unwrap()
+    let correct = ClassicSparseVector::new(2, 0.35, 90.0, true)
+        .unwrap()
         .with_threshold_share(0.5)
         .unwrap();
     let mut violations = 0;

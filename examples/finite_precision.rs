@@ -35,7 +35,11 @@ fn main() {
     // The (ε, δ) ledger from Appendix A.1: δ = n²γε'(1 + e⁻¹).
     let n = answers.len();
     println!("\n(ε, δ) ledger for n = {n} queries:");
-    for (label, gamma) in [("counts (γ = 1)", 1.0), ("f32-ish (γ = 2⁻²³)", 2f64.powi(-23)), ("f64 (γ = 2⁻⁵²)", 2f64.powi(-52))] {
+    for (label, gamma) in [
+        ("counts (γ = 1)", 1.0),
+        ("f32-ish (γ = 2⁻²³)", 2f64.powi(-23)),
+        ("f64 (γ = 2⁻⁵²)", 2f64.powi(-52)),
+    ] {
         let m = DiscreteNoisyTopKWithGap::with_gamma(k, epsilon, true, gamma).unwrap();
         println!("  {label:<22} δ ≤ {:.3e}", m.delta(n));
     }
@@ -44,7 +48,11 @@ fn main() {
 
     // --- Staircase vs Laplace measurement ---
     println!("\nmeasuring the selected queries: Laplace vs staircase noise");
-    let truths: Vec<f64> = out.items.iter().map(|it| counts.count(it.index) as f64).collect();
+    let truths: Vec<f64> = out
+        .items
+        .iter()
+        .map(|it| counts.count(it.index) as f64)
+        .collect();
     for eps in [0.5, 2.0, 8.0] {
         let lap = LaplaceMechanism::new(eps).unwrap();
         let stair = StaircaseMechanism::new(eps).unwrap();

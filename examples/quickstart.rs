@@ -48,8 +48,6 @@ fn main() {
     // and the runner-up after the selection, with known variance.
     let spread = pairwise_gap(&out, 1, k + 1);
     let sd = pairwise_gap_variance(k, epsilon, true).sqrt();
-    println!(
-        "\nfree estimate of (best − runner-up after top-{k}): {spread:.1} ± {sd:.1} (1σ)",
-    );
+    println!("\nfree estimate of (best − runner-up after top-{k}): {spread:.1} ± {sd:.1} (1σ)",);
     println!("privacy spent either way: ε = {epsilon} — the gaps cost nothing.");
 }

@@ -21,7 +21,10 @@ fn main() {
     let k = 10;
     let runs = 2_000;
 
-    println!("workload: {} counting queries; ε = {epsilon}, k = {k}, {runs} runs\n", answers.len());
+    println!(
+        "workload: {} counting queries; ε = {epsilon}, k = {k}, {runs} runs\n",
+        answers.len()
+    );
 
     // Monte-Carlo the full pipeline to show the MSE effect.
     let mut sse_baseline = 0.0;

@@ -68,12 +68,15 @@ pub mod prelude {
         DiscreteNoisyTopKWithGap, NoisyMaxWithGap, NoisyTopKWithGap, TopKOutput,
     };
     pub use free_gap_core::pipelines::{
-        svt_select_measure, topk_select_measure, topk_select_measure_with_split,
+        svt_select_measure, svt_select_measure_scratch, topk_select_measure,
+        topk_select_measure_scratch, topk_select_measure_with_split,
+        topk_select_measure_with_split_scratch, PipelineScratch,
     };
     pub use free_gap_core::postprocess::{
-        blue_estimates, blue_variance_ratio, combine_gap_with_measurement,
-        gap_confidence_offset, svt_error_ratio, BlueInput,
+        blue_estimates, blue_variance_ratio, combine_gap_with_measurement, gap_confidence_offset,
+        svt_error_ratio, BlueInput,
     };
+    pub use free_gap_core::scratch::{SvtScratch, TopKScratch};
     pub use free_gap_core::sparse_vector::{
         AdaptiveSparseVector, Branch, ClassicSparseVector, DiscreteSparseVectorWithGap,
         MultiBranchAdaptiveSparseVector, SparseVectorWithGap,

@@ -64,7 +64,11 @@ fn monotone_configuration_under_non_monotone_adjacency_is_flagged() {
         "expected a flagged violation, got ε̂ = {}",
         audit.epsilon_hat
     );
-    assert!(audit.epsilon_hat < 2.0 * eps + 2.0 * SLACK, "ε̂ = {}", audit.epsilon_hat);
+    assert!(
+        audit.epsilon_hat < 2.0 * eps + 2.0 * SLACK,
+        "ε̂ = {}",
+        audit.epsilon_hat
+    );
 }
 
 #[test]
@@ -76,13 +80,20 @@ fn monotone_noisy_max_consumes_half_budget() {
     let mech = NoisyTopKWithGap::new(1, eps, true).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
         let out = mech.run(&QueryAnswers::counting(answers.to_vec()), rng);
-        (out.items[0].index, (out.items[0].gap / 5.0).floor().min(5.0) as i64)
+        (
+            out.items[0].index,
+            (out.items[0].gap / 5.0).floor().min(5.0) as i64,
+        )
     };
     let d = vec![4.0, 3.0, 1.0];
     let dp = vec![5.0, 4.0, 2.0]; // all +1: monotone adjacency
     let mut rng = rng_from_seed(2);
     let audit = empirical_epsilon(run, &d, &dp, TRIALS, MIN_COUNT, &mut rng);
-    assert!(audit.epsilon_hat <= eps + SLACK, "ε̂ = {}", audit.epsilon_hat);
+    assert!(
+        audit.epsilon_hat <= eps + SLACK,
+        "ε̂ = {}",
+        audit.epsilon_hat
+    );
 }
 
 #[test]
@@ -130,7 +141,11 @@ fn classic_svt_epsilon_hat() {
     let dp = vec![4.0, 4.0, 3.0];
     let mut rng = rng_from_seed(4);
     let audit = empirical_epsilon(run, &d, &dp, TRIALS, MIN_COUNT, &mut rng);
-    assert!(audit.epsilon_hat <= eps + SLACK, "ε̂ = {}", audit.epsilon_hat);
+    assert!(
+        audit.epsilon_hat <= eps + SLACK,
+        "ε̂ = {}",
+        audit.epsilon_hat
+    );
 }
 
 #[test]
@@ -142,7 +157,9 @@ fn sanity_the_audit_catches_overconfident_budgets() {
     let claimed = 0.5;
     let mech = NoisyTopKWithGap::new(1, true_eps, true).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
-        mech.run(&QueryAnswers::counting(answers.to_vec()), rng).items[0].index
+        mech.run(&QueryAnswers::counting(answers.to_vec()), rng)
+            .items[0]
+            .index
     };
     let d = vec![3.0, 2.0];
     let dp = vec![2.0, 3.0];

@@ -27,7 +27,10 @@ fn dataset_to_topk_selection_finds_heavy_items() {
             hits += 1;
         }
     }
-    assert!(hits > runs / 2, "top-k recall was rarely high: {hits}/{runs}");
+    assert!(
+        hits > runs / 2,
+        "top-k recall was rarely high: {hits}/{runs}"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn full_svt_workflow_matches_section_6_2() {
     }
     let ratio = sse_comb / sse_base;
     let theory = svt_error_ratio(k, true);
-    assert!((ratio - theory).abs() < 0.06, "ratio {ratio} vs theory {theory}");
+    assert!(
+        (ratio - theory).abs() < 0.06,
+        "ratio {ratio} vs theory {theory}"
+    );
 }
 
 #[test]
@@ -143,13 +149,22 @@ fn multi_branch_ladder_dominates_algorithm2_on_real_workload() {
     for run in 0..200u64 {
         let mut rng = derive_stream(501, run);
         for (i, m) in [1usize, 2, 3].into_iter().enumerate() {
-            let mech =
-                MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, m).unwrap();
+            let mech = MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, m).unwrap();
             totals[i] += mech.run(&answers, &mut rng).answered();
         }
     }
-    assert!(totals[1] > totals[0], "m=2 {} vs m=1 {}", totals[1], totals[0]);
-    assert!(totals[2] >= totals[1], "m=3 {} vs m=2 {}", totals[2], totals[1]);
+    assert!(
+        totals[1] > totals[0],
+        "m=2 {} vs m=1 {}",
+        totals[1],
+        totals[0]
+    );
+    assert!(
+        totals[2] >= totals[1],
+        "m=3 {} vs m=2 {}",
+        totals[2],
+        totals[1]
+    );
 }
 
 #[test]

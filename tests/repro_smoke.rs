@@ -7,7 +7,12 @@ use free_gap_bench::ExperimentConfig;
 use free_gap_data::Dataset;
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { runs: 40, scale: 0.005, seed: 99, epsilon: 0.7 }
+    ExperimentConfig {
+        runs: 40,
+        scale: 0.005,
+        seed: 99,
+        epsilon: 0.7,
+    }
 }
 
 #[test]
@@ -52,7 +57,11 @@ fn fig3_smoke_all_datasets() {
         let svt: f64 = t.rows[0][1].to_string().parse().unwrap();
         let adaptive: f64 = t.rows[0][2].to_string().parse().unwrap();
         assert!(svt <= 4.0 + 1e-9);
-        assert!(adaptive >= svt, "{}: adaptive {adaptive} vs svt {svt}", ds.name());
+        assert!(
+            adaptive >= svt,
+            "{}: adaptive {adaptive} vs svt {svt}",
+            ds.name()
+        );
     }
 }
 

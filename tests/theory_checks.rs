@@ -26,7 +26,11 @@ fn theorem2_gap_variance_matches_16k2_over_eps2() {
     }
     let expect = 16.0 * (k * k) as f64 / (eps * eps);
     let rel = (gaps.variance() - expect).abs() / expect;
-    assert!(rel < 0.05, "variance {} vs 16k²/ε² = {expect}", gaps.variance());
+    assert!(
+        rel < 0.05,
+        "variance {} vs 16k²/ε² = {expect}",
+        gaps.variance()
+    );
     assert!(
         (pairwise_gap_variance(k, eps, false) - expect).abs() < 1e-9,
         "closed form disagrees"
@@ -73,7 +77,10 @@ fn appendix_a1_tie_bound_certifies_machine_epsilon_implementations() {
     assert!(delta < 1e-3, "δ = {delta}");
     // …and with float32-like granularity it would NOT be: the bound warns.
     let delta32 = free_gap::noise::tie::union_tie_bound(1_000_000, 1.0, 2f64.powi(-23)).unwrap();
-    assert!(delta32 > 0.1, "a coarse grid must look risky, got {delta32}");
+    assert!(
+        delta32 > 0.1,
+        "a coarse grid must look risky, got {delta32}"
+    );
 }
 
 #[test]
@@ -110,5 +117,8 @@ fn gap_plus_threshold_is_consistent_estimator() {
     };
     let wide = spread(0.2);
     let tight = spread(2.0);
-    assert!(tight < wide / 50.0, "variance did not shrink: {tight} vs {wide}");
+    assert!(
+        tight < wide / 50.0,
+        "variance did not shrink: {tight} vs {wide}"
+    );
 }

@@ -1,0 +1,34 @@
+//! Boolean strategies (`proptest::bool`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Uniform over `{true, false}`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// The uniform boolean strategy (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn any_produces_both_values() {
+        let mut rng = rng_for_test("any_produces_both_values");
+        let draws: Vec<bool> = (0..64).map(|_| ANY.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+}

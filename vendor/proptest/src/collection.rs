@@ -1,0 +1,95 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Length specification for [`vec`]: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec-length range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty vec-length range");
+        Self { lo, hi: hi + 1 }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Builds a vector strategy: `vec(element, 0..20)` or `vec(element, 5)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = vec(0.0f64..1.0, 2..5);
+        let mut rng = rng_for_test("vec_lengths_respect_range");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategies_compose() {
+        let s = vec(vec(0u32..10, 0..4), 1..3);
+        let mut rng = rng_for_test("nested_vec_strategies_compose");
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 3);
+        for inner in &v {
+            assert!(inner.len() < 4);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec() {
+        let s = vec(0u32..10, 7usize);
+        let mut rng = rng_for_test("fixed_size_vec");
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+}

@@ -1,0 +1,76 @@
+//! The [`Strategy`] trait and range-based strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A generator of test-case inputs.
+///
+/// Unlike real proptest, strategies here generate values directly (no value
+/// trees, no shrinking).
+pub trait Strategy {
+    /// The value type generated.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// A strategy that always yields the same value (`proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for_test("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let x = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&x));
+            let k = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&k));
+            let s = (-4i64..-1).generate(&mut rng);
+            assert!((-4..-1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = rng_for_test("just_yields_constant");
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}

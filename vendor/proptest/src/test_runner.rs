@@ -1,0 +1,84 @@
+//! Test configuration, errors, and deterministic per-test RNG streams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG driving strategy generation (one stream per test function).
+pub type TestRng = SmallRng;
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed property-test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG for a named test: the same test name always yields the
+/// same case sequence, so failures reproduce across runs and machines.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name, then SplitMix expansion in seed_from_u64.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn per_test_streams_are_deterministic_and_distinct() {
+        let mut a = rng_for_test("alpha");
+        let mut b = rng_for_test("alpha");
+        let mut c = rng_for_test("beta");
+        let x = a.next_u64();
+        assert_eq!(x, b.next_u64());
+        assert_ne!(x, c.next_u64());
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert_eq!(Config::default().cases, 256);
+        assert_eq!(Config::with_cases(64).cases, 64);
+    }
+}
