@@ -14,6 +14,8 @@
 //!   ablation-split     selection/measurement budget-split sweep
 //!   ablation-branches  branch-count sweep for multi-branch Adaptive-SVT
 //!   bench              mechanism-throughput grid → BENCH_mechanisms.json
+//!   bench-check        verify a written BENCH_mechanisms.json covers every
+//!                      mechanism × path × n × k cell (CI smoke gate)
 //!   all                everything above except `bench`, paper defaults
 //!
 //! Options:
@@ -81,11 +83,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         };
         match flag {
             "--runs" => {
-                opts.runs = Some(
-                    value("--runs")?
-                        .parse()
-                        .map_err(|e| format!("--runs: {e}"))?,
-                )
+                let runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+                if runs == 0 {
+                    return Err("--runs must be at least 1".into());
+                }
+                opts.runs = Some(runs);
             }
             "--scale" => {
                 opts.scale = value("--scale")?
@@ -160,6 +164,21 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
                 .map_err(|e| format!("writing {}: {e}", opts.json))?;
             eprintln!("wrote {}", opts.json);
             vec![perf::to_table(&records)]
+        }
+        "bench-check" => {
+            let json = std::fs::read_to_string(&opts.json)
+                .map_err(|e| format!("reading {}: {e}", opts.json))?;
+            let missing = perf::missing_cells(&json);
+            if !missing.is_empty() {
+                return Err(format!(
+                    "{} has {} missing bench cell(s):\n  {}",
+                    opts.json,
+                    missing.len(),
+                    missing.join("\n  ")
+                ));
+            }
+            eprintln!("{}: all mechanism × path cells present", opts.json);
+            Vec::new()
         }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
         "fig1a" => vec![experiments::fig1::run(
@@ -292,7 +311,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv] [--json PATH]");
+            eprintln!("usage: repro <bench|bench-check|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv] [--json PATH]");
             return ExitCode::FAILURE;
         }
     };

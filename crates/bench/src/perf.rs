@@ -8,13 +8,23 @@
 //! | `dyn` | the allocating `run` path — `dyn NoiseSource` dispatch, fresh buffers per run (the "before") |
 //! | `scratch` | `run_with_scratch` — batched noise, reused buffers, monomorphic `StdRng` |
 //! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`] (Xoshiro) — the Monte-Carlo fast path |
+//! | `streaming` | `run_streaming_with_scratch` — the lazy-iterator serving path (SVT family only; Top-K needs the whole vector) |
 //!
-//! All three paths execute the *same mechanism*: `scratch` is bit-identical
-//! to `dyn` per run (see `free_gap_core::scratch`), and `scratch_fast` only
-//! swaps the generator. Results are printed as a table and written to
+//! All paths execute the *same mechanism*: `scratch` and `streaming` are
+//! bit-identical to `dyn` per run (see `free_gap_core::scratch` and the
+//! `scratch_equivalence` suite), and `scratch_fast` only swaps the
+//! generator. Results are printed as a table and written to
 //! `BENCH_mechanisms.json` so the perf trajectory is tracked across PRs —
 //! compare the file in version control against a fresh run on the same
 //! machine before claiming a regression or a win.
+//!
+//! The `streaming` cells here pull queries from an iterator over the same
+//! materialized workload, so they isolate the *overhead* of the streaming
+//! layer versus `scratch` (expected: none — both early-stop after the k-th
+//! ⊤, which on the shuffled workloads is a small prefix of the long
+//! streams). The *win* of the streaming path — answering from a generator
+//! without ever materializing the query vector — is demonstrated
+//! end-to-end by `examples/streaming_svt.rs`.
 //!
 //! The headline before/after comparison is `dyn` (the only path that
 //! existed before the batching work) against `scratch_fast` (the Monte-Carlo
@@ -44,14 +54,18 @@
 //!
 //! `runs_per_sec` is the headline number; `runs`/`elapsed_secs` let a reader
 //! judge measurement quality. Records appear for every
-//! `mechanism × path × n × k` cell, so "the speedup" for a cell is the ratio
-//! of its `scratch`(`_fast`) and `dyn` records.
+//! `mechanism × path × n × k` cell (paths per mechanism as listed in
+//! [`MECHANISM_PATHS`]: the SVT family has the extra `streaming` path, the
+//! Top-K family does not), so "the speedup" for a cell is the ratio of its
+//! `scratch`(`_fast`)/`streaming` and `dyn` records. [`missing_cells`]
+//! re-derives the expected cell set from the same table, which is what the
+//! CI smoke step runs against a freshly written file.
 
 use crate::table::Table;
 use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap,
+    AdaptiveSparseVector, ClassicSparseVector, MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::{derive_fast_stream, derive_stream};
@@ -60,18 +74,44 @@ use rand::Rng;
 use std::hint::black_box;
 use std::time::Instant;
 
+/// The benchmarked mechanisms and the execution paths each one has, in
+/// record order. This is the single source of truth for grid coverage:
+/// [`run_grid`] produces exactly these cells and [`missing_cells`] checks a
+/// written JSON against them.
+pub const MECHANISM_PATHS: [(&str, &[&str]); 6] = [
+    ("NoisyTopKWithGap", &["dyn", "scratch", "scratch_fast"]),
+    ("ClassicNoisyTopK", &["dyn", "scratch", "scratch_fast"]),
+    (
+        "SparseVectorWithGap",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+    (
+        "ClassicSparseVector",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+    (
+        "AdaptiveSparseVector",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+    (
+        "MultiBranchAdaptiveSparseVector",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+];
+
 /// One timed cell of the benchmark grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Mechanism name (type name, e.g. `NoisyTopKWithGap`).
     pub mechanism: &'static str,
-    /// Execution path: `dyn`, `scratch` or `scratch_fast`.
+    /// Execution path: `dyn`, `scratch`, `scratch_fast` or `streaming`.
     pub path: &'static str,
     /// Workload size (number of queries).
     pub n: usize,
     /// Selection parameter `k`.
     pub k: usize,
-    /// Completed Monte-Carlo runs inside the timing window.
+    /// Completed Monte-Carlo runs this record accounts for: the cell total
+    /// in fixed-`runs` mode, the fastest window in time-budget mode.
     pub runs: usize,
     /// Wall-clock seconds spent on those runs.
     pub elapsed_secs: f64,
@@ -93,8 +133,10 @@ impl BenchRecord {
 pub struct BenchConfig {
     /// Root seed for workload generation and per-run streams.
     pub seed: u64,
-    /// Fixed run count per cell (split across timing windows); `None`
-    /// uses the time budget instead.
+    /// Fixed run count per cell: exactly this many timed runs are executed
+    /// (partitioned across the timing windows) and the recorded
+    /// `runs`/`elapsed_secs` are the cell totals. `None` uses the time
+    /// budget instead.
     pub runs: Option<usize>,
     /// Time budget per cell in seconds when `runs` is `None`.
     pub budget_secs: f64,
@@ -138,18 +180,46 @@ fn rank_threshold(answers: &QueryAnswers, k: usize) -> f64 {
     sorted[(4 * k).min(sorted.len() - 1)]
 }
 
-/// Timing windows per cell; the fastest window is reported. On shared
-/// machines a single window is hostage to whatever else ran during it —
-/// best-of-three approximates the uncontended throughput, symmetrically
-/// for every path.
+/// Timing windows per cell. On shared machines a single window is hostage
+/// to whatever else ran during it; in time-budget mode the fastest window
+/// is reported (approximating uncontended throughput, symmetrically for
+/// every path), while fixed-`runs` mode partitions the requested count
+/// across the windows and reports the cell totals, so the recorded `runs`
+/// equals what the user asked for and no extra work is executed.
 const WINDOWS: usize = 3;
 
-/// Times `body(run_index)` over [`WINDOWS`] windows (each a third of the
-/// run target / time budget) and returns the fastest window.
+/// Times `body(run_index)` and returns `(runs, elapsed_secs)`.
+///
+/// * Fixed-`runs` mode: exactly `target` timed runs are executed,
+///   partitioned across [`WINDOWS`] windows; the cell **total** runs and
+///   elapsed time are returned (`runs == target`; a degenerate target of 0
+///   is clamped to 1 so every record keeps a measurable cell — the `repro`
+///   CLI rejects `--runs 0` up front).
+/// * Time-budget mode: each window runs for a third of the budget and the
+///   fastest window is returned.
 fn time_cell(config: &BenchConfig, mut body: impl FnMut(u64)) -> (usize, f64) {
     // Warm up: populate caches/buffers outside the timed windows.
     body(u64::MAX);
     let mut next_run = 0u64;
+    if let Some(target) = config.runs {
+        let target = target.max(1);
+        let mut total_elapsed = 0.0;
+        for window in 0..WINDOWS {
+            // Partition: the first `target % WINDOWS` windows take one extra
+            // run, so window sizes sum to exactly `target`.
+            let window_runs = target / WINDOWS + usize::from(window < target % WINDOWS);
+            if window_runs == 0 {
+                continue;
+            }
+            let start = Instant::now();
+            for _ in 0..window_runs {
+                body(next_run);
+                next_run += 1;
+            }
+            total_elapsed += start.elapsed().as_secs_f64();
+        }
+        return (target, total_elapsed);
+    }
     let mut best: Option<(usize, f64)> = None;
     for _ in 0..WINDOWS {
         let start = Instant::now();
@@ -158,21 +228,12 @@ fn time_cell(config: &BenchConfig, mut body: impl FnMut(u64)) -> (usize, f64) {
             body(next_run);
             next_run += 1;
             runs += 1;
-            match config.runs {
-                Some(target) => {
-                    if runs >= target.div_ceil(WINDOWS) {
-                        break;
-                    }
-                }
-                None => {
-                    // Check the clock in batches of 16 to keep `Instant::now`
-                    // out of the hot loop.
-                    if runs.is_multiple_of(16)
-                        && start.elapsed().as_secs_f64() >= config.budget_secs / WINDOWS as f64
-                    {
-                        break;
-                    }
-                }
+            // Check the clock in batches of 16 to keep `Instant::now`
+            // out of the hot loop.
+            if runs.is_multiple_of(16)
+                && start.elapsed().as_secs_f64() >= config.budget_secs / WINDOWS as f64
+            {
+                break;
             }
         }
         let elapsed = start.elapsed().as_secs_f64();
@@ -187,9 +248,11 @@ fn time_cell(config: &BenchConfig, mut body: impl FnMut(u64)) -> (usize, f64) {
     best.expect("at least one window ran")
 }
 
-/// Times one `mechanism × n × k` cell across all three paths, pushing a
-/// record per path. `scratch_run` receives `fast = true` for the FastRng
-/// variant so one closure (and one scratch borrow) serves both.
+/// Times one `mechanism × n × k` cell across the three materialized paths,
+/// pushing a record per path. `scratch_run` receives `fast = true` for the
+/// FastRng variant so one closure (and one scratch borrow) serves both.
+/// SVT mechanisms additionally get a `streaming` record via
+/// [`bench_streaming_cell`].
 #[allow(clippy::too_many_arguments)]
 fn bench_cell(
     records: &mut Vec<BenchRecord>,
@@ -213,6 +276,27 @@ fn bench_cell(
     push("dyn", time_cell(config, &mut dyn_run));
     push("scratch", time_cell(config, |r| scratch_run(r, false)));
     push("scratch_fast", time_cell(config, |r| scratch_run(r, true)));
+}
+
+/// Times the lazy-iterator path of one SVT cell and pushes its `streaming`
+/// record.
+fn bench_streaming_cell(
+    records: &mut Vec<BenchRecord>,
+    config: &BenchConfig,
+    mechanism: &'static str,
+    n: usize,
+    k: usize,
+    mut streaming_run: impl FnMut(u64),
+) {
+    let (runs, elapsed_secs) = time_cell(config, &mut streaming_run);
+    records.push(BenchRecord {
+        mechanism,
+        path: "streaming",
+        n,
+        k,
+        runs,
+        elapsed_secs,
+    });
 }
 
 /// Expands to the `(run_index, fast)` closure for one mechanism's scratch
@@ -247,11 +331,16 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
         for &k in &K_GRID {
             let threshold = rank_threshold(&answers, k);
             let mut topk_scratch = TopKScratch::new();
-            // One SVT scratch per mechanism: predictive batch sizing assumes
-            // consecutive runs of the same mechanism.
+            // One SVT scratch per mechanism × path: predictive batch sizing
+            // assumes consecutive runs of the same mechanism.
             let mut svt_gap_scratch = SvtScratch::new();
             let mut classic_svt_scratch = SvtScratch::new();
             let mut adaptive_scratch = SvtScratch::new();
+            let mut multi_branch_scratch = SvtScratch::new();
+            let mut svt_gap_stream_scratch = SvtScratch::new();
+            let mut classic_svt_stream_scratch = SvtScratch::new();
+            let mut adaptive_stream_scratch = SvtScratch::new();
+            let mut multi_branch_stream_scratch = SvtScratch::new();
 
             let topk = NoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
             bench_cell(
@@ -292,6 +381,13 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 },
                 scratch_runner!(svt_gap, &answers, svt_gap_scratch, seed),
             );
+            bench_streaming_cell(&mut records, config, "SparseVectorWithGap", n, k, |r| {
+                black_box(svt_gap.run_streaming_with_scratch(
+                    answers.values().iter().copied(),
+                    &mut derive_stream(seed, r),
+                    &mut svt_gap_stream_scratch,
+                ));
+            });
 
             let classic_svt =
                 ClassicSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
@@ -306,6 +402,13 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 },
                 scratch_runner!(classic_svt, &answers, classic_svt_scratch, seed),
             );
+            bench_streaming_cell(&mut records, config, "ClassicSparseVector", n, k, |r| {
+                black_box(classic_svt.run_streaming_with_scratch(
+                    answers.values().iter().copied(),
+                    &mut derive_stream(seed, r),
+                    &mut classic_svt_stream_scratch,
+                ));
+            });
 
             let adaptive =
                 AdaptiveSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
@@ -320,13 +423,76 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 },
                 scratch_runner!(adaptive, &answers, adaptive_scratch, seed),
             );
+            bench_streaming_cell(&mut records, config, "AdaptiveSparseVector", n, k, |r| {
+                black_box(adaptive.run_streaming_with_scratch(
+                    answers.values().iter().copied(),
+                    &mut derive_stream(seed, r),
+                    &mut adaptive_stream_scratch,
+                ));
+            });
+
+            // Three branches: the ladder beyond Algorithm 2, newly wired
+            // into the scratch/streaming substrate.
+            let multi = MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, 3)
+                .expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "MultiBranchAdaptiveSparseVector",
+                n,
+                k,
+                |r| {
+                    black_box(multi.run(&answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(multi, &answers, multi_branch_scratch, seed),
+            );
+            bench_streaming_cell(
+                &mut records,
+                config,
+                "MultiBranchAdaptiveSparseVector",
+                n,
+                k,
+                |r| {
+                    black_box(multi.run_streaming_with_scratch(
+                        answers.values().iter().copied(),
+                        &mut derive_stream(seed, r),
+                        &mut multi_branch_stream_scratch,
+                    ));
+                },
+            );
         }
     }
     records
 }
 
+/// Returns the `mechanism × path × n × k` cells missing from a
+/// `BENCH_mechanisms.json` document, using the exact key-prefix format
+/// [`to_json`] writes. Empty means full coverage. The CI bench smoke step
+/// fails on any missing cell so a silently dropped path can never ship a
+/// stale-looking baseline.
+pub fn missing_cells(json: &str) -> Vec<String> {
+    let mut missing = Vec::new();
+    for (mechanism, paths) in MECHANISM_PATHS {
+        for path in paths {
+            for n in N_GRID {
+                for k in K_GRID {
+                    let needle = format!(
+                        "\"mechanism\": \"{mechanism}\", \"path\": \"{path}\", \"n\": {n}, \"k\": {k},"
+                    );
+                    if !json.contains(&needle) {
+                        missing.push(format!("{mechanism}/{path} n={n} k={k}"));
+                    }
+                }
+            }
+        }
+    }
+    missing
+}
+
 /// Renders the records as a table with one row per `mechanism × n × k` and
-/// the three paths side by side (speedups relative to `dyn`).
+/// the paths side by side (speedups relative to `dyn`; the streaming
+/// columns show `-` for the Top-K mechanisms, which have no streaming
+/// path).
 pub fn to_table(records: &[BenchRecord]) -> Table {
     let mut table = Table::new(
         "bench: mechanism throughput (runs/sec; speedup vs dyn path)".to_string(),
@@ -339,6 +505,8 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
             "scratch_speedup",
             "fast_rps",
             "fast_speedup",
+            "streaming_rps",
+            "streaming_speedup",
         ],
     );
     // Group by cell key and look paths up by name — no reliance on record
@@ -369,7 +537,7 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
                 0.0
             }
         };
-        table.push_row(vec![
+        let mut row = vec![
             mechanism.into(),
             n.into(),
             k.into(),
@@ -378,7 +546,20 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
             ratio(scratch_rec).into(),
             fast_rec.runs_per_sec().into(),
             ratio(fast_rec).into(),
-        ]);
+        ];
+        // The Top-K mechanisms have no streaming path; leave their cells
+        // blank rather than printing a misleading zero.
+        match find("streaming") {
+            Some(streaming_rec) => {
+                row.push(streaming_rec.runs_per_sec().into());
+                row.push(ratio(streaming_rec).into());
+            }
+            None => {
+                row.push("-".into());
+                row.push("-".into());
+            }
+        }
+        table.push_row(row);
     }
     table
 }
@@ -426,19 +607,83 @@ mod tests {
     #[test]
     fn grid_covers_every_mechanism_path_cell() {
         let records = run_grid(&tiny_config());
-        // 5 mechanisms × 3 paths × |N_GRID| × |K_GRID|.
-        assert_eq!(records.len(), 5 * 3 * N_GRID.len() * K_GRID.len());
+        let cells: usize = MECHANISM_PATHS.iter().map(|(_, paths)| paths.len()).sum();
+        assert_eq!(records.len(), cells * N_GRID.len() * K_GRID.len());
         assert!(records.iter().all(|r| r.runs >= 1));
         assert!(records.iter().all(|r| r.elapsed_secs > 0.0));
-        // Every triple is (dyn, scratch, scratch_fast) over one cell.
-        for chunk in records.chunks(3) {
-            assert_eq!(chunk[0].path, "dyn");
-            assert_eq!(chunk[1].path, "scratch");
-            assert_eq!(chunk[2].path, "scratch_fast");
-            assert_eq!(chunk[0].mechanism, chunk[1].mechanism);
-            assert_eq!(chunk[0].n, chunk[2].n);
-            assert_eq!(chunk[0].k, chunk[2].k);
+        // Every (mechanism, path, n, k) cell from the declared table exists
+        // exactly once.
+        for (mechanism, paths) in MECHANISM_PATHS {
+            for path in paths {
+                for n in N_GRID {
+                    for k in K_GRID {
+                        let count = records
+                            .iter()
+                            .filter(|r| {
+                                r.mechanism == mechanism && r.path == *path && r.n == n && r.k == k
+                            })
+                            .count();
+                        assert_eq!(count, 1, "{mechanism}/{path} n={n} k={k}");
+                    }
+                }
+            }
         }
+        // The written JSON must therefore pass the coverage check.
+        assert!(missing_cells(&to_json(7, &records)).is_empty());
+    }
+
+    #[test]
+    fn fixed_runs_mode_executes_and_records_exactly_the_target() {
+        // Regression: fixed-`runs` mode used to run `ceil(target/3)` per
+        // window (overshooting the requested total) while recording only the
+        // best window's count (~target/3 in the JSON). The contract is:
+        // exactly `target` timed runs, recorded as the cell total.
+        for target in [1usize, 2, 3, 5, 7] {
+            let config = BenchConfig {
+                seed: 1,
+                runs: Some(target),
+                budget_secs: 10.0, // must be ignored in fixed-runs mode
+            };
+            let mut timed_runs: Vec<u64> = Vec::new();
+            let mut warmups = 0usize;
+            let (runs, elapsed) = time_cell(&config, |r| {
+                if r == u64::MAX {
+                    warmups += 1;
+                } else {
+                    timed_runs.push(r);
+                }
+            });
+            assert_eq!(runs, target, "recorded runs for target {target}");
+            assert_eq!(warmups, 1);
+            // Exactly `target` timed executions, with sequential run indices
+            // (each run gets a distinct derived RNG stream).
+            let expect: Vec<u64> = (0..target as u64).collect();
+            assert_eq!(timed_runs, expect, "executed runs for target {target}");
+            assert!(elapsed >= 0.0);
+        }
+    }
+
+    #[test]
+    fn missing_cells_flags_absent_paths() {
+        let records = run_grid(&tiny_config());
+        let full = to_json(7, &records);
+        assert!(missing_cells(&full).is_empty());
+        // Drop every streaming record: exactly those cells are reported.
+        let pruned: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| r.path != "streaming")
+            .cloned()
+            .collect();
+        let missing = missing_cells(&to_json(7, &pruned));
+        let streaming_mechanisms = MECHANISM_PATHS
+            .iter()
+            .filter(|(_, paths)| paths.contains(&"streaming"))
+            .count();
+        assert_eq!(
+            missing.len(),
+            streaming_mechanisms * N_GRID.len() * K_GRID.len()
+        );
+        assert!(missing.iter().all(|m| m.contains("/streaming")));
     }
 
     #[test]

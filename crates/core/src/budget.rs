@@ -72,15 +72,28 @@ impl PrivacyBudget {
     /// Splits the *remaining* budget into `fractions` (which must sum to at
     /// most 1) and returns the corresponding ε shares without spending them.
     ///
-    /// # Panics
-    /// Panics if any fraction is non-positive or the sum exceeds 1 + 1e-12.
-    pub fn split(&self, fractions: &[f64]) -> Vec<f64> {
+    /// # Errors
+    /// Rejects an empty fraction list (a vacuous split is almost certainly a
+    /// caller bug — it would silently produce no shares), and any fraction
+    /// that is non-positive or non-finite, and sums exceeding 1 + 1e-12.
+    pub fn split(&self, fractions: &[f64]) -> Result<Vec<f64>, MechanismError> {
+        if fractions.is_empty() {
+            return Err(MechanismError::InvalidSplit {
+                reason: "fraction list must be non-empty",
+            });
+        }
+        if !fractions.iter().all(|f| f.is_finite() && *f > 0.0) {
+            return Err(MechanismError::InvalidSplit {
+                reason: "every fraction must be positive and finite",
+            });
+        }
         let sum: f64 = fractions.iter().sum();
-        assert!(
-            fractions.iter().all(|&f| f > 0.0) && sum <= 1.0 + 1e-12,
-            "fractions must be positive and sum to <= 1"
-        );
-        fractions.iter().map(|f| f * self.remaining()).collect()
+        if sum > 1.0 + 1e-12 {
+            return Err(MechanismError::InvalidSplit {
+                reason: "fractions must sum to at most 1",
+            });
+        }
+        Ok(fractions.iter().map(|f| f * self.remaining()).collect())
     }
 }
 
@@ -134,14 +147,28 @@ mod tests {
     fn split_scales_remaining() {
         let mut b = PrivacyBudget::new(2.0).unwrap();
         b.spend(1.0).unwrap();
-        let shares = b.split(&[0.5, 0.5]);
+        let shares = b.split(&[0.5, 0.5]).unwrap();
         assert_eq!(shares, vec![0.5, 0.5]);
     }
 
     #[test]
-    #[should_panic(expected = "sum to <= 1")]
-    fn split_rejects_oversubscription() {
-        PrivacyBudget::new(1.0).unwrap().split(&[0.7, 0.7]);
+    fn split_rejects_malformed_requests() {
+        let b = PrivacyBudget::new(1.0).unwrap();
+        for bad in [
+            &[0.7, 0.7][..],      // oversubscribed
+            &[][..],              // vacuously "valid" before: now rejected
+            &[0.5, 0.0][..],      // non-positive
+            &[0.5, -0.1][..],     // negative
+            &[0.5, f64::NAN][..], // NaN
+            &[f64::INFINITY][..], // non-finite
+        ] {
+            assert!(
+                matches!(b.split(bad), Err(MechanismError::InvalidSplit { .. })),
+                "accepted {bad:?}"
+            );
+        }
+        // Exactly 1 (within slack) still passes.
+        assert!(b.split(&[0.5, 0.5]).is_ok());
     }
 
     #[test]

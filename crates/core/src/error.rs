@@ -39,6 +39,12 @@ pub enum MechanismError {
         /// Amount remaining.
         remaining: f64,
     },
+    /// A budget split request was malformed (empty list, non-positive or
+    /// non-finite fractions, or fractions summing above 1).
+    InvalidSplit {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for MechanismError {
@@ -67,6 +73,9 @@ impl fmt::Display for MechanismError {
                 remaining,
             } => {
                 write!(f, "requested ε = {requested} but only {remaining} remains")
+            }
+            MechanismError::InvalidSplit { reason } => {
+                write!(f, "invalid budget split: {reason}")
             }
         }
     }
@@ -126,5 +135,9 @@ mod tests {
         assert!(e.to_string().contains("0.25"));
         let e = MechanismError::NotEnoughQueries { got: 2, need: 4 };
         assert!(e.to_string().contains('4'));
+        let e = MechanismError::InvalidSplit {
+            reason: "fraction list must be non-empty",
+        };
+        assert!(e.to_string().contains("non-empty"));
     }
 }

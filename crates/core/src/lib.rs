@@ -34,22 +34,31 @@
 //! from its privacy proof (Lemma 2 / Lemma 4) so the test-suite can execute
 //! the proof obligations on concrete runs.
 //!
-//! ## Execution paths: `run` vs `run_with_scratch`
+//! ## Execution paths: `run`, `run_with_scratch`, `run_streaming`
 //!
-//! Each mechanism has two equivalent execution paths:
+//! Each mechanism has equivalent execution paths:
 //!
 //! * **`run` / `run_with_source`** — draws noise through `dyn
 //!   NoiseSource`. This is the path the alignment checker interposes on
 //!   (recording and replaying tapes), and the reference semantics.
 //! * **`run_with_scratch`** — the batched fast path for Monte-Carlo and
 //!   high-traffic serving: noise is drawn in batches via
-//!   [`free_gap_noise::ContinuousDistribution::fill_into`], noisy-value
-//!   buffers live in a reusable [`scratch::TopKScratch`] /
-//!   [`scratch::SvtScratch`], and the RNG is a monomorphic generic (no
-//!   virtual dispatch). Outputs are **bit-for-bit identical** to `run` on
-//!   the same RNG stream; the scratch path may consume *more* of the
-//!   stream (batch lookahead), so derive a fresh
-//!   [`free_gap_noise::rng::derive_stream`] per run.
+//!   [`free_gap_noise::ContinuousDistribution::fill_into`] (through the
+//!   chunked [`free_gap_noise::BlockBuffer`]), noisy-value buffers live in
+//!   a reusable [`scratch::TopKScratch`] / [`scratch::SvtScratch`], and
+//!   the RNG is a monomorphic generic (no virtual dispatch). Outputs are
+//!   **bit-for-bit identical** to `run` on the same RNG stream; the
+//!   scratch path may consume *more* of the stream (batch lookahead), so
+//!   derive a fresh [`free_gap_noise::rng::derive_stream`] per run.
+//! * **`run_streaming` / `run_streaming_with_scratch`** (SVT family only)
+//!   — consume `impl IntoIterator<Item = f64>` *lazily*, answering each
+//!   query as it is pulled and halting the pull the moment the mechanism
+//!   stops (k-th `⊤`, answer limit, or exhausted adaptive budget).
+//!   Queries after the halt are **never observed** — the privacy-relevant
+//!   property of SVT's online form — and outputs are bit-identical to the
+//!   materialized paths on the same RNG stream and query sequence. The
+//!   materialized entry points delegate to the streaming cores, so each
+//!   mechanism has one copy of its decision logic per noise path.
 //!
 //! See [`scratch`] for the full contract and an example, and
 //! [`pipelines::PipelineScratch`] for the select-then-measure versions.

@@ -18,7 +18,10 @@
 //!
 //! Outputs are guaranteed **bit-for-bit identical** to the corresponding
 //! allocating path run against the same RNG stream (asserted by the
-//! `scratch_equivalence` test-suite).
+//! `scratch_equivalence` test-suite). The SVT mechanisms' streaming entry
+//! points (`run_streaming_with_scratch`) share the same scratch: lookahead
+//! applies to *noise* only — query answers are pulled strictly on demand
+//! and never buffered ahead of the mechanism's halting point.
 //!
 //! ## Stream discipline
 //!
@@ -55,7 +58,7 @@
 //! }
 //! ```
 
-use free_gap_noise::{ContinuousDistribution, Laplace};
+use free_gap_noise::{BlockBuffer, ContinuousDistribution, Laplace};
 use rand::Rng;
 
 /// Reusable buffers for the Noisy Top-K family's batched fast path.
@@ -86,74 +89,43 @@ impl TopKScratch {
 }
 
 /// Reusable unit-noise buffer for the Sparse Vector family's batched fast
-/// path.
+/// and streaming paths.
 ///
 /// SVT draws at several scales (threshold noise, per-branch query noise), so
 /// the scratch buffers *unit* `Lap(1)` draws and rescales per draw — IEEE
 /// multiplication makes `unit * scale` bit-identical to drawing
-/// `Lap(scale)` directly, while one `fill_into` pass amortizes the sampling
-/// loop. The first batch of a run is sized by the *previous* run's
-/// consumption (Monte-Carlo runs of one mechanism consume near-identical
-/// draw counts), so overdraw waste stays marginal on both short and long
-/// runs.
+/// `Lap(scale)` directly, while the [`BlockBuffer`]'s blocked `fill_into`
+/// passes amortize the sampling loop. Block sizing (first block from the
+/// previous run's consumption, later blocks tapered and cache-clamped) lives
+/// in [`BlockBuffer`]; this type pins the distribution to unit Laplace and
+/// exposes the draw shapes the SVT mechanisms need: single scaled draws,
+/// pairs (Algorithm 2's `(ξ, η)`), and general m-tuples (the multi-branch
+/// ladder).
 #[derive(Debug, Clone)]
 pub struct SvtScratch {
-    unit: Vec<f64>,
-    cursor: usize,
-    /// Fresh draws pulled from the RNG since the last [`begin`](Self::begin)
-    /// (served = `filled - (unit.len() - cursor)`; tracked at refill time so
-    /// the per-draw hot path carries no extra bookkeeping).
-    filled: usize,
-    /// Predicted consumption of the next run (last run's served count).
-    predicted: usize,
+    block: BlockBuffer,
+    unit: Laplace,
 }
 
 impl SvtScratch {
-    /// Smallest batch ever drawn (also the first-ever prediction).
-    const MIN_CHUNK: usize = 16;
-    /// Largest batch: 4096 doubles = 32 KiB, comfortably L1-resident, so
-    /// long runs stream through a hot buffer instead of round-tripping one
-    /// run-sized buffer through DRAM.
-    const CACHE_CHUNK: usize = 4096;
-
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self {
-            unit: Vec::new(),
-            cursor: 0,
-            filled: 0,
-            predicted: Self::MIN_CHUNK,
+            block: BlockBuffer::new(),
+            unit: Laplace::new(1.0).expect("unit scale is valid"),
         }
     }
 
     /// Starts a new run: discards draws buffered from the previous RNG
     /// stream and predicts this run's consumption from the last one.
-    ///
-    /// SVT stops after a data-dependent number of draws, so a fixed batch
-    /// size either overdraws badly (short runs) or refills constantly (long
-    /// runs). Consecutive Monte-Carlo runs of the same mechanism on the
-    /// same workload consume nearly the same count, so the previous run's
-    /// usage is an excellent first-batch size; after that, refills fall
-    /// back to a modest fixed chunk.
     pub(crate) fn begin(&mut self) {
-        let served = self.filled - (self.unit.len() - self.cursor);
-        if served > 0 {
-            self.predicted = served.max(Self::MIN_CHUNK);
-        }
-        self.unit.clear();
-        self.cursor = 0;
-        self.filled = 0;
+        self.block.begin();
     }
 
-    /// Next unit-Laplace draw, refilling the buffer in batches as needed.
+    /// Next unit-Laplace draw, refilling the buffer in blocks as needed.
     #[inline]
     pub(crate) fn next_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
-        if self.cursor == self.unit.len() {
-            self.refill(rng);
-        }
-        let v = self.unit[self.cursor];
-        self.cursor += 1;
-        v
+        self.block.next(&self.unit, rng)
     }
 
     /// Next `Lap(scale)` draw (bit-identical to sampling at `scale`).
@@ -165,78 +137,29 @@ impl SvtScratch {
     /// Predicted draw consumption of the current run (last run's usage) —
     /// used by mechanisms to pre-size their output buffers.
     pub(crate) fn predicted_draws(&self) -> usize {
-        self.predicted
+        self.block.predicted_draws()
     }
 
     /// The buffered unit draws ahead of the cursor, truncated to whole
-    /// pairs, refilling first if fewer than one pair is available. Callers
-    /// iterate the slice (e.g. `chunks_exact(2)`) with zero per-pair cursor
-    /// arithmetic, then commit consumption with [`consume`](Self::consume).
-    /// Draw order is identical to sequential [`next_unit`](Self::next_unit)
-    /// draws.
+    /// pairs — see [`BlockBuffer::peek_tuples`].
     #[inline]
     pub(crate) fn peek_pairs<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[f64] {
-        if self.cursor + 2 > self.unit.len() {
-            self.refill_keeping_leftover(rng);
-        }
-        let whole = (self.unit.len() - self.cursor) & !1;
-        &self.unit[self.cursor..self.cursor + whole]
+        self.block.peek_tuples(&self.unit, rng, 2)
+    }
+
+    /// The buffered unit draws ahead of the cursor, truncated to whole
+    /// `m`-tuples (one tuple per query for the m-branch mechanisms) — see
+    /// [`BlockBuffer::peek_tuples`].
+    #[inline]
+    pub(crate) fn peek_tuples<R: Rng + ?Sized>(&mut self, rng: &mut R, m: usize) -> &[f64] {
+        self.block.peek_tuples(&self.unit, rng, m)
     }
 
     /// Advances the cursor past `draws` units previously obtained from
-    /// [`peek_pairs`](Self::peek_pairs).
+    /// [`peek_pairs`](Self::peek_pairs) / [`peek_tuples`](Self::peek_tuples).
     #[inline]
     pub(crate) fn consume(&mut self, draws: usize) {
-        debug_assert!(self.cursor + draws <= self.unit.len());
-        self.cursor += draws;
-    }
-
-    /// Size of the next batch: the predicted remainder of this run, clamped
-    /// to `[MIN_CHUNK, CACHE_CHUNK]` — tapering toward the prediction keeps
-    /// end-of-run overdraw small while the cap keeps every batch hot in L1.
-    fn next_batch_size(&self) -> usize {
-        self.predicted
-            .saturating_sub(self.filled)
-            .clamp(Self::MIN_CHUNK, Self::CACHE_CHUNK)
-    }
-
-    #[cold]
-    fn refill<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let size = self.next_batch_size();
-        let unit = Laplace::new(1.0).expect("unit scale is valid");
-        self.unit.resize(size, 0.0);
-        unit.fill_into(rng, &mut self.unit);
-        self.cursor = 0;
-        self.filled += size;
-    }
-
-    /// Refill for [`peek_pairs`](Self::peek_pairs): an already-drawn buffered
-    /// unit (if any) moves to the front so the stream order is identical to
-    /// sequential draws, and fresh draws fill the rest.
-    #[cold]
-    fn refill_keeping_leftover<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let leftover = self.unit.len() - self.cursor;
-        debug_assert!(leftover < 2);
-        let carried = if leftover == 1 {
-            Some(self.unit[self.cursor])
-        } else {
-            None
-        };
-        let size = self.next_batch_size();
-        let unit = Laplace::new(1.0).expect("unit scale is valid");
-        self.unit.resize(size.max(2), 0.0);
-        match carried {
-            Some(v) => {
-                self.unit[0] = v;
-                unit.fill_into(rng, &mut self.unit[1..]);
-                self.filled += self.unit.len() - 1;
-            }
-            None => {
-                unit.fill_into(rng, &mut self.unit);
-                self.filled += self.unit.len();
-            }
-        }
-        self.cursor = 0;
+        self.block.consume(draws);
     }
 }
 
@@ -288,70 +211,42 @@ mod tests {
     }
 
     #[test]
-    fn begin_discards_stale_buffered_draws() {
-        let mut scratch = SvtScratch::new();
-        scratch.begin();
-        let first = scratch.next_unit(&mut rng_from_seed(4));
-        // New run, new stream: must not serve leftovers from seed 4.
-        scratch.begin();
-        let fresh = scratch.next_unit(&mut rng_from_seed(5));
-        let want = Laplace::new(1.0).unwrap().sample(&mut rng_from_seed(5));
-        assert_eq!(fresh, want);
-        assert_ne!(first, fresh);
-    }
-
-    #[test]
-    fn peek_pairs_preserve_sequential_order_across_refills() {
-        let unit = Laplace::new(1.0).unwrap();
-        let mut expect_rng = rng_from_seed(7);
-        let mut scratch = SvtScratch::new();
-        let mut rng = rng_from_seed(7);
-        scratch.begin();
-        // Odd leading draw forces the pair path to carry a leftover across
-        // every refill boundary (MIN_CHUNK is even).
-        let first = scratch.next_unit(&mut rng);
-        assert_eq!(first, unit.sample(&mut expect_rng));
-        let mut pairs_seen = 0usize;
-        while pairs_seen < 500 {
-            let block = scratch.peek_pairs(&mut rng);
-            assert!(block.len() >= 2 && block.len().is_multiple_of(2));
-            // Consume only part of some blocks to exercise partial commits.
-            let take = (block.len() / 2).min(3) * 2;
-            for pair in block[..take].chunks_exact(2) {
-                let (a, b) = (pair[0] * 2.0, pair[1] * 3.0);
-                assert_eq!(
-                    a,
-                    unit.sample(&mut expect_rng) * 2.0,
-                    "pair {pairs_seen} first"
-                );
-                assert_eq!(
-                    b,
-                    unit.sample(&mut expect_rng) * 3.0,
-                    "pair {pairs_seen} second"
-                );
-                pairs_seen += 1;
-            }
-            scratch.consume(take);
-        }
-    }
-
-    #[test]
     fn prefill_tracks_previous_consumption() {
+        // Block sizing internals are covered in `free_gap_noise::block`;
+        // here we only pin that the scratch forwards the prediction.
         let mut scratch = SvtScratch::new();
         let mut rng = rng_from_seed(6);
         scratch.begin();
         for _ in 0..1000 {
             scratch.next_unit(&mut rng);
         }
-        // Next run's first batch should be sized like the last run...
         scratch.begin();
-        assert_eq!(scratch.predicted, 1000);
-        scratch.next_unit(&mut rng);
-        assert_eq!(scratch.unit.len(), 1000);
-        // ...and a run that uses almost none leaves only marginal waste.
+        assert_eq!(scratch.predicted_draws(), 1000);
+    }
+
+    #[test]
+    fn peek_tuples_preserve_sequential_order() {
+        // Forwarding check for the tuple/pair API (peek_pairs is
+        // peek_tuples(2)): the served stream equals sequential unit draws.
+        // Refill/leftover edge cases live in `free_gap_noise::block`.
+        let unit = Laplace::new(1.0).unwrap();
+        let m = 3usize;
+        let mut expect_rng = rng_from_seed(21);
+        let mut scratch = SvtScratch::new();
+        let mut rng = rng_from_seed(21);
         scratch.begin();
-        scratch.next_unit(&mut rng);
-        scratch.begin();
-        assert_eq!(scratch.predicted, SvtScratch::MIN_CHUNK);
+        let mut tuples_seen = 0usize;
+        while tuples_seen < 200 {
+            let slab = scratch.peek_tuples(&mut rng, m);
+            assert!(slab.len() >= m && slab.len().is_multiple_of(m));
+            let take = (slab.len() / m).min(2) * m;
+            for tuple in slab[..take].chunks_exact(m) {
+                for &v in tuple {
+                    assert_eq!(v, unit.sample(&mut expect_rng), "tuple {tuples_seen}");
+                }
+                tuples_seen += 1;
+            }
+            scratch.consume(take);
+        }
     }
 }

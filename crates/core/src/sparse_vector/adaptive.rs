@@ -146,24 +146,42 @@ impl AdaptiveSparseVector {
         self.sigma_multiplier * std::f64::consts::SQRT_2 * self.top_scale()
     }
 
-    /// Runs the mechanism against a noise source.
-    pub fn run_with_source(
+    /// The effective answer cap shared by every execution path
+    /// (`usize::MAX` when no limit is configured). One definition — the
+    /// dyn, scratch and streaming paths all stop via `answered <
+    /// answer_cap()`, so the limit semantics cannot silently drift between
+    /// them.
+    fn answer_cap(&self) -> usize {
+        self.answer_limit.unwrap_or(usize::MAX)
+    }
+
+    /// Streaming run against a noise source: consumes `queries` lazily,
+    /// pulling the next answer only while the adaptive budget still covers a
+    /// worst-case (`ε₁`) answer and the answer limit is not reached —
+    /// queries after the halt are never observed.
+    ///
+    /// The materialized [`run_with_source`](Self::run_with_source) delegates
+    /// here, so there is exactly one copy of Algorithm 2's branch and budget
+    /// logic per noise path.
+    pub fn run_streaming_with_source<I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
         source: &mut dyn NoiseSource,
     ) -> AdaptiveSvOutput {
         let eps1 = self.epsilon1();
         let eps2 = self.epsilon2();
         let sigma = self.sigma();
+        let cap = self.answer_cap();
+        // Line 16's stopping product, identical on every path.
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
         let noisy_threshold = self.threshold + source.laplace(1.0 / self.epsilon0());
 
+        let mut queries = queries.into_iter();
         let mut outcomes = Vec::new();
         let mut spent = self.epsilon0();
         let mut answered = 0usize;
-        for &q in answers.values() {
-            if self.answer_limit.is_some_and(|lim| answered >= lim) {
-                break;
-            }
+        while answered < cap {
+            let Some(q) = queries.next() else { break };
             // Both noises are drawn unconditionally (Algorithm 2 line 7):
             // the draw structure must not depend on the data.
             let xi = source.laplace(self.top_scale());
@@ -191,7 +209,7 @@ impl AdaptiveSparseVector {
             };
             outcomes.push(outcome);
             // Line 16: stop when a worst-case answer no longer fits.
-            if spent + eps1 > self.epsilon * (1.0 + 1e-12) {
+            if spent + eps1 > budget_cap {
                 break;
             }
         }
@@ -202,19 +220,41 @@ impl AdaptiveSparseVector {
         }
     }
 
+    /// Runs the mechanism against a noise source.
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> AdaptiveSvOutput {
+        self.run_streaming_with_source(answers.values().iter().copied(), source)
+    }
+
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> AdaptiveSvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
     }
 
-    /// Batched, monomorphic fast path; see [`crate::scratch`]. Identical
-    /// branch logic and budget accounting to
-    /// [`run_with_source`](Self::run_with_source); output is bit-identical
-    /// to [`run`](Self::run) on the same RNG stream.
-    pub fn run_with_scratch<R: Rng + ?Sized>(
+    /// Streaming twin of [`run`](Self::run); same laziness contract as
+    /// [`run_streaming_with_source`](Self::run_streaming_with_source).
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> AdaptiveSvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.run_streaming_with_source(queries, &mut source)
+    }
+
+    /// Streaming, batched, monomorphic fast path; see [`crate::scratch`].
+    /// Identical branch logic and budget accounting to
+    /// [`run_streaming_with_source`](Self::run_streaming_with_source);
+    /// output is bit-identical to [`run`](Self::run) on the same RNG stream
+    /// and query sequence. The scratch buffers *noise* ahead of the stream,
+    /// never query answers: no query is pulled after the mechanism halts.
+    pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> AdaptiveSvOutput {
@@ -223,39 +263,41 @@ impl AdaptiveSparseVector {
         let sigma = self.sigma();
         let top_scale = self.top_scale();
         let middle_scale = self.middle_scale();
-        let limit = self.answer_limit.unwrap_or(usize::MAX);
+        let cap = self.answer_cap();
         // Same stopping product as the dyn path, hoisted out of the loop.
         let budget_cap = self.epsilon * (1.0 + 1e-12);
         scratch.begin();
+        let mut queries = queries.into_iter();
         // One outcome per (ξ, η) draw pair: pre-size from the scratch's
-        // consumption prediction to skip the realloc chain on long streams.
-        let capacity = (scratch.predicted_draws() / 2 + 1).min(answers.len());
+        // consumption prediction (capped by the stream's upper bound when it
+        // knows one) to skip the realloc chain on long streams.
+        let capacity =
+            (scratch.predicted_draws() / 2 + 1).min(queries.size_hint().1.unwrap_or(usize::MAX));
         let noisy_threshold = self.threshold + scratch.next_scaled(rng, 1.0 / self.epsilon0());
 
         let mut outcomes = Vec::with_capacity(capacity);
         let mut spent = self.epsilon0();
         let mut answered = 0usize;
-        let values = answers.values();
-        let mut qi = 0usize;
+        let mut done = false;
         // Blocked consumption: iterate whole buffered pair-blocks with
         // `chunks_exact(2)` so the hot loop carries no per-query cursor or
         // bounds arithmetic. Draw order (ξᵢ then ηᵢ, query by query) is
         // identical to the dyn path.
-        while qi < values.len() {
+        while !done && answered < cap {
             let mut taken = 0usize;
-            let mut stopped = false;
             let pairs = scratch.peek_pairs(rng);
-            let block = pairs.len().min(2 * (values.len() - qi));
-            for pair in pairs[..block].chunks_exact(2) {
-                if answered >= limit {
+            for pair in pairs.chunks_exact(2) {
+                if answered >= cap {
                     break;
                 }
+                let Some(q) = queries.next() else {
+                    done = true;
+                    break;
+                };
                 // Both noises drawn unconditionally, exactly like line 7 of
                 // Algorithm 2: the draw structure must not depend on data.
-                let q = values[qi];
                 let xi = pair[0] * top_scale;
                 let eta = pair[1] * middle_scale;
-                qi += 1;
                 taken += 2;
                 let top_gap = q + xi - noisy_threshold;
                 let mid_gap = q + eta - noisy_threshold;
@@ -281,20 +323,29 @@ impl AdaptiveSparseVector {
                 outcomes.push(outcome);
                 // Line 16: stop when a worst-case answer no longer fits.
                 if spent + eps1 > budget_cap {
-                    stopped = true;
+                    done = true;
                     break;
                 }
             }
             scratch.consume(taken);
-            if stopped || answered >= limit {
-                break;
-            }
         }
         AdaptiveSvOutput {
             outcomes,
             spent,
             epsilon: self.epsilon,
         }
+    }
+
+    /// Batched, monomorphic fast path; see [`crate::scratch`]. Delegates to
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch);
+    /// output is bit-identical to [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> AdaptiveSvOutput {
+        self.run_streaming_with_scratch(answers.values().iter().copied(), rng, scratch)
     }
 }
 

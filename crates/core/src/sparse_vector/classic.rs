@@ -90,20 +90,25 @@ impl ClassicSparseVector {
     /// Runs the mechanism against a noise source. Shared by the classic and
     /// gap-releasing variants: `release_gaps` controls whether above answers
     /// carry the noisy gap or a placeholder `0.0`.
-    pub(crate) fn run_impl(
+    ///
+    /// The materialized and streaming entry points share this one loop —
+    /// there is a single copy of the decision logic per noise path, so the
+    /// variants cannot silently diverge (the Chen–Machanavajjhala hazard).
+    pub(crate) fn run_streaming_impl<I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
         source: &mut dyn NoiseSource,
         release_gaps: bool,
     ) -> SvOutput {
         let noisy_threshold = self.threshold + source.laplace(self.threshold_scale());
         let qscale = self.query_scale();
+        let mut queries = queries.into_iter();
         let mut above = Vec::new();
         let mut answered = 0usize;
-        for &q in answers.values() {
-            if answered == self.k {
-                break;
-            }
+        // The stop condition is checked *before* pulling the next query:
+        // once the k-th ⊤ is answered, no further query is ever observed.
+        while answered < self.k {
+            let Some(q) = queries.next() else { break };
             let noisy = q + source.laplace(qscale);
             if noisy >= noisy_threshold {
                 above.push(Some(if release_gaps {
@@ -119,35 +124,48 @@ impl ClassicSparseVector {
         SvOutput { above }
     }
 
+    /// Materialized twin of [`run_streaming_impl`](Self::run_streaming_impl).
+    pub(crate) fn run_impl(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+        release_gaps: bool,
+    ) -> SvOutput {
+        self.run_streaming_impl(answers.values().iter().copied(), source, release_gaps)
+    }
+
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_impl(answers, &mut source, false)
     }
 
-    /// Scratch-path twin of [`run_impl`](Self::run_impl): identical
-    /// decision logic, but noise comes from `scratch`'s batched unit-Laplace
-    /// buffer (rescaled per draw) and the RNG is monomorphic. Shared by the
-    /// classic and gap-releasing variants.
-    pub(crate) fn run_impl_with_scratch<R: Rng + ?Sized>(
+    /// Scratch-path twin of [`run_streaming_impl`](Self::run_streaming_impl):
+    /// identical decision logic, but noise comes from `scratch`'s blocked
+    /// unit-Laplace buffer (rescaled per draw) and the RNG is monomorphic.
+    /// Shared by the classic and gap-releasing variants, and by the
+    /// materialized and streaming entry points.
+    pub(crate) fn run_streaming_impl_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
         rng: &mut R,
         scratch: &mut SvtScratch,
         release_gaps: bool,
     ) -> SvOutput {
         scratch.begin();
+        let mut queries = queries.into_iter();
         // One decision per query draw: pre-size from the scratch's
-        // consumption prediction to skip the realloc chain on long streams.
-        let capacity = scratch.predicted_draws().min(answers.len());
+        // consumption prediction (capped by the stream's own upper bound
+        // when it knows one) to skip the realloc chain on long streams.
+        let capacity = scratch
+            .predicted_draws()
+            .min(queries.size_hint().1.unwrap_or(usize::MAX));
         let noisy_threshold = self.threshold + scratch.next_scaled(rng, self.threshold_scale());
         let qscale = self.query_scale();
         let mut above = Vec::with_capacity(capacity);
         let mut answered = 0usize;
-        for &q in answers.values() {
-            if answered == self.k {
-                break;
-            }
+        while answered < self.k {
+            let Some(q) = queries.next() else { break };
             let noisy = q + scratch.next_scaled(rng, qscale);
             if noisy >= noisy_threshold {
                 above.push(Some(if release_gaps {
@@ -171,7 +189,34 @@ impl ClassicSparseVector {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
-        self.run_impl_with_scratch(answers, rng, scratch, false)
+        self.run_streaming_impl_with_scratch(answers.values().iter().copied(), rng, scratch, false)
+    }
+
+    /// Streaming twin of [`run`](Self::run): consumes `queries` lazily,
+    /// answering each as it is pulled, and stops pulling the moment the
+    /// `k`-th `⊤` is answered — queries after the halt are never observed.
+    /// Output is bit-identical to [`run`](Self::run) on the same RNG stream
+    /// and the same query sequence.
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.run_streaming_impl(queries, &mut source, false)
+    }
+
+    /// Streaming twin of [`run_with_scratch`](Self::run_with_scratch); same
+    /// laziness contract as [`run_streaming`](Self::run_streaming). The
+    /// scratch may buffer *noise* ahead of the stream (see
+    /// [`crate::scratch`]), but never query answers.
+    pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        self.run_streaming_impl_with_scratch(queries, rng, scratch, false)
     }
 
     /// Builds the SVT alignment shared by the classic and gap variants:

@@ -90,8 +90,37 @@ impl SparseVectorWithGap {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
+        self.inner.run_streaming_impl_with_scratch(
+            answers.values().iter().copied(),
+            rng,
+            scratch,
+            true,
+        )
+    }
+
+    /// Streaming twin of [`run`](Self::run): consumes `queries` lazily and
+    /// stops pulling the moment the `k`-th `⊤` is answered — queries after
+    /// the halt are never observed. Output is bit-identical to
+    /// [`run`](Self::run) on the same RNG stream and query sequence.
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.inner.run_streaming_impl(queries, &mut source, true)
+    }
+
+    /// Streaming twin of [`run_with_scratch`](Self::run_with_scratch); same
+    /// laziness contract as [`run_streaming`](Self::run_streaming).
+    pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
         self.inner
-            .run_impl_with_scratch(answers, rng, scratch, true)
+            .run_streaming_impl_with_scratch(queries, rng, scratch, true)
     }
 }
 

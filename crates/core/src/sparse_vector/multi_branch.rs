@@ -22,8 +22,10 @@
 use super::{optimal_threshold_share, Branch};
 use crate::answers::QueryAnswers;
 use crate::error::{require_epsilon, require_fraction, MechanismError};
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Per-query outcome of the multi-branch mechanism.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,17 +182,23 @@ impl MultiBranchAdaptiveSparseVector {
         }
     }
 
-    /// Runs the mechanism against a noise source.
-    pub fn run_with_source(
+    /// Streaming run against a noise source: consumes `queries` lazily,
+    /// pulling the next answer only while the remaining budget still covers
+    /// a worst-case (`ε₁`) answer — queries after the halt are never
+    /// observed. The materialized [`run_with_source`](Self::run_with_source)
+    /// delegates here, so the branch-ladder logic exists once per noise
+    /// path.
+    pub fn run_streaming_with_source<I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
         source: &mut dyn NoiseSource,
     ) -> MultiBranchSvOutput {
         let eps1 = self.epsilon1();
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
         let noisy_threshold = self.threshold + source.laplace(1.0 / self.epsilon0());
         let mut outcomes = Vec::new();
         let mut spent = self.epsilon0();
-        for &q in answers.values() {
+        for q in queries {
             // All m noises drawn unconditionally: data-independent structure.
             let mut outcome = MultiBranchOutcome::Below;
             for b in 0..self.branches {
@@ -210,7 +218,7 @@ impl MultiBranchAdaptiveSparseVector {
                 }
             }
             outcomes.push(outcome);
-            if spent + eps1 > self.epsilon * (1.0 + 1e-12) {
+            if spent + eps1 > budget_cap {
                 break;
             }
         }
@@ -221,10 +229,123 @@ impl MultiBranchAdaptiveSparseVector {
         }
     }
 
+    /// Runs the mechanism against a noise source.
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> MultiBranchSvOutput {
+        self.run_streaming_with_source(answers.values().iter().copied(), source)
+    }
+
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> MultiBranchSvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Streaming twin of [`run`](Self::run); same laziness contract as
+    /// [`run_streaming_with_source`](Self::run_streaming_with_source).
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> MultiBranchSvOutput {
+        let mut source = SamplingSource::new(rng);
+        self.run_streaming_with_source(queries, &mut source)
+    }
+
+    /// Streaming, batched, monomorphic fast path; see [`crate::scratch`].
+    /// Each query consumes one `m`-tuple of unit draws from the scratch (the
+    /// `peek_pairs` pair-block pattern generalized to m-tuples); output is
+    /// bit-identical to [`run`](Self::run) on the same RNG stream and query
+    /// sequence. The scratch buffers *noise* ahead of the stream, never
+    /// query answers.
+    pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> MultiBranchSvOutput {
+        let m = self.branches;
+        let eps1 = self.epsilon1();
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
+        // Per-branch constants hoisted out of the loop; same formulas as the
+        // dyn path, so `unit * scale` stays bit-identical per draw. Stack
+        // arrays (m <= MAX_BRANCHES) keep the fast path allocation-free
+        // apart from the output vector.
+        let mut scales = [0.0f64; Self::MAX_BRANCHES];
+        let mut margins = [0.0f64; Self::MAX_BRANCHES];
+        let mut budgets = [0.0f64; Self::MAX_BRANCHES];
+        for b in 0..m {
+            scales[b] = self.branch_scale(b);
+            margins[b] = self.branch_margin(b);
+            budgets[b] = self.branch_budget(b);
+        }
+        scratch.begin();
+        let mut queries = queries.into_iter();
+        // One outcome per m-tuple of draws: pre-size from the scratch's
+        // consumption prediction (capped by the stream's upper bound when it
+        // knows one).
+        let capacity =
+            (scratch.predicted_draws() / m + 1).min(queries.size_hint().1.unwrap_or(usize::MAX));
+        let noisy_threshold = self.threshold + scratch.next_scaled(rng, 1.0 / self.epsilon0());
+        let mut outcomes = Vec::with_capacity(capacity);
+        let mut spent = self.epsilon0();
+        let mut done = false;
+        // Blocked consumption: iterate whole buffered m-tuple blocks with
+        // `chunks_exact(m)`. Draw order (branch 0..m per query, query by
+        // query) is identical to the dyn path.
+        while !done {
+            let mut taken = 0usize;
+            let tuples = scratch.peek_tuples(rng, m);
+            for tuple in tuples.chunks_exact(m) {
+                let Some(q) = queries.next() else {
+                    done = true;
+                    break;
+                };
+                taken += m;
+                // All m draws of the tuple are consumed unconditionally; the
+                // ladder scan stops at the first winning branch.
+                let mut outcome = MultiBranchOutcome::Below;
+                for b in 0..m {
+                    let gap = q + tuple[b] * scales[b] - noisy_threshold;
+                    if gap >= margins[b] {
+                        let cost = budgets[b];
+                        spent += cost;
+                        outcome = MultiBranchOutcome::Above {
+                            branch: b,
+                            gap,
+                            cost,
+                        };
+                        break;
+                    }
+                }
+                outcomes.push(outcome);
+                if spent + eps1 > budget_cap {
+                    done = true;
+                    break;
+                }
+            }
+            scratch.consume(taken);
+        }
+        MultiBranchSvOutput {
+            outcomes,
+            spent,
+            epsilon: self.epsilon,
+        }
+    }
+
+    /// Batched, monomorphic fast path; see [`crate::scratch`]. Delegates to
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch);
+    /// output is bit-identical to [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> MultiBranchSvOutput {
+        self.run_streaming_with_scratch(answers.values().iter().copied(), rng, scratch)
     }
 }
 

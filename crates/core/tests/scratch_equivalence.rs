@@ -1,21 +1,57 @@
-//! Scratch-path ⇔ allocating-path equivalence: for every mechanism with a
-//! batched fast path, `run_with_scratch` on a fresh RNG stream must produce
-//! **bit-for-bit** the same output as `run` on an identically seeded stream.
+//! Execution-path equivalence: for every mechanism with fast paths, all
+//! paths on a fresh RNG stream must produce **bit-for-bit** the same output
+//! as `run` on an identically seeded stream — `run_with_scratch` (batched
+//! noise), `run_streaming` (lazy query iterator), and
+//! `run_streaming_with_scratch` (both). For the SVT family that is a
+//! four-way check per mechanism.
 //!
-//! This is the contract that lets the bench harness and Monte-Carlo loops
-//! use the fast paths while the paper-protocol experiments and the alignment
-//! checker keep their numbers: the two paths are the same mechanism, not two
-//! implementations that merely agree in distribution.
+//! This is the contract that lets the bench harness, Monte-Carlo loops and
+//! streaming servers use the fast paths while the paper-protocol experiments
+//! and the alignment checker keep their numbers: every path is the same
+//! mechanism, not implementations that merely agree in distribution.
+//!
+//! The suite also proves the streaming paths' *laziness*, the
+//! privacy-relevant property of Algorithm 2's online form: once the
+//! mechanism halts (k-th ⊤, answer limit, or exhausted budget), no further
+//! query is ever pulled from the stream — asserted with iterators that
+//! panic when over-consumed.
 
 use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, ClassicSparseVector, SparseVectorWithGap,
+    AdaptiveSparseVector, ClassicSparseVector, MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::derive_stream;
 use proptest::prelude::*;
 use rand::Rng;
+
+/// Wraps an iterator with a hard pull budget: the `allowed + 1`-th call to
+/// `next` panics. Used to prove a streaming mechanism never observes a query
+/// past its halting point.
+struct PanicAfter<I> {
+    inner: I,
+    allowed: usize,
+}
+
+impl<I> PanicAfter<I> {
+    fn new(inner: I, allowed: usize) -> Self {
+        Self { inner, allowed }
+    }
+}
+
+impl<I: Iterator<Item = f64>> Iterator for PanicAfter<I> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        assert!(
+            self.allowed > 0,
+            "query stream pulled after the mechanism must have halted"
+        );
+        self.allowed -= 1;
+        self.inner.next()
+    }
+}
 
 /// A mid-sized monotone workload with a mix of clear winners, near-ties and
 /// noise-level entries, regenerated deterministically per seed.
@@ -59,45 +95,118 @@ fn classic_topk_scratch_is_bit_identical() {
 }
 
 #[test]
-fn classic_svt_scratch_is_bit_identical() {
+fn classic_svt_all_four_paths_are_bit_identical() {
     let answers = workload(3, 500);
     let threshold = answers.values()[30];
     let m = ClassicSparseVector::new(8, 0.7, threshold, true).unwrap();
     let mut scratch = SvtScratch::new();
+    let mut stream_scratch = SvtScratch::new();
     for run in 0..200u64 {
         let expect = m.run(&answers, &mut derive_stream(11, run));
         let got = m.run_with_scratch(&answers, &mut derive_stream(11, run), &mut scratch);
-        assert_eq!(expect, got, "run {run}");
+        assert_eq!(expect, got, "run {run} (scratch)");
+        let stream = m.run_streaming(
+            answers.values().iter().copied(),
+            &mut derive_stream(11, run),
+        );
+        assert_eq!(expect, stream, "run {run} (streaming)");
+        let stream_sc = m.run_streaming_with_scratch(
+            answers.values().iter().copied(),
+            &mut derive_stream(11, run),
+            &mut stream_scratch,
+        );
+        assert_eq!(expect, stream_sc, "run {run} (streaming scratch)");
     }
 }
 
 #[test]
-fn svt_with_gap_scratch_is_bit_identical() {
+fn svt_with_gap_all_four_paths_are_bit_identical() {
     let answers = workload(4, 500);
     let threshold = answers.values()[25];
     let m = SparseVectorWithGap::new(6, 0.9, threshold, true).unwrap();
     let mut scratch = SvtScratch::new();
+    let mut stream_scratch = SvtScratch::new();
     for run in 0..200u64 {
         let expect = m.run(&answers, &mut derive_stream(13, run));
         let got = m.run_with_scratch(&answers, &mut derive_stream(13, run), &mut scratch);
-        assert_eq!(expect, got, "run {run}");
-        for ((_, a), (_, b)) in expect.gaps().iter().zip(got.gaps().iter()) {
+        assert_eq!(expect, got, "run {run} (scratch)");
+        let stream = m.run_streaming(
+            answers.values().iter().copied(),
+            &mut derive_stream(13, run),
+        );
+        assert_eq!(expect, stream, "run {run} (streaming)");
+        let stream_sc = m.run_streaming_with_scratch(
+            answers.values().iter().copied(),
+            &mut derive_stream(13, run),
+            &mut stream_scratch,
+        );
+        assert_eq!(expect, stream_sc, "run {run} (streaming scratch)");
+        // PartialEq on f64 gaps is exact equality: spot-check bits too.
+        for ((_, a), (_, b)) in expect.gaps().iter().zip(stream_sc.gaps().iter()) {
             assert_eq!(a.to_bits(), b.to_bits(), "run {run}");
         }
     }
 }
 
 #[test]
-fn adaptive_svt_scratch_is_bit_identical() {
+fn adaptive_svt_all_four_paths_are_bit_identical() {
     let answers = workload(5, 600);
     let threshold = answers.values()[40];
     let m = AdaptiveSparseVector::new(8, 0.7, threshold, true).unwrap();
     let mut scratch = SvtScratch::new();
+    let mut stream_scratch = SvtScratch::new();
     for run in 0..200u64 {
         let expect = m.run(&answers, &mut derive_stream(17, run));
         let got = m.run_with_scratch(&answers, &mut derive_stream(17, run), &mut scratch);
-        assert_eq!(expect, got, "run {run}");
+        assert_eq!(expect, got, "run {run} (scratch)");
         assert_eq!(expect.spent.to_bits(), got.spent.to_bits(), "run {run}");
+        let stream = m.run_streaming(
+            answers.values().iter().copied(),
+            &mut derive_stream(17, run),
+        );
+        assert_eq!(expect, stream, "run {run} (streaming)");
+        let stream_sc = m.run_streaming_with_scratch(
+            answers.values().iter().copied(),
+            &mut derive_stream(17, run),
+            &mut stream_scratch,
+        );
+        assert_eq!(expect, stream_sc, "run {run} (streaming scratch)");
+        assert_eq!(
+            expect.spent.to_bits(),
+            stream_sc.spent.to_bits(),
+            "run {run}"
+        );
+    }
+}
+
+#[test]
+fn multi_branch_all_four_paths_are_bit_identical() {
+    let answers = workload(6, 400);
+    let threshold = answers.values()[30];
+    let mut scratch = SvtScratch::new();
+    let mut stream_scratch = SvtScratch::new();
+    for branches in [1usize, 2, 3, 5] {
+        let m = MultiBranchAdaptiveSparseVector::new(6, 0.7, threshold, true, branches).unwrap();
+        for run in 0..100u64 {
+            let expect = m.run(&answers, &mut derive_stream(23, run));
+            let got = m.run_with_scratch(&answers, &mut derive_stream(23, run), &mut scratch);
+            assert_eq!(expect, got, "m = {branches}, run {run} (scratch)");
+            assert_eq!(expect.spent.to_bits(), got.spent.to_bits());
+            let stream = m.run_streaming(
+                answers.values().iter().copied(),
+                &mut derive_stream(23, run),
+            );
+            assert_eq!(expect, stream, "m = {branches}, run {run} (streaming)");
+            let stream_sc = m.run_streaming_with_scratch(
+                answers.values().iter().copied(),
+                &mut derive_stream(23, run),
+                &mut stream_scratch,
+            );
+            assert_eq!(
+                expect, stream_sc,
+                "m = {branches}, run {run} (streaming scratch)"
+            );
+        }
     }
 }
 
@@ -116,16 +225,148 @@ fn adaptive_svt_scratch_honors_answer_limit() {
     }
 }
 
+#[test]
+fn adaptive_answer_limit_edge_cases_agree_on_every_path() {
+    // Regression guard for the answer-limit handling that used to exist
+    // twice (dyn: `is_some_and`, scratch: `unwrap_or(usize::MAX)`): limits
+    // 0 and 1 must behave identically on the dyn, scratch and streaming
+    // paths, including the degenerate never-answer case.
+    let answers = QueryAnswers::counting(vec![1e7; 50]);
+    let mut scratch = SvtScratch::new();
+    for limit in [0usize, 1] {
+        let m = AdaptiveSparseVector::new(10, 0.7, 10.0, true)
+            .unwrap()
+            .with_answer_limit(limit);
+        for run in 0..20u64 {
+            let expect = m.run(&answers, &mut derive_stream(29, run));
+            assert_eq!(expect.answered(), limit, "limit {limit}, run {run}");
+            // limit 0 must stop before processing any query at all.
+            assert_eq!(expect.outcomes.len(), limit, "limit {limit}, run {run}");
+            let got = m.run_with_scratch(&answers, &mut derive_stream(29, run), &mut scratch);
+            assert_eq!(expect, got, "limit {limit}, run {run} (scratch)");
+            let stream = m.run_streaming(
+                answers.values().iter().copied(),
+                &mut derive_stream(29, run),
+            );
+            assert_eq!(expect, stream, "limit {limit}, run {run} (streaming)");
+        }
+    }
+}
+
+#[test]
+fn classic_svt_streaming_never_pulls_past_the_kth_top() {
+    // Every query towers over the threshold at tiny noise, so each pull is a
+    // certain ⊤: the mechanism must pull exactly k queries from an endless
+    // stream and then halt without observing another one.
+    let k = 3usize;
+    let m = ClassicSparseVector::new(k, 50.0, 10.0, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..25u64 {
+        let endless = std::iter::repeat(1e9);
+        let out = m.run_streaming(
+            PanicAfter::new(endless.clone(), k),
+            &mut derive_stream(31, run),
+        );
+        assert_eq!(out.answered(), k, "run {run}");
+        let out = m.run_streaming_with_scratch(
+            PanicAfter::new(endless, k),
+            &mut derive_stream(31, run),
+            &mut scratch,
+        );
+        assert_eq!(out.answered(), k, "run {run} (scratch)");
+    }
+}
+
+#[test]
+fn adaptive_streaming_never_pulls_past_budget_exhaustion() {
+    // Replay a materialized run to learn exactly how many queries the
+    // budget admits, then prove the streaming paths pull not one more from
+    // an endless stream.
+    let m = AdaptiveSparseVector::new(5, 0.7, 10.0, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..25u64 {
+        let materialized = m.run(
+            &QueryAnswers::counting(vec![1e9; 500]),
+            &mut derive_stream(37, run),
+        );
+        let processed = materialized.outcomes.len();
+        assert!(processed < 500, "budget must stop before the stream ends");
+        let endless = std::iter::repeat(1e9);
+        let out = m.run_streaming(
+            PanicAfter::new(endless.clone(), processed),
+            &mut derive_stream(37, run),
+        );
+        assert_eq!(materialized, out, "run {run}");
+        let out = m.run_streaming_with_scratch(
+            PanicAfter::new(endless, processed),
+            &mut derive_stream(37, run),
+            &mut scratch,
+        );
+        assert_eq!(materialized, out, "run {run} (scratch)");
+    }
+}
+
+#[test]
+fn adaptive_streaming_answer_limit_caps_stream_pulls() {
+    // With an answer limit and certain ⊤s, exactly `limit` pulls happen.
+    let limit = 5usize;
+    let m = AdaptiveSparseVector::new(10, 0.7, 10.0, true)
+        .unwrap()
+        .with_answer_limit(limit);
+    let mut scratch = SvtScratch::new();
+    for run in 0..25u64 {
+        let endless = std::iter::repeat(1e9);
+        let out = m.run_streaming(
+            PanicAfter::new(endless.clone(), limit),
+            &mut derive_stream(41, run),
+        );
+        assert_eq!(out.answered(), limit, "run {run}");
+        let out = m.run_streaming_with_scratch(
+            PanicAfter::new(endless, limit),
+            &mut derive_stream(41, run),
+            &mut scratch,
+        );
+        assert_eq!(out.answered(), limit, "run {run} (scratch)");
+    }
+}
+
+#[test]
+fn multi_branch_streaming_never_pulls_past_budget_exhaustion() {
+    let m = MultiBranchAdaptiveSparseVector::new(4, 0.7, 10.0, true, 3).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..25u64 {
+        let materialized = m.run(
+            &QueryAnswers::counting(vec![1e9; 500]),
+            &mut derive_stream(43, run),
+        );
+        let processed = materialized.outcomes.len();
+        assert!(processed < 500, "budget must stop before the stream ends");
+        let endless = std::iter::repeat(1e9);
+        let out = m.run_streaming(
+            PanicAfter::new(endless.clone(), processed),
+            &mut derive_stream(43, run),
+        );
+        assert_eq!(materialized, out, "run {run}");
+        let out = m.run_streaming_with_scratch(
+            PanicAfter::new(endless, processed),
+            &mut derive_stream(43, run),
+            &mut scratch,
+        );
+        assert_eq!(materialized, out, "run {run} (scratch)");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn all_four_scratch_paths_match_on_random_workloads(
+    fn all_fast_paths_match_on_random_workloads(
         n in 12usize..120,
         k in 1usize..6,
         seed in 0u64..50_000,
         monotone in proptest::bool::ANY,
         threshold_rank in 2usize..10,
+        branches in 1usize..5,
     ) {
         let base = workload(seed, n);
         let answers = if monotone {
@@ -154,15 +395,49 @@ proptest! {
         );
 
         let svt = SparseVectorWithGap::new(k, 0.8, threshold, monotone).unwrap();
+        let svt_expect = svt.run(&answers, &mut derive_stream(seed, 2));
         prop_assert_eq!(
-            svt.run(&answers, &mut derive_stream(seed, 2)),
-            svt.run_with_scratch(&answers, &mut derive_stream(seed, 2), &mut svt_scratch)
+            &svt_expect,
+            &svt.run_with_scratch(&answers, &mut derive_stream(seed, 2), &mut svt_scratch)
+        );
+        prop_assert_eq!(
+            &svt_expect,
+            &svt.run_streaming(answers.values().iter().copied(), &mut derive_stream(seed, 2))
+        );
+        prop_assert_eq!(
+            &svt_expect,
+            &svt.run_streaming_with_scratch(
+                answers.values().iter().copied(), &mut derive_stream(seed, 2), &mut svt_scratch)
         );
 
         let adaptive = AdaptiveSparseVector::new(k, 0.8, threshold, monotone).unwrap();
+        let adaptive_expect = adaptive.run(&answers, &mut derive_stream(seed, 3));
         prop_assert_eq!(
-            adaptive.run(&answers, &mut derive_stream(seed, 3)),
-            adaptive.run_with_scratch(&answers, &mut derive_stream(seed, 3), &mut svt_scratch)
+            &adaptive_expect,
+            &adaptive.run_with_scratch(&answers, &mut derive_stream(seed, 3), &mut svt_scratch)
+        );
+        prop_assert_eq!(
+            &adaptive_expect,
+            &adaptive.run_streaming(
+                answers.values().iter().copied(), &mut derive_stream(seed, 3))
+        );
+        prop_assert_eq!(
+            &adaptive_expect,
+            &adaptive.run_streaming_with_scratch(
+                answers.values().iter().copied(), &mut derive_stream(seed, 3), &mut svt_scratch)
+        );
+
+        let multi =
+            MultiBranchAdaptiveSparseVector::new(k, 0.8, threshold, monotone, branches).unwrap();
+        let multi_expect = multi.run(&answers, &mut derive_stream(seed, 4));
+        prop_assert_eq!(
+            &multi_expect,
+            &multi.run_with_scratch(&answers, &mut derive_stream(seed, 4), &mut svt_scratch)
+        );
+        prop_assert_eq!(
+            &multi_expect,
+            &multi.run_streaming_with_scratch(
+                answers.values().iter().copied(), &mut derive_stream(seed, 4), &mut svt_scratch)
         );
     }
 }

@@ -1,0 +1,284 @@
+//! Chunked noise-fill over fixed-size blocks: the buffering discipline
+//! behind the mechanisms' batched and streaming fast paths.
+//!
+//! SVT-family mechanisms stop after a *data-dependent* number of draws, and
+//! the streaming entry points do not even know the stream length up front —
+//! so noise cannot be pre-generated in one run-sized pass. A [`BlockBuffer`]
+//! instead pulls draws from the RNG in bounded blocks via
+//! [`ContinuousDistribution::fill_into`] and serves them out one draw (or
+//! one fixed-arity tuple) at a time.
+//!
+//! The load-bearing invariant is **draw-order preservation**: however the
+//! buffer is refilled, the sequence of draws served is bit-identical to a
+//! sequential [`ContinuousDistribution::sample`] loop on the same RNG
+//! stream. The buffer may pull *more* from the RNG than it serves (block
+//! lookahead), which is why consumers derive a fresh stream per run — see
+//! the stream-discipline notes on `free_gap_core::scratch`.
+//!
+//! Block sizes adapt: the first block of a run is sized by the previous
+//! run's consumption (consecutive Monte-Carlo runs of one mechanism consume
+//! near-identical draw counts), later blocks taper toward the prediction and
+//! are clamped to a cache-friendly maximum, so both short runs (little
+//! overdraw) and unboundedly long streams (hot, L1-resident refills) are
+//! served well.
+
+use crate::traits::ContinuousDistribution;
+use rand::Rng;
+
+/// A reusable buffer of pre-drawn noise, refilled in fixed-size blocks.
+///
+/// Generic over the distribution at call time (the distribution is passed to
+/// each draw/refill method, not stored) so one buffer type serves every
+/// noise family; callers must pass the *same* distribution for the lifetime
+/// of a run or the served stream is meaningless.
+#[derive(Debug, Clone)]
+pub struct BlockBuffer {
+    buf: Vec<f64>,
+    cursor: usize,
+    /// Fresh draws pulled from the RNG since the last [`begin`](Self::begin)
+    /// (served = `filled - (buf.len() - cursor)`; tracked at refill time so
+    /// the per-draw hot path carries no extra bookkeeping).
+    filled: usize,
+    /// Predicted consumption of the next run (last run's served count).
+    predicted: usize,
+}
+
+impl BlockBuffer {
+    /// Smallest block ever drawn (also the first-ever prediction).
+    pub const MIN_CHUNK: usize = 16;
+    /// Largest block: 4096 doubles = 32 KiB, comfortably L1-resident, so
+    /// long runs stream through a hot buffer instead of round-tripping one
+    /// run-sized buffer through DRAM.
+    pub const CACHE_CHUNK: usize = 4096;
+
+    /// Creates an empty buffer (grows on first use).
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            cursor: 0,
+            filled: 0,
+            predicted: Self::MIN_CHUNK,
+        }
+    }
+
+    /// Starts a new run: discards draws buffered from the previous RNG
+    /// stream and predicts this run's consumption from the last one.
+    pub fn begin(&mut self) {
+        let served = self.filled - (self.buf.len() - self.cursor);
+        if served > 0 {
+            self.predicted = served.max(Self::MIN_CHUNK);
+        }
+        self.buf.clear();
+        self.cursor = 0;
+        self.filled = 0;
+    }
+
+    /// Next draw from `dist`, refilling the buffer in blocks as needed.
+    #[inline]
+    pub fn next<D: ContinuousDistribution, R: Rng + ?Sized>(
+        &mut self,
+        dist: &D,
+        rng: &mut R,
+    ) -> f64 {
+        if self.cursor == self.buf.len() {
+            self.refill(dist, rng);
+        }
+        let v = self.buf[self.cursor];
+        self.cursor += 1;
+        v
+    }
+
+    /// Predicted draw consumption of the current run (last run's usage) —
+    /// used by mechanisms to pre-size their output buffers.
+    pub fn predicted_draws(&self) -> usize {
+        self.predicted
+    }
+
+    /// The buffered draws ahead of the cursor, truncated to whole `m`-tuples,
+    /// refilling first if fewer than one tuple is available. Callers iterate
+    /// the slice (e.g. `chunks_exact(m)`) with zero per-tuple cursor
+    /// arithmetic, then commit consumption with [`consume`](Self::consume).
+    /// Draw order is identical to sequential [`next`](Self::next) draws.
+    #[inline]
+    pub fn peek_tuples<D: ContinuousDistribution, R: Rng + ?Sized>(
+        &mut self,
+        dist: &D,
+        rng: &mut R,
+        m: usize,
+    ) -> &[f64] {
+        assert!(m >= 1, "tuple arity must be at least 1");
+        if self.cursor + m > self.buf.len() {
+            self.refill_keeping_leftover(dist, rng, m);
+        }
+        let avail = self.buf.len() - self.cursor;
+        let whole = avail - avail % m;
+        &self.buf[self.cursor..self.cursor + whole]
+    }
+
+    /// Advances the cursor past `draws` previously obtained from
+    /// [`peek_tuples`](Self::peek_tuples).
+    ///
+    /// # Panics
+    /// Panics if `draws` exceeds the buffered draws ahead of the cursor
+    /// (checked once per block, so the guard costs nothing per draw).
+    #[inline]
+    pub fn consume(&mut self, draws: usize) {
+        assert!(
+            self.cursor + draws <= self.buf.len(),
+            "consumed more draws than were peeked"
+        );
+        self.cursor += draws;
+    }
+
+    /// Size of the next block: the predicted remainder of this run, clamped
+    /// to `[MIN_CHUNK, CACHE_CHUNK]` — tapering toward the prediction keeps
+    /// end-of-run overdraw small while the cap keeps every block hot in L1.
+    fn next_block_size(&self) -> usize {
+        self.predicted
+            .saturating_sub(self.filled)
+            .clamp(Self::MIN_CHUNK, Self::CACHE_CHUNK)
+    }
+
+    #[cold]
+    fn refill<D: ContinuousDistribution, R: Rng + ?Sized>(&mut self, dist: &D, rng: &mut R) {
+        let size = self.next_block_size();
+        self.buf.resize(size, 0.0);
+        dist.fill_into(rng, &mut self.buf);
+        self.cursor = 0;
+        self.filled += size;
+    }
+
+    /// Refill for [`peek_tuples`](Self::peek_tuples): the up-to-`m - 1`
+    /// already-drawn buffered leftovers move to the front so the stream
+    /// order stays identical to sequential draws, and fresh draws fill the
+    /// rest of the block.
+    #[cold]
+    fn refill_keeping_leftover<D: ContinuousDistribution, R: Rng + ?Sized>(
+        &mut self,
+        dist: &D,
+        rng: &mut R,
+        m: usize,
+    ) {
+        let leftover = self.buf.len() - self.cursor;
+        debug_assert!(leftover < m);
+        self.buf.copy_within(self.cursor.., 0);
+        let size = self.next_block_size().max(m);
+        self.buf.resize(size, 0.0);
+        dist.fill_into(rng, &mut self.buf[leftover..]);
+        self.filled += size - leftover;
+        self.cursor = 0;
+    }
+}
+
+impl Default for BlockBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use crate::Laplace;
+
+    #[test]
+    fn next_replays_the_sequential_stream() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut expect_rng = rng_from_seed(3);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(3);
+        block.begin();
+        for i in 0..1000 {
+            let got = block.next(&unit, &mut rng);
+            let want = unit.sample(&mut expect_rng);
+            assert_eq!(got, want, "draw {i}");
+        }
+    }
+
+    #[test]
+    fn begin_discards_stale_buffered_draws() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut block = BlockBuffer::new();
+        block.begin();
+        let first = block.next(&unit, &mut rng_from_seed(4));
+        // New run, new stream: must not serve leftovers from seed 4.
+        block.begin();
+        let fresh = block.next(&unit, &mut rng_from_seed(5));
+        let want = unit.sample(&mut rng_from_seed(5));
+        assert_eq!(fresh, want);
+        assert_ne!(first, fresh);
+    }
+
+    #[test]
+    fn peek_tuples_preserve_sequential_order_across_refills() {
+        let unit = Laplace::new(1.0).unwrap();
+        // Tuple arities covering pairs, the multi-branch m-tuples, and one
+        // above MIN_CHUNK alignment oddness.
+        for m in [1usize, 2, 3, 5, 7] {
+            let mut expect_rng = rng_from_seed(7);
+            let mut block = BlockBuffer::new();
+            let mut rng = rng_from_seed(7);
+            block.begin();
+            // Odd leading draw forces the tuple path to carry leftovers
+            // across refill boundaries for every m > 1.
+            let first = block.next(&unit, &mut rng);
+            assert_eq!(first, unit.sample(&mut expect_rng));
+            let mut tuples_seen = 0usize;
+            while tuples_seen < 500 {
+                let slab = block.peek_tuples(&unit, &mut rng, m);
+                assert!(slab.len() >= m && slab.len().is_multiple_of(m), "m = {m}");
+                // Consume only part of some slabs to exercise partial commits.
+                let take = (slab.len() / m).min(3) * m;
+                for tuple in slab[..take].chunks_exact(m) {
+                    for (j, &v) in tuple.iter().enumerate() {
+                        assert_eq!(
+                            v,
+                            unit.sample(&mut expect_rng),
+                            "m = {m}, tuple {tuples_seen}, slot {j}"
+                        );
+                    }
+                    tuples_seen += 1;
+                }
+                block.consume(take);
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_tracks_previous_consumption() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(6);
+        block.begin();
+        for _ in 0..1000 {
+            block.next(&unit, &mut rng);
+        }
+        // Next run's first block should be sized like the last run...
+        block.begin();
+        assert_eq!(block.predicted_draws(), 1000);
+        block.next(&unit, &mut rng);
+        assert_eq!(block.buf.len(), 1000);
+        // ...and a run that uses almost none leaves only marginal waste.
+        block.begin();
+        block.next(&unit, &mut rng);
+        block.begin();
+        assert_eq!(block.predicted_draws(), BlockBuffer::MIN_CHUNK);
+    }
+
+    #[test]
+    fn blocks_are_clamped_to_the_cache_chunk() {
+        let unit = Laplace::new(1.0).unwrap();
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(8);
+        block.begin();
+        for _ in 0..(3 * BlockBuffer::CACHE_CHUNK) {
+            block.next(&unit, &mut rng);
+        }
+        block.begin();
+        assert_eq!(block.predicted_draws(), 3 * BlockBuffer::CACHE_CHUNK);
+        block.next(&unit, &mut rng);
+        // Even with a huge prediction, one block never exceeds the cap.
+        assert!(block.buf.len() <= BlockBuffer::CACHE_CHUNK);
+    }
+}

@@ -25,6 +25,11 @@
 //!
 //! It also ships the supporting analysis the paper relies on:
 //!
+//! * [`block`] — the chunked noise-fill discipline ([`BlockBuffer`]): draws
+//!   are generated in bounded `fill_into` blocks but served one draw (or one
+//!   m-tuple) at a time, preserving the sequential draw order bit-for-bit.
+//!   This is the substrate of the scratch and streaming fast paths in
+//!   `free-gap-core`, where the stream length is unknown up front.
 //! * [`tie`] — the probability-of-tie bounds for discretized noise
 //!   (Appendix A.1) that justify treating the continuous analysis as
 //!   `(ε, δ)`-DP with negligible `δ`.
@@ -49,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod discrete_laplace;
 pub mod error;
 pub mod exponential;
@@ -62,6 +68,7 @@ pub mod stats;
 pub mod tie;
 pub mod traits;
 
+pub use block::BlockBuffer;
 pub use discrete_laplace::DiscreteLaplace;
 pub use error::NoiseError;
 pub use exponential::Exponential;

@@ -103,7 +103,7 @@ fn budget_accountant_tracks_pipeline_spend() {
     let mut budget = PrivacyBudget::new(1.0).unwrap();
     let (_, answers) = workload();
     // Select with half, measure with half, as the pipelines do.
-    let shares = budget.split(&[0.5, 0.5]);
+    let shares = budget.split(&[0.5, 0.5]).unwrap();
     let selector = NoisyTopKWithGap::new(3, shares[0], true).unwrap();
     let mut rng = rng_from_seed(2);
     let out = selector.run(&answers, &mut rng);

@@ -4,12 +4,15 @@
 //!
 //! It implements the `criterion_group!`/`criterion_main!` entry points, the
 //! `benchmark_group` / `bench_function` / `bench_with_input` API, and a
-//! simple median-of-samples timer. Compared to real criterion there is no
-//! statistical analysis, no HTML report and no saved baselines — each
-//! benchmark prints one line:
+//! robust median ± MAD timer with simple outlier rejection: samples farther
+//! than 3 × MAD from the raw median are discarded (CI neighbors, page
+//! faults, thermal events) and the reported median/MAD are recomputed on
+//! the survivors, so small regressions stay visible above scheduler noise.
+//! Compared to real criterion there is no distribution fitting, no HTML
+//! report and no saved baselines — each benchmark prints one line:
 //!
 //! ```text
-//! group/name              median   12.345 µs/iter   (20 samples × 4096 iters)
+//! group/name       median   12.345 µs/iter ± 0.120 µs MAD   (20 samples × 4096 iters, 1 outlier)
 //! ```
 //!
 //! `--quick` (or the `CRITERION_QUICK=1` env var) cuts sample counts for
@@ -161,7 +164,7 @@ fn run_bench(label: &str, criterion: &Criterion, mut f: impl FnMut(&mut Bencher)
         iters = ((iters as f64) * grow).ceil() as u64;
     }
 
-    let mut per_iter_ns: Vec<f64> = (0..criterion.sample_size)
+    let per_iter_ns: Vec<f64> = (0..criterion.sample_size)
         .map(|_| {
             let mut b = Bencher {
                 iters,
@@ -171,14 +174,70 @@ fn run_bench(label: &str, criterion: &Criterion, mut f: impl FnMut(&mut Bencher)
             b.elapsed.as_nanos() as f64 / iters as f64
         })
         .collect();
-    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let summary = robust_summary(&per_iter_ns);
     println!(
-        "{label:<48} median {:>12}/iter   ({} samples x {} iters)",
-        format_ns(median),
+        "{label:<48} median {:>12}/iter ± {} MAD   ({} samples x {} iters, {} outlier{})",
+        format_ns(summary.median),
+        format_ns(summary.mad),
         criterion.sample_size,
-        iters
+        iters,
+        summary.outliers,
+        if summary.outliers == 1 { "" } else { "s" },
     );
+}
+
+/// Robust per-iteration timing statistics: median and median absolute
+/// deviation after outlier rejection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Summary {
+    /// Median of the retained samples.
+    median: f64,
+    /// Median absolute deviation of the retained samples.
+    mad: f64,
+    /// Samples rejected as outliers (farther than 3 × MAD from the raw
+    /// median).
+    outliers: usize,
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    sorted[sorted.len() / 2]
+}
+
+/// Computes median + MAD over `samples`, rejecting samples farther than
+/// 3 × MAD from the raw median and recomputing both on the survivors. When
+/// the raw MAD is 0 (at least half the samples identical) no rejection is
+/// applied — every deviation would count as infinite-sigma.
+fn robust_summary(samples: &[f64]) -> Summary {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let raw_median = median_of(&sorted);
+    let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - raw_median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let raw_mad = median_of(&deviations);
+    if raw_mad == 0.0 {
+        return Summary {
+            median: raw_median,
+            mad: 0.0,
+            outliers: 0,
+        };
+    }
+    let cutoff = 3.0 * raw_mad;
+    // `sorted` is ordered, so the retained slice is contiguous and ordered.
+    let kept: Vec<f64> = sorted
+        .iter()
+        .copied()
+        .filter(|x| (x - raw_median).abs() <= cutoff)
+        .collect();
+    let outliers = sorted.len() - kept.len();
+    let median = median_of(&kept);
+    let mut kept_dev: Vec<f64> = kept.iter().map(|x| (x - median).abs()).collect();
+    kept_dev.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    Summary {
+        median,
+        mad: median_of(&kept_dev),
+        outliers,
+    }
 }
 
 fn format_ns(ns: f64) -> String {
@@ -244,6 +303,36 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| count += 1));
         group.finish();
         assert!(count > 0, "routine must have been executed");
+    }
+
+    #[test]
+    fn robust_summary_plain_median_and_mad() {
+        // Odd count, no outliers: median 5, deviations {0,1,1,2,2} → MAD 1.
+        let s = robust_summary(&[3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.mad, 1.0);
+        assert_eq!(s.outliers, 0);
+    }
+
+    #[test]
+    fn robust_summary_rejects_far_samples() {
+        // One wild sample (a CI neighbor stealing the core) must not drag
+        // the reported median/MAD.
+        let samples = [10.0, 10.5, 11.0, 11.5, 12.0, 500.0];
+        let s = robust_summary(&samples);
+        assert_eq!(s.outliers, 1);
+        assert!(s.median <= 12.0, "median {}", s.median);
+        assert!(s.mad <= 1.0, "mad {}", s.mad);
+    }
+
+    #[test]
+    fn robust_summary_zero_mad_skips_rejection() {
+        // Half-identical samples give MAD 0; rejection must not nuke the
+        // rest of the distribution.
+        let s = robust_summary(&[7.0, 7.0, 7.0, 7.0, 9.0, 42.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!(s.outliers, 0);
     }
 
     #[test]
