@@ -15,18 +15,37 @@
 //!   ablation-branches  branch-count sweep for multi-branch Adaptive-SVT
 //!   bench              mechanism-throughput grid → BENCH_mechanisms.json
 //!   bench-check        verify a written BENCH_mechanisms.json covers every
-//!                      mechanism × path × n × k cell (CI smoke gate)
+//!                      mechanism × path × n × k cell (CI smoke gate);
+//!                      read-only — never re-times anything
+//!   bench-compare      perf-regression gate: compare a fresh --json grid
+//!                      against --baseline, failing when any cell's
+//!                      runs/sec drops more than --tolerance after
+//!                      normalizing out the machine-speed difference
 //!   all                everything above except `bench`, paper defaults
 //!
 //! Options:
 //!   --runs N           Monte-Carlo runs per point (default: per experiment;
 //!                      for `bench`: fixed runs per cell instead of a time budget)
+//!   --budget F         `bench`: per-cell time budget in seconds (default 1.0;
+//!                      best of three windows). Mutually exclusive with --runs.
+//!                      CI's perf gate uses a reduced budget — fixed tiny run
+//!                      counts are too noisy to compare against the baseline
 //!   --scale F          dataset record-count fraction in (0, 1] (default 1.0)
 //!   --seed N           root RNG seed (default 20190412)
 //!   --eps F            total privacy budget ε (default 0.7)
 //!   --dataset NAME     bms-pos | kosarak | t40 (fig3/ablations; default bms-pos)
 //!   --csv              emit CSV instead of aligned tables
-//!   --json PATH        where `bench` writes its JSON (default BENCH_mechanisms.json)
+//!   --json PATH        where `bench` writes its JSON / which file
+//!                      `bench-check`/`bench-compare` read (default
+//!                      BENCH_mechanisms.json)
+//!   --baseline PATH    committed baseline for `bench-compare`
+//!                      (default BENCH_mechanisms.json)
+//!   --tolerance F      allowed fractional throughput drop per cell for
+//!                      `bench-compare` (default 0.25)
+//!   --baseline-only    `bench-check`: check the committed baseline file
+//!                      only (rejects --json); used by CI's second
+//!                      invocation so the stale-baseline check is explicit
+//!                      and instant
 //! ```
 //!
 //! The paper averages 10,000 runs per point; defaults here are chosen so the
@@ -52,6 +71,15 @@ struct CliOptions {
     dataset: Dataset,
     csv: bool,
     json: String,
+    budget: Option<f64>,
+    /// Whether `--json` was passed explicitly (`bench-check --baseline-only`
+    /// rejects it).
+    json_explicit: bool,
+    baseline: String,
+    baseline_explicit: bool,
+    tolerance: f64,
+    tolerance_explicit: bool,
+    baseline_only: bool,
     /// Which workload-shaping options were passed explicitly (the `bench`
     /// command uses a fixed synthetic workload and rejects them).
     workload_flags: Vec<&'static str>,
@@ -70,6 +98,13 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         dataset: Dataset::BmsPos,
         csv: false,
         json: "BENCH_mechanisms.json".to_string(),
+        budget: None,
+        json_explicit: false,
+        baseline: "BENCH_mechanisms.json".to_string(),
+        baseline_explicit: false,
+        tolerance: 0.25,
+        tolerance_explicit: false,
+        baseline_only: false,
         workload_flags: Vec::new(),
     };
     let mut i = 1;
@@ -112,7 +147,33 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.workload_flags.push("--dataset");
             }
             "--csv" => opts.csv = true,
-            "--json" => opts.json = value("--json")?,
+            "--json" => {
+                opts.json = value("--json")?;
+                opts.json_explicit = true;
+            }
+            "--budget" => {
+                let budget: f64 = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if !(budget.is_finite() && budget > 0.0) {
+                    return Err("--budget must be positive".into());
+                }
+                opts.budget = Some(budget);
+            }
+            "--baseline" => {
+                opts.baseline = value("--baseline")?;
+                opts.baseline_explicit = true;
+            }
+            "--tolerance" => {
+                opts.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(opts.tolerance.is_finite() && (0.0..1.0).contains(&opts.tolerance)) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+                opts.tolerance_explicit = true;
+            }
+            "--baseline-only" => opts.baseline_only = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -144,6 +205,36 @@ fn emit(table: &Table, csv: bool) {
 // sequence reads better that way than as one giant vec![] literal.
 #[allow(clippy::vec_init_then_push)]
 fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
+    // Reject flags that the selected command would silently ignore — a user
+    // who names a file or knob must not get a success report for something
+    // else (same policy as `bench`'s workload-flag rejection below).
+    if opts.budget.is_some() && opts.command != "bench" {
+        return Err(format!(
+            "--budget only applies to `bench`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.baseline_only && opts.command != "bench-check" {
+        return Err(format!(
+            "--baseline-only only applies to `bench-check`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.tolerance_explicit && opts.command != "bench-compare" {
+        return Err(format!(
+            "--tolerance only applies to `bench-compare`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.baseline_explicit
+        && opts.command != "bench-compare"
+        && !(opts.command == "bench-check" && opts.baseline_only)
+    {
+        return Err(format!(
+            "--baseline only applies to `bench-compare` (or `bench-check --baseline-only`), not `{}`",
+            opts.command
+        ));
+    }
     let tables = match opts.command.as_str() {
         "bench" => {
             // The throughput grid uses a fixed synthetic workload at ε = 0.7
@@ -154,10 +245,14 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
                     "`bench` uses a fixed synthetic workload; {flag} is not supported (only --runs, --seed, --csv, --json apply)"
                 ));
             }
+            if opts.runs.is_some() && opts.budget.is_some() {
+                return Err("--runs and --budget are mutually exclusive".into());
+            }
+            let defaults = perf::BenchConfig::default();
             let bench_config = perf::BenchConfig {
                 seed: opts.seed,
                 runs: opts.runs,
-                ..perf::BenchConfig::default()
+                budget_secs: opts.budget.unwrap_or(defaults.budget_secs),
             };
             let records = perf::run_grid(&bench_config);
             std::fs::write(&opts.json, perf::to_json(opts.seed, &records))
@@ -166,18 +261,54 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             vec![perf::to_table(&records)]
         }
         "bench-check" => {
-            let json = std::fs::read_to_string(&opts.json)
-                .map_err(|e| format!("reading {}: {e}", opts.json))?;
+            // Read-only: checks coverage of an already-written file, never
+            // re-times the grid. `--baseline-only` pins the invocation to
+            // the committed baseline so CI's stale-baseline check cannot be
+            // silently redirected at a scratch file.
+            if opts.baseline_only && opts.json_explicit {
+                return Err(
+                    "--baseline-only checks the committed baseline; drop --json".to_string()
+                );
+            }
+            let path = if opts.baseline_only {
+                &opts.baseline
+            } else {
+                &opts.json
+            };
+            let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let missing = perf::missing_cells(&json);
             if !missing.is_empty() {
                 return Err(format!(
-                    "{} has {} missing bench cell(s):\n  {}",
-                    opts.json,
+                    "{path} has {} missing bench cell(s):\n  {}",
                     missing.len(),
                     missing.join("\n  ")
                 ));
             }
-            eprintln!("{}: all mechanism × path cells present", opts.json);
+            eprintln!("{path}: all mechanism × path cells present");
+            Vec::new()
+        }
+        "bench-compare" => {
+            let fresh = std::fs::read_to_string(&opts.json)
+                .map_err(|e| format!("reading {}: {e}", opts.json))?;
+            let baseline = std::fs::read_to_string(&opts.baseline)
+                .map_err(|e| format!("reading {}: {e}", opts.baseline))?;
+            let report = perf::compare_against_baseline(&fresh, &baseline, opts.tolerance)?;
+            eprintln!(
+                "{} vs {}: {} cells, machine-speed factor {:.2}",
+                opts.json, opts.baseline, report.cells, report.speed_factor
+            );
+            if !report.regressions.is_empty() {
+                return Err(format!(
+                    "{} cell(s) regressed beyond {:.0}% tolerance:\n  {}",
+                    report.regressions.len(),
+                    opts.tolerance * 100.0,
+                    report.regressions.join("\n  ")
+                ));
+            }
+            eprintln!(
+                "no cell regressed beyond {:.0}% tolerance",
+                opts.tolerance * 100.0
+            );
             Vec::new()
         }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
@@ -311,7 +442,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|bench-check|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--csv] [--json PATH]");
+            eprintln!("usage: repro <bench|bench-check|bench-compare|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only]");
             return ExitCode::FAILURE;
         }
     };

@@ -7,7 +7,7 @@
 //! |------|---------|
 //! | `dyn` | the allocating `run` path — `dyn NoiseSource` dispatch, fresh buffers per run (the "before") |
 //! | `scratch` | `run_with_scratch` — batched noise, reused buffers, monomorphic `StdRng` |
-//! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`] (Xoshiro) — the Monte-Carlo fast path |
+//! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`](free_gap_noise::rng::FastRng) (Xoshiro) — the Monte-Carlo fast path |
 //! | `streaming` | `run_streaming_with_scratch` — the lazy-iterator serving path (SVT family only; Top-K needs the whole vector) |
 //!
 //! All paths execute the *same mechanism*: `scratch` and `streaming` are
@@ -62,10 +62,11 @@
 //! CI smoke step runs against a freshly written file.
 
 use crate::table::Table;
-use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
+use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap, TopKOutput};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, ClassicSparseVector, MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
+    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, MultiBranchAdaptiveSparseVector,
+    MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::{derive_fast_stream, derive_stream};
@@ -301,23 +302,28 @@ fn bench_streaming_cell(
 
 /// Expands to the `(run_index, fast)` closure for one mechanism's scratch
 /// paths: the two arms differ only in which generator family the per-run
-/// stream is derived from.
+/// stream is derived from. Uses the `run_with_scratch_into` out-parameter
+/// variants with a per-cell reused output, so the timed loop is fully
+/// allocation-free after warm-up.
 macro_rules! scratch_runner {
-    ($mech:ident, $answers:expr, $scratch:ident, $seed:ident) => {
+    ($mech:ident, $answers:expr, $scratch:ident, $out:ident, $seed:ident) => {
         |r, fast| {
             if fast {
-                black_box($mech.run_with_scratch(
+                $mech.run_with_scratch_into(
                     $answers,
                     &mut derive_fast_stream($seed, r),
                     &mut $scratch,
-                ));
+                    &mut $out,
+                );
             } else {
-                black_box($mech.run_with_scratch(
+                $mech.run_with_scratch_into(
                     $answers,
                     &mut derive_stream($seed, r),
                     &mut $scratch,
-                ));
+                    &mut $out,
+                );
             }
+            black_box(&$out);
         }
     };
 }
@@ -341,6 +347,24 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
             let mut classic_svt_stream_scratch = SvtScratch::new();
             let mut adaptive_stream_scratch = SvtScratch::new();
             let mut multi_branch_stream_scratch = SvtScratch::new();
+            // Reused outputs for the `_into` fast paths (one per mechanism
+            // family, so the timed loops allocate nothing after warm-up).
+            let mut topk_out = TopKOutput { items: Vec::new() };
+            let mut classic_topk_out: Vec<usize> = Vec::new();
+            let mut sv_out = SvOutput { above: Vec::new() };
+            let mut sv_stream_out = SvOutput { above: Vec::new() };
+            let mut adaptive_out = AdaptiveSvOutput {
+                outcomes: Vec::new(),
+                spent: 0.0,
+                epsilon: 0.0,
+            };
+            let mut adaptive_stream_out = adaptive_out.clone();
+            let mut multi_out = MultiBranchSvOutput {
+                outcomes: Vec::new(),
+                spent: 0.0,
+                epsilon: 0.0,
+            };
+            let mut multi_stream_out = multi_out.clone();
 
             let topk = NoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
             bench_cell(
@@ -352,7 +376,7 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(topk.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(topk, &answers, topk_scratch, seed),
+                scratch_runner!(topk, &answers, topk_scratch, topk_out, seed),
             );
 
             let classic_topk = ClassicNoisyTopK::new(k, 0.7, true).expect("valid parameters");
@@ -365,7 +389,7 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(classic_topk.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(classic_topk, &answers, topk_scratch, seed),
+                scratch_runner!(classic_topk, &answers, topk_scratch, classic_topk_out, seed),
             );
 
             let svt_gap =
@@ -379,14 +403,16 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(svt_gap.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(svt_gap, &answers, svt_gap_scratch, seed),
+                scratch_runner!(svt_gap, &answers, svt_gap_scratch, sv_out, seed),
             );
             bench_streaming_cell(&mut records, config, "SparseVectorWithGap", n, k, |r| {
-                black_box(svt_gap.run_streaming_with_scratch(
+                svt_gap.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
                     &mut derive_stream(seed, r),
                     &mut svt_gap_stream_scratch,
-                ));
+                    &mut sv_stream_out,
+                );
+                black_box(&sv_stream_out);
             });
 
             let classic_svt =
@@ -400,14 +426,16 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(classic_svt.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(classic_svt, &answers, classic_svt_scratch, seed),
+                scratch_runner!(classic_svt, &answers, classic_svt_scratch, sv_out, seed),
             );
             bench_streaming_cell(&mut records, config, "ClassicSparseVector", n, k, |r| {
-                black_box(classic_svt.run_streaming_with_scratch(
+                classic_svt.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
                     &mut derive_stream(seed, r),
                     &mut classic_svt_stream_scratch,
-                ));
+                    &mut sv_stream_out,
+                );
+                black_box(&sv_stream_out);
             });
 
             let adaptive =
@@ -421,14 +449,16 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(adaptive.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(adaptive, &answers, adaptive_scratch, seed),
+                scratch_runner!(adaptive, &answers, adaptive_scratch, adaptive_out, seed),
             );
             bench_streaming_cell(&mut records, config, "AdaptiveSparseVector", n, k, |r| {
-                black_box(adaptive.run_streaming_with_scratch(
+                adaptive.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
                     &mut derive_stream(seed, r),
                     &mut adaptive_stream_scratch,
-                ));
+                    &mut adaptive_stream_out,
+                );
+                black_box(&adaptive_stream_out);
             });
 
             // Three branches: the ladder beyond Algorithm 2, newly wired
@@ -444,7 +474,7 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 |r| {
                     black_box(multi.run(&answers, &mut derive_stream(seed, r)));
                 },
-                scratch_runner!(multi, &answers, multi_branch_scratch, seed),
+                scratch_runner!(multi, &answers, multi_branch_scratch, multi_out, seed),
             );
             bench_streaming_cell(
                 &mut records,
@@ -453,11 +483,13 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 n,
                 k,
                 |r| {
-                    black_box(multi.run_streaming_with_scratch(
+                    multi.run_streaming_with_scratch_into(
                         answers.values().iter().copied(),
                         &mut derive_stream(seed, r),
                         &mut multi_branch_stream_scratch,
-                    ));
+                        &mut multi_stream_out,
+                    );
+                    black_box(&multi_stream_out);
                 },
             );
         }
@@ -487,6 +519,144 @@ pub fn missing_cells(json: &str) -> Vec<String> {
         }
     }
     missing
+}
+
+/// One cell parsed back out of a `BENCH_mechanisms.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCell {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Execution path.
+    pub path: String,
+    /// Workload size.
+    pub n: usize,
+    /// Selection parameter.
+    pub k: usize,
+    /// Recorded throughput.
+    pub runs_per_sec: f64,
+}
+
+impl ParsedCell {
+    /// The human-readable cell key used in reports.
+    pub fn key(&self) -> String {
+        format!("{}/{} n={} k={}", self.mechanism, self.path, self.n, self.k)
+    }
+}
+
+/// Parses the result records out of a `BENCH_mechanisms.json` document
+/// (the exact one-record-per-line format [`to_json`] writes; no general
+/// JSON parser is vendored, and none is needed for our own schema).
+pub fn parse_cells(json: &str) -> Result<Vec<ParsedCell>, String> {
+    fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+        let tag = format!("\"{key}\": ");
+        let start = line
+            .find(&tag)
+            .ok_or_else(|| format!("record line missing `{key}`: {line}"))?
+            + tag.len();
+        let rest = &line[start..];
+        let end = rest
+            .find([',', ' ', '}'])
+            .ok_or_else(|| format!("unterminated `{key}` in: {line}"))?;
+        Ok(&rest[..end])
+    }
+    let mut cells = Vec::new();
+    for line in json.lines() {
+        if !line.contains("\"mechanism\":") {
+            continue;
+        }
+        cells.push(ParsedCell {
+            mechanism: field(line, "mechanism")?.trim_matches('"').to_string(),
+            path: field(line, "path")?.trim_matches('"').to_string(),
+            n: field(line, "n")?
+                .parse()
+                .map_err(|e| format!("bad n: {e}"))?,
+            k: field(line, "k")?
+                .parse()
+                .map_err(|e| format!("bad k: {e}"))?,
+            runs_per_sec: field(line, "runs_per_sec")?
+                .parse()
+                .map_err(|e| format!("bad runs_per_sec: {e}"))?,
+        });
+    }
+    if cells.is_empty() {
+        return Err("no bench records found (not a BENCH_mechanisms.json?)".into());
+    }
+    Ok(cells)
+}
+
+/// Outcome of [`compare_against_baseline`].
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Median per-cell `fresh/baseline` throughput ratio — the machine-speed
+    /// normalizer (1.0 when both files come from the same machine under the
+    /// same load).
+    pub speed_factor: f64,
+    /// Number of cells compared.
+    pub cells: usize,
+    /// Cells whose normalized throughput dropped beyond the tolerance,
+    /// formatted as `key: fresh vs baseline (normalized ratio)`.
+    pub regressions: Vec<String>,
+}
+
+/// Compares a fresh `BENCH_mechanisms.json` against a committed baseline:
+/// a cell regresses when its `runs_per_sec` drops more than `tolerance`
+/// (fractional, e.g. 0.25) below the baseline **after normalizing out the
+/// overall machine-speed difference** (the median per-cell ratio). The
+/// normalization is what makes the gate portable: CI runners are not the
+/// laptop that wrote the baseline, but a *relative* regression — one cell
+/// slowing down while the rest of the grid did not — shows up identically
+/// on both. Every baseline cell must be present in the fresh file
+/// (`bench-check` guards the converse).
+pub fn compare_against_baseline(
+    fresh_json: &str,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<CompareReport, String> {
+    if !(tolerance.is_finite() && (0.0..1.0).contains(&tolerance)) {
+        return Err(format!("tolerance must be in [0, 1), got {tolerance}"));
+    }
+    let fresh = parse_cells(fresh_json)?;
+    let baseline = parse_cells(baseline_json)?;
+    let mut ratios: Vec<(String, f64, f64, f64)> = Vec::new();
+    for base in &baseline {
+        let Some(new) = fresh.iter().find(|c| {
+            c.mechanism == base.mechanism && c.path == base.path && c.n == base.n && c.k == base.k
+        }) else {
+            return Err(format!("fresh run is missing baseline cell {}", base.key()));
+        };
+        if base.runs_per_sec <= 0.0 {
+            continue; // degenerate baseline cell carries no signal
+        }
+        ratios.push((
+            base.key(),
+            new.runs_per_sec,
+            base.runs_per_sec,
+            new.runs_per_sec / base.runs_per_sec,
+        ));
+    }
+    if ratios.is_empty() {
+        return Err("baseline has no usable cells".into());
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|r| r.3).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let speed_factor = sorted[sorted.len() / 2];
+    let regressions = ratios
+        .iter()
+        .filter(|(_, _, _, ratio)| *ratio < speed_factor * (1.0 - tolerance))
+        .map(|(key, new, base, ratio)| {
+            format!(
+                "{key}: {new:.1} vs baseline {base:.1} runs/sec \
+                 (normalized ratio {:.2} < {:.2})",
+                ratio / speed_factor,
+                1.0 - tolerance
+            )
+        })
+        .collect();
+    Ok(CompareReport {
+        speed_factor,
+        cells: ratios.len(),
+        regressions,
+    })
 }
 
 /// Renders the records as a table with one row per `mechanism × n × k` and
@@ -730,6 +900,92 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("2.5"), "scratch speedup missing: {csv}");
         assert!(csv.contains('4'), "fast speedup missing: {csv}");
+    }
+
+    fn grid_json(rps: impl Fn(&str, &str, usize, usize) -> f64) -> String {
+        let mut records = Vec::new();
+        for (mechanism, paths) in MECHANISM_PATHS {
+            for path in paths {
+                for n in N_GRID {
+                    for k in K_GRID {
+                        let v = rps(mechanism, path, n, k).max(1e-9);
+                        records.push(BenchRecord {
+                            mechanism,
+                            path,
+                            n,
+                            k,
+                            runs: 100,
+                            elapsed_secs: 100.0 / v,
+                        });
+                    }
+                }
+            }
+        }
+        to_json(1, &records)
+    }
+
+    #[test]
+    fn parse_cells_round_trips_to_json() {
+        let json = grid_json(|_, _, n, k| (n * k) as f64);
+        let cells = parse_cells(&json).unwrap();
+        let expected: usize = MECHANISM_PATHS.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(cells.len(), expected * N_GRID.len() * K_GRID.len());
+        let c = cells
+            .iter()
+            .find(|c| {
+                c.mechanism == "AdaptiveSparseVector"
+                    && c.path == "streaming"
+                    && c.n == 1000
+                    && c.k == 25
+            })
+            .unwrap();
+        assert!((c.runs_per_sec - 25_000.0).abs() < 0.5);
+        assert!(parse_cells("{}").is_err());
+    }
+
+    #[test]
+    fn compare_accepts_uniform_machine_speed_shift() {
+        // A 3× slower machine shifts every cell identically: the median
+        // normalizer absorbs it and nothing regresses.
+        let baseline = grid_json(|_, _, n, _| 1e6 / n as f64);
+        let fresh = grid_json(|_, _, n, _| 1e6 / n as f64 / 3.0);
+        let report = compare_against_baseline(&fresh, &baseline, 0.25).unwrap();
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert!((report.speed_factor - 1.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compare_flags_a_single_cell_regression() {
+        let baseline = grid_json(|_, _, n, _| 1e6 / n as f64);
+        let fresh = grid_json(|m, p, n, k| {
+            let v = 1e6 / n as f64;
+            if m == "AdaptiveSparseVector" && p == "scratch_fast" && n == 100_000 && k == 10 {
+                v * 0.5 // 50% drop on one cell
+            } else {
+                v
+            }
+        });
+        let report = compare_against_baseline(&fresh, &baseline, 0.25).unwrap();
+        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
+        assert!(report.regressions[0].contains("AdaptiveSparseVector/scratch_fast n=100000 k=10"));
+        // A looser tolerance lets the same drop through.
+        let lax = compare_against_baseline(&fresh, &baseline, 0.6).unwrap();
+        assert!(lax.regressions.is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_missing_cells_and_bad_tolerance() {
+        let baseline = grid_json(|_, _, _, _| 100.0);
+        let fresh_missing: String = baseline
+            .lines()
+            .filter(|l| !(l.contains("\"streaming\"") && l.contains("\"n\": 100000")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(compare_against_baseline(&fresh_missing, &baseline, 0.25)
+            .unwrap_err()
+            .contains("missing baseline cell"));
+        assert!(compare_against_baseline(&baseline, &baseline, 1.5).is_err());
+        assert!(compare_against_baseline(&baseline, &baseline, -0.1).is_err());
     }
 
     #[test]

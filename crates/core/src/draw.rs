@@ -1,0 +1,348 @@
+//! The generic draw-provider abstraction behind every mechanism core.
+//!
+//! Each mechanism in [`crate::noisy_max`] and [`crate::sparse_vector`] keeps
+//! **exactly one** copy of its decision/budget logic, written against the
+//! [`DrawProvider`] trait. The execution paths differ only in which provider
+//! the thin public entry points construct:
+//!
+//! ```text
+//!                mechanism core (one function, generic over P: DrawProvider)
+//!                                      │
+//!          ┌───────────────────────────┼───────────────────────────┐
+//!          ▼                           ▼                           ▼
+//!   SourceDraws                  ScratchDraws                  RngDraws
+//!   (dyn NoiseSource:            (SvtScratch/BlockBuffer:      (plain Rng:
+//!    alignment checker,           batched + blocked noise,      draw-exact
+//!    reference `run`)             Monte-Carlo fast path)        monomorphic)
+//! ```
+//!
+//! ## Contract
+//!
+//! The trait exposes the three draw shapes the paper's mechanisms need —
+//! single draws ([`next`](DrawProvider::next)), Algorithm 2's `(ξ, η)`
+//! pairs ([`peek_pairs`](DrawProvider::peek_pairs)), and the multi-branch
+//! ladder's `m`-tuples ([`peek_tuples`](DrawProvider::peek_tuples)) — under
+//! one invariant, the **stream discipline** of `README.md`: however a
+//! provider buffers internally, the sequence of draws it *serves* is
+//! bit-identical to a sequential sampling loop at the requested scales on
+//! the same underlying stream. A provider may pull more randomness than it
+//! serves (block lookahead, [`ScratchDraws`]) or be draw-exact
+//! ([`SourceDraws`], [`RngDraws`]); cores therefore only call
+//! `peek_pairs`/`peek_tuples` **after** the matching query is known to
+//! exist, so draw-exact providers never sample noise for a query that was
+//! never pulled — which is what keeps the recorded alignment tapes
+//! draw-for-draw identical to the pre-provider implementations.
+//!
+//! The `scratch_equivalence` suite enforces output equality across all
+//! providers; `tests/draw_provider.rs` proptests the stream discipline
+//! itself over random interleavings of the three draw shapes.
+
+use crate::scratch::SvtScratch;
+use free_gap_alignment::NoiseSource;
+use free_gap_noise::{ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Laplace};
+use rand::Rng;
+
+/// Largest tuple arity a provider must support — one draw per branch of the
+/// deepest multi-branch ladder
+/// ([`MultiBranchAdaptiveSparseVector::MAX_BRANCHES`](crate::sparse_vector::MultiBranchAdaptiveSparseVector::MAX_BRANCHES)).
+pub const MAX_TUPLE: usize = 16;
+
+/// A source of Laplace (and discrete-Laplace) draws for a mechanism core.
+///
+/// See the [module docs](self) for the contract. All `f64` values returned
+/// are finished draws at the requested scale — cores never rescale.
+pub trait DrawProvider {
+    /// Starts a run: discards internal lookahead buffered from a previous
+    /// stream and refreshes consumption predictions. Cores call this before
+    /// their first draw.
+    fn begin(&mut self);
+
+    /// Predicted total draw consumption of the run (0 when unknown) — cores
+    /// use it to pre-size output buffers, never for control flow.
+    fn predicted_draws(&self) -> usize;
+
+    /// One `Lap(scale)` draw.
+    fn next(&mut self, scale: f64) -> f64;
+
+    /// One discrete Laplace draw over the lattice `{kγ}` with per-unit rate
+    /// `unit_epsilon` (pmf ∝ `e^{-unit_epsilon·|kγ|}`).
+    fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64;
+
+    /// Borrows a slab of whole `scales.len()`-tuples, slot `b` of each tuple
+    /// distributed `Lap(scales[b])`. The slab length is a non-zero multiple
+    /// of the arity; blocked providers may return many tuples per call,
+    /// draw-exact providers exactly one. Call only when the query consuming
+    /// the first tuple is known to exist, and commit consumption with
+    /// [`consume`](DrawProvider::consume) before the next `peek`/`next`.
+    ///
+    /// # Panics
+    /// Implementations may panic when `scales.len()` exceeds [`MAX_TUPLE`].
+    fn peek_tuples(&mut self, scales: &[f64]) -> &[f64];
+
+    /// Pair specialization of [`peek_tuples`](DrawProvider::peek_tuples) —
+    /// Algorithm 2's `(ξ, η)` draw shape.
+    fn peek_pairs(&mut self, scales: [f64; 2]) -> &[f64] {
+        self.peek_tuples(&scales)
+    }
+
+    /// Advances past `draws` values served by the last
+    /// [`peek_tuples`](DrawProvider::peek_tuples)/[`peek_pairs`](DrawProvider::peek_pairs)
+    /// slab (a multiple of the arity; may be less than the slab length when
+    /// the run halts mid-slab).
+    fn consume(&mut self, draws: usize);
+
+    /// Fills `out` with `base[i] + Lap(scale)`, one draw per element in
+    /// index order — the Noisy-Max / measurement shape. Serves exactly
+    /// `base.len()` draws; draw-exact providers pull exactly that much from
+    /// the underlying stream, while blocked providers drain their buffered
+    /// lookahead first (and may buffer more), so the served sequence always
+    /// matches the sequential reference.
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>);
+}
+
+/// Draw-provider adapter over the alignment crate's `dyn NoiseSource` — the
+/// reference path the checker interposes on (recording and replaying noise
+/// tapes). Strictly draw-exact: every draw is forwarded 1:1, in order, at
+/// the requested scale, so recorded tapes are identical to a hand-written
+/// per-draw loop.
+pub struct SourceDraws<'a> {
+    source: &'a mut dyn NoiseSource,
+    /// One-tuple backing store for `peek_tuples` (a dyn source cannot look
+    /// ahead without corrupting the tape).
+    tuple: [f64; MAX_TUPLE],
+}
+
+impl<'a> SourceDraws<'a> {
+    /// Wraps a noise source.
+    pub fn new(source: &'a mut dyn NoiseSource) -> Self {
+        Self {
+            source,
+            tuple: [0.0; MAX_TUPLE],
+        }
+    }
+}
+
+impl DrawProvider for SourceDraws<'_> {
+    fn begin(&mut self) {}
+
+    fn predicted_draws(&self) -> usize {
+        0
+    }
+
+    fn next(&mut self, scale: f64) -> f64 {
+        self.source.laplace(scale)
+    }
+
+    fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        self.source.discrete_laplace(unit_epsilon, gamma)
+    }
+
+    fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
+        let m = scales.len();
+        assert!(
+            (1..=MAX_TUPLE).contains(&m),
+            "tuple arity must be in 1..={MAX_TUPLE}"
+        );
+        for (slot, &scale) in self.tuple[..m].iter_mut().zip(scales) {
+            *slot = self.source.laplace(scale);
+        }
+        &self.tuple[..m]
+    }
+
+    fn consume(&mut self, _draws: usize) {}
+
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(base.iter().map(|b| b + self.source.laplace(scale)));
+    }
+}
+
+/// Blocked monomorphic draw provider over [`SvtScratch`] — the Monte-Carlo
+/// fast path. Unit noise is generated in bounded
+/// [`BlockBuffer`](free_gap_noise::BlockBuffer) batches and rescaled per
+/// draw (bit-identical to sampling at the scale directly); `peek` calls
+/// return whole buffered blocks so the hot loop iterates slabs with
+/// `chunks_exact` instead of per-draw cursor arithmetic. May consume more
+/// of the RNG stream than it serves — see the stream discipline in
+/// [`crate::scratch`].
+pub struct ScratchDraws<'a, R: Rng + ?Sized> {
+    scratch: &'a mut SvtScratch,
+    rng: &'a mut R,
+}
+
+impl<'a, R: Rng + ?Sized> ScratchDraws<'a, R> {
+    /// Wraps a scratch and the RNG stream of the current run.
+    pub fn new(scratch: &'a mut SvtScratch, rng: &'a mut R) -> Self {
+        Self { scratch, rng }
+    }
+}
+
+impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> {
+    fn begin(&mut self) {
+        self.scratch.begin();
+    }
+
+    fn predicted_draws(&self) -> usize {
+        self.scratch.predicted_draws()
+    }
+
+    #[inline]
+    fn next(&mut self, scale: f64) -> f64 {
+        self.scratch.next_scaled(self.rng, scale)
+    }
+
+    fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        // Discrete draws are rare (no batched fast path yet): sample
+        // directly, preserving the sequential stream position.
+        DiscreteLaplace::new(unit_epsilon, gamma)
+            .expect("mechanism-validated rate")
+            .sample_value(self.rng)
+    }
+
+    #[inline]
+    fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
+        self.scratch.peek_tuples_scaled(self.rng, scales)
+    }
+
+    #[inline]
+    fn consume(&mut self, draws: usize) {
+        self.scratch.consume(draws);
+    }
+
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        // Served through the block buffer, not the raw RNG: any unit draws
+        // buffered ahead by an earlier peek are consumed first, in order, so
+        // the stream-discipline contract ("served draws == sequential
+        // sampling loop") holds even when `fill_offset` follows `peek_*`.
+        // Refills still come in batched `fill_into` blocks, and
+        // `unit * scale` is bit-identical to sampling at `scale` directly.
+        out.clear();
+        out.extend(
+            base.iter()
+                .map(|b| b + self.scratch.next_scaled(self.rng, scale)),
+        );
+    }
+}
+
+/// Draw-exact monomorphic provider over a plain [`rand::Rng`] — no block
+/// lookahead, no `dyn` dispatch. This is the Top-K scratch path (which
+/// draws exactly `n` variates in one batched
+/// [`fill_into_offset`](free_gap_noise::ContinuousDistribution::fill_into_offset)
+/// pass) and a general-purpose provider for mechanisms without an
+/// [`SvtScratch`] at hand.
+pub struct RngDraws<'a, R: Rng + ?Sized> {
+    rng: &'a mut R,
+    tuple: [f64; MAX_TUPLE],
+}
+
+impl<'a, R: Rng + ?Sized> RngDraws<'a, R> {
+    /// Wraps the RNG stream of the current run.
+    pub fn new(rng: &'a mut R) -> Self {
+        Self {
+            rng,
+            tuple: [0.0; MAX_TUPLE],
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
+    fn begin(&mut self) {}
+
+    fn predicted_draws(&self) -> usize {
+        0
+    }
+
+    fn next(&mut self, scale: f64) -> f64 {
+        Laplace::new(scale)
+            .expect("mechanism-validated scale")
+            .sample(self.rng)
+    }
+
+    fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        DiscreteLaplace::new(unit_epsilon, gamma)
+            .expect("mechanism-validated rate")
+            .sample_value(self.rng)
+    }
+
+    fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
+        let m = scales.len();
+        assert!(
+            (1..=MAX_TUPLE).contains(&m),
+            "tuple arity must be in 1..={MAX_TUPLE}"
+        );
+        for (slot, &scale) in self.tuple[..m].iter_mut().zip(scales) {
+            *slot = Laplace::new(scale)
+                .expect("mechanism-validated scale")
+                .sample(self.rng);
+        }
+        &self.tuple[..m]
+    }
+
+    fn consume(&mut self, _draws: usize) {}
+
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        let lap = Laplace::new(scale).expect("mechanism-validated scale");
+        out.resize(base.len(), 0.0);
+        lap.fill_into_offset(self.rng, base, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use free_gap_alignment::SamplingSource;
+    use free_gap_noise::rng::rng_from_seed;
+
+    #[test]
+    fn source_draws_forward_in_order() {
+        let mut ref_rng = rng_from_seed(5);
+        let lap = |s: f64, r: &mut rand::rngs::StdRng| Laplace::new(s).unwrap().sample(r);
+        let mut rng = rng_from_seed(5);
+        let mut source = SamplingSource::new(&mut rng);
+        let mut p = SourceDraws::new(&mut source);
+        p.begin();
+        assert_eq!(p.next(2.0), lap(2.0, &mut ref_rng));
+        let pair = p.peek_pairs([3.0, 0.5]).to_vec();
+        p.consume(2);
+        assert_eq!(pair, vec![lap(3.0, &mut ref_rng), lap(0.5, &mut ref_rng)]);
+        let mut out = Vec::new();
+        p.fill_offset(&[10.0, 20.0], 1.5, &mut out);
+        assert_eq!(
+            out,
+            vec![10.0 + lap(1.5, &mut ref_rng), 20.0 + lap(1.5, &mut ref_rng)]
+        );
+    }
+
+    #[test]
+    fn providers_serve_identical_streams() {
+        // The three providers over identically seeded streams serve
+        // bit-identical draws for the same request sequence — the unification
+        // invariant (full interleaving coverage lives in
+        // `tests/draw_provider.rs`).
+        let mut rng_a = rng_from_seed(11);
+        let mut source = SamplingSource::new(&mut rng_a);
+        let mut a = SourceDraws::new(&mut source);
+        let mut rng_b = rng_from_seed(11);
+        let mut scratch = SvtScratch::new();
+        let mut b = ScratchDraws::new(&mut scratch, &mut rng_b);
+        let mut rng_c = rng_from_seed(11);
+        let mut c = RngDraws::new(&mut rng_c);
+        a.begin();
+        b.begin();
+        c.begin();
+        for i in 0..50 {
+            let scale = 0.5 + (i % 7) as f64;
+            let (x, y, z) = (a.next(scale), b.next(scale), c.next(scale));
+            assert_eq!(x.to_bits(), y.to_bits(), "draw {i}");
+            assert_eq!(x.to_bits(), z.to_bits(), "draw {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn oversized_tuple_is_rejected() {
+        let mut rng = rng_from_seed(1);
+        let mut p = RngDraws::new(&mut rng);
+        p.peek_tuples(&[1.0; MAX_TUPLE + 1]);
+    }
+}

@@ -34,37 +34,43 @@
 //! from its privacy proof (Lemma 2 / Lemma 4) so the test-suite can execute
 //! the proof obligations on concrete runs.
 //!
-//! ## Execution paths: `run`, `run_with_scratch`, `run_streaming`
+//! ## Execution paths: one core per mechanism, generic over [`draw::DrawProvider`]
 //!
-//! Each mechanism has equivalent execution paths:
+//! Each mechanism's decision/budget logic exists in **exactly one**
+//! function, generic over the [`draw::DrawProvider`] it draws noise
+//! through; the public entry points only pick the provider:
 //!
-//! * **`run` / `run_with_source`** — draws noise through `dyn
-//!   NoiseSource`. This is the path the alignment checker interposes on
-//!   (recording and replaying tapes), and the reference semantics.
-//! * **`run_with_scratch`** — the batched fast path for Monte-Carlo and
-//!   high-traffic serving: noise is drawn in batches via
+//! * **`run` / `run_with_source`** — the [`draw::SourceDraws`] adapter over
+//!   `dyn NoiseSource`. This is the path the alignment checker interposes
+//!   on (recording and replaying tapes), and the reference semantics; it is
+//!   strictly draw-exact, so tapes stay draw-for-draw faithful.
+//! * **`run_with_scratch`** — [`draw::ScratchDraws`] (SVT family) or
+//!   [`draw::RngDraws`] (Top-K family): the batched fast path for
+//!   Monte-Carlo and high-traffic serving. Noise is drawn in batches via
 //!   [`free_gap_noise::ContinuousDistribution::fill_into`] (through the
 //!   chunked [`free_gap_noise::BlockBuffer`]), noisy-value buffers live in
 //!   a reusable [`scratch::TopKScratch`] / [`scratch::SvtScratch`], and
 //!   the RNG is a monomorphic generic (no virtual dispatch). Outputs are
 //!   **bit-for-bit identical** to `run` on the same RNG stream; the
 //!   scratch path may consume *more* of the stream (batch lookahead), so
-//!   derive a fresh [`free_gap_noise::rng::derive_stream`] per run.
+//!   derive a fresh [`free_gap_noise::rng::derive_stream`] per run. The
+//!   `*_into` variants additionally reuse a caller-owned output, making a
+//!   scratch run fully allocation-free.
 //! * **`run_streaming` / `run_streaming_with_scratch`** (SVT family only)
-//!   — consume `impl IntoIterator<Item = f64>` *lazily*, answering each
-//!   query as it is pulled and halting the pull the moment the mechanism
-//!   stops (k-th `⊤`, answer limit, or exhausted adaptive budget).
-//!   Queries after the halt are **never observed** — the privacy-relevant
-//!   property of SVT's online form — and outputs are bit-identical to the
-//!   materialized paths on the same RNG stream and query sequence. The
-//!   materialized entry points delegate to the streaming cores, so each
-//!   mechanism has one copy of its decision logic per noise path.
+//!   — the same cores consuming `impl IntoIterator<Item = f64>` *lazily*,
+//!   answering each query as it is pulled and halting the pull the moment
+//!   the mechanism stops (k-th `⊤`, answer limit, or exhausted adaptive
+//!   budget). Queries after the halt are **never observed** — the
+//!   privacy-relevant property of SVT's online form — and outputs are
+//!   bit-identical to the materialized paths on the same RNG stream and
+//!   query sequence.
 //!
-//! See [`scratch`] for the full contract and an example, and
-//! [`pipelines::PipelineScratch`] for the select-then-measure versions.
-//! The `repro bench` command in `free-gap-bench` tracks the speedup
-//! (≈1.1× like-for-like, ≈2× with the
-//! [`free_gap_noise::rng::FastRng`] Monte-Carlo generator).
+//! See [`draw`] for the provider contract, [`scratch`] for the buffer
+//! discipline and an example, and [`pipelines::PipelineScratch`] for the
+//! select-then-measure versions. The `repro bench` command in
+//! `free-gap-bench` tracks the speedup (≈1.1× like-for-like, ≈2× with the
+//! [`free_gap_noise::rng::FastRng`] Monte-Carlo generator) and
+//! `repro bench-compare` gates CI on the recorded trajectory.
 //!
 //! ## Example
 //!
@@ -88,6 +94,7 @@
 
 pub mod answers;
 pub mod budget;
+pub mod draw;
 pub mod error;
 pub mod exponential_mech;
 pub mod laplace_mech;
@@ -101,5 +108,6 @@ pub mod staircase_mech;
 
 pub use answers::QueryAnswers;
 pub use budget::PrivacyBudget;
+pub use draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
 pub use error::MechanismError;
 pub use scratch::{SvtScratch, TopKScratch};

@@ -7,8 +7,9 @@
 //! implemented independently to make the experiments' comparison honest
 //! (same draw pattern, same selection rule).
 
-use super::{top_indices, top_indices_into, top_k_scale};
+use super::{top_indices_into, top_k_scale};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
 use crate::scratch::TopKScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -50,27 +51,46 @@ impl ClassicNoisyTopK {
         top_k_scale(self.k, self.epsilon, self.monotonic)
     }
 
-    /// Runs the mechanism: indices of the `k` largest noisy answers,
-    /// descending.
+    /// The single copy of the index-only selection, generic over the
+    /// [`DrawProvider`] noise comes through (same draw pattern and selection
+    /// rule as the gap variant — Theorem 2's honest-comparison requirement).
+    /// Writes the selected indices into `out`, reusing its buffer.
     ///
     /// # Panics
     /// Panics if the workload has fewer than `k + 1` queries (kept identical
     /// to the gap variant so the two are comparable on the same workloads).
+    pub(crate) fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) {
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        provider.fill_offset(answers.values(), self.scale(), &mut scratch.noisy);
+        top_indices_into(&scratch.noisy, self.k, out);
+    }
+
+    /// Runs the mechanism: indices of the `k` largest noisy answers,
+    /// descending (`run_core` through [`SourceDraws`]).
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
     pub fn run_with_source(
         &self,
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> Vec<usize> {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let scale = self.scale();
-        let noisy: Vec<f64> = answers
-            .values()
-            .iter()
-            .map(|q| q + source.laplace(scale))
-            .collect();
-        top_indices(&noisy, self.k)
+        let mut out = Vec::new();
+        self.run_core(
+            answers,
+            &mut SourceDraws::new(source),
+            &mut TopKScratch::new(),
+            &mut out,
+        );
+        out
     }
 
     /// Runs with a plain RNG.
@@ -92,12 +112,24 @@ impl ClassicNoisyTopK {
         rng: &mut R,
         scratch: &mut TopKScratch,
     ) -> Vec<usize> {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
-        scratch.fill_noisy(answers.values(), self.scale(), rng);
-        top_indices_into(&scratch.noisy, self.k, &mut scratch.top);
-        scratch.top.clone()
+        let mut out = Vec::new();
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes the selected indices into `out`, reusing its buffer.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) {
+        self.run_core(answers, &mut RngDraws::new(rng), scratch, out);
     }
 }
 

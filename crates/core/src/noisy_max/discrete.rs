@@ -18,6 +18,7 @@
 
 use super::top_indices;
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
 use crate::noisy_max::{TopKItem, TopKOutput};
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -89,6 +90,35 @@ impl DiscreteNoisyTopKWithGap {
         );
     }
 
+    /// The single copy of the discrete Top-K selection, generic over the
+    /// [`DrawProvider`] noise comes through
+    /// ([`discrete_next`](DrawProvider::discrete_next) draws).
+    pub(crate) fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+    ) -> TopKOutput {
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.validate_lattice(answers);
+        provider.begin();
+        let rate = self.unit_epsilon();
+        let noisy: Vec<f64> = answers
+            .values()
+            .iter()
+            .map(|q| q + provider.discrete_next(rate, self.gamma))
+            .collect();
+        let top = top_indices(&noisy, self.k + 1);
+        let items = (0..self.k)
+            .map(|i| TopKItem {
+                index: top[i],
+                gap: noisy[top[i]] - noisy[top[i + 1]],
+            })
+            .collect();
+        TopKOutput { items }
+    }
+
     /// Runs the mechanism. Ties among noisy answers are broken by the
     /// smaller index; `delta(n)` bounds the probability that a tie among
     /// the top `k + 1` occurred at all.
@@ -100,24 +130,7 @@ impl DiscreteNoisyTopKWithGap {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> TopKOutput {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
-        self.validate_lattice(answers);
-        let rate = self.unit_epsilon();
-        let noisy: Vec<f64> = answers
-            .values()
-            .iter()
-            .map(|q| q + source.discrete_laplace(rate, self.gamma))
-            .collect();
-        let top = top_indices(&noisy, self.k + 1);
-        let items = (0..self.k)
-            .map(|i| TopKItem {
-                index: top[i],
-                gap: noisy[top[i]] - noisy[top[i + 1]],
-            })
-            .collect();
-        TopKOutput { items }
+        self.run_core(answers, &mut SourceDraws::new(source))
     }
 
     /// Runs with a plain RNG.

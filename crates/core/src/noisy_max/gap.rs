@@ -12,8 +12,9 @@
 //! `qᵢ - q'ᵢ + max_{l∉I}(q'_l + η_l) - max_{l∉I}(q_l + η_l)`,
 //! which preserves every win margin exactly.
 
-use super::{top_indices, top_indices_into, top_k_scale};
+use super::{top_indices_into, top_k_scale};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
 use crate::scratch::TopKScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -95,33 +96,53 @@ impl NoisyTopKWithGap {
         4.0 * self.scale() * self.scale()
     }
 
-    /// Runs the mechanism against a noise source.
+    /// The single copy of Algorithm 1, generic over the [`DrawProvider`]
+    /// noise comes through: one `Lap(scale)` draw per query (batched by the
+    /// provider's [`fill_offset`](DrawProvider::fill_offset), fused with the
+    /// `+ q` offset so the `n`-sized buffer is written exactly once),
+    /// selection of the top `k + 1`, gap construction. Buffers live in
+    /// `scratch`; the output is written into `out`, reusing its buffer.
     ///
     /// # Panics
     /// Panics if the workload has fewer than `k + 1` queries (the `k`-th gap
     /// needs a runner-up) — use [`QueryAnswers::require_len`] to pre-check.
+    pub(crate) fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) {
+        answers
+            .require_len(self.k + 1)
+            .unwrap_or_else(|e| panic!("{e}"));
+        provider.fill_offset(answers.values(), self.scale(), &mut scratch.noisy);
+        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
+        out.items.clear();
+        out.items.extend((0..self.k).map(|i| TopKItem {
+            index: scratch.top[i],
+            gap: scratch.noisy[scratch.top[i]] - scratch.noisy[scratch.top[i + 1]],
+        }));
+    }
+
+    /// Runs the mechanism against a noise source
+    /// (`run_core` through the [`SourceDraws`] adapter).
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
     pub fn run_with_source(
         &self,
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> TopKOutput {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
-        let scale = self.scale();
-        let noisy: Vec<f64> = answers
-            .values()
-            .iter()
-            .map(|q| q + source.laplace(scale))
-            .collect();
-        let top = top_indices(&noisy, self.k + 1);
-        let items = (0..self.k)
-            .map(|i| TopKItem {
-                index: top[i],
-                gap: noisy[top[i]] - noisy[top[i + 1]],
-            })
-            .collect();
-        TopKOutput { items }
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_core(
+            answers,
+            &mut SourceDraws::new(source),
+            &mut TopKScratch::new(),
+            &mut out,
+        );
+        out
     }
 
     /// Runs with a plain RNG (production path, no recording).
@@ -130,8 +151,9 @@ impl NoisyTopKWithGap {
         self.run_with_source(answers, &mut source)
     }
 
-    /// Batched, allocation-free fast path: noise is drawn in one
-    /// [`fill_into`](free_gap_noise::ContinuousDistribution::fill_into)
+    /// Batched, allocation-free fast path: `run_core`
+    /// through [`RngDraws`] — noise is drawn in one
+    /// [`fill_into_offset`](free_gap_noise::ContinuousDistribution::fill_into_offset)
     /// pass into `scratch`'s reused buffers and the RNG is monomorphic (no
     /// `dyn` dispatch). Output is bit-identical to [`run`](Self::run) on the
     /// same RNG stream; see [`crate::scratch`] for the contract.
@@ -145,18 +167,37 @@ impl NoisyTopKWithGap {
         rng: &mut R,
         scratch: &mut TopKScratch,
     ) -> TopKOutput {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
-        scratch.fill_noisy(answers.values(), self.scale(), rng);
-        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
-        let items = (0..self.k)
-            .map(|i| TopKItem {
-                index: scratch.top[i],
-                gap: scratch.noisy[scratch.top[i]] - scratch.noisy[scratch.top[i + 1]],
-            })
-            .collect();
-        TopKOutput { items }
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes into `out`, reusing its `items` buffer across runs.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) {
+        self.run_core(answers, &mut RngDraws::new(rng), scratch, out);
+    }
+
+    /// Gap-releasing selection through an arbitrary [`DrawProvider`] — the
+    /// hook the select-then-measure pipeline core drives.
+    pub(crate) fn run_provider<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+    ) -> TopKOutput {
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_core(answers, provider, scratch, &mut out);
+        out
     }
 }
 

@@ -13,8 +13,14 @@
 //! The `measurements` field of each result is the gap-free baseline an
 //! analyst unaware of the free gaps would use; the experiments compare its
 //! MSE against the postprocessed estimates.
+//!
+//! Like the mechanisms themselves, each pipeline is **one core** generic
+//! over [`DrawProvider`] — the protocol wiring (budget split, measurement
+//! scale convention, the BLUE `λ` formula, inverse-variance weights) exists
+//! once, and the dyn/scratch entry points only pick the provider.
 
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
 use crate::error::MechanismError;
 use crate::laplace_mech::LaplaceMechanism;
 use crate::noisy_max::NoisyTopKWithGap;
@@ -22,8 +28,7 @@ use crate::postprocess::blue::{blue_estimates, BlueInput};
 use crate::postprocess::weighted::{combine_gap_with_measurement, topk_lambda_for_even_split};
 use crate::scratch::{SvtScratch, TopKScratch};
 use crate::sparse_vector::SparseVectorWithGap;
-use free_gap_alignment::{NoiseSource, SamplingSource};
-use free_gap_noise::{ContinuousDistribution, Laplace};
+use free_gap_alignment::SamplingSource;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -36,26 +41,12 @@ use rand::Rng;
 pub struct PipelineScratch {
     topk: TopKScratch,
     svt: SvtScratch,
-    meas_noise: Vec<f64>,
 }
 
 impl PipelineScratch {
     /// Creates an empty scratch (buffers grow on first run).
     pub fn new() -> Self {
         Self::default()
-    }
-
-    /// Batched `Lap(scale)` measurement of `truths`: exactly one draw per
-    /// value, so the RNG stream matches the sequential measurement loop.
-    fn measure<R: Rng + ?Sized>(&mut self, truths: &[f64], scale: f64, rng: &mut R) -> Vec<f64> {
-        let lap = Laplace::new(scale).expect("pipeline-validated scale");
-        self.meas_noise.resize(truths.len(), 0.0);
-        lap.fill_into(rng, &mut self.meas_noise);
-        truths
-            .iter()
-            .zip(&self.meas_noise)
-            .map(|(t, n)| t + n)
-            .collect()
     }
 }
 
@@ -74,42 +65,39 @@ pub struct TopKPipelineResult {
     pub truths: Vec<f64>,
 }
 
-/// Runs the §5.2 protocol: Noisy-Top-K-with-Gap at `ε/2`, Laplace
-/// measurement of the selected queries at `ε/2`, BLUE postprocessing.
-pub fn topk_select_measure(
-    answers: &QueryAnswers,
-    k: usize,
-    epsilon: f64,
-    rng: &mut StdRng,
-) -> Result<TopKPipelineResult, MechanismError> {
-    topk_select_measure_with_split(answers, k, epsilon, 0.5, rng)
-}
-
-/// The §5.2 protocol with an adjustable budget split: `select_fraction` of
-/// `epsilon` goes to selection, the rest to measurement. The BLUE λ adapts:
-/// with monotone factor `c` (1 monotone, 2 general), the gap-noise scale is
-/// `c·k/(fε)` and the measurement scale `k/((1-f)ε)`, so
-/// `λ = (c(1-f)/f)²` — the paper's `λ = 1`/`λ = 4` at `f = 1/2`.
+/// The single copy of the §5.2 protocol, generic over the [`DrawProvider`]:
+/// Noisy-Top-K-with-Gap at `f·ε`, Laplace measurement of the selected
+/// queries at `(1-f)·ε` shared evenly (the `measure_split` convention),
+/// BLUE postprocessing. The BLUE λ adapts: with monotone factor `c`
+/// (1 monotone, 2 general), the gap-noise scale is `c·k/(fε)` and the
+/// measurement scale `k/((1-f)ε)`, so `λ = (c(1-f)/f)²` — the paper's
+/// `λ = 1`/`λ = 4` at `f = 1/2`.
 ///
-/// Used by the budget-split ablation (the paper fixes `f = 1/2`).
-pub fn topk_select_measure_with_split(
+/// Selection and measurement draw through the *same* provider in order
+/// (`n` selection draws, then up to `k` measurement draws), so the dyn and
+/// scratch paths stay bit-identical on the same RNG stream — the Top-K
+/// draw count is data-independent.
+fn topk_select_measure_core<P: DrawProvider>(
     answers: &QueryAnswers,
     k: usize,
     epsilon: f64,
     select_fraction: f64,
-    rng: &mut StdRng,
+    provider: &mut P,
+    scratch: &mut TopKScratch,
 ) -> Result<TopKPipelineResult, MechanismError> {
     answers.require_len(k + 1)?;
     let f = crate::error::require_fraction("select_fraction", select_fraction)?;
     let selector = NoisyTopKWithGap::new(k, f * epsilon, answers.monotonic())?;
     let measurer = LaplaceMechanism::new((1.0 - f) * epsilon)?;
 
-    let selection = selector.run(answers, rng);
+    let selection = selector.run_provider(answers, provider, scratch);
     let indices = selection.indices();
     let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
 
-    let mut source = SamplingSource::new(rng);
-    let measurements = measurer.measure_split(&truths, &mut source);
+    // measure_split's convention: ε shared evenly across the k measurements.
+    let meas_scale = measurer.scale() * truths.len().max(1) as f64;
+    let mut measurements = Vec::new();
+    provider.fill_offset(&truths, meas_scale, &mut measurements);
 
     let c = if answers.monotonic() { 1.0 } else { 2.0 };
     let lambda = (c * (1.0 - f) / f).powi(2);
@@ -132,6 +120,39 @@ pub fn topk_select_measure_with_split(
         blue,
         truths,
     })
+}
+
+/// Runs the §5.2 protocol: Noisy-Top-K-with-Gap at `ε/2`, Laplace
+/// measurement of the selected queries at `ε/2`, BLUE postprocessing.
+pub fn topk_select_measure(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> Result<TopKPipelineResult, MechanismError> {
+    topk_select_measure_with_split(answers, k, epsilon, 0.5, rng)
+}
+
+/// The §5.2 protocol with an adjustable budget split (`select_fraction` of
+/// `epsilon` goes to selection, the rest to measurement); used by the
+/// budget-split ablation (the paper fixes `f = 1/2`). See
+/// `topk_select_measure_core` for the λ adaptation.
+pub fn topk_select_measure_with_split(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    select_fraction: f64,
+    rng: &mut StdRng,
+) -> Result<TopKPipelineResult, MechanismError> {
+    let mut source = SamplingSource::new(rng);
+    topk_select_measure_core(
+        answers,
+        k,
+        epsilon,
+        select_fraction,
+        &mut SourceDraws::new(&mut source),
+        &mut TopKScratch::new(),
+    )
 }
 
 /// Batched fast path of [`topk_select_measure`]: selection and measurement
@@ -158,36 +179,14 @@ pub fn topk_select_measure_with_split_scratch<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut PipelineScratch,
 ) -> Result<TopKPipelineResult, MechanismError> {
-    answers.require_len(k + 1)?;
-    let f = crate::error::require_fraction("select_fraction", select_fraction)?;
-    let selector = NoisyTopKWithGap::new(k, f * epsilon, answers.monotonic())?;
-    let measurer = LaplaceMechanism::new((1.0 - f) * epsilon)?;
-
-    let selection = selector.run_with_scratch(answers, rng, &mut scratch.topk);
-    let indices = selection.indices();
-    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
-
-    // measure_split's convention: ε shared evenly across the k measurements.
-    let meas_scale = measurer.scale() * truths.len().max(1) as f64;
-    let measurements = scratch.measure(&truths, meas_scale, rng);
-
-    let c = if answers.monotonic() { 1.0 } else { 2.0 };
-    let lambda = (c * (1.0 - f) / f).powi(2);
-
-    let gaps = selection.gaps();
-    let blue = blue_estimates(&BlueInput {
-        measurements: &measurements,
-        gaps: &gaps[..k - 1],
-        lambda,
-    })?;
-
-    Ok(TopKPipelineResult {
-        indices,
-        gaps,
-        measurements,
-        blue,
-        truths,
-    })
+    topk_select_measure_core(
+        answers,
+        k,
+        epsilon,
+        select_fraction,
+        &mut RngDraws::new(rng),
+        &mut scratch.topk,
+    )
 }
 
 /// Result of the SVT select-then-measure pipeline.
@@ -205,34 +204,38 @@ pub struct SvtPipelineResult {
     pub truths: Vec<f64>,
 }
 
-/// Runs the §6.2 protocol: Sparse-Vector-with-Gap at `ε/2` (optimal internal
-/// split), Laplace measurement at `ε/2` over `k` queries, inverse-variance
-/// combination.
-pub fn svt_select_measure(
+/// The single copy of the §6.2 protocol, generic over the [`DrawProvider`]:
+/// Sparse-Vector-with-Gap at `ε/2` (optimal internal split), Laplace
+/// measurement at `ε/2` over `k` queries (sized for `k` even if fewer were
+/// answered — the analyst commits to the split before seeing the
+/// selection), inverse-variance combination.
+///
+/// Unlike Top-K, SVT's draw count is data-dependent, so the *measurement*
+/// noise path is a parameter: the dyn entry measures through the same
+/// provider (sequential stream), while the scratch entry measures from a
+/// sub-stream derived before the over-drawing selection (stream
+/// discipline) — the provider is handed back to `measure` after the
+/// selection completes.
+fn svt_select_measure_core<P: DrawProvider>(
     answers: &QueryAnswers,
     k: usize,
     epsilon: f64,
     threshold: f64,
-    rng: &mut StdRng,
+    provider: &mut P,
+    measure: impl FnOnce(&mut P, &[f64], f64) -> Vec<f64>,
 ) -> Result<SvtPipelineResult, MechanismError> {
     let half = epsilon / 2.0;
     let selector = SparseVectorWithGap::new(k, half, threshold, answers.monotonic())?;
     let measurer = LaplaceMechanism::new(half)?;
 
-    let selection = selector.run(answers, rng);
+    let selection = selector.run_provider(answers, provider);
     let pairs = selection.gaps();
     let indices: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
     let gaps: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
     let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
 
-    // Measurement budget is sized for k queries even if fewer were answered
-    // (the analyst commits to the split before seeing the selection).
     let meas_scale = measurer.scale() * k as f64;
-    let mut source = SamplingSource::new(rng);
-    let measurements: Vec<f64> = truths
-        .iter()
-        .map(|t| t + source.laplace(meas_scale))
-        .collect();
+    let measurements = measure(provider, &truths, meas_scale);
 
     let gap_var = selector.gap_variance();
     let meas_var = 2.0 * meas_scale * meas_scale;
@@ -251,9 +254,35 @@ pub fn svt_select_measure(
     })
 }
 
+/// Runs the §6.2 protocol: Sparse-Vector-with-Gap at `ε/2` (optimal internal
+/// split), Laplace measurement at `ε/2` over `k` queries, inverse-variance
+/// combination.
+pub fn svt_select_measure(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    threshold: f64,
+    rng: &mut StdRng,
+) -> Result<SvtPipelineResult, MechanismError> {
+    let mut source = SamplingSource::new(rng);
+    let mut provider = SourceDraws::new(&mut source);
+    svt_select_measure_core(
+        answers,
+        k,
+        epsilon,
+        threshold,
+        &mut provider,
+        |p, truths, scale| {
+            let mut out = Vec::new();
+            p.fill_offset(truths, scale, &mut out);
+            out
+        },
+    )
+}
+
 /// Batched fast path of [`svt_select_measure`]: the SVT selection draws
 /// from the scratch's chunked unit-noise buffer and the measurements are one
-/// batched `fill_into` pass.
+/// batched `fill_into_offset` pass.
 ///
 /// Unlike the Top-K pipeline, SVT's draw count is data-dependent, so the
 /// scratch path consumes the RNG stream differently from the sequential
@@ -270,38 +299,22 @@ pub fn svt_select_measure_scratch<R: Rng + ?Sized>(
     rng: &mut R,
     scratch: &mut PipelineScratch,
 ) -> Result<SvtPipelineResult, MechanismError> {
-    let half = epsilon / 2.0;
-    let selector = SparseVectorWithGap::new(k, half, threshold, answers.monotonic())?;
-    let measurer = LaplaceMechanism::new(half)?;
-
     // Sub-stream for measurement, split off before the over-drawing
     // selection (see the stream discipline in [`crate::scratch`]).
     let mut meas_rng = free_gap_noise::rng::rng_from_seed(rng.gen::<u64>());
-    let selection = selector.run_with_scratch(answers, rng, &mut scratch.svt);
-    let pairs = selection.gaps();
-    let indices: Vec<usize> = pairs.iter().map(|(i, _)| *i).collect();
-    let gaps: Vec<f64> = pairs.iter().map(|(_, g)| *g).collect();
-    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
-
-    // Measurement budget is sized for k queries even if fewer were answered.
-    let meas_scale = measurer.scale() * k as f64;
-    let measurements = scratch.measure(&truths, meas_scale, &mut meas_rng);
-
-    let gap_var = selector.gap_variance();
-    let meas_var = 2.0 * meas_scale * meas_scale;
-    let combined = gaps
-        .iter()
-        .zip(&measurements)
-        .map(|(g, a)| combine_gap_with_measurement(*g, threshold, gap_var, *a, meas_var))
-        .collect::<Result<Vec<_>, _>>()?;
-
-    Ok(SvtPipelineResult {
-        indices,
-        gaps,
-        measurements,
-        combined,
-        truths,
-    })
+    let mut provider = ScratchDraws::new(&mut scratch.svt, rng);
+    svt_select_measure_core(
+        answers,
+        k,
+        epsilon,
+        threshold,
+        &mut provider,
+        move |_selection_provider, truths, scale| {
+            let mut out = Vec::new();
+            RngDraws::new(&mut meas_rng).fill_offset(truths, scale, &mut out);
+            out
+        },
+    )
 }
 
 #[cfg(test)]

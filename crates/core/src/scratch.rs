@@ -8,10 +8,13 @@
 //! times on workloads with up to ~100k queries (§7 of the paper).
 //!
 //! The `run_with_scratch` entry points take one of the scratch types below
-//! and a plain [`rand::Rng`]:
+//! and a plain [`rand::Rng`]; they feed the mechanism's single
+//! [`DrawProvider`](crate::draw::DrawProvider)-generic core through
+//! [`ScratchDraws`](crate::draw::ScratchDraws), so that:
 //!
 //! * noise is drawn **in batches** via
-//!   [`ContinuousDistribution::fill_into`], not draw-by-draw;
+//!   [`ContinuousDistribution::fill_into`](free_gap_noise::ContinuousDistribution::fill_into),
+//!   not draw-by-draw;
 //! * noisy-value buffers live in the scratch and are **reused across runs**;
 //! * the RNG is a **monomorphic** generic parameter, so the whole inner loop
 //!   inlines — no `dyn` dispatch anywhere.
@@ -58,7 +61,7 @@
 //! }
 //! ```
 
-use free_gap_noise::{BlockBuffer, ContinuousDistribution, Laplace};
+use free_gap_noise::{BlockBuffer, Laplace};
 use rand::Rng;
 
 /// Reusable buffers for the Noisy Top-K family's batched fast path.
@@ -76,20 +79,11 @@ impl TopKScratch {
     pub fn new() -> Self {
         Self::default()
     }
-
-    /// Fills `noisy` with `answers[i] + Lap(scale)` via the batched
-    /// [`ContinuousDistribution::fill_into_offset`] — noise generation and
-    /// the `+ q` offset fused, so the `n`-sized buffer is written exactly
-    /// once (at `n = 100k` a second pass is measurable memory traffic).
-    pub(crate) fn fill_noisy<R: Rng + ?Sized>(&mut self, answers: &[f64], scale: f64, rng: &mut R) {
-        let lap = Laplace::new(scale).expect("mechanism-validated scale");
-        self.noisy.resize(answers.len(), 0.0);
-        lap.fill_into_offset(rng, answers, &mut self.noisy);
-    }
 }
 
 /// Reusable unit-noise buffer for the Sparse Vector family's batched fast
-/// and streaming paths.
+/// and streaming paths — the state behind
+/// [`ScratchDraws`](crate::draw::ScratchDraws).
 ///
 /// SVT draws at several scales (threshold noise, per-branch query noise), so
 /// the scratch buffers *unit* `Lap(1)` draws and rescales per draw — IEEE
@@ -98,13 +92,16 @@ impl TopKScratch {
 /// passes amortize the sampling loop. Block sizing (first block from the
 /// previous run's consumption, later blocks tapered and cache-clamped) lives
 /// in [`BlockBuffer`]; this type pins the distribution to unit Laplace and
-/// exposes the draw shapes the SVT mechanisms need: single scaled draws,
-/// pairs (Algorithm 2's `(ξ, η)`), and general m-tuples (the multi-branch
-/// ladder).
+/// exposes the draw shapes the [`DrawProvider`](crate::draw::DrawProvider)
+/// contract needs: single scaled draws and whole blocks of scaled
+/// `m`-tuples.
 #[derive(Debug, Clone)]
 pub struct SvtScratch {
     block: BlockBuffer,
     unit: Laplace,
+    /// Scaled view of the currently peeked tuple block (rebuilt per peek,
+    /// reused across runs).
+    scaled: Vec<f64>,
 }
 
 impl SvtScratch {
@@ -113,6 +110,7 @@ impl SvtScratch {
         Self {
             block: BlockBuffer::new(),
             unit: Laplace::new(1.0).expect("unit scale is valid"),
+            scaled: Vec::new(),
         }
     }
 
@@ -122,16 +120,11 @@ impl SvtScratch {
         self.block.begin();
     }
 
-    /// Next unit-Laplace draw, refilling the buffer in blocks as needed.
-    #[inline]
-    pub(crate) fn next_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
-        self.block.next(&self.unit, rng)
-    }
-
-    /// Next `Lap(scale)` draw (bit-identical to sampling at `scale`).
+    /// Next `Lap(scale)` draw (bit-identical to sampling at `scale`),
+    /// refilling the unit buffer in blocks as needed.
     #[inline]
     pub(crate) fn next_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, scale: f64) -> f64 {
-        self.next_unit(rng) * scale
+        self.block.next(&self.unit, rng) * scale
     }
 
     /// Predicted draw consumption of the current run (last run's usage) —
@@ -140,23 +133,23 @@ impl SvtScratch {
         self.block.predicted_draws()
     }
 
-    /// The buffered unit draws ahead of the cursor, truncated to whole
-    /// pairs — see [`BlockBuffer::peek_tuples`].
+    /// The buffered draws ahead of the cursor as whole scaled
+    /// `scales.len()`-tuples (slot `b` of each tuple is `Lap(scales[b])`,
+    /// bit-identical to sampling at that scale) — see
+    /// [`BlockBuffer::peek_tuples_scaled`].
     #[inline]
-    pub(crate) fn peek_pairs<R: Rng + ?Sized>(&mut self, rng: &mut R) -> &[f64] {
-        self.block.peek_tuples(&self.unit, rng, 2)
-    }
-
-    /// The buffered unit draws ahead of the cursor, truncated to whole
-    /// `m`-tuples (one tuple per query for the m-branch mechanisms) — see
-    /// [`BlockBuffer::peek_tuples`].
-    #[inline]
-    pub(crate) fn peek_tuples<R: Rng + ?Sized>(&mut self, rng: &mut R, m: usize) -> &[f64] {
-        self.block.peek_tuples(&self.unit, rng, m)
+    pub(crate) fn peek_tuples_scaled<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        scales: &[f64],
+    ) -> &[f64] {
+        self.block
+            .peek_tuples_scaled(&self.unit, rng, scales, &mut self.scaled);
+        &self.scaled
     }
 
     /// Advances the cursor past `draws` units previously obtained from
-    /// [`peek_pairs`](Self::peek_pairs) / [`peek_tuples`](Self::peek_tuples).
+    /// [`peek_tuples_scaled`](Self::peek_tuples_scaled).
     #[inline]
     pub(crate) fn consume(&mut self, draws: usize) {
         self.block.consume(draws);
@@ -173,40 +166,19 @@ impl Default for SvtScratch {
 mod tests {
     use super::*;
     use free_gap_noise::rng::rng_from_seed;
+    use free_gap_noise::ContinuousDistribution;
 
     #[test]
-    fn fill_noisy_adds_answers_to_batch_noise() {
-        let answers = [10.0, 20.0, 30.0];
-        let mut scratch = TopKScratch::new();
-        scratch.fill_noisy(&answers, 2.0, &mut rng_from_seed(1));
-        let noise = Laplace::new(2.0)
-            .unwrap()
-            .sample_n(&mut rng_from_seed(1), 3);
-        for i in 0..3 {
-            assert_eq!(scratch.noisy[i], answers[i] + noise[i]);
-        }
-    }
-
-    #[test]
-    fn fill_noisy_shrinks_and_grows_with_workload() {
-        let mut scratch = TopKScratch::new();
-        scratch.fill_noisy(&[1.0; 10], 1.0, &mut rng_from_seed(2));
-        assert_eq!(scratch.noisy.len(), 10);
-        scratch.fill_noisy(&[1.0; 3], 1.0, &mut rng_from_seed(2));
-        assert_eq!(scratch.noisy.len(), 3);
-    }
-
-    #[test]
-    fn svt_scratch_replays_the_sequential_unit_stream() {
-        let unit = Laplace::new(1.0).unwrap();
+    fn svt_scratch_replays_the_sequential_scaled_stream() {
+        let lap = Laplace::new(2.5).unwrap();
         let mut expect_rng = rng_from_seed(3);
         let mut scratch = SvtScratch::new();
         let mut rng = rng_from_seed(3);
         scratch.begin();
         for i in 0..1000 {
-            let got = scratch.next_unit(&mut rng);
-            let want = unit.sample(&mut expect_rng);
-            assert_eq!(got, want, "draw {i}");
+            let got = scratch.next_scaled(&mut rng, 2.5);
+            let want = lap.sample(&mut expect_rng);
+            assert_eq!(got.to_bits(), want.to_bits(), "draw {i}");
         }
     }
 
@@ -218,31 +190,32 @@ mod tests {
         let mut rng = rng_from_seed(6);
         scratch.begin();
         for _ in 0..1000 {
-            scratch.next_unit(&mut rng);
+            scratch.next_scaled(&mut rng, 1.0);
         }
         scratch.begin();
         assert_eq!(scratch.predicted_draws(), 1000);
     }
 
     #[test]
-    fn peek_tuples_preserve_sequential_order() {
-        // Forwarding check for the tuple/pair API (peek_pairs is
-        // peek_tuples(2)): the served stream equals sequential unit draws.
-        // Refill/leftover edge cases live in `free_gap_noise::block`.
-        let unit = Laplace::new(1.0).unwrap();
-        let m = 3usize;
+    fn peek_tuples_scaled_preserves_sequential_order() {
+        // Forwarding check for the scaled tuple API: the served stream
+        // equals sequential draws at the per-slot scales. Refill/leftover
+        // edge cases live in `free_gap_noise::block`.
+        let scales = [3.0f64, 0.5, 7.0];
+        let m = scales.len();
         let mut expect_rng = rng_from_seed(21);
         let mut scratch = SvtScratch::new();
         let mut rng = rng_from_seed(21);
         scratch.begin();
         let mut tuples_seen = 0usize;
         while tuples_seen < 200 {
-            let slab = scratch.peek_tuples(&mut rng, m);
+            let slab = scratch.peek_tuples_scaled(&mut rng, &scales);
             assert!(slab.len() >= m && slab.len().is_multiple_of(m));
             let take = (slab.len() / m).min(2) * m;
             for tuple in slab[..take].chunks_exact(m) {
-                for &v in tuple {
-                    assert_eq!(v, unit.sample(&mut expect_rng), "tuple {tuples_seen}");
+                for (j, &v) in tuple.iter().enumerate() {
+                    let want = Laplace::new(scales[j]).unwrap().sample(&mut expect_rng);
+                    assert_eq!(v.to_bits(), want.to_bits(), "tuple {tuples_seen} slot {j}");
                 }
                 tuples_seen += 1;
             }

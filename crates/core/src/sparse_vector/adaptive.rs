@@ -25,6 +25,7 @@
 
 use super::{optimal_threshold_share, AdaptiveOutcome, AdaptiveSvOutput, Branch};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, require_fraction, MechanismError};
 use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -155,69 +156,121 @@ impl AdaptiveSparseVector {
         self.answer_limit.unwrap_or(usize::MAX)
     }
 
-    /// Streaming run against a noise source: consumes `queries` lazily,
-    /// pulling the next answer only while the adaptive budget still covers a
-    /// worst-case (`ε₁`) answer and the answer limit is not reached —
-    /// queries after the halt are never observed.
+    /// The single copy of Algorithm 2's branch and budget logic, generic
+    /// over the [`DrawProvider`] noise comes through; every execution path
+    /// (dyn, scratch, streaming, and their combinations) is this one
+    /// function behind a thin provider-picking entry point.
     ///
-    /// The materialized [`run_with_source`](Self::run_with_source) delegates
-    /// here, so there is exactly one copy of Algorithm 2's branch and budget
-    /// logic per noise path.
+    /// Consumes `queries` lazily: the next answer is pulled only while the
+    /// adaptive budget still covers a worst-case (`ε₁`) answer and the
+    /// answer limit is not reached — queries after the halt are never
+    /// observed. Noise comes in whole `(ξ, η)` pair blocks
+    /// ([`DrawProvider::peek_pairs`]), iterated with `chunks_exact(2)` so
+    /// the hot loop carries no per-query cursor arithmetic on blocked
+    /// providers; each block's first query is pulled *before* the peek, so
+    /// draw-exact providers never sample noise for a query that does not
+    /// exist. Draw order (ξᵢ then ηᵢ, query by query) is identical on every
+    /// provider.
+    pub(crate) fn run_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        provider: &mut P,
+        out: &mut AdaptiveSvOutput,
+    ) {
+        let eps1 = self.epsilon1();
+        let eps2 = self.epsilon2();
+        let sigma = self.sigma();
+        let scales = [self.top_scale(), self.middle_scale()];
+        let cap = self.answer_cap();
+        // Line 16's stopping product, identical on every path.
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
+        provider.begin();
+        let mut queries = queries.into_iter();
+        // One outcome per (ξ, η) draw pair: pre-size from the provider's
+        // consumption prediction (capped by the stream's upper bound when it
+        // knows one) to skip the realloc chain on long streams.
+        let predicted = provider.predicted_draws();
+        let capacity = (predicted / 2 + usize::from(predicted > 0))
+            .min(queries.size_hint().1.unwrap_or(usize::MAX));
+        let noisy_threshold = self.threshold + provider.next(1.0 / self.epsilon0());
+
+        out.outcomes.clear();
+        out.outcomes.reserve(capacity);
+        let mut spent = self.epsilon0();
+        let mut answered = 0usize;
+        let mut done = false;
+        while !done && answered < cap {
+            // Pull the block's first query before peeking: a draw-exact
+            // provider must not draw noise for a query that never arrives.
+            let Some(first) = queries.next() else { break };
+            let mut pending = Some(first);
+            let mut taken = 0usize;
+            let pairs = provider.peek_pairs(scales);
+            for pair in pairs.chunks_exact(2) {
+                let Some(q) = pending.take().or_else(|| queries.next()) else {
+                    done = true;
+                    break;
+                };
+                // Both noises drawn unconditionally, exactly like line 7 of
+                // Algorithm 2: the draw structure must not depend on data.
+                let xi = pair[0];
+                let eta = pair[1];
+                taken += 2;
+                let top_gap = q + xi - noisy_threshold;
+                let mid_gap = q + eta - noisy_threshold;
+                let outcome = if top_gap >= sigma {
+                    spent += eps2;
+                    answered += 1;
+                    AdaptiveOutcome::Above {
+                        gap: top_gap,
+                        branch: Branch::Top,
+                        cost: eps2,
+                    }
+                } else if mid_gap >= 0.0 {
+                    spent += eps1;
+                    answered += 1;
+                    AdaptiveOutcome::Above {
+                        gap: mid_gap,
+                        branch: Branch::Middle,
+                        cost: eps1,
+                    }
+                } else {
+                    AdaptiveOutcome::Below
+                };
+                out.outcomes.push(outcome);
+                // Line 16 + answer limit: stop when a worst-case answer no
+                // longer fits or the limit is reached — checked before the
+                // next query pull, so no query is observed past the halt.
+                if spent + eps1 > budget_cap || answered >= cap {
+                    done = true;
+                    break;
+                }
+            }
+            provider.consume(taken);
+        }
+        out.spent = spent;
+        out.epsilon = self.epsilon;
+    }
+
+    /// Empty output shell for the core to fill.
+    fn empty_output(&self) -> AdaptiveSvOutput {
+        AdaptiveSvOutput {
+            outcomes: Vec::new(),
+            spent: 0.0,
+            epsilon: self.epsilon,
+        }
+    }
+
+    /// Streaming run against a noise source: `run_core`
+    /// through the [`SourceDraws`] adapter.
     pub fn run_streaming_with_source<I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         source: &mut dyn NoiseSource,
     ) -> AdaptiveSvOutput {
-        let eps1 = self.epsilon1();
-        let eps2 = self.epsilon2();
-        let sigma = self.sigma();
-        let cap = self.answer_cap();
-        // Line 16's stopping product, identical on every path.
-        let budget_cap = self.epsilon * (1.0 + 1e-12);
-        let noisy_threshold = self.threshold + source.laplace(1.0 / self.epsilon0());
-
-        let mut queries = queries.into_iter();
-        let mut outcomes = Vec::new();
-        let mut spent = self.epsilon0();
-        let mut answered = 0usize;
-        while answered < cap {
-            let Some(q) = queries.next() else { break };
-            // Both noises are drawn unconditionally (Algorithm 2 line 7):
-            // the draw structure must not depend on the data.
-            let xi = source.laplace(self.top_scale());
-            let eta = source.laplace(self.middle_scale());
-            let top_gap = q + xi - noisy_threshold;
-            let mid_gap = q + eta - noisy_threshold;
-            let outcome = if top_gap >= sigma {
-                spent += eps2;
-                answered += 1;
-                AdaptiveOutcome::Above {
-                    gap: top_gap,
-                    branch: Branch::Top,
-                    cost: eps2,
-                }
-            } else if mid_gap >= 0.0 {
-                spent += eps1;
-                answered += 1;
-                AdaptiveOutcome::Above {
-                    gap: mid_gap,
-                    branch: Branch::Middle,
-                    cost: eps1,
-                }
-            } else {
-                AdaptiveOutcome::Below
-            };
-            outcomes.push(outcome);
-            // Line 16: stop when a worst-case answer no longer fits.
-            if spent + eps1 > budget_cap {
-                break;
-            }
-        }
-        AdaptiveSvOutput {
-            outcomes,
-            spent,
-            epsilon: self.epsilon,
-        }
+        let mut out = self.empty_output();
+        self.run_core(queries, &mut SourceDraws::new(source), &mut out);
+        out
     }
 
     /// Runs the mechanism against a noise source.
@@ -246,106 +299,58 @@ impl AdaptiveSparseVector {
         self.run_streaming_with_source(queries, &mut source)
     }
 
-    /// Streaming, batched, monomorphic fast path; see [`crate::scratch`].
-    /// Identical branch logic and budget accounting to
-    /// [`run_streaming_with_source`](Self::run_streaming_with_source);
-    /// output is bit-identical to [`run`](Self::run) on the same RNG stream
-    /// and query sequence. The scratch buffers *noise* ahead of the stream,
-    /// never query answers: no query is pulled after the mechanism halts.
+    /// Streaming, batched, monomorphic fast path:
+    /// `run_core` through [`ScratchDraws`]; see
+    /// [`crate::scratch`]. Output is bit-identical to [`run`](Self::run) on
+    /// the same RNG stream and query sequence. The scratch buffers *noise*
+    /// ahead of the stream, never query answers: no query is pulled after
+    /// the mechanism halts.
     pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> AdaptiveSvOutput {
-        let eps1 = self.epsilon1();
-        let eps2 = self.epsilon2();
-        let sigma = self.sigma();
-        let top_scale = self.top_scale();
-        let middle_scale = self.middle_scale();
-        let cap = self.answer_cap();
-        // Same stopping product as the dyn path, hoisted out of the loop.
-        let budget_cap = self.epsilon * (1.0 + 1e-12);
-        scratch.begin();
-        let mut queries = queries.into_iter();
-        // One outcome per (ξ, η) draw pair: pre-size from the scratch's
-        // consumption prediction (capped by the stream's upper bound when it
-        // knows one) to skip the realloc chain on long streams.
-        let capacity =
-            (scratch.predicted_draws() / 2 + 1).min(queries.size_hint().1.unwrap_or(usize::MAX));
-        let noisy_threshold = self.threshold + scratch.next_scaled(rng, 1.0 / self.epsilon0());
-
-        let mut outcomes = Vec::with_capacity(capacity);
-        let mut spent = self.epsilon0();
-        let mut answered = 0usize;
-        let mut done = false;
-        // Blocked consumption: iterate whole buffered pair-blocks with
-        // `chunks_exact(2)` so the hot loop carries no per-query cursor or
-        // bounds arithmetic. Draw order (ξᵢ then ηᵢ, query by query) is
-        // identical to the dyn path.
-        while !done && answered < cap {
-            let mut taken = 0usize;
-            let pairs = scratch.peek_pairs(rng);
-            for pair in pairs.chunks_exact(2) {
-                if answered >= cap {
-                    break;
-                }
-                let Some(q) = queries.next() else {
-                    done = true;
-                    break;
-                };
-                // Both noises drawn unconditionally, exactly like line 7 of
-                // Algorithm 2: the draw structure must not depend on data.
-                let xi = pair[0] * top_scale;
-                let eta = pair[1] * middle_scale;
-                taken += 2;
-                let top_gap = q + xi - noisy_threshold;
-                let mid_gap = q + eta - noisy_threshold;
-                let outcome = if top_gap >= sigma {
-                    spent += eps2;
-                    answered += 1;
-                    AdaptiveOutcome::Above {
-                        gap: top_gap,
-                        branch: Branch::Top,
-                        cost: eps2,
-                    }
-                } else if mid_gap >= 0.0 {
-                    spent += eps1;
-                    answered += 1;
-                    AdaptiveOutcome::Above {
-                        gap: mid_gap,
-                        branch: Branch::Middle,
-                        cost: eps1,
-                    }
-                } else {
-                    AdaptiveOutcome::Below
-                };
-                outcomes.push(outcome);
-                // Line 16: stop when a worst-case answer no longer fits.
-                if spent + eps1 > budget_cap {
-                    done = true;
-                    break;
-                }
-            }
-            scratch.consume(taken);
-        }
-        AdaptiveSvOutput {
-            outcomes,
-            spent,
-            epsilon: self.epsilon,
-        }
+        let mut out = self.empty_output();
+        self.run_streaming_with_scratch_into(queries, rng, scratch, &mut out);
+        out
     }
 
-    /// Batched, monomorphic fast path; see [`crate::scratch`]. Delegates to
-    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch);
-    /// output is bit-identical to [`run`](Self::run) on the same RNG stream.
+    /// Allocation-free twin of
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn run_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut AdaptiveSvOutput,
+    ) {
+        self.run_core(queries, &mut ScratchDraws::new(scratch, rng), out);
+    }
+
+    /// Batched, monomorphic fast path; see [`crate::scratch`]. Output is
+    /// bit-identical to [`run`](Self::run) on the same RNG stream.
     pub fn run_with_scratch<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> AdaptiveSvOutput {
-        self.run_streaming_with_scratch(answers.values().iter().copied(), rng, scratch)
+        let mut out = self.empty_output();
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut AdaptiveSvOutput,
+    ) {
+        self.run_streaming_with_scratch_into(answers.values().iter().copied(), rng, scratch, out);
     }
 }
 

@@ -9,6 +9,7 @@
 
 use super::{optimal_threshold_share, SvOutput};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, require_fraction, MechanismError};
 use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -87,51 +88,68 @@ impl ClassicSparseVector {
         c * self.k as f64 / self.epsilon2()
     }
 
-    /// Runs the mechanism against a noise source. Shared by the classic and
-    /// gap-releasing variants: `release_gaps` controls whether above answers
-    /// carry the noisy gap or a placeholder `0.0`.
+    /// The single copy of the SVT decision loop, generic over the
+    /// [`DrawProvider`] noise comes through. Shared by the classic and
+    /// gap-releasing variants (`release_gaps` controls whether above answers
+    /// carry the noisy gap or a placeholder `0.0`), by the materialized and
+    /// streaming entry points, and by every execution path — the variants
+    /// cannot silently diverge (the Chen–Machanavajjhala hazard).
     ///
-    /// The materialized and streaming entry points share this one loop —
-    /// there is a single copy of the decision logic per noise path, so the
-    /// variants cannot silently diverge (the Chen–Machanavajjhala hazard).
-    pub(crate) fn run_streaming_impl<I: IntoIterator<Item = f64>>(
+    /// Writes into `out`, reusing its buffer; the stop condition is checked
+    /// *before* pulling the next query, so once the k-th ⊤ is answered no
+    /// further query is ever observed.
+    pub(crate) fn run_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
-        source: &mut dyn NoiseSource,
+        provider: &mut P,
         release_gaps: bool,
-    ) -> SvOutput {
-        let noisy_threshold = self.threshold + source.laplace(self.threshold_scale());
-        let qscale = self.query_scale();
+        out: &mut SvOutput,
+    ) {
+        provider.begin();
         let mut queries = queries.into_iter();
-        let mut above = Vec::new();
+        // One decision per query draw: pre-size from the provider's
+        // consumption prediction (capped by the stream's own upper bound
+        // when it knows one) to skip the realloc chain on long streams.
+        let capacity = provider
+            .predicted_draws()
+            .min(queries.size_hint().1.unwrap_or(usize::MAX));
+        let noisy_threshold = self.threshold + provider.next(self.threshold_scale());
+        let qscale = self.query_scale();
+        out.above.clear();
+        out.above.reserve(capacity);
         let mut answered = 0usize;
-        // The stop condition is checked *before* pulling the next query:
-        // once the k-th ⊤ is answered, no further query is ever observed.
         while answered < self.k {
             let Some(q) = queries.next() else { break };
-            let noisy = q + source.laplace(qscale);
+            let noisy = q + provider.next(qscale);
             if noisy >= noisy_threshold {
-                above.push(Some(if release_gaps {
+                out.above.push(Some(if release_gaps {
                     noisy - noisy_threshold
                 } else {
                     0.0
                 }));
                 answered += 1;
             } else {
-                above.push(None);
+                out.above.push(None);
             }
         }
-        SvOutput { above }
     }
 
-    /// Materialized twin of [`run_streaming_impl`](Self::run_streaming_impl).
+    /// Materialized dyn-source entry: [`run_core`](Self::run_core) through
+    /// the [`SourceDraws`] adapter.
     pub(crate) fn run_impl(
         &self,
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
         release_gaps: bool,
     ) -> SvOutput {
-        self.run_streaming_impl(answers.values().iter().copied(), source, release_gaps)
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(
+            answers.values().iter().copied(),
+            &mut SourceDraws::new(source),
+            release_gaps,
+            &mut out,
+        );
+        out
     }
 
     /// Runs with a plain RNG.
@@ -140,45 +158,23 @@ impl ClassicSparseVector {
         self.run_impl(answers, &mut source, false)
     }
 
-    /// Scratch-path twin of [`run_streaming_impl`](Self::run_streaming_impl):
-    /// identical decision logic, but noise comes from `scratch`'s blocked
-    /// unit-Laplace buffer (rescaled per draw) and the RNG is monomorphic.
-    /// Shared by the classic and gap-releasing variants, and by the
-    /// materialized and streaming entry points.
-    pub(crate) fn run_streaming_impl_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+    /// Scratch-path entry shared by the classic and gap-releasing variants:
+    /// [`run_core`](Self::run_core) through [`ScratchDraws`] (blocked
+    /// unit-Laplace buffer, monomorphic RNG), writing into `out`.
+    pub(crate) fn run_scratch_core<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         rng: &mut R,
         scratch: &mut SvtScratch,
         release_gaps: bool,
-    ) -> SvOutput {
-        scratch.begin();
-        let mut queries = queries.into_iter();
-        // One decision per query draw: pre-size from the scratch's
-        // consumption prediction (capped by the stream's own upper bound
-        // when it knows one) to skip the realloc chain on long streams.
-        let capacity = scratch
-            .predicted_draws()
-            .min(queries.size_hint().1.unwrap_or(usize::MAX));
-        let noisy_threshold = self.threshold + scratch.next_scaled(rng, self.threshold_scale());
-        let qscale = self.query_scale();
-        let mut above = Vec::with_capacity(capacity);
-        let mut answered = 0usize;
-        while answered < self.k {
-            let Some(q) = queries.next() else { break };
-            let noisy = q + scratch.next_scaled(rng, qscale);
-            if noisy >= noisy_threshold {
-                above.push(Some(if release_gaps {
-                    noisy - noisy_threshold
-                } else {
-                    0.0
-                }));
-                answered += 1;
-            } else {
-                above.push(None);
-            }
-        }
-        SvOutput { above }
+        out: &mut SvOutput,
+    ) {
+        self.run_core(
+            queries,
+            &mut ScratchDraws::new(scratch, rng),
+            release_gaps,
+            out,
+        );
     }
 
     /// Batched fast path without gap release; see [`crate::scratch`].
@@ -189,7 +185,21 @@ impl ClassicSparseVector {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
-        self.run_streaming_impl_with_scratch(answers.values().iter().copied(), rng, scratch, false)
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_scratch_core(answers.values().iter().copied(), rng, scratch, false, out);
     }
 
     /// Streaming twin of [`run`](Self::run): consumes `queries` lazily,
@@ -203,7 +213,9 @@ impl ClassicSparseVector {
         rng: &mut StdRng,
     ) -> SvOutput {
         let mut source = SamplingSource::new(rng);
-        self.run_streaming_impl(queries, &mut source, false)
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(queries, &mut SourceDraws::new(&mut source), false, &mut out);
+        out
     }
 
     /// Streaming twin of [`run_with_scratch`](Self::run_with_scratch); same
@@ -216,7 +228,21 @@ impl ClassicSparseVector {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
-        self.run_streaming_impl_with_scratch(queries, rng, scratch, false)
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_scratch_core(queries, rng, scratch, false, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch).
+    pub fn run_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_scratch_core(queries, rng, scratch, false, out);
     }
 
     /// Builds the SVT alignment shared by the classic and gap variants:

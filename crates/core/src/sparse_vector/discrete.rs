@@ -14,6 +14,7 @@
 
 use super::{optimal_threshold_share, SvOutput};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, SourceDraws};
 use crate::error::{require_epsilon, require_fraction, MechanismError};
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
@@ -87,15 +88,18 @@ impl DiscreteSparseVectorWithGap {
         );
     }
 
-    /// Runs the mechanism; released gaps are exact lattice multiples.
-    pub fn run_with_source(
+    /// The single copy of the discrete SVT decision loop, generic over the
+    /// [`DrawProvider`] noise comes through
+    /// ([`discrete_next`](DrawProvider::discrete_next) draws).
+    pub(crate) fn run_core<P: DrawProvider>(
         &self,
         answers: &QueryAnswers,
-        source: &mut dyn NoiseSource,
+        provider: &mut P,
     ) -> SvOutput {
         self.validate_lattice(answers);
+        provider.begin();
         let noisy_threshold =
-            self.threshold + source.discrete_laplace(self.threshold_rate(), self.gamma);
+            self.threshold + provider.discrete_next(self.threshold_rate(), self.gamma);
         let qrate = self.query_rate();
         let mut above = Vec::new();
         let mut answered = 0usize;
@@ -103,7 +107,7 @@ impl DiscreteSparseVectorWithGap {
             if answered == self.k {
                 break;
             }
-            let noisy = q + source.discrete_laplace(qrate, self.gamma);
+            let noisy = q + provider.discrete_next(qrate, self.gamma);
             if noisy >= noisy_threshold {
                 above.push(Some(noisy - noisy_threshold));
                 answered += 1;
@@ -112,6 +116,15 @@ impl DiscreteSparseVectorWithGap {
             }
         }
         SvOutput { above }
+    }
+
+    /// Runs the mechanism; released gaps are exact lattice multiples.
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> SvOutput {
+        self.run_core(answers, &mut SourceDraws::new(source))
     }
 
     /// Runs with a plain RNG.

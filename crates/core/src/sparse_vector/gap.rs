@@ -9,6 +9,7 @@
 use super::classic::ClassicSparseVector;
 use super::SvOutput;
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, SourceDraws};
 use crate::error::MechanismError;
 use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -82,6 +83,20 @@ impl SparseVectorWithGap {
         self.inner.run_impl(answers, source, true)
     }
 
+    /// Gap-releasing selection through an arbitrary [`DrawProvider`] — the
+    /// hook the select-then-measure pipeline core drives, so the pipeline
+    /// logic also exists only once.
+    pub(crate) fn run_provider<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.inner
+            .run_core(answers.values().iter().copied(), provider, true, &mut out);
+        out
+    }
+
     /// Batched fast path with gap release; see [`crate::scratch`]. Output is
     /// bit-identical to [`run`](Self::run) on the same RNG stream.
     pub fn run_with_scratch<R: Rng + ?Sized>(
@@ -90,12 +105,22 @@ impl SparseVectorWithGap {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
-        self.inner.run_streaming_impl_with_scratch(
-            answers.values().iter().copied(),
-            rng,
-            scratch,
-            true,
-        )
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.inner
+            .run_scratch_core(answers.values().iter().copied(), rng, scratch, true, out);
     }
 
     /// Streaming twin of [`run`](Self::run): consumes `queries` lazily and
@@ -108,7 +133,10 @@ impl SparseVectorWithGap {
         rng: &mut StdRng,
     ) -> SvOutput {
         let mut source = SamplingSource::new(rng);
-        self.inner.run_streaming_impl(queries, &mut source, true)
+        let mut out = SvOutput { above: Vec::new() };
+        self.inner
+            .run_core(queries, &mut SourceDraws::new(&mut source), true, &mut out);
+        out
     }
 
     /// Streaming twin of [`run_with_scratch`](Self::run_with_scratch); same
@@ -119,8 +147,23 @@ impl SparseVectorWithGap {
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
         self.inner
-            .run_streaming_impl_with_scratch(queries, rng, scratch, true)
+            .run_scratch_core(queries, rng, scratch, true, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch).
+    pub fn run_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.inner
+            .run_scratch_core(queries, rng, scratch, true, out);
     }
 }
 

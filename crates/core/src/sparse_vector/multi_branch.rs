@@ -21,6 +21,7 @@
 
 use super::{optimal_threshold_share, Branch};
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, require_fraction, MechanismError};
 use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
@@ -182,51 +183,111 @@ impl MultiBranchAdaptiveSparseVector {
         }
     }
 
-    /// Streaming run against a noise source: consumes `queries` lazily,
-    /// pulling the next answer only while the remaining budget still covers
-    /// a worst-case (`ε₁`) answer — queries after the halt are never
-    /// observed. The materialized [`run_with_source`](Self::run_with_source)
-    /// delegates here, so the branch-ladder logic exists once per noise
-    /// path.
+    /// The single copy of the branch-ladder logic, generic over the
+    /// [`DrawProvider`] noise comes through; every execution path is this
+    /// one function behind a thin provider-picking entry point.
+    ///
+    /// Consumes `queries` lazily, pulling the next answer only while the
+    /// remaining budget still covers a worst-case (`ε₁`) answer — queries
+    /// after the halt are never observed. Each query consumes one whole
+    /// `m`-tuple of draws ([`DrawProvider::peek_tuples`], the `peek_pairs`
+    /// pattern generalized), served in blocks on buffered providers and
+    /// iterated with `chunks_exact(m)`; each block's first query is pulled
+    /// *before* the peek, so draw-exact providers never sample noise for a
+    /// query that does not exist. All `m` draws of a tuple are consumed
+    /// unconditionally (data-independent draw structure); the ladder scan
+    /// stops at the first winning branch. Draw order (branch `0..m` per
+    /// query, query by query) is identical on every provider.
+    pub(crate) fn run_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        provider: &mut P,
+        out: &mut MultiBranchSvOutput,
+    ) {
+        let m = self.branches;
+        let eps1 = self.epsilon1();
+        let budget_cap = self.epsilon * (1.0 + 1e-12);
+        // Per-branch constants hoisted out of the loop. Stack arrays
+        // (m <= MAX_BRANCHES) keep the fast path allocation-free apart from
+        // the output vector.
+        let mut scales = [0.0f64; Self::MAX_BRANCHES];
+        let mut margins = [0.0f64; Self::MAX_BRANCHES];
+        let mut budgets = [0.0f64; Self::MAX_BRANCHES];
+        for b in 0..m {
+            scales[b] = self.branch_scale(b);
+            margins[b] = self.branch_margin(b);
+            budgets[b] = self.branch_budget(b);
+        }
+        provider.begin();
+        let mut queries = queries.into_iter();
+        // One outcome per m-tuple of draws: pre-size from the provider's
+        // consumption prediction (capped by the stream's upper bound when it
+        // knows one).
+        let predicted = provider.predicted_draws();
+        let capacity = (predicted / m + usize::from(predicted > 0))
+            .min(queries.size_hint().1.unwrap_or(usize::MAX));
+        let noisy_threshold = self.threshold + provider.next(1.0 / self.epsilon0());
+        out.outcomes.clear();
+        out.outcomes.reserve(capacity);
+        let mut spent = self.epsilon0();
+        let mut done = false;
+        while !done {
+            // Pull the block's first query before peeking (draw-exactness).
+            let Some(first) = queries.next() else { break };
+            let mut pending = Some(first);
+            let mut taken = 0usize;
+            let tuples = provider.peek_tuples(&scales[..m]);
+            for tuple in tuples.chunks_exact(m) {
+                let Some(q) = pending.take().or_else(|| queries.next()) else {
+                    done = true;
+                    break;
+                };
+                taken += m;
+                let mut outcome = MultiBranchOutcome::Below;
+                for b in 0..m {
+                    let gap = q + tuple[b] - noisy_threshold;
+                    if gap >= margins[b] {
+                        let cost = budgets[b];
+                        spent += cost;
+                        outcome = MultiBranchOutcome::Above {
+                            branch: b,
+                            gap,
+                            cost,
+                        };
+                        break;
+                    }
+                }
+                out.outcomes.push(outcome);
+                if spent + eps1 > budget_cap {
+                    done = true;
+                    break;
+                }
+            }
+            provider.consume(taken);
+        }
+        out.spent = spent;
+        out.epsilon = self.epsilon;
+    }
+
+    /// Empty output shell for the core to fill.
+    fn empty_output(&self) -> MultiBranchSvOutput {
+        MultiBranchSvOutput {
+            outcomes: Vec::new(),
+            spent: 0.0,
+            epsilon: self.epsilon,
+        }
+    }
+
+    /// Streaming run against a noise source: `run_core`
+    /// through the [`SourceDraws`] adapter.
     pub fn run_streaming_with_source<I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         source: &mut dyn NoiseSource,
     ) -> MultiBranchSvOutput {
-        let eps1 = self.epsilon1();
-        let budget_cap = self.epsilon * (1.0 + 1e-12);
-        let noisy_threshold = self.threshold + source.laplace(1.0 / self.epsilon0());
-        let mut outcomes = Vec::new();
-        let mut spent = self.epsilon0();
-        for q in queries {
-            // All m noises drawn unconditionally: data-independent structure.
-            let mut outcome = MultiBranchOutcome::Below;
-            for b in 0..self.branches {
-                let noise = source.laplace(self.branch_scale(b));
-                if outcome.is_above() {
-                    continue; // branch already won; later draws are discarded
-                }
-                let gap = q + noise - noisy_threshold;
-                if gap >= self.branch_margin(b) {
-                    let cost = self.branch_budget(b);
-                    spent += cost;
-                    outcome = MultiBranchOutcome::Above {
-                        branch: b,
-                        gap,
-                        cost,
-                    };
-                }
-            }
-            outcomes.push(outcome);
-            if spent + eps1 > budget_cap {
-                break;
-            }
-        }
-        MultiBranchSvOutput {
-            outcomes,
-            spent,
-            epsilon: self.epsilon,
-        }
+        let mut out = self.empty_output();
+        self.run_core(queries, &mut SourceDraws::new(source), &mut out);
+        out
     }
 
     /// Runs the mechanism against a noise source.
@@ -255,97 +316,57 @@ impl MultiBranchAdaptiveSparseVector {
         self.run_streaming_with_source(queries, &mut source)
     }
 
-    /// Streaming, batched, monomorphic fast path; see [`crate::scratch`].
-    /// Each query consumes one `m`-tuple of unit draws from the scratch (the
-    /// `peek_pairs` pair-block pattern generalized to m-tuples); output is
-    /// bit-identical to [`run`](Self::run) on the same RNG stream and query
-    /// sequence. The scratch buffers *noise* ahead of the stream, never
-    /// query answers.
+    /// Streaming, batched, monomorphic fast path:
+    /// `run_core` through [`ScratchDraws`]; see
+    /// [`crate::scratch`]. Output is bit-identical to [`run`](Self::run) on
+    /// the same RNG stream and query sequence. The scratch buffers *noise*
+    /// ahead of the stream, never query answers.
     pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> MultiBranchSvOutput {
-        let m = self.branches;
-        let eps1 = self.epsilon1();
-        let budget_cap = self.epsilon * (1.0 + 1e-12);
-        // Per-branch constants hoisted out of the loop; same formulas as the
-        // dyn path, so `unit * scale` stays bit-identical per draw. Stack
-        // arrays (m <= MAX_BRANCHES) keep the fast path allocation-free
-        // apart from the output vector.
-        let mut scales = [0.0f64; Self::MAX_BRANCHES];
-        let mut margins = [0.0f64; Self::MAX_BRANCHES];
-        let mut budgets = [0.0f64; Self::MAX_BRANCHES];
-        for b in 0..m {
-            scales[b] = self.branch_scale(b);
-            margins[b] = self.branch_margin(b);
-            budgets[b] = self.branch_budget(b);
-        }
-        scratch.begin();
-        let mut queries = queries.into_iter();
-        // One outcome per m-tuple of draws: pre-size from the scratch's
-        // consumption prediction (capped by the stream's upper bound when it
-        // knows one).
-        let capacity =
-            (scratch.predicted_draws() / m + 1).min(queries.size_hint().1.unwrap_or(usize::MAX));
-        let noisy_threshold = self.threshold + scratch.next_scaled(rng, 1.0 / self.epsilon0());
-        let mut outcomes = Vec::with_capacity(capacity);
-        let mut spent = self.epsilon0();
-        let mut done = false;
-        // Blocked consumption: iterate whole buffered m-tuple blocks with
-        // `chunks_exact(m)`. Draw order (branch 0..m per query, query by
-        // query) is identical to the dyn path.
-        while !done {
-            let mut taken = 0usize;
-            let tuples = scratch.peek_tuples(rng, m);
-            for tuple in tuples.chunks_exact(m) {
-                let Some(q) = queries.next() else {
-                    done = true;
-                    break;
-                };
-                taken += m;
-                // All m draws of the tuple are consumed unconditionally; the
-                // ladder scan stops at the first winning branch.
-                let mut outcome = MultiBranchOutcome::Below;
-                for b in 0..m {
-                    let gap = q + tuple[b] * scales[b] - noisy_threshold;
-                    if gap >= margins[b] {
-                        let cost = budgets[b];
-                        spent += cost;
-                        outcome = MultiBranchOutcome::Above {
-                            branch: b,
-                            gap,
-                            cost,
-                        };
-                        break;
-                    }
-                }
-                outcomes.push(outcome);
-                if spent + eps1 > budget_cap {
-                    done = true;
-                    break;
-                }
-            }
-            scratch.consume(taken);
-        }
-        MultiBranchSvOutput {
-            outcomes,
-            spent,
-            epsilon: self.epsilon,
-        }
+        let mut out = self.empty_output();
+        self.run_streaming_with_scratch_into(queries, rng, scratch, &mut out);
+        out
     }
 
-    /// Batched, monomorphic fast path; see [`crate::scratch`]. Delegates to
-    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch);
-    /// output is bit-identical to [`run`](Self::run) on the same RNG stream.
+    /// Allocation-free twin of
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn run_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut MultiBranchSvOutput,
+    ) {
+        self.run_core(queries, &mut ScratchDraws::new(scratch, rng), out);
+    }
+
+    /// Batched, monomorphic fast path; see [`crate::scratch`]. Output is
+    /// bit-identical to [`run`](Self::run) on the same RNG stream.
     pub fn run_with_scratch<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut SvtScratch,
     ) -> MultiBranchSvOutput {
-        self.run_streaming_with_scratch(answers.values().iter().copied(), rng, scratch)
+        let mut out = self.empty_output();
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut MultiBranchSvOutput,
+    ) {
+        self.run_streaming_with_scratch_into(answers.values().iter().copied(), rng, scratch, out);
     }
 }
 

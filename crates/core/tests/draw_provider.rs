@@ -1,0 +1,226 @@
+//! Stream discipline of the draw providers (README.md invariant): however a
+//! provider buffers internally, the sequence of draws it *serves* is
+//! bit-identical to a sequential sampling loop at the requested scales on
+//! the same RNG stream.
+//!
+//! The proptest drives the dyn adapter ([`SourceDraws`]), the blocked
+//! scratch provider ([`ScratchDraws`]) and the draw-exact monomorphic
+//! provider ([`RngDraws`]) through **random interleavings** of the three
+//! draw shapes — single `next()`, `peek_pairs()`, `peek_tuples(m)` — over
+//! identically seeded streams, and asserts every consumed draw matches the
+//! sequential reference bit-for-bit. This is the property that lets one
+//! mechanism core swap providers freely: the alignment checker sees the
+//! same tape the reference loop would record, and the scratch path's block
+//! lookahead is invisible in the served values.
+
+use free_gap_alignment::SamplingSource;
+use free_gap_core::draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
+use free_gap_core::SvtScratch;
+use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::{ContinuousDistribution, Laplace};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// One step of a provider interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `next(scale)`.
+    Next(f64),
+    /// `peek_pairs([s0, s1])` + consumption of the first pair.
+    Pairs(f64, f64),
+    /// `peek_tuples(scales)` + consumption of up to `take` whole tuples
+    /// (bounded by the provider's slab; draw-exact providers expose one).
+    Tuples(Vec<f64>, usize),
+    /// `fill_offset` over `len` zero offsets at the given scale (the
+    /// Noisy-Max / measurement batch shape).
+    Fill(usize, f64),
+}
+
+impl Op {
+    /// The same op with multi-tuple consumption disabled, so every provider
+    /// consumes identically.
+    fn single(&self) -> Op {
+        match self {
+            Op::Tuples(scales, _) => Op::Tuples(scales.clone(), 1),
+            other => other.clone(),
+        }
+    }
+}
+
+/// Positive, finite scales spanning what mechanisms actually request.
+const SCALES: [f64; 5] = [0.25, 1.0, 2.0, 7.5, 40.0];
+
+/// Deterministically expands `(seed, count)` into an op interleaving — the
+/// vendored proptest generates the raw numbers, this builds the structure.
+fn random_ops(seed: u64, count: usize) -> Vec<Op> {
+    let mut rng = free_gap_noise::rng::derive_stream(seed, 0x0D5);
+    let scale = |rng: &mut rand::rngs::StdRng| SCALES[rng.gen_range(0..SCALES.len())];
+    (0..count)
+        .map(|_| match rng.gen_range(0..4) {
+            0 => Op::Next(scale(&mut rng)),
+            1 => {
+                let a = scale(&mut rng);
+                let b = scale(&mut rng);
+                Op::Pairs(a, b)
+            }
+            2 => {
+                let m = rng.gen_range(1..6);
+                let scales: Vec<f64> = (0..m).map(|_| scale(&mut rng)).collect();
+                let take = rng.gen_range(1..4);
+                Op::Tuples(scales, take)
+            }
+            _ => Op::Fill(rng.gen_range(1..12), scale(&mut rng)),
+        })
+        .collect()
+}
+
+/// Serves `ops` through `provider`, returning every consumed draw with the
+/// scale it was requested at, in consumption order.
+fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(f64, f64)> {
+    let mut served = Vec::new();
+    provider.begin();
+    for op in ops {
+        match op {
+            Op::Next(scale) => served.push((*scale, provider.next(*scale))),
+            Op::Pairs(a, b) => {
+                let slab = provider.peek_pairs([*a, *b]);
+                served.push((*a, slab[0]));
+                served.push((*b, slab[1]));
+                provider.consume(2);
+            }
+            Op::Tuples(scales, take) => {
+                let m = scales.len();
+                let slab = provider.peek_tuples(scales);
+                assert!(slab.len() >= m && slab.len().is_multiple_of(m));
+                let tuples = (slab.len() / m).min(*take);
+                for t in 0..tuples {
+                    for (b, &scale) in scales.iter().enumerate() {
+                        served.push((scale, slab[t * m + b]));
+                    }
+                }
+                provider.consume(tuples * m);
+            }
+            Op::Fill(len, scale) => {
+                let base = vec![0.0f64; *len];
+                let mut out = Vec::new();
+                provider.fill_offset(&base, *scale, &mut out);
+                // Zero offsets: each output element IS the served draw.
+                served.extend(out.iter().map(|v| (*scale, *v)));
+            }
+        }
+    }
+    served
+}
+
+/// Asserts `served` equals a sequential per-draw sampling loop at the
+/// consumed scales on a fresh stream from `seed` — the stream-discipline
+/// invariant, per provider.
+fn assert_sequential(label: &str, served: &[(f64, f64)], seed: u64) {
+    let mut rng = rng_from_seed(seed);
+    for (i, (scale, value)) in served.iter().enumerate() {
+        let want = Laplace::new(*scale).unwrap().sample(&mut rng);
+        assert_eq!(
+            value.to_bits(),
+            want.to_bits(),
+            "{label}: draw {i} at scale {scale}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any interleaving of `next` / `peek_pairs` / `peek_tuples(m)` consumes
+    /// the underlying RNG stream in sequential order on every provider, and
+    /// the dyn adapter consumes it in exactly the same order as the scratch
+    /// provider.
+    #[test]
+    fn interleavings_serve_identical_streams(
+        ops_seed in 0u64..1_000_000,
+        op_count in 1usize..40,
+        seed in 0u64..100_000,
+    ) {
+        let ops = random_ops(ops_seed, op_count);
+        // Per-provider invariant: consumed draws == sequential sampling at
+        // the consumed scales (providers may differ in how many tuples they
+        // expose per peek, so each is checked against its own consumption).
+        let mut dyn_rng = rng_from_seed(seed);
+        let mut source = SamplingSource::new(&mut dyn_rng);
+        let dyn_served = serve(&ops, &mut SourceDraws::new(&mut source));
+        assert_sequential("dyn adapter", &dyn_served, seed);
+
+        let mut plain_rng = rng_from_seed(seed);
+        let plain_served = serve(&ops, &mut RngDraws::new(&mut plain_rng));
+        assert_sequential("rng provider", &plain_served, seed);
+
+        let mut scratch = SvtScratch::new();
+        let mut scratch_rng = rng_from_seed(seed);
+        let scratch_served =
+            serve(&ops, &mut ScratchDraws::new(&mut scratch, &mut scratch_rng));
+        assert_sequential("scratch provider", &scratch_served, seed);
+
+        // The two draw-exact providers consume identically: element-wise
+        // bit equality.
+        prop_assert_eq!(dyn_served.len(), plain_served.len());
+        for (i, (a, b)) in dyn_served.iter().zip(&plain_served).enumerate() {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "dyn vs rng, draw {i}");
+        }
+
+        // With multi-tuple consumption disabled every provider consumes the
+        // same draws — the dyn↔scratch order equivalence, element for
+        // element.
+        let single_ops: Vec<Op> = ops.iter().map(Op::single).collect();
+        let mut dyn_rng = rng_from_seed(seed);
+        let mut source = SamplingSource::new(&mut dyn_rng);
+        let dyn_single = serve(&single_ops, &mut SourceDraws::new(&mut source));
+        let mut scratch = SvtScratch::new();
+        let mut scratch_rng = rng_from_seed(seed);
+        let scratch_single =
+            serve(&single_ops, &mut ScratchDraws::new(&mut scratch, &mut scratch_rng));
+        prop_assert_eq!(dyn_single.len(), scratch_single.len());
+        for (i, (a, b)) in dyn_single.iter().zip(&scratch_single).enumerate() {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "dyn vs scratch, draw {i}");
+        }
+    }
+
+    /// A scratch provider reused across runs (dirty block state, stale
+    /// prediction) still serves the same stream as a fresh one: `begin`
+    /// fully isolates runs.
+    #[test]
+    fn scratch_reuse_is_invisible(
+        warm_seed in 0u64..1_000_000,
+        warm_count in 0usize..20,
+        ops_seed in 0u64..1_000_000,
+        op_count in 1usize..20,
+        seed in 0u64..100_000,
+    ) {
+        let warm_ops = random_ops(warm_seed, warm_count);
+        let ops = random_ops(ops_seed, op_count);
+        let mut dirty = SvtScratch::new();
+        {
+            let mut warm_rng = rng_from_seed(seed.wrapping_add(1));
+            serve(&warm_ops, &mut ScratchDraws::new(&mut dirty, &mut warm_rng));
+        }
+        // Single-tuple consumption so the dirty and fresh runs consume
+        // identically regardless of history-dependent slab sizes.
+        let single_ops: Vec<Op> = ops.iter().map(Op::single).collect();
+        let mut dirty_rng = rng_from_seed(seed);
+        let dirty_served =
+            serve(&single_ops, &mut ScratchDraws::new(&mut dirty, &mut dirty_rng));
+        assert_sequential("dirty scratch", &dirty_served, seed);
+
+        let mut fresh = SvtScratch::new();
+        let mut fresh_rng = rng_from_seed(seed);
+        let fresh_served =
+            serve(&single_ops, &mut ScratchDraws::new(&mut fresh, &mut fresh_rng));
+
+        prop_assert_eq!(dirty_served.len(), fresh_served.len());
+        for i in 0..dirty_served.len() {
+            assert_eq!(
+                dirty_served[i].1.to_bits(),
+                fresh_served[i].1.to_bits(),
+                "draw {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The `*_into` out-parameter entry points: bit-identical to their
+//! allocating twins, and genuinely allocation-free once the output has
+//! grown to steady state (the buffer is reused, never reallocated).
+
+use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap, TopKOutput};
+use free_gap_core::scratch::{SvtScratch, TopKScratch};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, MultiBranchAdaptiveSparseVector,
+    MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
+};
+use free_gap_core::QueryAnswers;
+use free_gap_noise::rng::derive_stream;
+use rand::Rng;
+
+fn workload(seed: u64, n: usize) -> QueryAnswers {
+    let mut rng = derive_stream(seed, 999);
+    let values: Vec<f64> = (0..n)
+        .map(|i| (n - i) as f64 * 0.37 + rng.gen_range(0.0..30.0))
+        .collect();
+    QueryAnswers::counting(values)
+}
+
+#[test]
+fn topk_into_is_bit_identical_and_reuses_the_buffer() {
+    let m = NoisyTopKWithGap::new(8, 0.7, true).unwrap();
+    let answers = workload(1, 300);
+    let mut scratch = TopKScratch::new();
+    let mut out = TopKOutput { items: Vec::new() };
+    let mut steady_capacity = 0;
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(3, run), &mut scratch);
+        m.run_with_scratch_into(&answers, &mut derive_stream(3, run), &mut scratch, &mut out);
+        assert_eq!(expect, out, "run {run}");
+        if run == 0 {
+            steady_capacity = out.items.capacity();
+        } else {
+            assert_eq!(
+                out.items.capacity(),
+                steady_capacity,
+                "run {run} reallocated"
+            );
+        }
+    }
+}
+
+#[test]
+fn classic_topk_into_is_bit_identical_and_reuses_the_buffer() {
+    let m = ClassicNoisyTopK::new(5, 0.9, true).unwrap();
+    let answers = workload(2, 200);
+    let mut scratch = TopKScratch::new();
+    let mut out = Vec::new();
+    let mut steady_capacity = 0;
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(5, run), &mut scratch);
+        m.run_with_scratch_into(&answers, &mut derive_stream(5, run), &mut scratch, &mut out);
+        assert_eq!(expect, out, "run {run}");
+        if run == 0 {
+            steady_capacity = out.capacity();
+        } else {
+            assert_eq!(out.capacity(), steady_capacity, "run {run} reallocated");
+        }
+    }
+}
+
+#[test]
+fn svt_into_variants_are_bit_identical_and_reuse_buffers() {
+    let answers = workload(3, 400);
+    let threshold = answers.values()[30];
+    let classic = ClassicSparseVector::new(6, 0.7, threshold, true).unwrap();
+    let gap = SparseVectorWithGap::new(6, 0.7, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    let mut out = SvOutput { above: Vec::new() };
+    for run in 0..100u64 {
+        let expect = classic.run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch);
+        classic.run_with_scratch_into(&answers, &mut derive_stream(7, run), &mut scratch, &mut out);
+        assert_eq!(expect, out, "classic run {run}");
+
+        let expect = gap.run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch);
+        gap.run_with_scratch_into(&answers, &mut derive_stream(7, run), &mut scratch, &mut out);
+        assert_eq!(expect, out, "gap run {run}");
+
+        // Streaming twins share the same core and output buffer.
+        gap.run_streaming_with_scratch_into(
+            answers.values().iter().copied(),
+            &mut derive_stream(7, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "gap streaming run {run}");
+    }
+}
+
+#[test]
+fn adaptive_into_is_bit_identical_and_reuses_the_buffer() {
+    let answers = workload(4, 500);
+    let threshold = answers.values()[40];
+    let m = AdaptiveSparseVector::new(8, 0.7, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    let mut out = AdaptiveSvOutput {
+        outcomes: Vec::new(),
+        spent: 0.0,
+        epsilon: 0.0,
+    };
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(11, run), &mut scratch);
+        m.run_with_scratch_into(
+            &answers,
+            &mut derive_stream(11, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "run {run}");
+        assert_eq!(expect.spent.to_bits(), out.spent.to_bits(), "run {run}");
+    }
+    // Steady state: replaying one fixed stream, consumption (and thus the
+    // capacity prediction) stabilizes after two runs — the buffer must then
+    // stop growing entirely.
+    let mut steady_capacity = 0;
+    for rep in 0..20 {
+        m.run_with_scratch_into(&answers, &mut derive_stream(11, 0), &mut scratch, &mut out);
+        if rep == 2 {
+            steady_capacity = out.outcomes.capacity();
+        } else if rep > 2 {
+            assert_eq!(
+                out.outcomes.capacity(),
+                steady_capacity,
+                "rep {rep} reallocated"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_branch_into_is_bit_identical() {
+    let answers = workload(5, 300);
+    let threshold = answers.values()[25];
+    let m = MultiBranchAdaptiveSparseVector::new(5, 0.7, threshold, true, 3).unwrap();
+    let mut scratch = SvtScratch::new();
+    let mut out = MultiBranchSvOutput {
+        outcomes: Vec::new(),
+        spent: 0.0,
+        epsilon: 0.0,
+    };
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(13, run), &mut scratch);
+        m.run_with_scratch_into(
+            &answers,
+            &mut derive_stream(13, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "run {run}");
+    }
+}

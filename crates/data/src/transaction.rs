@@ -176,7 +176,7 @@ mod tests {
     fn add_neighbor_is_inverse_of_remove() {
         let db = sample_db();
         let record = db.records()[0].clone();
-        let bigger = db.neighbor_with(record.clone());
+        let bigger = db.neighbor_with(record);
         let back = bigger.neighbor_without(bigger.num_records() - 1);
         assert_eq!(back, db);
     }

@@ -115,6 +115,37 @@ impl BlockBuffer {
         &self.buf[self.cursor..self.cursor + whole]
     }
 
+    /// Scaled twin of [`peek_tuples`](Self::peek_tuples), the draw-provider
+    /// hook behind the mechanisms' blocked fast paths: writes
+    /// `unit[i] * scales[i % m]` into `out` for every buffered draw ahead of
+    /// the cursor (whole `scales.len()`-tuples only, refilling first if fewer
+    /// than one tuple is available).
+    ///
+    /// Slot `b` of each tuple is then distributed `scale[b] ×` the base
+    /// distribution — for distributions whose sampler is a single
+    /// `scale * f(u)` product (Laplace), bit-identical to sampling at
+    /// `scales[b]` directly. Consumption is still committed with
+    /// [`consume`](Self::consume) in raw draw counts.
+    ///
+    /// The whole buffered slab is rescaled per peek, including a tail the
+    /// run may never consume. That extra pass is bounded: blocks taper
+    /// toward the predicted per-run consumption, so the unconsumed tail is
+    /// at most one block's overshoot (measured cost ≲ 10% on the
+    /// shortest-decision mechanisms, vs. fusing the multiply into every
+    /// consumer loop — `repro bench-compare` guards the trade-off).
+    #[inline]
+    pub fn peek_tuples_scaled<D: ContinuousDistribution, R: Rng + ?Sized>(
+        &mut self,
+        dist: &D,
+        rng: &mut R,
+        scales: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let units = self.peek_tuples(dist, rng, scales.len());
+        out.clear();
+        out.extend(units.iter().zip(scales.iter().cycle()).map(|(u, s)| u * s));
+    }
+
     /// Advances the cursor past `draws` previously obtained from
     /// [`peek_tuples`](Self::peek_tuples).
     ///
@@ -242,6 +273,33 @@ mod tests {
                 }
                 block.consume(take);
             }
+        }
+    }
+
+    #[test]
+    fn peek_tuples_scaled_matches_scaled_sequential_draws() {
+        let unit = Laplace::new(1.0).unwrap();
+        let scales = [3.0f64, 0.25, 17.5];
+        let mut expect_rng = rng_from_seed(9);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(9);
+        let mut scaled = Vec::new();
+        block.begin();
+        let mut tuples_seen = 0usize;
+        while tuples_seen < 300 {
+            block.peek_tuples_scaled(&unit, &mut rng, &scales, &mut scaled);
+            assert!(scaled.len() >= scales.len() && scaled.len().is_multiple_of(scales.len()));
+            let take = (scaled.len() / scales.len()).min(4) * scales.len();
+            for tuple in scaled[..take].chunks_exact(scales.len()) {
+                for (j, &v) in tuple.iter().enumerate() {
+                    // unit * scale is bit-identical to sampling at the scale
+                    // directly (the sampler is a single scale * f(u) product).
+                    let want = Laplace::new(scales[j]).unwrap().sample(&mut expect_rng);
+                    assert_eq!(v.to_bits(), want.to_bits(), "tuple {tuples_seen} slot {j}");
+                }
+                tuples_seen += 1;
+            }
+            block.consume(take);
         }
     }
 

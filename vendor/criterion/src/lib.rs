@@ -107,6 +107,10 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark parameterized by `input`.
+    ///
+    /// `id` is taken by value to stay signature-compatible with real
+    /// criterion, whose `BenchmarkId` is consumed here.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I: ?Sized, F>(
         &mut self,
         id: BenchmarkId,
