@@ -29,10 +29,18 @@
 //! The headline before/after comparison is `dyn` (the only path that
 //! existed before the batching work) against `scratch_fast` (the Monte-Carlo
 //! substrate those loops now use: batching + monomorphization + the fast
-//! generator together) — ~2× on the 100k-query cells. The `scratch` column
+//! generator together) — ~2× on the continuous 100k-query cells and
+//! ~2.4–2.9× on the discrete (finite-precision) ones. The `scratch` column
 //! isolates how much of that is batching alone under the deterministic
-//! ChaCha generator (~1.1×): per-draw cost there is dominated by ChaCha and
-//! `ln`, which batching cannot remove.
+//! ChaCha generator: ~1.1× for the continuous mechanisms (per-draw cost
+//! there is dominated by ChaCha and `ln`, which batching cannot remove) and
+//! ~1.7–2.0× for the discrete ones, whose dyn path additionally pays a
+//! per-draw distribution construction (`exp` + `ln`) that the scratch tape
+//! hoists and caches per rate.
+//!
+//! The discrete mechanisms run on the integer-lattice projection of the
+//! same workload (their finite-precision contract), with the threshold
+//! taken from the rounded counts so it sits on the lattice.
 //!
 //! ## `BENCH_mechanisms.json` protocol
 //!
@@ -62,11 +70,13 @@
 //! CI smoke step runs against a freshly written file.
 
 use crate::table::Table;
-use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap, TopKOutput};
+use free_gap_core::noisy_max::{
+    ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap, TopKOutput,
+};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, MultiBranchAdaptiveSparseVector,
-    MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
+    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, DiscreteSparseVectorWithGap,
+    MultiBranchAdaptiveSparseVector, MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::{derive_fast_stream, derive_stream};
@@ -79,9 +89,13 @@ use std::time::Instant;
 /// record order. This is the single source of truth for grid coverage:
 /// [`run_grid`] produces exactly these cells and [`missing_cells`] checks a
 /// written JSON against them.
-pub const MECHANISM_PATHS: [(&str, &[&str]); 6] = [
+pub const MECHANISM_PATHS: [(&str, &[&str]); 8] = [
     ("NoisyTopKWithGap", &["dyn", "scratch", "scratch_fast"]),
     ("ClassicNoisyTopK", &["dyn", "scratch", "scratch_fast"]),
+    (
+        "DiscreteNoisyTopKWithGap",
+        &["dyn", "scratch", "scratch_fast"],
+    ),
     (
         "SparseVectorWithGap",
         &["dyn", "scratch", "scratch_fast", "streaming"],
@@ -96,6 +110,10 @@ pub const MECHANISM_PATHS: [(&str, &[&str]); 6] = [
     ),
     (
         "MultiBranchAdaptiveSparseVector",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+    (
+        "DiscreteSparseVectorWithGap",
         &["dyn", "scratch", "scratch_fast", "streaming"],
     ),
 ];
@@ -172,6 +190,12 @@ fn synthetic_counts(n: usize, seed: u64) -> QueryAnswers {
         .collect();
     values.shuffle(&mut rng);
     QueryAnswers::counting(values)
+}
+
+/// The same workload rounded onto the integer lattice `γ = 1` — the
+/// finite-precision mechanisms require exact lattice multiples.
+fn synthetic_integer_counts(answers: &QueryAnswers) -> QueryAnswers {
+    QueryAnswers::counting(answers.values().iter().map(|v| v.round()).collect())
 }
 
 /// SVT threshold at descending rank `4k` (mid-range per the §7.2 protocol).
@@ -334,9 +358,13 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
     let mut records = Vec::new();
     for &n in &N_GRID {
         let answers = synthetic_counts(n, seed);
+        let int_answers = synthetic_integer_counts(&answers);
         for &k in &K_GRID {
             let threshold = rank_threshold(&answers, k);
+            // Element of the rounded workload, so it sits on the lattice.
+            let int_threshold = rank_threshold(&int_answers, k);
             let mut topk_scratch = TopKScratch::new();
+            let mut disc_topk_scratch = TopKScratch::new();
             // One SVT scratch per mechanism × path: predictive batch sizing
             // assumes consecutive runs of the same mechanism.
             let mut svt_gap_scratch = SvtScratch::new();
@@ -347,6 +375,8 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
             let mut classic_svt_stream_scratch = SvtScratch::new();
             let mut adaptive_stream_scratch = SvtScratch::new();
             let mut multi_branch_stream_scratch = SvtScratch::new();
+            let mut disc_svt_scratch = SvtScratch::new();
+            let mut disc_svt_stream_scratch = SvtScratch::new();
             // Reused outputs for the `_into` fast paths (one per mechanism
             // family, so the timed loops allocate nothing after warm-up).
             let mut topk_out = TopKOutput { items: Vec::new() };
@@ -365,6 +395,9 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 epsilon: 0.0,
             };
             let mut multi_stream_out = multi_out.clone();
+            let mut disc_topk_out = TopKOutput { items: Vec::new() };
+            let mut disc_sv_out = SvOutput { above: Vec::new() };
+            let mut disc_sv_stream_out = SvOutput { above: Vec::new() };
 
             let topk = NoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
             bench_cell(
@@ -490,6 +523,57 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                         &mut multi_stream_out,
                     );
                     black_box(&multi_stream_out);
+                },
+            );
+
+            // Finite-precision (§5.1 / Appendix A.1) variants on the
+            // integer-lattice workload: the discrete-noise fast path.
+            let disc_topk = DiscreteNoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "DiscreteNoisyTopKWithGap",
+                n,
+                k,
+                |r| {
+                    black_box(disc_topk.run(&int_answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(
+                    disc_topk,
+                    &int_answers,
+                    disc_topk_scratch,
+                    disc_topk_out,
+                    seed
+                ),
+            );
+
+            let disc_svt = DiscreteSparseVectorWithGap::new(k, 0.7, int_threshold, true)
+                .expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "DiscreteSparseVectorWithGap",
+                n,
+                k,
+                |r| {
+                    black_box(disc_svt.run(&int_answers, &mut derive_stream(seed, r)));
+                },
+                scratch_runner!(disc_svt, &int_answers, disc_svt_scratch, disc_sv_out, seed),
+            );
+            bench_streaming_cell(
+                &mut records,
+                config,
+                "DiscreteSparseVectorWithGap",
+                n,
+                k,
+                |r| {
+                    disc_svt.run_streaming_with_scratch_into(
+                        int_answers.values().iter().copied(),
+                        &mut derive_stream(seed, r),
+                        &mut disc_svt_stream_scratch,
+                        &mut disc_sv_stream_out,
+                    );
+                    black_box(&disc_sv_stream_out);
                 },
             );
         }
@@ -854,6 +938,25 @@ mod tests {
             streaming_mechanisms * N_GRID.len() * K_GRID.len()
         );
         assert!(missing.iter().all(|m| m.contains("/streaming")));
+    }
+
+    #[test]
+    fn missing_cells_flags_dropped_discrete_cells() {
+        // The discrete (finite-precision) mechanisms are first-class grid
+        // citizens: a baseline written without them must fail bench-check.
+        let records = run_grid(&tiny_config());
+        let pruned: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| !r.mechanism.starts_with("Discrete"))
+            .cloned()
+            .collect();
+        let missing = missing_cells(&to_json(7, &pruned));
+        // 3 Top-K paths + 4 SVT paths, per n × k cell.
+        assert_eq!(missing.len(), 7 * N_GRID.len() * K_GRID.len());
+        assert!(missing
+            .iter()
+            .all(|m| m.starts_with("DiscreteNoisyTopKWithGap")
+                || m.starts_with("DiscreteSparseVectorWithGap")));
     }
 
     #[test]

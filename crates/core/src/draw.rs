@@ -18,10 +18,16 @@
 //!
 //! ## Contract
 //!
-//! The trait exposes the three draw shapes the paper's mechanisms need —
-//! single draws ([`next`](DrawProvider::next)), Algorithm 2's `(ξ, η)`
-//! pairs ([`peek_pairs`](DrawProvider::peek_pairs)), and the multi-branch
-//! ladder's `m`-tuples ([`peek_tuples`](DrawProvider::peek_tuples)) — under
+//! The trait exposes the draw shapes the paper's mechanisms need — single
+//! draws ([`next`](DrawProvider::next)), Algorithm 2's `(ξ, η)` pairs
+//! ([`peek_pairs`](DrawProvider::peek_pairs)), the multi-branch ladder's
+//! `m`-tuples ([`peek_tuples`](DrawProvider::peek_tuples)), the Noisy-Max
+//! batch ([`fill_offset`](DrawProvider::fill_offset)), and the discrete
+//! (finite-precision) twins of each
+//! ([`discrete_next`](DrawProvider::discrete_next),
+//! [`discrete_peek_pairs`](DrawProvider::discrete_peek_pairs),
+//! [`discrete_peek_tuples`](DrawProvider::discrete_peek_tuples),
+//! [`discrete_fill_offset`](DrawProvider::discrete_fill_offset)) — under
 //! one invariant, the **stream discipline** of `README.md`: however a
 //! provider buffers internally, the sequence of draws it *serves* is
 //! bit-identical to a sequential sampling loop at the requested scales on
@@ -67,6 +73,48 @@ pub trait DrawProvider {
     /// One discrete Laplace draw over the lattice `{kγ}` with per-unit rate
     /// `unit_epsilon` (pmf ∝ `e^{-unit_epsilon·|kγ|}`).
     fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64;
+
+    /// Discrete twin of [`peek_tuples`](DrawProvider::peek_tuples): borrows
+    /// a slab of whole `unit_epsilons.len()`-tuples of discrete Laplace
+    /// draws over `{kγ}`, slot `b` at rate `unit_epsilons[b]`. The slab
+    /// length is a non-zero multiple of the arity; blocked providers may
+    /// return many tuples per call, draw-exact providers exactly one. Call
+    /// only when the query consuming the first tuple is known to exist, and
+    /// commit consumption with
+    /// [`discrete_consume`](DrawProvider::discrete_consume) (in served
+    /// values) before the next draw of any shape.
+    ///
+    /// # Panics
+    /// Implementations may panic when `unit_epsilons.len()` exceeds
+    /// [`MAX_TUPLE`].
+    fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64];
+
+    /// Pair specialization of
+    /// [`discrete_peek_tuples`](DrawProvider::discrete_peek_tuples) — the
+    /// discrete analogue of Algorithm 2's `(ξ, η)` draw shape.
+    fn discrete_peek_pairs(&mut self, unit_epsilons: [f64; 2], gamma: f64) -> &[f64] {
+        self.discrete_peek_tuples(&unit_epsilons, gamma)
+    }
+
+    /// Advances past `draws` values served by the last
+    /// [`discrete_peek_tuples`](DrawProvider::discrete_peek_tuples) slab (a
+    /// multiple of the arity; may be less than the slab length when the run
+    /// halts mid-slab).
+    fn discrete_consume(&mut self, draws: usize);
+
+    /// Discrete twin of [`fill_offset`](DrawProvider::fill_offset): fills
+    /// `out` with `base[i] +` a discrete Laplace draw at rate
+    /// `unit_epsilon` over `{kγ}`, one draw per element in index order —
+    /// the finite-precision Noisy-Max shape. Serves exactly `base.len()`
+    /// draws; blocked providers drain their buffered lookahead first, so
+    /// the served sequence always matches the sequential reference.
+    fn discrete_fill_offset(
+        &mut self,
+        base: &[f64],
+        unit_epsilon: f64,
+        gamma: f64,
+        out: &mut Vec<f64>,
+    );
 
     /// Borrows a slab of whole `scales.len()`-tuples, slot `b` of each tuple
     /// distributed `Lap(scales[b])`. The slab length is a non-zero multiple
@@ -137,6 +185,34 @@ impl DrawProvider for SourceDraws<'_> {
         self.source.discrete_laplace(unit_epsilon, gamma)
     }
 
+    fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
+        let m = unit_epsilons.len();
+        assert!(
+            (1..=MAX_TUPLE).contains(&m),
+            "tuple arity must be in 1..={MAX_TUPLE}"
+        );
+        for (slot, &rate) in self.tuple[..m].iter_mut().zip(unit_epsilons) {
+            *slot = self.source.discrete_laplace(rate, gamma);
+        }
+        &self.tuple[..m]
+    }
+
+    fn discrete_consume(&mut self, _draws: usize) {}
+
+    fn discrete_fill_offset(
+        &mut self,
+        base: &[f64],
+        unit_epsilon: f64,
+        gamma: f64,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            base.iter()
+                .map(|b| b + self.source.discrete_laplace(unit_epsilon, gamma)),
+        );
+    }
+
     fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
         let m = scales.len();
         assert!(
@@ -191,12 +267,43 @@ impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> {
         self.scratch.next_scaled(self.rng, scale)
     }
 
+    #[inline]
     fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
-        // Discrete draws are rare (no batched fast path yet): sample
-        // directly, preserving the sequential stream position.
-        DiscreteLaplace::new(unit_epsilon, gamma)
-            .expect("mechanism-validated rate")
-            .sample_value(self.rng)
+        // Served from the shared raw-uniform tape: the distribution's
+        // exp/ln normalization is cached per rate, the draw's uniform comes
+        // from the same blocked tape the continuous draws use, and any
+        // buffered lookahead is consumed first — so discrete and continuous
+        // draws interleave without breaking the stream discipline.
+        self.scratch.discrete_next(self.rng, unit_epsilon, gamma)
+    }
+
+    #[inline]
+    fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
+        assert!(
+            (1..=MAX_TUPLE).contains(&unit_epsilons.len()),
+            "tuple arity must be in 1..={MAX_TUPLE}"
+        );
+        self.scratch
+            .discrete_peek_tuples(self.rng, unit_epsilons, gamma)
+    }
+
+    #[inline]
+    fn discrete_consume(&mut self, draws: usize) {
+        self.scratch.consume_discrete(draws);
+    }
+
+    fn discrete_fill_offset(
+        &mut self,
+        base: &[f64],
+        unit_epsilon: f64,
+        gamma: f64,
+        out: &mut Vec<f64>,
+    ) {
+        // Same shape as `fill_offset`: served through the tape so buffered
+        // lookahead drains first, refills stay blocked, and the per-draw
+        // loop carries no distribution construction.
+        self.scratch
+            .discrete_fill_offset(self.rng, base, unit_epsilon, gamma, out);
     }
 
     #[inline]
@@ -262,6 +369,37 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
         DiscreteLaplace::new(unit_epsilon, gamma)
             .expect("mechanism-validated rate")
             .sample_value(self.rng)
+    }
+
+    fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
+        let m = unit_epsilons.len();
+        assert!(
+            (1..=MAX_TUPLE).contains(&m),
+            "tuple arity must be in 1..={MAX_TUPLE}"
+        );
+        for (slot, &rate) in self.tuple[..m].iter_mut().zip(unit_epsilons) {
+            *slot = DiscreteLaplace::new(rate, gamma)
+                .expect("mechanism-validated rate")
+                .sample_value(self.rng);
+        }
+        &self.tuple[..m]
+    }
+
+    fn discrete_consume(&mut self, _draws: usize) {}
+
+    fn discrete_fill_offset(
+        &mut self,
+        base: &[f64],
+        unit_epsilon: f64,
+        gamma: f64,
+        out: &mut Vec<f64>,
+    ) {
+        // One distribution construction for the whole batch (`exp`/`ln`
+        // hoisted), then the fused offset fill — the discrete analogue of
+        // the continuous `fill_into_offset` fast path.
+        let dl = DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism-validated rate");
+        out.resize(base.len(), 0.0);
+        dl.fill_values_into_offset(self.rng, base, out);
     }
 
     fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
@@ -335,6 +473,54 @@ mod tests {
             let (x, y, z) = (a.next(scale), b.next(scale), c.next(scale));
             assert_eq!(x.to_bits(), y.to_bits(), "draw {i}");
             assert_eq!(x.to_bits(), z.to_bits(), "draw {i}");
+            // Every third round, interleave a discrete draw: all providers
+            // must keep serving one shared sequential stream across the
+            // family switch (the finite-precision interleaving contract).
+            if i % 3 == 0 {
+                let rate = 0.2 + (i % 5) as f64 * 0.3;
+                let (x, y, z) = (
+                    a.discrete_next(rate, 1.0),
+                    b.discrete_next(rate, 1.0),
+                    c.discrete_next(rate, 1.0),
+                );
+                assert_eq!(x.to_bits(), y.to_bits(), "discrete draw {i}");
+                assert_eq!(x.to_bits(), z.to_bits(), "discrete draw {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_peek_and_fill_serve_identical_streams() {
+        let mut rng_a = rng_from_seed(19);
+        let mut source = SamplingSource::new(&mut rng_a);
+        let mut a = SourceDraws::new(&mut source);
+        let mut rng_b = rng_from_seed(19);
+        let mut scratch = SvtScratch::new();
+        let mut b = ScratchDraws::new(&mut scratch, &mut rng_b);
+        let mut rng_c = rng_from_seed(19);
+        let mut c = RngDraws::new(&mut rng_c);
+        a.begin();
+        b.begin();
+        c.begin();
+        let rates = [0.8, 0.25];
+        let pa = a.discrete_peek_pairs(rates, 0.5)[..2].to_vec();
+        a.discrete_consume(2);
+        let pb = b.discrete_peek_pairs(rates, 0.5)[..2].to_vec();
+        b.discrete_consume(2);
+        let pc = c.discrete_peek_pairs(rates, 0.5)[..2].to_vec();
+        c.discrete_consume(2);
+        assert_eq!(pa[0].to_bits(), pb[0].to_bits());
+        assert_eq!(pa[1].to_bits(), pb[1].to_bits());
+        assert_eq!(pa[0].to_bits(), pc[0].to_bits());
+        assert_eq!(pa[1].to_bits(), pc[1].to_bits());
+        let base = [10.0, 20.0, 30.0];
+        let (mut oa, mut ob, mut oc) = (Vec::new(), Vec::new(), Vec::new());
+        a.discrete_fill_offset(&base, 0.6, 1.0, &mut oa);
+        b.discrete_fill_offset(&base, 0.6, 1.0, &mut ob);
+        c.discrete_fill_offset(&base, 0.6, 1.0, &mut oc);
+        for i in 0..base.len() {
+            assert_eq!(oa[i].to_bits(), ob[i].to_bits(), "fill slot {i}");
+            assert_eq!(oa[i].to_bits(), oc[i].to_bits(), "fill slot {i}");
         }
     }
 

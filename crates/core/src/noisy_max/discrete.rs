@@ -16,14 +16,16 @@
 //! * the same Eq.-2 alignment, whose shifts are automatically lattice-valued
 //!   because adjacent integer workloads differ by integers.
 
-use super::top_indices;
+use super::top_indices_into;
 use crate::answers::QueryAnswers;
-use crate::draw::{DrawProvider, SourceDraws};
+use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
 use crate::noisy_max::{TopKItem, TopKOutput};
+use crate::scratch::TopKScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use free_gap_noise::tie::union_tie_bound;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Noisy-Top-K-with-Gap over integer counts with discrete Laplace noise.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,32 +93,36 @@ impl DiscreteNoisyTopKWithGap {
     }
 
     /// The single copy of the discrete Top-K selection, generic over the
-    /// [`DrawProvider`] noise comes through
-    /// ([`discrete_next`](DrawProvider::discrete_next) draws).
+    /// [`DrawProvider`] noise comes through: one discrete Laplace draw per
+    /// query (batched by the provider's
+    /// [`discrete_fill_offset`](DrawProvider::discrete_fill_offset), fused
+    /// with the `+ q` offset so the `n`-sized buffer is written exactly
+    /// once), selection of the top `k + 1`, gap construction. Buffers live
+    /// in `scratch`; the output is written into `out`, reusing its buffer.
     pub(crate) fn run_core<P: DrawProvider>(
         &self,
         answers: &QueryAnswers,
         provider: &mut P,
-    ) -> TopKOutput {
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) {
         answers
             .require_len(self.k + 1)
             .unwrap_or_else(|e| panic!("{e}"));
         self.validate_lattice(answers);
         provider.begin();
-        let rate = self.unit_epsilon();
-        let noisy: Vec<f64> = answers
-            .values()
-            .iter()
-            .map(|q| q + provider.discrete_next(rate, self.gamma))
-            .collect();
-        let top = top_indices(&noisy, self.k + 1);
-        let items = (0..self.k)
-            .map(|i| TopKItem {
-                index: top[i],
-                gap: noisy[top[i]] - noisy[top[i + 1]],
-            })
-            .collect();
-        TopKOutput { items }
+        provider.discrete_fill_offset(
+            answers.values(),
+            self.unit_epsilon(),
+            self.gamma,
+            &mut scratch.noisy,
+        );
+        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
+        out.items.clear();
+        out.items.extend((0..self.k).map(|i| TopKItem {
+            index: scratch.top[i],
+            gap: scratch.noisy[scratch.top[i]] - scratch.noisy[scratch.top[i + 1]],
+        }));
     }
 
     /// Runs the mechanism. Ties among noisy answers are broken by the
@@ -130,13 +136,56 @@ impl DiscreteNoisyTopKWithGap {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> TopKOutput {
-        self.run_core(answers, &mut SourceDraws::new(source))
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_core(
+            answers,
+            &mut SourceDraws::new(source),
+            &mut TopKScratch::new(),
+            &mut out,
+        );
+        out
     }
 
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> TopKOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched, allocation-free fast path: `run_core` through [`RngDraws`]
+    /// — the whole noisy vector is drawn in one
+    /// [`fill_values_into_offset`](free_gap_noise::DiscreteDistribution::fill_values_into_offset)
+    /// pass with the distribution's `exp`/`ln` normalization hoisted out of
+    /// the loop, buffers live in `scratch`, and the RNG is monomorphic (no
+    /// `dyn` dispatch). Output is bit-identical to [`run`](Self::run) on
+    /// the same RNG stream; see [`crate::scratch`] for the contract.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> TopKOutput {
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes into `out`, reusing its `items` buffer across runs.
+    ///
+    /// # Panics
+    /// Panics if the workload has fewer than `k + 1` queries.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) {
+        self.run_core(answers, &mut RngDraws::new(rng), scratch, out);
     }
 }
 

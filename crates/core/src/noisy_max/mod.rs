@@ -18,6 +18,10 @@ pub use pairwise::{pairwise_gap, pairwise_gap_variance};
 /// Insertion into a small sorted buffer: `O(n·m)` with tiny constants, which
 /// beats a full sort for the paper's `m = k + 1 ≤ 26` against `n` up to
 /// 41,270 (Kosarak).
+///
+/// Every mechanism path now goes through the allocation-free
+/// [`top_indices_into`]; this allocating wrapper remains for the tests.
+#[cfg(test)]
 pub(crate) fn top_indices(values: &[f64], m: usize) -> Vec<usize> {
     let mut buf = Vec::new();
     top_indices_into(values, m, &mut buf);

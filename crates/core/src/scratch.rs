@@ -61,7 +61,7 @@
 //! }
 //! ```
 
-use free_gap_noise::{BlockBuffer, Laplace};
+use free_gap_noise::{BlockBuffer, DiscreteLaplace, Laplace};
 use rand::Rng;
 
 /// Reusable buffers for the Noisy Top-K family's batched fast path.
@@ -81,20 +81,26 @@ impl TopKScratch {
     }
 }
 
-/// Reusable unit-noise buffer for the Sparse Vector family's batched fast
-/// and streaming paths — the state behind
+/// Reusable noise tape for the Sparse Vector family's batched fast and
+/// streaming paths — the state behind
 /// [`ScratchDraws`](crate::draw::ScratchDraws).
 ///
-/// SVT draws at several scales (threshold noise, per-branch query noise), so
-/// the scratch buffers *unit* `Lap(1)` draws and rescales per draw — IEEE
-/// multiplication makes `unit * scale` bit-identical to drawing
-/// `Lap(scale)` directly, while the [`BlockBuffer`]'s blocked `fill_into`
-/// passes amortize the sampling loop. Block sizing (first block from the
-/// previous run's consumption, later blocks tapered and cache-clamped) lives
-/// in [`BlockBuffer`]; this type pins the distribution to unit Laplace and
-/// exposes the draw shapes the [`DrawProvider`](crate::draw::DrawProvider)
-/// contract needs: single scaled draws and whole blocks of scaled
-/// `m`-tuples.
+/// SVT draws at several scales (threshold noise, per-branch query noise),
+/// and the finite-precision variants draw discrete Laplace noise at several
+/// rates — so the scratch buffers **raw uniforms** (a [`BlockBuffer`]) and
+/// derives every draw from them at serve time: continuous draws as *unit*
+/// `Lap(1)` transforms rescaled per draw (IEEE multiplication makes
+/// `unit * scale` bit-identical to drawing `Lap(scale)` directly), discrete
+/// draws as one-uniform closed-form geometric-tail inversions with the
+/// distribution's `exp`/`ln` normalization hoisted and cached per rate.
+/// Because both families serve off one tape, any interleaving of continuous
+/// and discrete draws preserves the sequential stream order. Block sizing
+/// (first block from the previous run's consumption, later blocks tapered
+/// and cache-clamped) lives in [`BlockBuffer`]; this type pins the
+/// continuous distribution to unit Laplace and exposes the draw shapes the
+/// [`DrawProvider`](crate::draw::DrawProvider) contract needs: single
+/// scaled draws, whole blocks of scaled `m`-tuples, and their discrete
+/// twins.
 #[derive(Debug, Clone)]
 pub struct SvtScratch {
     block: BlockBuffer,
@@ -102,6 +108,13 @@ pub struct SvtScratch {
     /// Scaled view of the currently peeked tuple block (rebuilt per peek,
     /// reused across runs).
     scaled: Vec<f64>,
+    /// Cached discrete distributions keyed by `(unit_epsilon, gamma)` bits —
+    /// constructing a [`DiscreteLaplace`] costs an `exp` and an `ln`, which
+    /// the batched discrete path hoists out of the per-draw loop (a run uses
+    /// one or two rates, so a linear scan beats any map).
+    discrete_dists: Vec<((u64, u64), DiscreteLaplace)>,
+    /// Per-slot distributions of the currently peeked discrete tuple block.
+    discrete_tuple: Vec<DiscreteLaplace>,
 }
 
 impl SvtScratch {
@@ -111,6 +124,8 @@ impl SvtScratch {
             block: BlockBuffer::new(),
             unit: Laplace::new(1.0).expect("unit scale is valid"),
             scaled: Vec::new(),
+            discrete_dists: Vec::new(),
+            discrete_tuple: Vec::new(),
         }
     }
 
@@ -153,6 +168,84 @@ impl SvtScratch {
     #[inline]
     pub(crate) fn consume(&mut self, draws: usize) {
         self.block.consume(draws);
+    }
+
+    /// The cached discrete Laplace for `(unit_epsilon, gamma)`, constructed
+    /// once per distinct rate and reused across draws and runs.
+    fn discrete_dist(
+        dists: &mut Vec<((u64, u64), DiscreteLaplace)>,
+        unit_epsilon: f64,
+        gamma: f64,
+    ) -> DiscreteLaplace {
+        let key = (unit_epsilon.to_bits(), gamma.to_bits());
+        if let Some((_, d)) = dists.iter().find(|(k, _)| *k == key) {
+            return *d;
+        }
+        let d = DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism-validated rate");
+        dists.push((key, d));
+        d
+    }
+
+    /// Next discrete Laplace draw over `{kγ}` at per-unit rate
+    /// `unit_epsilon`, served from the shared raw-uniform tape (one
+    /// uniform through the closed-form tail inversion, bit-identical to
+    /// [`sample_value`](free_gap_noise::DiscreteDistribution::sample_value)
+    /// at the same stream position).
+    #[inline]
+    pub(crate) fn discrete_next<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        unit_epsilon: f64,
+        gamma: f64,
+    ) -> f64 {
+        let d = Self::discrete_dist(&mut self.discrete_dists, unit_epsilon, gamma);
+        self.block.next_discrete(&d, rng)
+    }
+
+    /// The buffered draws ahead of the cursor as whole
+    /// `unit_epsilons.len()`-tuples of discrete Laplace values (slot `b` of
+    /// each tuple at rate `unit_epsilons[b]`) — see
+    /// [`BlockBuffer::discrete_peek_tuples`]. Commit consumption with
+    /// [`consume_discrete`](Self::consume_discrete) in served values.
+    #[inline]
+    pub(crate) fn discrete_peek_tuples<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        unit_epsilons: &[f64],
+        gamma: f64,
+    ) -> &[f64] {
+        self.discrete_tuple.clear();
+        for &rate in unit_epsilons {
+            self.discrete_tuple
+                .push(Self::discrete_dist(&mut self.discrete_dists, rate, gamma));
+        }
+        self.block
+            .discrete_peek_tuples(&self.discrete_tuple, rng, &mut self.scaled);
+        &self.scaled
+    }
+
+    /// Advances the cursor past `draws` discrete values previously obtained
+    /// from [`discrete_peek_tuples`](Self::discrete_peek_tuples) (one raw
+    /// uniform each, like the continuous draws).
+    #[inline]
+    pub(crate) fn consume_discrete(&mut self, draws: usize) {
+        self.block.consume(draws);
+    }
+
+    /// Fused `base[i] + discrete draw` batch over the shared tape — the
+    /// discrete Noisy-Max shape, with the distribution construction hoisted
+    /// out of the loop and any buffered lookahead drained first, in order.
+    pub(crate) fn discrete_fill_offset<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        base: &[f64],
+        unit_epsilon: f64,
+        gamma: f64,
+        out: &mut Vec<f64>,
+    ) {
+        let d = Self::discrete_dist(&mut self.discrete_dists, unit_epsilon, gamma);
+        out.clear();
+        out.extend(base.iter().map(|b| b + self.block.next_discrete(&d, rng)));
     }
 }
 

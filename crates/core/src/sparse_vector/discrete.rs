@@ -14,10 +14,12 @@
 
 use super::{optimal_threshold_share, SvOutput};
 use crate::answers::QueryAnswers;
-use crate::draw::{DrawProvider, SourceDraws};
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, require_fraction, MechanismError};
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Sparse-Vector-with-Gap over an integer lattice with discrete Laplace
 /// noise; pure ε-DP (see module docs).
@@ -89,33 +91,75 @@ impl DiscreteSparseVectorWithGap {
     }
 
     /// The single copy of the discrete SVT decision loop, generic over the
-    /// [`DrawProvider`] noise comes through
-    /// ([`discrete_next`](DrawProvider::discrete_next) draws).
-    pub(crate) fn run_core<P: DrawProvider>(
+    /// [`DrawProvider`] noise comes through, shared by the materialized and
+    /// streaming entry points. Query noise comes in whole blocks of
+    /// arity-1 tuples
+    /// ([`discrete_peek_tuples`](DrawProvider::discrete_peek_tuples)):
+    /// blocked providers serve a slab of geometric-tail draws per peek with
+    /// the per-draw refill check and rate lookup amortized across the
+    /// block, draw-exact providers exactly one draw — and each block's
+    /// first query is pulled *before* the peek, so draw-exact providers
+    /// never sample noise for a query that was never pulled.
+    ///
+    /// Consumes `queries` lazily, writing into `out`: the stop condition is
+    /// checked *before* pulling the next query, so once the `k`-th `⊤` is
+    /// answered no further query is ever observed.
+    pub(crate) fn run_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
         &self,
-        answers: &QueryAnswers,
+        queries: I,
         provider: &mut P,
-    ) -> SvOutput {
-        self.validate_lattice(answers);
+        out: &mut SvOutput,
+    ) {
         provider.begin();
+        let mut queries = queries.into_iter();
+        // One decision per query draw: pre-size from the provider's
+        // consumption prediction (capped by the stream's own upper bound
+        // when it knows one) to skip the realloc chain on long streams.
+        let capacity = provider
+            .predicted_draws()
+            .min(queries.size_hint().1.unwrap_or(usize::MAX));
         let noisy_threshold =
             self.threshold + provider.discrete_next(self.threshold_rate(), self.gamma);
-        let qrate = self.query_rate();
-        let mut above = Vec::new();
+        let qrate = [self.query_rate()];
+        out.above.clear();
+        out.above.reserve(capacity);
         let mut answered = 0usize;
-        for &q in answers.values() {
-            if answered == self.k {
-                break;
+        let mut done = false;
+        while !done && answered < self.k {
+            // Pull the block's first query before peeking: a draw-exact
+            // provider must not draw noise for a query that never arrives.
+            let Some(first) = queries.next() else { break };
+            let mut pending = Some(first);
+            let mut taken = 0usize;
+            let slab = provider.discrete_peek_tuples(&qrate, self.gamma);
+            for &noise in slab {
+                let Some(q) = pending.take().or_else(|| queries.next()) else {
+                    done = true;
+                    break;
+                };
+                debug_assert!(
+                    {
+                        let steps = q / self.gamma;
+                        (steps - steps.round()).abs() < 1e-9
+                    },
+                    "query answers must be multiples of γ = {}",
+                    self.gamma
+                );
+                taken += 1;
+                let noisy = q + noise;
+                if noisy >= noisy_threshold {
+                    out.above.push(Some(noisy - noisy_threshold));
+                    answered += 1;
+                    if answered == self.k {
+                        done = true;
+                        break;
+                    }
+                } else {
+                    out.above.push(None);
+                }
             }
-            let noisy = q + provider.discrete_next(qrate, self.gamma);
-            if noisy >= noisy_threshold {
-                above.push(Some(noisy - noisy_threshold));
-                answered += 1;
-            } else {
-                above.push(None);
-            }
+            provider.discrete_consume(taken);
         }
-        SvOutput { above }
     }
 
     /// Runs the mechanism; released gaps are exact lattice multiples.
@@ -124,13 +168,95 @@ impl DiscreteSparseVectorWithGap {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> SvOutput {
-        self.run_core(answers, &mut SourceDraws::new(source))
+        self.validate_lattice(answers);
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(
+            answers.values().iter().copied(),
+            &mut SourceDraws::new(source),
+            &mut out,
+        );
+        out
     }
 
     /// Runs with a plain RNG.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched fast path: `run_core` through [`ScratchDraws`], so the
+    /// geometric-tail uniforms come in blocked refills and the per-rate
+    /// `exp`/`ln` normalization is cached in the scratch; see
+    /// [`crate::scratch`]. Output is bit-identical to [`run`](Self::run) on
+    /// the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.validate_lattice(answers);
+        self.run_core(
+            answers.values().iter().copied(),
+            &mut ScratchDraws::new(scratch, rng),
+            out,
+        );
+    }
+
+    /// Streaming twin of [`run`](Self::run): consumes `queries` lazily and
+    /// stops pulling the moment the `k`-th `⊤` is answered — queries after
+    /// the halt are never observed. Output is bit-identical to
+    /// [`run`](Self::run) on the same RNG stream and query sequence.
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(queries, &mut SourceDraws::new(&mut source), &mut out);
+        out
+    }
+
+    /// Streaming twin of [`run_with_scratch`](Self::run_with_scratch); same
+    /// laziness contract as [`run_streaming`](Self::run_streaming). The
+    /// scratch may buffer *noise* ahead of the stream (see
+    /// [`crate::scratch`]), but never query answers.
+    pub fn run_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_streaming_with_scratch_into(queries, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch).
+    pub fn run_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_core(queries, &mut ScratchDraws::new(scratch, rng), out);
     }
 }
 

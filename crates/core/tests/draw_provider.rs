@@ -5,19 +5,25 @@
 //!
 //! The proptest drives the dyn adapter ([`SourceDraws`]), the blocked
 //! scratch provider ([`ScratchDraws`]) and the draw-exact monomorphic
-//! provider ([`RngDraws`]) through **random interleavings** of the three
-//! draw shapes — single `next()`, `peek_pairs()`, `peek_tuples(m)` — over
-//! identically seeded streams, and asserts every consumed draw matches the
-//! sequential reference bit-for-bit. This is the property that lets one
-//! mechanism core swap providers freely: the alignment checker sees the
-//! same tape the reference loop would record, and the scratch path's block
-//! lookahead is invisible in the served values.
+//! provider ([`RngDraws`]) through **random interleavings** of every draw
+//! shape — single `next()`, `peek_pairs()`, `peek_tuples(m)`,
+//! `fill_offset()`, and their discrete (finite-precision) twins
+//! `discrete_next()` / `discrete_peek_pairs()` / `discrete_peek_tuples()` /
+//! `discrete_fill_offset()` — over identically seeded streams, and asserts
+//! every consumed draw matches the sequential reference bit-for-bit. This
+//! is the property that lets one mechanism core swap providers freely: the
+//! alignment checker sees the same tape the reference loop would record,
+//! and the scratch path's block lookahead is invisible in the served
+//! values. Mixing the two noise families in one interleaving is exactly
+//! what the scratch provider's raw-uniform tape exists for: a continuous
+//! and a discrete draw must come out of the *same* buffered stream in
+//! sequential order.
 
 use free_gap_alignment::SamplingSource;
 use free_gap_core::draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
 use free_gap_core::SvtScratch;
 use free_gap_noise::rng::rng_from_seed;
-use free_gap_noise::{ContinuousDistribution, Laplace};
+use free_gap_noise::{ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Laplace};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -34,6 +40,16 @@ enum Op {
     /// `fill_offset` over `len` zero offsets at the given scale (the
     /// Noisy-Max / measurement batch shape).
     Fill(usize, f64),
+    /// `discrete_next(rate, gamma)`.
+    DiscreteNext(f64, f64),
+    /// `discrete_peek_pairs([r0, r1], gamma)` + consumption of the first
+    /// pair.
+    DiscretePairs(f64, f64, f64),
+    /// `discrete_peek_tuples(rates, gamma)` + consumption of up to `take`
+    /// whole tuples.
+    DiscreteTuples(Vec<f64>, f64, usize),
+    /// `discrete_fill_offset` over `len` zero offsets at the given rate.
+    DiscreteFill(usize, f64, f64),
 }
 
 impl Op {
@@ -42,21 +58,36 @@ impl Op {
     fn single(&self) -> Op {
         match self {
             Op::Tuples(scales, _) => Op::Tuples(scales.clone(), 1),
+            Op::DiscreteTuples(rates, gamma, _) => Op::DiscreteTuples(rates.clone(), *gamma, 1),
             other => other.clone(),
         }
     }
 }
 
+/// What a served draw was requested as: a continuous `Lap(scale)` or a
+/// discrete Laplace at `(unit_epsilon, gamma)`.
+#[derive(Debug, Clone, Copy)]
+enum Want {
+    Cont(f64),
+    Disc(f64, f64),
+}
+
 /// Positive, finite scales spanning what mechanisms actually request.
 const SCALES: [f64; 5] = [0.25, 1.0, 2.0, 7.5, 40.0];
+/// Discrete per-unit rates (ε' in the Appendix-A.1 notation).
+const RATES: [f64; 4] = [0.1, 0.4, 1.0, 2.5];
+/// Lattice steps.
+const GAMMAS: [f64; 2] = [0.5, 1.0];
 
 /// Deterministically expands `(seed, count)` into an op interleaving — the
 /// vendored proptest generates the raw numbers, this builds the structure.
 fn random_ops(seed: u64, count: usize) -> Vec<Op> {
     let mut rng = free_gap_noise::rng::derive_stream(seed, 0x0D5);
     let scale = |rng: &mut rand::rngs::StdRng| SCALES[rng.gen_range(0..SCALES.len())];
+    let rate = |rng: &mut rand::rngs::StdRng| RATES[rng.gen_range(0..RATES.len())];
+    let gamma = |rng: &mut rand::rngs::StdRng| GAMMAS[rng.gen_range(0..GAMMAS.len())];
     (0..count)
-        .map(|_| match rng.gen_range(0..4) {
+        .map(|_| match rng.gen_range(0..8) {
             0 => Op::Next(scale(&mut rng)),
             1 => {
                 let a = scale(&mut rng);
@@ -69,23 +100,36 @@ fn random_ops(seed: u64, count: usize) -> Vec<Op> {
                 let take = rng.gen_range(1..4);
                 Op::Tuples(scales, take)
             }
-            _ => Op::Fill(rng.gen_range(1..12), scale(&mut rng)),
+            3 => Op::Fill(rng.gen_range(1..12), scale(&mut rng)),
+            4 => Op::DiscreteNext(rate(&mut rng), gamma(&mut rng)),
+            5 => {
+                let a = rate(&mut rng);
+                let b = rate(&mut rng);
+                Op::DiscretePairs(a, b, gamma(&mut rng))
+            }
+            6 => {
+                let m = rng.gen_range(1..6);
+                let rates: Vec<f64> = (0..m).map(|_| rate(&mut rng)).collect();
+                let take = rng.gen_range(1..4);
+                Op::DiscreteTuples(rates, gamma(&mut rng), take)
+            }
+            _ => Op::DiscreteFill(rng.gen_range(1..12), rate(&mut rng), gamma(&mut rng)),
         })
         .collect()
 }
 
 /// Serves `ops` through `provider`, returning every consumed draw with the
-/// scale it was requested at, in consumption order.
-fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(f64, f64)> {
+/// request it was served for, in consumption order.
+fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(Want, f64)> {
     let mut served = Vec::new();
     provider.begin();
     for op in ops {
         match op {
-            Op::Next(scale) => served.push((*scale, provider.next(*scale))),
+            Op::Next(scale) => served.push((Want::Cont(*scale), provider.next(*scale))),
             Op::Pairs(a, b) => {
                 let slab = provider.peek_pairs([*a, *b]);
-                served.push((*a, slab[0]));
-                served.push((*b, slab[1]));
+                served.push((Want::Cont(*a), slab[0]));
+                served.push((Want::Cont(*b), slab[1]));
                 provider.consume(2);
             }
             Op::Tuples(scales, take) => {
@@ -95,7 +139,7 @@ fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(f64, f64)> {
                 let tuples = (slab.len() / m).min(*take);
                 for t in 0..tuples {
                     for (b, &scale) in scales.iter().enumerate() {
-                        served.push((scale, slab[t * m + b]));
+                        served.push((Want::Cont(scale), slab[t * m + b]));
                     }
                 }
                 provider.consume(tuples * m);
@@ -105,7 +149,35 @@ fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(f64, f64)> {
                 let mut out = Vec::new();
                 provider.fill_offset(&base, *scale, &mut out);
                 // Zero offsets: each output element IS the served draw.
-                served.extend(out.iter().map(|v| (*scale, *v)));
+                served.extend(out.iter().map(|v| (Want::Cont(*scale), *v)));
+            }
+            Op::DiscreteNext(rate, gamma) => served.push((
+                Want::Disc(*rate, *gamma),
+                provider.discrete_next(*rate, *gamma),
+            )),
+            Op::DiscretePairs(a, b, gamma) => {
+                let slab = provider.discrete_peek_pairs([*a, *b], *gamma);
+                served.push((Want::Disc(*a, *gamma), slab[0]));
+                served.push((Want::Disc(*b, *gamma), slab[1]));
+                provider.discrete_consume(2);
+            }
+            Op::DiscreteTuples(rates, gamma, take) => {
+                let m = rates.len();
+                let slab = provider.discrete_peek_tuples(rates, *gamma);
+                assert!(slab.len() >= m && slab.len().is_multiple_of(m));
+                let tuples = (slab.len() / m).min(*take);
+                for t in 0..tuples {
+                    for (b, &rate) in rates.iter().enumerate() {
+                        served.push((Want::Disc(rate, *gamma), slab[t * m + b]));
+                    }
+                }
+                provider.discrete_consume(tuples * m);
+            }
+            Op::DiscreteFill(len, rate, gamma) => {
+                let base = vec![0.0f64; *len];
+                let mut out = Vec::new();
+                provider.discrete_fill_offset(&base, *rate, *gamma, &mut out);
+                served.extend(out.iter().map(|v| (Want::Disc(*rate, *gamma), *v)));
             }
         }
     }
@@ -113,16 +185,21 @@ fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(f64, f64)> {
 }
 
 /// Asserts `served` equals a sequential per-draw sampling loop at the
-/// consumed scales on a fresh stream from `seed` — the stream-discipline
-/// invariant, per provider.
-fn assert_sequential(label: &str, served: &[(f64, f64)], seed: u64) {
+/// consumed request parameters on a fresh stream from `seed` — the
+/// stream-discipline invariant, per provider.
+fn assert_sequential(label: &str, served: &[(Want, f64)], seed: u64) {
     let mut rng = rng_from_seed(seed);
-    for (i, (scale, value)) in served.iter().enumerate() {
-        let want = Laplace::new(*scale).unwrap().sample(&mut rng);
+    for (i, (want, value)) in served.iter().enumerate() {
+        let expect = match want {
+            Want::Cont(scale) => Laplace::new(*scale).unwrap().sample(&mut rng),
+            Want::Disc(rate, gamma) => DiscreteLaplace::new(*rate, *gamma)
+                .unwrap()
+                .sample_value(&mut rng),
+        };
         assert_eq!(
             value.to_bits(),
-            want.to_bits(),
-            "{label}: draw {i} at scale {scale}"
+            expect.to_bits(),
+            "{label}: draw {i} for {want:?}"
         );
     }
 }
@@ -130,7 +207,7 @@ fn assert_sequential(label: &str, served: &[(f64, f64)], seed: u64) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Any interleaving of `next` / `peek_pairs` / `peek_tuples(m)` consumes
+    /// Any interleaving of the continuous and discrete draw shapes consumes
     /// the underlying RNG stream in sequential order on every provider, and
     /// the dyn adapter consumes it in exactly the same order as the scratch
     /// provider.
@@ -184,8 +261,8 @@ proptest! {
     }
 
     /// A scratch provider reused across runs (dirty block state, stale
-    /// prediction) still serves the same stream as a fresh one: `begin`
-    /// fully isolates runs.
+    /// prediction, warm discrete-distribution cache) still serves the same
+    /// stream as a fresh one: `begin` fully isolates runs.
     #[test]
     fn scratch_reuse_is_invisible(
         warm_seed in 0u64..1_000_000,

@@ -2,11 +2,13 @@
 //! allocating twins, and genuinely allocation-free once the output has
 //! grown to steady state (the buffer is reused, never reallocated).
 
-use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap, TopKOutput};
+use free_gap_core::noisy_max::{
+    ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap, TopKOutput,
+};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, MultiBranchAdaptiveSparseVector,
-    MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
+    AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, DiscreteSparseVectorWithGap,
+    MultiBranchAdaptiveSparseVector, MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::derive_stream;
@@ -18,6 +20,18 @@ fn workload(seed: u64, n: usize) -> QueryAnswers {
         .map(|i| (n - i) as f64 * 0.37 + rng.gen_range(0.0..30.0))
         .collect();
     QueryAnswers::counting(values)
+}
+
+/// Integer-lattice projection of [`workload`] for the finite-precision
+/// mechanisms (`γ = 1`).
+fn integer_workload(seed: u64, n: usize) -> QueryAnswers {
+    QueryAnswers::counting(
+        workload(seed, n)
+            .values()
+            .iter()
+            .map(|v| v.round())
+            .collect(),
+    )
 }
 
 #[test]
@@ -123,6 +137,77 @@ fn adaptive_into_is_bit_identical_and_reuses_the_buffer() {
         } else if rep > 2 {
             assert_eq!(
                 out.outcomes.capacity(),
+                steady_capacity,
+                "rep {rep} reallocated"
+            );
+        }
+    }
+}
+
+#[test]
+fn discrete_topk_into_is_bit_identical_and_reuses_the_buffer() {
+    let m = DiscreteNoisyTopKWithGap::new(6, 0.8, true).unwrap();
+    let answers = integer_workload(6, 250);
+    let mut scratch = TopKScratch::new();
+    let mut out = TopKOutput { items: Vec::new() };
+    let mut steady_capacity = 0;
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(17, run), &mut scratch);
+        m.run_with_scratch_into(
+            &answers,
+            &mut derive_stream(17, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "run {run}");
+        if run == 0 {
+            steady_capacity = out.items.capacity();
+        } else {
+            assert_eq!(
+                out.items.capacity(),
+                steady_capacity,
+                "run {run} reallocated"
+            );
+        }
+    }
+}
+
+#[test]
+fn discrete_svt_into_variants_are_bit_identical_and_reuse_buffers() {
+    let answers = integer_workload(7, 400);
+    let threshold = answers.values()[30];
+    let m = DiscreteSparseVectorWithGap::new(5, 0.8, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    let mut out = SvOutput { above: Vec::new() };
+    for run in 0..100u64 {
+        let expect = m.run_with_scratch(&answers, &mut derive_stream(19, run), &mut scratch);
+        m.run_with_scratch_into(
+            &answers,
+            &mut derive_stream(19, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "run {run}");
+
+        // Streaming twin shares the same core and output buffer.
+        m.run_streaming_with_scratch_into(
+            answers.values().iter().copied(),
+            &mut derive_stream(19, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "streaming run {run}");
+    }
+    // Steady state on one fixed stream: the consumption prediction
+    // stabilizes and the reused output must stop growing entirely.
+    let mut steady_capacity = 0;
+    for rep in 0..20 {
+        m.run_with_scratch_into(&answers, &mut derive_stream(19, 0), &mut scratch, &mut out);
+        if rep == 2 {
+            steady_capacity = out.above.capacity();
+        } else if rep > 2 {
+            assert_eq!(
+                out.above.capacity(),
                 steady_capacity,
                 "rep {rep} reallocated"
             );

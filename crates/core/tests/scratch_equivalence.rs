@@ -16,10 +16,11 @@
 //! query is ever pulled from the stream — asserted with iterators that
 //! panic when over-consumed.
 
-use free_gap_core::noisy_max::{ClassicNoisyTopK, NoisyTopKWithGap};
+use free_gap_core::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
-    AdaptiveSparseVector, ClassicSparseVector, MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
+    AdaptiveSparseVector, ClassicSparseVector, DiscreteSparseVectorWithGap,
+    MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
 };
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::derive_stream;
@@ -207,6 +208,113 @@ fn multi_branch_all_four_paths_are_bit_identical() {
                 "m = {branches}, run {run} (streaming scratch)"
             );
         }
+    }
+}
+
+/// The integer-lattice (`γ = 1`) projection of [`workload`], for the
+/// finite-precision mechanisms.
+fn integer_workload(seed: u64, n: usize) -> QueryAnswers {
+    QueryAnswers::counting(
+        workload(seed, n)
+            .values()
+            .iter()
+            .map(|v| v.round())
+            .collect(),
+    )
+}
+
+#[test]
+fn discrete_topk_scratch_is_bit_identical() {
+    let m = DiscreteNoisyTopKWithGap::new(8, 0.9, true).unwrap();
+    let answers = integer_workload(7, 350);
+    let mut scratch = TopKScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(47, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(47, run), &mut scratch);
+        assert_eq!(expect, got, "run {run}");
+        for (a, b) in expect.items.iter().zip(&got.items) {
+            assert_eq!(a.gap.to_bits(), b.gap.to_bits(), "run {run}");
+        }
+    }
+}
+
+#[test]
+fn discrete_svt_all_four_paths_are_bit_identical() {
+    let answers = integer_workload(8, 500);
+    let threshold = answers.values()[30];
+    let m = DiscreteSparseVectorWithGap::new(6, 0.8, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    let mut stream_scratch = SvtScratch::new();
+    for run in 0..200u64 {
+        let expect = m.run(&answers, &mut derive_stream(53, run));
+        let got = m.run_with_scratch(&answers, &mut derive_stream(53, run), &mut scratch);
+        assert_eq!(expect, got, "run {run} (scratch)");
+        let stream = m.run_streaming(
+            answers.values().iter().copied(),
+            &mut derive_stream(53, run),
+        );
+        assert_eq!(expect, stream, "run {run} (streaming)");
+        let stream_sc = m.run_streaming_with_scratch(
+            answers.values().iter().copied(),
+            &mut derive_stream(53, run),
+            &mut stream_scratch,
+        );
+        assert_eq!(expect, stream_sc, "run {run} (streaming scratch)");
+        // PartialEq on f64 gaps is exact equality: spot-check bits too —
+        // and pin that the lattice survives every path (gaps are exact
+        // integer multiples of γ = 1).
+        for ((_, a), (_, b)) in expect.gaps().iter().zip(stream_sc.gaps().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "run {run}");
+            assert_eq!(a.fract(), 0.0, "run {run}: off-lattice gap {a}");
+        }
+    }
+}
+
+#[test]
+fn discrete_svt_streaming_never_pulls_past_the_kth_top() {
+    // The discrete mirror of the continuous laziness proof: every query
+    // towers over the integer threshold at tiny noise, so each pull is a
+    // certain ⊤ — the mechanism must pull exactly k queries from an
+    // endless stream and halt without observing another one, on both the
+    // draw-exact and the block-buffered (noise-lookahead) paths.
+    let k = 3usize;
+    let m = DiscreteSparseVectorWithGap::new(k, 50.0, 10.0, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..25u64 {
+        let endless = std::iter::repeat(1e9);
+        let out = m.run_streaming(
+            PanicAfter::new(endless.clone(), k),
+            &mut derive_stream(59, run),
+        );
+        assert_eq!(out.answered(), k, "run {run}");
+        let out = m.run_streaming_with_scratch(
+            PanicAfter::new(endless, k),
+            &mut derive_stream(59, run),
+            &mut scratch,
+        );
+        assert_eq!(out.answered(), k, "run {run} (scratch)");
+    }
+}
+
+#[test]
+fn discrete_svt_streaming_finite_stream_matches_materialized() {
+    // A finite stream that ends before k ⊤s are found: the streaming paths
+    // must drain it and agree with the materialized run, including when the
+    // block buffer's noise lookahead extends past the stream's end.
+    let answers = integer_workload(9, 40);
+    let threshold = 1e12_f64; // nothing ever clears it
+    let m = DiscreteSparseVectorWithGap::new(5, 0.8, threshold, true).unwrap();
+    let mut scratch = SvtScratch::new();
+    for run in 0..50u64 {
+        let expect = m.run(&answers, &mut derive_stream(61, run));
+        assert_eq!(expect.answered(), 0);
+        assert_eq!(expect.processed(), answers.len());
+        let stream_sc = m.run_streaming_with_scratch(
+            answers.values().iter().copied(),
+            &mut derive_stream(61, run),
+            &mut scratch,
+        );
+        assert_eq!(expect, stream_sc, "run {run}");
     }
 }
 
@@ -438,6 +546,40 @@ proptest! {
             &multi_expect,
             &multi.run_streaming_with_scratch(
                 answers.values().iter().copied(), &mut derive_stream(seed, 4), &mut svt_scratch)
+        );
+
+        // Finite-precision variants on the integer projection of the same
+        // workload (counting semantics keep the lattice at γ = 1).
+        let int_answers = QueryAnswers::counting(
+            answers.values().iter().map(|v| v.round()).collect());
+        let int_threshold = threshold.round();
+
+        let disc_topk = DiscreteNoisyTopKWithGap::new(k, 0.8, monotone).unwrap();
+        prop_assert_eq!(
+            disc_topk.run(&int_answers, &mut derive_stream(seed, 5)),
+            disc_topk.run_with_scratch(
+                &int_answers, &mut derive_stream(seed, 5), &mut topk_scratch)
+        );
+
+        let disc_svt =
+            DiscreteSparseVectorWithGap::new(k, 0.8, int_threshold, monotone).unwrap();
+        let disc_expect = disc_svt.run(&int_answers, &mut derive_stream(seed, 6));
+        prop_assert_eq!(
+            &disc_expect,
+            &disc_svt.run_with_scratch(
+                &int_answers, &mut derive_stream(seed, 6), &mut svt_scratch)
+        );
+        prop_assert_eq!(
+            &disc_expect,
+            &disc_svt.run_streaming(
+                int_answers.values().iter().copied(), &mut derive_stream(seed, 6))
+        );
+        prop_assert_eq!(
+            &disc_expect,
+            &disc_svt.run_streaming_with_scratch(
+                int_answers.values().iter().copied(),
+                &mut derive_stream(seed, 6),
+                &mut svt_scratch)
         );
     }
 }

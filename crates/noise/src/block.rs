@@ -4,16 +4,32 @@
 //! SVT-family mechanisms stop after a *data-dependent* number of draws, and
 //! the streaming entry points do not even know the stream length up front —
 //! so noise cannot be pre-generated in one run-sized pass. A [`BlockBuffer`]
-//! instead pulls draws from the RNG in bounded blocks via
-//! [`ContinuousDistribution::fill_into`] and serves them out one draw (or
-//! one fixed-arity tuple) at a time.
+//! instead pulls **raw uniforms** from the RNG in bounded blocks and applies
+//! the distribution transform at serve time:
 //!
-//! The load-bearing invariant is **draw-order preservation**: however the
-//! buffer is refilled, the sequence of draws served is bit-identical to a
-//! sequential [`ContinuousDistribution::sample`] loop on the same RNG
-//! stream. The buffer may pull *more* from the RNG than it serves (block
-//! lookahead), which is why consumers derive a fresh stream per run — see
-//! the stream-discipline notes on `free_gap_core::scratch`.
+//! * continuous draws go through [`SingleUniform::sample_from_uniform`]
+//!   (one uniform per draw), cached behind a lazy watermark so each uniform
+//!   is transformed at most once even when `peek` slabs overlap;
+//! * discrete Laplace draws go through
+//!   [`DiscreteLaplace::value_from_uniform`] (one uniform per draw — the
+//!   closed-form geometric-tail inversion), evaluated block-at-a-time with
+//!   the distribution's normalization hoisted out of the loop.
+//!
+//! Buffering *uniforms* rather than transformed values is what lets the two
+//! families share one tape: a mechanism (or a random interleaving in the
+//! stream-discipline proptest) can alternate continuous and discrete draws
+//! and still serve exactly the sequence a sequential sampling loop would
+//! produce on the same RNG stream, because every serve is a pure function of
+//! the uniforms at the cursor.
+//!
+//! The load-bearing invariant is that **draw-order preservation**: however
+//! the buffer is refilled, the sequence of draws served is bit-identical to
+//! a sequential [`sample`](crate::ContinuousDistribution::sample) /
+//! [`DiscreteDistribution::sample_value`](crate::DiscreteDistribution::sample_value)
+//! loop on the same RNG stream. The buffer may pull *more* from the RNG
+//! than it serves (block lookahead), which is why consumers derive a fresh
+//! stream per run — see the stream-discipline notes on
+//! `free_gap_core::scratch`.
 //!
 //! Block sizes adapt: the first block of a run is sized by the previous
 //! run's consumption (consecutive Monte-Carlo runs of one mechanism consume
@@ -22,24 +38,37 @@
 //! overdraw) and unboundedly long streams (hot, L1-resident refills) are
 //! served well.
 
-use crate::traits::ContinuousDistribution;
+use crate::discrete_laplace::DiscreteLaplace;
+use crate::traits::SingleUniform;
 use rand::Rng;
 
-/// A reusable buffer of pre-drawn noise, refilled in fixed-size blocks.
+/// A reusable tape of pre-drawn raw uniforms, refilled in fixed-size blocks
+/// and served as continuous or discrete draws.
 ///
 /// Generic over the distribution at call time (the distribution is passed to
-/// each draw/refill method, not stored) so one buffer type serves every
-/// noise family; callers must pass the *same* distribution for the lifetime
-/// of a run or the served stream is meaningless.
+/// each draw method, not stored) so one buffer type serves every noise
+/// family; callers must pass the *same* continuous distribution for the
+/// lifetime of a run (the transform cache assumes it), while discrete
+/// parameters may vary per draw — each discrete serve re-derives its value
+/// from the raw uniforms.
 #[derive(Debug, Clone)]
 pub struct BlockBuffer {
-    buf: Vec<f64>,
+    /// Raw uniforms; `raw[cursor..]` are buffered ahead of consumption.
+    raw: Vec<f64>,
+    /// Continuous-transform cache: `vals[i]` holds the run distribution's
+    /// `sample_from_uniform(raw[i])` for `i < transformed` (stale garbage
+    /// beyond the watermark; kept the same length as `raw`).
+    vals: Vec<f64>,
+    /// Transform watermark into `vals`.
+    transformed: usize,
     cursor: usize,
-    /// Fresh draws pulled from the RNG since the last [`begin`](Self::begin)
-    /// (served = `filled - (buf.len() - cursor)`; tracked at refill time so
-    /// the per-draw hot path carries no extra bookkeeping).
+    /// Fresh uniforms pulled from the RNG since the last
+    /// [`begin`](Self::begin) (served = `filled - (raw.len() - cursor)`;
+    /// tracked at refill time so the per-draw hot path carries no extra
+    /// bookkeeping).
     filled: usize,
-    /// Predicted consumption of the next run (last run's served count).
+    /// Predicted consumption of the next run (last run's served count), in
+    /// uniforms.
     predicted: usize,
 }
 
@@ -54,42 +83,63 @@ impl BlockBuffer {
     /// Creates an empty buffer (grows on first use).
     pub fn new() -> Self {
         Self {
-            buf: Vec::new(),
+            raw: Vec::new(),
+            vals: Vec::new(),
+            transformed: 0,
             cursor: 0,
             filled: 0,
             predicted: Self::MIN_CHUNK,
         }
     }
 
-    /// Starts a new run: discards draws buffered from the previous RNG
+    /// Starts a new run: discards uniforms buffered from the previous RNG
     /// stream and predicts this run's consumption from the last one.
     pub fn begin(&mut self) {
-        let served = self.filled - (self.buf.len() - self.cursor);
+        let served = self.filled - (self.raw.len() - self.cursor);
         if served > 0 {
             self.predicted = served.max(Self::MIN_CHUNK);
         }
-        self.buf.clear();
+        self.raw.clear();
+        self.vals.clear();
+        self.transformed = 0;
         self.cursor = 0;
         self.filled = 0;
     }
 
     /// Next draw from `dist`, refilling the buffer in blocks as needed.
     #[inline]
-    pub fn next<D: ContinuousDistribution, R: Rng + ?Sized>(
-        &mut self,
-        dist: &D,
-        rng: &mut R,
-    ) -> f64 {
-        if self.cursor == self.buf.len() {
-            self.refill(dist, rng);
+    pub fn next<D: SingleUniform, R: Rng + ?Sized>(&mut self, dist: &D, rng: &mut R) -> f64 {
+        if self.cursor == self.raw.len() {
+            self.refill(rng);
         }
-        let v = self.buf[self.cursor];
+        let v = if self.cursor < self.transformed {
+            self.vals[self.cursor]
+        } else {
+            dist.sample_from_uniform(self.raw[self.cursor])
+        };
         self.cursor += 1;
         v
     }
 
-    /// Predicted draw consumption of the current run (last run's usage) —
-    /// used by mechanisms to pre-size their output buffers.
+    /// Next discrete Laplace draw (one buffered uniform through the
+    /// closed-form tail inversion), bit-identical to
+    /// [`sample_value`](crate::DiscreteDistribution::sample_value) at the
+    /// same stream position. Unlike the continuous transform cache, the
+    /// discrete parameters may differ per call — each serve re-derives from
+    /// the raw uniform.
+    #[inline]
+    pub fn next_discrete<R: Rng + ?Sized>(&mut self, dist: &DiscreteLaplace, rng: &mut R) -> f64 {
+        if self.cursor == self.raw.len() {
+            self.refill(rng);
+        }
+        let v = dist.value_from_uniform(self.raw[self.cursor]);
+        self.cursor += 1;
+        v
+    }
+
+    /// Predicted draw consumption of the current run (last run's usage; one
+    /// uniform per draw in both noise families) — used by mechanisms to
+    /// pre-size their output buffers.
     pub fn predicted_draws(&self) -> usize {
         self.predicted
     }
@@ -100,26 +150,27 @@ impl BlockBuffer {
     /// arithmetic, then commit consumption with [`consume`](Self::consume).
     /// Draw order is identical to sequential [`next`](Self::next) draws.
     #[inline]
-    pub fn peek_tuples<D: ContinuousDistribution, R: Rng + ?Sized>(
+    pub fn peek_tuples<D: SingleUniform, R: Rng + ?Sized>(
         &mut self,
         dist: &D,
         rng: &mut R,
         m: usize,
     ) -> &[f64] {
         assert!(m >= 1, "tuple arity must be at least 1");
-        if self.cursor + m > self.buf.len() {
-            self.refill_keeping_leftover(dist, rng, m);
+        if self.cursor + m > self.raw.len() {
+            self.refill_keeping_leftover(rng, m);
         }
-        let avail = self.buf.len() - self.cursor;
+        let avail = self.raw.len() - self.cursor;
         let whole = avail - avail % m;
-        &self.buf[self.cursor..self.cursor + whole]
+        self.ensure_transformed(dist, self.cursor + whole);
+        &self.vals[self.cursor..self.cursor + whole]
     }
 
     /// Scaled twin of [`peek_tuples`](Self::peek_tuples), the draw-provider
     /// hook behind the mechanisms' blocked fast paths: writes
-    /// `unit[i] * scales[i % m]` into `out` for every buffered draw ahead of
-    /// the cursor (whole `scales.len()`-tuples only, refilling first if fewer
-    /// than one tuple is available).
+    /// `value[i] * scales[i % m]` into `out` for every buffered draw ahead
+    /// of the cursor (whole `scales.len()`-tuples only, refilling first if
+    /// fewer than one tuple is available).
     ///
     /// Slot `b` of each tuple is then distributed `scale[b] ×` the base
     /// distribution — for distributions whose sampler is a single
@@ -128,13 +179,15 @@ impl BlockBuffer {
     /// [`consume`](Self::consume) in raw draw counts.
     ///
     /// The whole buffered slab is rescaled per peek, including a tail the
-    /// run may never consume. That extra pass is bounded: blocks taper
-    /// toward the predicted per-run consumption, so the unconsumed tail is
-    /// at most one block's overshoot (measured cost ≲ 10% on the
-    /// shortest-decision mechanisms, vs. fusing the multiply into every
-    /// consumer loop — `repro bench-compare` guards the trade-off).
+    /// run may never consume (the underlying transform runs at most once
+    /// per uniform thanks to the watermark cache). That extra pass is
+    /// bounded: blocks taper toward the predicted per-run consumption, so
+    /// the unconsumed tail is at most one block's overshoot (measured cost
+    /// ≲ 10% on the shortest-decision mechanisms, vs. fusing the multiply
+    /// into every consumer loop — `repro bench-compare` guards the
+    /// trade-off).
     #[inline]
-    pub fn peek_tuples_scaled<D: ContinuousDistribution, R: Rng + ?Sized>(
+    pub fn peek_tuples_scaled<D: SingleUniform, R: Rng + ?Sized>(
         &mut self,
         dist: &D,
         rng: &mut R,
@@ -146,19 +199,64 @@ impl BlockBuffer {
         out.extend(units.iter().zip(scales.iter().cycle()).map(|(u, s)| u * s));
     }
 
-    /// Advances the cursor past `draws` previously obtained from
-    /// [`peek_tuples`](Self::peek_tuples).
+    /// Discrete twin of [`peek_tuples`](Self::peek_tuples): writes whole
+    /// `dists.len()`-tuples into `out`, slot `b` of each tuple drawn from
+    /// `dists[b]` (refilling first if fewer than one tuple's worth of
+    /// uniforms is available). Each served value consumes one raw uniform;
+    /// commit consumption with [`consume`](Self::consume) in served values.
+    /// Draw order is identical to sequential
+    /// [`next_discrete`](Self::next_discrete) draws.
+    #[inline]
+    pub fn discrete_peek_tuples<R: Rng + ?Sized>(
+        &mut self,
+        dists: &[DiscreteLaplace],
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) {
+        let m = dists.len();
+        assert!(m >= 1, "tuple arity must be at least 1");
+        if self.cursor + m > self.raw.len() {
+            self.refill_keeping_leftover(rng, m);
+        }
+        let tuples = (self.raw.len() - self.cursor) / m;
+        let raw = &self.raw[self.cursor..self.cursor + tuples * m];
+        out.clear();
+        out.reserve(tuples * m);
+        for tuple in raw.chunks_exact(m) {
+            for (dist, &u) in dists.iter().zip(tuple) {
+                out.push(dist.value_from_uniform(u));
+            }
+        }
+    }
+
+    /// Advances the cursor past `draws` raw uniforms previously obtained
+    /// from [`peek_tuples`](Self::peek_tuples) or
+    /// [`discrete_peek_tuples`](Self::discrete_peek_tuples) (one uniform
+    /// per served value in both families).
     ///
     /// # Panics
-    /// Panics if `draws` exceeds the buffered draws ahead of the cursor
+    /// Panics if `draws` exceeds the buffered uniforms ahead of the cursor
     /// (checked once per block, so the guard costs nothing per draw).
     #[inline]
     pub fn consume(&mut self, draws: usize) {
         assert!(
-            self.cursor + draws <= self.buf.len(),
+            self.cursor + draws <= self.raw.len(),
             "consumed more draws than were peeked"
         );
         self.cursor += draws;
+    }
+
+    /// Applies the continuous transform to `raw[max(transformed, cursor)..
+    /// upto)` so each uniform is transformed at most once per run.
+    fn ensure_transformed<D: SingleUniform>(&mut self, dist: &D, upto: usize) {
+        // Slots behind the cursor are never served again: skipping them
+        // (after discrete serves advanced past the watermark) is safe even
+        // though the watermark then claims them.
+        let start = self.transformed.max(self.cursor);
+        for i in start..upto {
+            self.vals[i] = dist.sample_from_uniform(self.raw[i]);
+        }
+        self.transformed = self.transformed.max(upto);
     }
 
     /// Size of the next block: the predicted remainder of this run, clamped
@@ -171,31 +269,35 @@ impl BlockBuffer {
     }
 
     #[cold]
-    fn refill<D: ContinuousDistribution, R: Rng + ?Sized>(&mut self, dist: &D, rng: &mut R) {
+    fn refill<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         let size = self.next_block_size();
-        self.buf.resize(size, 0.0);
-        dist.fill_into(rng, &mut self.buf);
+        self.raw.resize(size, 0.0);
+        for slot in &mut self.raw {
+            *slot = rng.gen();
+        }
+        self.vals.resize(size, 0.0);
+        self.transformed = 0;
         self.cursor = 0;
         self.filled += size;
     }
 
-    /// Refill for [`peek_tuples`](Self::peek_tuples): the up-to-`m - 1`
-    /// already-drawn buffered leftovers move to the front so the stream
-    /// order stays identical to sequential draws, and fresh draws fill the
-    /// rest of the block.
+    /// Refill for the peek/tuple paths: the up-to-`m - 1` already-drawn
+    /// buffered leftovers move to the front (transform cache included) so
+    /// the stream order stays identical to sequential draws, and fresh
+    /// uniforms fill the rest of the block.
     #[cold]
-    fn refill_keeping_leftover<D: ContinuousDistribution, R: Rng + ?Sized>(
-        &mut self,
-        dist: &D,
-        rng: &mut R,
-        m: usize,
-    ) {
-        let leftover = self.buf.len() - self.cursor;
+    fn refill_keeping_leftover<R: Rng + ?Sized>(&mut self, rng: &mut R, m: usize) {
+        let leftover = self.raw.len() - self.cursor;
         debug_assert!(leftover < m);
-        self.buf.copy_within(self.cursor.., 0);
+        self.raw.copy_within(self.cursor.., 0);
+        self.vals.copy_within(self.cursor.., 0);
+        self.transformed = self.transformed.saturating_sub(self.cursor).min(leftover);
         let size = self.next_block_size().max(m);
-        self.buf.resize(size, 0.0);
-        dist.fill_into(rng, &mut self.buf[leftover..]);
+        self.raw.resize(size, 0.0);
+        for slot in &mut self.raw[leftover..] {
+            *slot = rng.gen();
+        }
+        self.vals.resize(size, 0.0);
         self.filled += size - leftover;
         self.cursor = 0;
     }
@@ -211,6 +313,7 @@ impl Default for BlockBuffer {
 mod tests {
     use super::*;
     use crate::rng::rng_from_seed;
+    use crate::traits::{ContinuousDistribution, DiscreteDistribution};
     use crate::Laplace;
 
     #[test]
@@ -224,6 +327,53 @@ mod tests {
             let got = block.next(&unit, &mut rng);
             let want = unit.sample(&mut expect_rng);
             assert_eq!(got, want, "draw {i}");
+        }
+    }
+
+    #[test]
+    fn next_discrete_replays_the_sequential_stream() {
+        let dl = DiscreteLaplace::new(0.8, 0.5).unwrap();
+        let mut expect_rng = rng_from_seed(13);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(13);
+        block.begin();
+        for i in 0..1000 {
+            let got = block.next_discrete(&dl, &mut rng);
+            let want = dl.sample_value(&mut expect_rng);
+            assert_eq!(got.to_bits(), want.to_bits(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn mixed_families_share_one_sequential_stream() {
+        // The point of buffering raw uniforms: alternating continuous and
+        // discrete draws (at varying parameters) still replays exactly the
+        // sequential sampling loop, including across refill boundaries.
+        let unit = Laplace::new(1.0).unwrap();
+        let mut expect_rng = rng_from_seed(29);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(29);
+        block.begin();
+        for i in 0..2000 {
+            match i % 4 {
+                0 | 2 => {
+                    let got = block.next(&unit, &mut rng);
+                    let want = unit.sample(&mut expect_rng);
+                    assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (continuous)");
+                }
+                1 => {
+                    let dl = DiscreteLaplace::new(1.0, 1.0).unwrap();
+                    let got = block.next_discrete(&dl, &mut rng);
+                    let want = dl.sample_value(&mut expect_rng);
+                    assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (discrete)");
+                }
+                _ => {
+                    let dl = DiscreteLaplace::new(0.3, 0.25).unwrap();
+                    let got = block.next_discrete(&dl, &mut rng);
+                    let want = dl.sample_value(&mut expect_rng);
+                    assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (discrete fine)");
+                }
+            }
         }
     }
 
@@ -304,6 +454,39 @@ mod tests {
     }
 
     #[test]
+    fn discrete_peek_tuples_match_sequential_draws_at_per_slot_rates() {
+        let dists = [
+            DiscreteLaplace::new(0.9, 1.0).unwrap(),
+            DiscreteLaplace::new(0.2, 1.0).unwrap(),
+        ];
+        let m = dists.len();
+        let mut expect_rng = rng_from_seed(17);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(17);
+        let mut out = Vec::new();
+        block.begin();
+        // Odd leading continuous draw forces the discrete tuple path to
+        // carry a lone leftover uniform across a refill boundary.
+        let unit = Laplace::new(1.0).unwrap();
+        let first = block.next(&unit, &mut rng);
+        assert_eq!(first, unit.sample(&mut expect_rng));
+        let mut tuples_seen = 0usize;
+        while tuples_seen < 400 {
+            block.discrete_peek_tuples(&dists, &mut rng, &mut out);
+            assert!(out.len() >= m && out.len().is_multiple_of(m));
+            let take = (out.len() / m).min(3) * m;
+            for tuple in out[..take].chunks_exact(m) {
+                for (j, &v) in tuple.iter().enumerate() {
+                    let want = dists[j].sample_value(&mut expect_rng);
+                    assert_eq!(v.to_bits(), want.to_bits(), "tuple {tuples_seen} slot {j}");
+                }
+                tuples_seen += 1;
+            }
+            block.consume(take);
+        }
+    }
+
+    #[test]
     fn prediction_tracks_previous_consumption() {
         let unit = Laplace::new(1.0).unwrap();
         let mut block = BlockBuffer::new();
@@ -316,7 +499,7 @@ mod tests {
         block.begin();
         assert_eq!(block.predicted_draws(), 1000);
         block.next(&unit, &mut rng);
-        assert_eq!(block.buf.len(), 1000);
+        assert_eq!(block.raw.len(), 1000);
         // ...and a run that uses almost none leaves only marginal waste.
         block.begin();
         block.next(&unit, &mut rng);
@@ -337,6 +520,6 @@ mod tests {
         assert_eq!(block.predicted_draws(), 3 * BlockBuffer::CACHE_CHUNK);
         block.next(&unit, &mut rng);
         // Even with a huge prediction, one block never exceeds the cap.
-        assert!(block.buf.len() <= BlockBuffer::CACHE_CHUNK);
+        assert!(block.raw.len() <= BlockBuffer::CACHE_CHUNK);
     }
 }

@@ -13,7 +13,12 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Geometric {
     alpha: f64,
-    ln_alpha: f64,
+    /// Reciprocal of `ln(α)`, precomputed so the per-draw CDF inversion is
+    /// a multiply instead of a divide (the sampler is on the discrete
+    /// mechanisms' hot path; every caller — sequential or batched — goes
+    /// through the same reciprocal, so the streams stay bit-identical
+    /// across execution paths).
+    inv_ln_alpha: f64,
 }
 
 impl Geometric {
@@ -22,7 +27,7 @@ impl Geometric {
         let alpha = require_open_unit("alpha", alpha)?;
         Ok(Self {
             alpha,
-            ln_alpha: alpha.ln(),
+            inv_ln_alpha: alpha.ln().recip(),
         })
     }
 
@@ -47,6 +52,12 @@ impl Geometric {
     /// The decay ratio `α`.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// The precomputed `1 / ln(α)` (for sibling samplers that invert a
+    /// geometric tail with the same hoisted reciprocal).
+    pub(crate) fn inv_ln_alpha(&self) -> f64 {
+        self.inv_ln_alpha
     }
 
     /// Probability mass `P(G = g)`.
@@ -74,11 +85,21 @@ impl Geometric {
         self.alpha / ((1.0 - self.alpha) * (1.0 - self.alpha))
     }
 
-    /// Samples by inverting the CDF: `g = floor(ln(1-u) / ln(α))`.
+    /// Samples by inverting the CDF: `g = floor(ln(1-u) / ln(α))` — one
+    /// uniform draw through [`index_from_uniform`](Self::index_from_uniform).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
-        // 1-u in (0, 1]; ln(1-u) in (-inf, 0]; ratio >= 0.
-        let g = ((1.0 - u).max(f64::MIN_POSITIVE).ln() / self.ln_alpha).floor();
+        self.index_from_uniform(rng.gen())
+    }
+
+    /// The CDF inversion as a pure transform of one uniform `u ∈ [0, 1)`:
+    /// `sample(rng) == index_from_uniform(rng.gen())`, bit for bit. This is
+    /// the hook the raw-uniform buffering paths
+    /// ([`crate::BlockBuffer`]) use to serve geometric-tail draws from
+    /// block-filled uniforms.
+    #[inline]
+    pub fn index_from_uniform(&self, u: f64) -> u64 {
+        // 1-u in (0, 1]; ln(1-u) in (-inf, 0]; product of negatives >= 0.
+        let g = ((1.0 - u).max(f64::MIN_POSITIVE).ln() * self.inv_ln_alpha).floor();
         // Guard against pathological rounding for alpha very close to 1.
         if g.is_finite() && g >= 0.0 {
             g as u64

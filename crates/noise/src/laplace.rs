@@ -10,7 +10,7 @@
 //! exposes for cost accounting.
 
 use crate::error::{require_open_unit, require_positive, NoiseError};
-use crate::traits::ContinuousDistribution;
+use crate::traits::{ContinuousDistribution, SingleUniform};
 use rand::Rng;
 
 /// Zero-mean Laplace distribution with scale parameter `b > 0`.
@@ -58,15 +58,14 @@ impl Laplace {
     }
 }
 
-impl ContinuousDistribution for Laplace {
-    /// Inverse-CDF sampling: `x = -b * sgn(u) * ln(1 - 2|u|)` for
-    /// `u ~ U(-1/2, 1/2)`.
+impl SingleUniform for Laplace {
+    /// Inverse-CDF transform: `x = -b * sgn(u') * ln(1 - 2|u'|)` for
+    /// `u' = u - 0.5 ∈ [-1/2, 1/2)`. The endpoint `u' = -1/2` (i.e.
+    /// `u = 0`) maps to the extreme left tail; it stays finite because ln
+    /// is clamped to `f64::MIN_POSITIVE`, not evaluated at 0.
     #[inline]
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // `gen::<f64>()` is U[0,1); shift to (-0.5, 0.5]. u = 0.5 maps to the
-        // extreme left tail with probability 0 in practice but stays finite
-        // because ln is evaluated at 2^-53, not 0.
-        let u: f64 = rng.gen::<f64>() - 0.5;
+    fn sample_from_uniform(&self, u: f64) -> f64 {
+        let u = u - 0.5;
         let magnitude = -self.scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
         if u < 0.0 {
             -magnitude
@@ -74,17 +73,25 @@ impl ContinuousDistribution for Laplace {
             magnitude
         }
     }
+}
+
+impl ContinuousDistribution for Laplace {
+    /// One uniform draw through the
+    /// [`SingleUniform`] transform — the arithmetic
+    /// exists exactly once, so the raw-uniform buffering paths are
+    /// bit-identical by construction.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_from_uniform(rng.gen::<f64>())
+    }
 
     /// Batch inverse-CDF sampling: one uniform draw per sample, fused into a
     /// single pass over `out`. Bit-identical to a [`sample`](Self::sample)
     /// loop on the same RNG stream (same draw order, same arithmetic).
     #[inline]
     fn fill_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
-        let scale = self.scale;
         for slot in out {
-            let u: f64 = rng.gen::<f64>() - 0.5;
-            let magnitude = -scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
-            *slot = if u < 0.0 { -magnitude } else { magnitude };
+            *slot = self.sample_from_uniform(rng.gen::<f64>());
         }
     }
 
@@ -93,11 +100,8 @@ impl ContinuousDistribution for Laplace {
     #[inline]
     fn fill_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
         assert_eq!(base.len(), out.len(), "offset/output length mismatch");
-        let scale = self.scale;
         for (slot, b) in out.iter_mut().zip(base) {
-            let u: f64 = rng.gen::<f64>() - 0.5;
-            let magnitude = -scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
-            *slot = b + if u < 0.0 { -magnitude } else { magnitude };
+            *slot = b + self.sample_from_uniform(rng.gen::<f64>());
         }
     }
 

@@ -25,10 +25,11 @@
 //!
 //! It also ships the supporting analysis the paper relies on:
 //!
-//! * [`block`] — the chunked noise-fill discipline ([`BlockBuffer`]): draws
-//!   are generated in bounded `fill_into` blocks but served one draw (or one
-//!   m-tuple) at a time, preserving the sequential draw order bit-for-bit.
-//!   This is the substrate of the scratch and streaming fast paths in
+//! * [`block`] — the chunked noise-fill discipline ([`BlockBuffer`]): raw
+//!   uniforms are pulled in bounded blocks and served as continuous
+//!   ([`SingleUniform`]) or discrete-Laplace draws one draw (or one m-tuple)
+//!   at a time, preserving the sequential draw order bit-for-bit. This is
+//!   the substrate of the scratch and streaming fast paths in
 //!   `free-gap-core`, where the stream length is unknown up front.
 //! * [`tie`] — the probability-of-tie bounds for discretized noise
 //!   (Appendix A.1) that justify treating the continuous analysis as
@@ -77,4 +78,4 @@ pub use gumbel::Gumbel;
 pub use laplace::Laplace;
 pub use laplace_diff::LaplaceDiff;
 pub use staircase::Staircase;
-pub use traits::{ContinuousDistribution, DiscreteDistribution};
+pub use traits::{ContinuousDistribution, DiscreteDistribution, SingleUniform};

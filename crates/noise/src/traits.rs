@@ -74,6 +74,24 @@ pub trait ContinuousDistribution {
     }
 }
 
+/// A continuous distribution whose sampler consumes **exactly one** uniform
+/// draw and is a pure function of it.
+///
+/// The law: `sample(rng)` must be exactly
+/// `sample_from_uniform(rng.gen::<f64>())` — same arithmetic, same bits.
+/// This is the contract behind [`crate::BlockBuffer`]'s raw-uniform tape:
+/// the buffer pulls uniforms from the RNG in blocks and applies the
+/// transform at serve time, so continuous and discrete draws can share one
+/// buffered stream without breaking the sequential draw order.
+///
+/// Distributions whose sampler needs more than one uniform (e.g.
+/// [`crate::LaplaceDiff`], [`crate::Staircase`]) cannot implement this
+/// trait and cannot back a [`crate::BlockBuffer`].
+pub trait SingleUniform: ContinuousDistribution {
+    /// The sampler as a pure transform of one uniform `u ∈ [0, 1)`.
+    fn sample_from_uniform(&self, u: f64) -> f64;
+}
+
 /// A discrete distribution over integer multiples of a base step.
 ///
 /// The support is `{ k * base : k in Z }` (or a sub-range for one-sided
@@ -106,6 +124,34 @@ pub trait DiscreteDistribution {
     /// Variance of the value variable `K * base`.
     fn variance_value(&self) -> f64 {
         self.variance_index() * self.base() * self.base()
+    }
+
+    /// Fills `out` with independent value samples — the batch entry point of
+    /// the finite-precision mechanisms' fast paths. The win over a caller
+    /// loop is that the distribution (and its `exp`/`ln` normalization) is
+    /// constructed once for the whole batch.
+    ///
+    /// Same RNG-consumption contract as
+    /// [`ContinuousDistribution::fill_into`]: bit-identical to a
+    /// [`sample_value`](Self::sample_value) loop on the same RNG stream.
+    fn fill_values_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample_value(rng);
+        }
+    }
+
+    /// Fills `out[i] = base[i] + sampleᵢ` in one fused pass — the
+    /// discrete Noisy-Max shape, writing the output buffer exactly once.
+    ///
+    /// Bit-identical to `base[i] + self.sample_value(rng)` in a loop.
+    ///
+    /// # Panics
+    /// Panics if `base` and `out` have different lengths.
+    fn fill_values_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        assert_eq!(base.len(), out.len(), "offset/output length mismatch");
+        for (slot, b) in out.iter_mut().zip(base) {
+            *slot = b + self.sample_value(rng);
+        }
     }
 }
 

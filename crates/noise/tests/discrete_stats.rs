@@ -1,0 +1,189 @@
+//! Statistical acceptance tests for the batched discrete Laplace sampler.
+//!
+//! The Chen–Machanavajjhala lesson (see PAPERS.md) is that SVT-style privacy
+//! claims die quietly when the *sampling* is subtly wrong, so the batched
+//! discrete fast path ships with two layers of evidence:
+//!
+//! 1. **Distribution-level**: chi-square goodness-of-fit of
+//!    [`DiscreteLaplace::fill_values_into`]'s batched output against the
+//!    closed-form pmf, at significance 1e-4 — a change to the tail
+//!    inversion that shifts mass between lattice points fails here even if
+//!    every moment test still passes.
+//! 2. **Bit-level**: proptests asserting the batched fills and the
+//!    [`BlockBuffer`] serving path are *bit-identical* to a sequential
+//!    [`sample_value`](DiscreteDistribution::sample_value) loop on the same
+//!    RNG stream — the stream-discipline contract that keeps every
+//!    execution path one mechanism.
+
+use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::{BlockBuffer, DiscreteDistribution, DiscreteLaplace};
+use proptest::prelude::*;
+
+/// Standard-normal quantile of `1 - 1e-4` (one-sided).
+const Z_1E4: f64 = 3.719_016_485_455_68;
+
+/// Chi-square quantile at upper-tail probability 1e-4 for `df` degrees of
+/// freedom, by the Wilson–Hilferty cube approximation (accurate to a few
+/// permille for `df ≥ 5`, which every test below satisfies).
+fn chi2_crit_1e4(df: usize) -> f64 {
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + Z_1E4 * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Chi-square statistic of `n` batched draws from `dist` against its pmf,
+/// with per-index bins over `-max_k..=max_k` plus two aggregated tail bins.
+/// Returns `(statistic, bins)`.
+fn chi2_against_pmf(dist: &DiscreteLaplace, n: usize, max_k: i64, seed: u64) -> (f64, usize) {
+    let mut values = vec![0.0f64; n];
+    dist.fill_values_into(&mut rng_from_seed(seed), &mut values);
+    // Bins: [-max_k ..= max_k] at offsets 0..2K, left tail, right tail.
+    let mut observed = vec![0u64; 2 * max_k as usize + 3];
+    let (left, right) = (observed.len() - 2, observed.len() - 1);
+    for v in values {
+        let k = (v / dist.base()).round() as i64;
+        if k < -max_k {
+            observed[left] += 1;
+        } else if k > max_k {
+            observed[right] += 1;
+        } else {
+            observed[(k + max_k) as usize] += 1;
+        }
+    }
+    let mut stat = 0.0;
+    for k in -max_k..=max_k {
+        let expect = n as f64 * dist.pmf(k);
+        assert!(
+            expect >= 5.0,
+            "bin k = {k} under-filled (expected {expect:.1}); shrink max_k"
+        );
+        let diff = observed[(k + max_k) as usize] as f64 - expect;
+        stat += diff * diff / expect;
+    }
+    // Tails: P(K < -max_k) = F(-max_k - 1), P(K > max_k) = 1 - F(max_k).
+    let tail = dist.cdf(-max_k - 1) * n as f64;
+    assert!(tail >= 5.0, "tail bins under-filled (expected {tail:.1})");
+    for &obs in &[observed[left], observed[right]] {
+        let diff = obs as f64 - tail;
+        stat += diff * diff / tail;
+    }
+    (stat, 2 * max_k as usize + 3)
+}
+
+#[test]
+fn batched_fill_matches_closed_form_pmf_chi_square() {
+    // (epsilon, gamma, max_k): rates spanning heavy-tailed (εγ = 0.05,
+    // mean |k| ≈ 20) through concentrated (εγ = 2), on unit and sub-unit
+    // lattices. 400k draws per config.
+    let configs = [
+        (0.05f64, 1.0f64, 40i64),
+        (0.3, 1.0, 18),
+        (1.0, 1.0, 7),
+        (2.0, 0.5, 7),
+        (0.8, 0.25, 9),
+    ];
+    for (i, &(eps, gamma, max_k)) in configs.iter().enumerate() {
+        let dist = DiscreteLaplace::new(eps, gamma).unwrap();
+        let (stat, bins) = chi2_against_pmf(&dist, 400_000, max_k, 0xD15C + i as u64);
+        let crit = chi2_crit_1e4(bins - 1);
+        assert!(
+            stat < crit,
+            "ε = {eps}, γ = {gamma}: chi² = {stat:.1} ≥ {crit:.1} at significance 1e-4 \
+             ({bins} bins)"
+        );
+    }
+}
+
+#[test]
+fn chi_square_detects_a_corrupted_sampler() {
+    // Power check so the acceptance test cannot rot into a tautology: the
+    // same statistic against a *wrong* reference pmf (neighboring rate)
+    // must blow past the same critical value.
+    let dist = DiscreteLaplace::new(0.3, 1.0).unwrap();
+    let wrong = DiscreteLaplace::new(0.35, 1.0).unwrap();
+    let n = 400_000;
+    let max_k = 18i64;
+    let mut values = vec![0.0f64; n];
+    dist.fill_values_into(&mut rng_from_seed(0xBAD), &mut values);
+    let mut stat = 0.0;
+    for k in -max_k..=max_k {
+        let observed = values
+            .iter()
+            .filter(|v| (**v / dist.base()).round() as i64 == k)
+            .count() as f64;
+        let expect = n as f64 * wrong.pmf(k);
+        stat += (observed - expect) * (observed - expect) / expect;
+    }
+    let crit = chi2_crit_1e4(2 * max_k as usize);
+    assert!(
+        stat > crit,
+        "the test has no power: chi² = {stat:.1} vs crit {crit:.1}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batched fill consumes the RNG exactly like a sequential
+    /// `sample_value` loop: same stream position, same bits out — across
+    /// chunk boundaries (n spans multiples of the 512-draw chunk).
+    #[test]
+    fn batched_fill_is_bit_identical_to_sequential_draws(
+        seed in 0u64..50_000,
+        eps in 0.05f64..3.0,
+        gamma_idx in 0usize..3,
+        n in 0usize..1400,
+    ) {
+        let gamma = [0.25f64, 0.5, 1.0][gamma_idx];
+        let dist = DiscreteLaplace::new(eps, gamma).unwrap();
+        let mut batched = vec![0.0f64; n];
+        dist.fill_values_into(&mut rng_from_seed(seed), &mut batched);
+        let mut rng = rng_from_seed(seed);
+        for (i, &b) in batched.iter().enumerate() {
+            let s = dist.sample_value(&mut rng);
+            prop_assert!(s.to_bits() == b.to_bits(), "draw {i}: sequential {s} vs batched {b}");
+        }
+    }
+
+    /// Offset-fused twin: `fill_values_into_offset` equals
+    /// `base[i] + sample_value` in a loop, bit for bit.
+    #[test]
+    fn batched_offset_fill_is_bit_identical(
+        seed in 0u64..50_000,
+        eps in 0.05f64..3.0,
+        n in 0usize..700,
+    ) {
+        let dist = DiscreteLaplace::new(eps, 1.0).unwrap();
+        let base: Vec<f64> = (0..n).map(|i| (i as f64) * 3.0 - 50.0).collect();
+        let mut fused = vec![0.0f64; n];
+        dist.fill_values_into_offset(&mut rng_from_seed(seed), &base, &mut fused);
+        let mut rng = rng_from_seed(seed);
+        for i in 0..n {
+            let expect = base[i] + dist.sample_value(&mut rng);
+            prop_assert!(expect.to_bits() == fused[i].to_bits(), "slot {i}");
+        }
+    }
+
+    /// The block-buffered serving path (the scratch providers' substrate)
+    /// replays the sequential stream bit-for-bit at any rate mix.
+    #[test]
+    fn block_buffer_discrete_serving_is_bit_identical(
+        seed in 0u64..50_000,
+        eps_a in 0.05f64..3.0,
+        eps_b in 0.05f64..3.0,
+        n in 1usize..600,
+    ) {
+        let a = DiscreteLaplace::new(eps_a, 1.0).unwrap();
+        let b = DiscreteLaplace::new(eps_b, 0.5).unwrap();
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(seed);
+        let mut expect_rng = rng_from_seed(seed);
+        block.begin();
+        for i in 0..n {
+            let dist = if i % 3 == 0 { &b } else { &a };
+            let got = block.next_discrete(dist, &mut rng);
+            let want = dist.sample_value(&mut expect_rng);
+            prop_assert!(got.to_bits() == want.to_bits(), "draw {i}");
+        }
+    }
+}
