@@ -18,6 +18,27 @@ pub enum DrawKind {
         /// The support step `γ`.
         gamma: f64,
     },
+    /// Standard-shape Gumbel (location 0). Gumbel's log-density ratio is
+    /// *not* bounded by `|x - y|/β` (the `e^{-x/β}` double-exponential term
+    /// blows up leftward), so Definition-6 cost accounting does not apply;
+    /// the kind exists so replay can verify family fidelity for the
+    /// exponential-mechanism baseline, whose privacy argument is the
+    /// classical McSherry–Talwar one.
+    Gumbel,
+    /// One-sided exponential. Same caveat as [`DrawKind::Gumbel`]: the
+    /// support is bounded below, so draw-for-draw alignment accounting does
+    /// not apply.
+    Exponential,
+    /// Staircase (Geng–Viswanath). Piecewise-constant density: the
+    /// log-density ratio is not bounded pointwise by `|x - y|/α` (see
+    /// `free_gap_core::staircase_mech`), so this kind also carries no
+    /// Definition-6 accounting — replay verifies family and parameters only.
+    Staircase {
+        /// The stair width `Δ` (sensitivity).
+        sensitivity: f64,
+        /// The stair-split parameter `γ`.
+        gamma: f64,
+    },
 }
 
 /// One recorded noise draw: the sampled value, the scale `αᵢ` it was drawn

@@ -21,6 +21,9 @@
 //!                      against --baseline, failing when any cell's
 //!                      runs/sec drops more than --tolerance after
 //!                      normalizing out the machine-speed difference
+//!   bench-history F..  merge several bench JSON files (e.g. CI's uploaded
+//!                      /tmp/bench.json artifacts, oldest commit first)
+//!                      into a cell × artifact runs/sec trend table
 //!   all                everything above except `bench`, paper defaults
 //!
 //! Options:
@@ -83,6 +86,8 @@ struct CliOptions {
     /// Which workload-shaping options were passed explicitly (the `bench`
     /// command uses a fixed synthetic workload and rejects them).
     workload_flags: Vec<&'static str>,
+    /// Positional file arguments (`bench-history` artifacts, in order).
+    files: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<CliOptions, String> {
@@ -106,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         tolerance_explicit: false,
         baseline_only: false,
         workload_flags: Vec::new(),
+        files: Vec::new(),
     };
     let mut i = 1;
     while i < args.len() {
@@ -174,6 +180,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.tolerance_explicit = true;
             }
             "--baseline-only" => opts.baseline_only = true,
+            other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -211,6 +218,12 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
     if opts.budget.is_some() && opts.command != "bench" {
         return Err(format!(
             "--budget only applies to `bench`, not `{}`",
+            opts.command
+        ));
+    }
+    if !opts.files.is_empty() && opts.command != "bench-history" {
+        return Err(format!(
+            "positional file arguments only apply to `bench-history`, not `{}`",
             opts.command
         ));
     }
@@ -310,6 +323,21 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
                 opts.tolerance * 100.0
             );
             Vec::new()
+        }
+        "bench-history" => {
+            // Aggregate uploaded bench artifacts (oldest commit first) into
+            // a cell × artifact trend table — the triage view behind a
+            // bench-compare failure.
+            if opts.files.is_empty() {
+                return Err("bench-history needs at least one bench JSON file argument".to_string());
+            }
+            let mut loaded = Vec::with_capacity(opts.files.len());
+            for path in &opts.files {
+                let json =
+                    std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                loaded.push((path.clone(), json));
+            }
+            vec![perf::bench_history(&loaded)?]
         }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
         "fig1a" => vec![experiments::fig1::run(
@@ -442,7 +470,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|bench-check|bench-compare|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only]");
+            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only]");
             return ExitCode::FAILURE;
         }
     };

@@ -8,7 +8,7 @@
 //! | `dyn` | the allocating `run` path — `dyn NoiseSource` dispatch, fresh buffers per run (the "before") |
 //! | `scratch` | `run_with_scratch` — batched noise, reused buffers, monomorphic `StdRng` |
 //! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`](free_gap_noise::rng::FastRng) (Xoshiro) — the Monte-Carlo fast path |
-//! | `streaming` | `run_streaming_with_scratch` — the lazy-iterator serving path (SVT family only; Top-K needs the whole vector) |
+//! | `streaming` | `run_streaming_with_scratch` (and the baselines' streaming entries) — the lazy-iterator serving path (all mechanisms except the Noisy-Top-K family, which needs the whole vector by definition) |
 //!
 //! All paths execute the *same mechanism*: `scratch` and `streaming` are
 //! bit-identical to `dyn` per run (see `free_gap_core::scratch` and the
@@ -63,13 +63,14 @@
 //! `runs_per_sec` is the headline number; `runs`/`elapsed_secs` let a reader
 //! judge measurement quality. Records appear for every
 //! `mechanism × path × n × k` cell (paths per mechanism as listed in
-//! [`MECHANISM_PATHS`]: the SVT family has the extra `streaming` path, the
-//! Top-K family does not), so "the speedup" for a cell is the ratio of its
+//! [`MECHANISM_PATHS`]: every mechanism except the Noisy-Top-K family has
+//! the extra `streaming` path), so "the speedup" for a cell is the ratio of its
 //! `scratch`(`_fast`)/`streaming` and `dyn` records. [`missing_cells`]
 //! re-derives the expected cell set from the same table, which is what the
 //! CI smoke step runs against a freshly written file.
 
 use crate::table::Table;
+use free_gap_core::exponential_mech::ExponentialMechanism;
 use free_gap_core::noisy_max::{
     ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap, TopKOutput,
 };
@@ -78,6 +79,7 @@ use free_gap_core::sparse_vector::{
     AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, DiscreteSparseVectorWithGap,
     MultiBranchAdaptiveSparseVector, MultiBranchSvOutput, SparseVectorWithGap, SvOutput,
 };
+use free_gap_core::staircase_mech::StaircaseMechanism;
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::{derive_fast_stream, derive_stream};
 use rand::seq::SliceRandom;
@@ -89,12 +91,20 @@ use std::time::Instant;
 /// record order. This is the single source of truth for grid coverage:
 /// [`run_grid`] produces exactly these cells and [`missing_cells`] checks a
 /// written JSON against them.
-pub const MECHANISM_PATHS: [(&str, &[&str]); 8] = [
+pub const MECHANISM_PATHS: [(&str, &[&str]); 10] = [
     ("NoisyTopKWithGap", &["dyn", "scratch", "scratch_fast"]),
     ("ClassicNoisyTopK", &["dyn", "scratch", "scratch_fast"]),
     (
         "DiscreteNoisyTopKWithGap",
         &["dyn", "scratch", "scratch_fast"],
+    ),
+    (
+        "ExponentialMechanism",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
+    ),
+    (
+        "StaircaseMechanism",
+        &["dyn", "scratch", "scratch_fast", "streaming"],
     ),
     (
         "SparseVectorWithGap",
@@ -526,6 +536,112 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 },
             );
 
+            // Exponential-mechanism selection (§2 baseline): the dyn path
+            // materializes and sorts all n Gumbel scores (the one-shot race
+            // as usually stated); the scratch/streaming paths run the same
+            // race through the k-sized insertion buffer — bit-identical
+            // output, O(n·k) instead of O(n log n), reused buffers.
+            let mut expo_scratch = TopKScratch::new();
+            let mut expo_stream_scratch = TopKScratch::new();
+            let mut expo_out: Vec<usize> = Vec::new();
+            let mut expo_stream_out: Vec<usize> = Vec::new();
+            let expo = ExponentialMechanism::new(0.7, true).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "ExponentialMechanism",
+                n,
+                k,
+                |r| {
+                    black_box(
+                        expo.run_top_k(&answers, k, &mut derive_stream(seed, r))
+                            .expect("validated workload"),
+                    );
+                },
+                |r, fast| {
+                    if fast {
+                        expo.run_top_k_with_scratch_into(
+                            &answers,
+                            k,
+                            &mut derive_fast_stream(seed, r),
+                            &mut expo_scratch,
+                            &mut expo_out,
+                        )
+                        .expect("validated workload");
+                    } else {
+                        expo.run_top_k_with_scratch_into(
+                            &answers,
+                            k,
+                            &mut derive_stream(seed, r),
+                            &mut expo_scratch,
+                            &mut expo_out,
+                        )
+                        .expect("validated workload");
+                    }
+                    black_box(&expo_out);
+                },
+            );
+            bench_streaming_cell(&mut records, config, "ExponentialMechanism", n, k, |r| {
+                expo.run_top_k_streaming_with_scratch_into(
+                    answers.values().iter().copied(),
+                    k,
+                    &mut derive_stream(seed, r),
+                    &mut expo_stream_scratch,
+                    &mut expo_stream_out,
+                )
+                .expect("validated workload");
+                black_box(&expo_stream_out);
+            });
+
+            // Staircase measurement (§3.1 baseline): budget split evenly
+            // over the n answers. The dyn path reconstructs the staircase
+            // distribution per draw (exp + stair-side normalization); the
+            // scratch paths hoist it once per batch and serve the four
+            // uniforms per draw from the blocked raw-uniform tape.
+            let mut stair_scratch = SvtScratch::new();
+            let mut stair_stream_scratch = SvtScratch::new();
+            let mut stair_out: Vec<f64> = Vec::new();
+            let mut stair_stream_out: Vec<f64> = Vec::new();
+            let stair = StaircaseMechanism::new(0.7).expect("valid parameters");
+            bench_cell(
+                &mut records,
+                config,
+                "StaircaseMechanism",
+                n,
+                k,
+                |r| {
+                    black_box(stair.measure_split(answers.values(), &mut derive_stream(seed, r)));
+                },
+                |r, fast| {
+                    if fast {
+                        stair.measure_split_with_scratch_into(
+                            answers.values(),
+                            &mut derive_fast_stream(seed, r),
+                            &mut stair_scratch,
+                            &mut stair_out,
+                        );
+                    } else {
+                        stair.measure_split_with_scratch_into(
+                            answers.values(),
+                            &mut derive_stream(seed, r),
+                            &mut stair_scratch,
+                            &mut stair_out,
+                        );
+                    }
+                    black_box(&stair_out);
+                },
+            );
+            bench_streaming_cell(&mut records, config, "StaircaseMechanism", n, k, |r| {
+                stair.measure_split_streaming_with_scratch_into(
+                    answers.values().iter().copied(),
+                    n,
+                    &mut derive_stream(seed, r),
+                    &mut stair_stream_scratch,
+                    &mut stair_stream_out,
+                );
+                black_box(&stair_stream_out);
+            });
+
             // Finite-precision (§5.1 / Appendix A.1) variants on the
             // integer-lattice workload: the discrete-noise fast path.
             let disc_topk = DiscreteNoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
@@ -743,10 +859,54 @@ pub fn compare_against_baseline(
     })
 }
 
+/// Merges several `BENCH_mechanisms.json` documents into a cell × artifact
+/// trend table: one row per `mechanism/path n k` cell, one `runs_per_sec`
+/// column per input in argument order — the per-PR bench-history view over
+/// CI's uploaded `/tmp/bench.json` artifacts (pass them oldest-commit
+/// first). Cells are listed in first-appearance order; a cell missing from
+/// an artifact (e.g. a mechanism that did not exist at that commit) shows
+/// `-` rather than failing, so histories can span grid changes.
+pub fn bench_history(files: &[(String, String)]) -> Result<Table, String> {
+    if files.is_empty() {
+        return Err("bench-history needs at least one bench JSON file".into());
+    }
+    let mut parsed: Vec<(&str, Vec<ParsedCell>)> = Vec::with_capacity(files.len());
+    for (label, json) in files {
+        let cells = parse_cells(json).map_err(|e| format!("{label}: {e}"))?;
+        parsed.push((label.as_str(), cells));
+    }
+    let mut keys: Vec<String> = Vec::new();
+    for (_, cells) in &parsed {
+        for cell in cells {
+            let key = cell.key();
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    let mut columns: Vec<&str> = vec!["cell"];
+    columns.extend(parsed.iter().map(|(label, _)| *label));
+    let mut table = Table::new(
+        "bench history: runs/sec per cell × artifact (argument order)",
+        &columns,
+    );
+    for key in keys {
+        let mut row = vec![crate::table::Cell::from(key.clone())];
+        for (_, cells) in &parsed {
+            match cells.iter().find(|c| c.key() == key) {
+                Some(c) => row.push(c.runs_per_sec.into()),
+                None => row.push("-".into()),
+            }
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
 /// Renders the records as a table with one row per `mechanism × n × k` and
 /// the paths side by side (speedups relative to `dyn`; the streaming
-/// columns show `-` for the Top-K mechanisms, which have no streaming
-/// path).
+/// columns show `-` for the Noisy-Top-K mechanisms, which have no
+/// streaming path).
 pub fn to_table(records: &[BenchRecord]) -> Table {
     let mut table = Table::new(
         "bench: mechanism throughput (runs/sec; speedup vs dyn path)".to_string(),
@@ -801,8 +961,8 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
             fast_rec.runs_per_sec().into(),
             ratio(fast_rec).into(),
         ];
-        // The Top-K mechanisms have no streaming path; leave their cells
-        // blank rather than printing a misleading zero.
+        // The Noisy-Top-K mechanisms have no streaming path; leave their
+        // cells blank rather than printing a misleading zero.
         match find("streaming") {
             Some(streaming_rec) => {
                 row.push(streaming_rec.runs_per_sec().into());
@@ -1089,6 +1249,49 @@ mod tests {
             .contains("missing baseline cell"));
         assert!(compare_against_baseline(&baseline, &baseline, 1.5).is_err());
         assert!(compare_against_baseline(&baseline, &baseline, -0.1).is_err());
+    }
+
+    #[test]
+    fn bench_history_builds_a_cell_by_artifact_trend_table() {
+        // Two fixture artifacts: the second is uniformly 2× faster.
+        let old = grid_json(|_, _, n, _| 1e6 / n as f64);
+        let new = grid_json(|_, _, n, _| 2e6 / n as f64);
+        let t = bench_history(&[("abc123".to_string(), old), ("def456".to_string(), new)]).unwrap();
+        assert_eq!(t.columns, vec!["cell", "abc123", "def456"]);
+        let cells: usize = MECHANISM_PATHS.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(t.rows.len(), cells * N_GRID.len() * K_GRID.len());
+        // Spot-check one row: key in column 0, throughputs in order.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == crate::table::Cell::from("ExponentialMechanism/scratch n=1000 k=10"))
+            .expect("cell row present");
+        assert_eq!(row[1], crate::table::Cell::Float(1000.0));
+        assert_eq!(row[2], crate::table::Cell::Float(2000.0));
+    }
+
+    #[test]
+    fn bench_history_tolerates_grid_changes_and_rejects_garbage() {
+        // An artifact predating a mechanism shows `-` for its cells instead
+        // of failing the whole history.
+        let full = grid_json(|_, _, _, _| 100.0);
+        let pruned: String = full
+            .lines()
+            .filter(|l| !l.contains("ExponentialMechanism"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let t = bench_history(&[("old".to_string(), pruned), ("new".to_string(), full)]).unwrap();
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == crate::table::Cell::from("ExponentialMechanism/dyn n=1000 k=10"))
+            .expect("cell row present");
+        assert_eq!(row[1], crate::table::Cell::from("-"));
+        assert_eq!(row[2], crate::table::Cell::Float(100.0));
+        // Empty input and unparsable files are errors, labeled by file.
+        assert!(bench_history(&[]).is_err());
+        let err = bench_history(&[("broken.json".to_string(), "{}".to_string())]).unwrap_err();
+        assert!(err.contains("broken.json"), "{err}");
     }
 
     #[test]

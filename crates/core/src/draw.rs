@@ -22,12 +22,18 @@
 //! draws ([`next`](DrawProvider::next)), Algorithm 2's `(ξ, η)` pairs
 //! ([`peek_pairs`](DrawProvider::peek_pairs)), the multi-branch ladder's
 //! `m`-tuples ([`peek_tuples`](DrawProvider::peek_tuples)), the Noisy-Max
-//! batch ([`fill_offset`](DrawProvider::fill_offset)), and the discrete
+//! batch ([`fill_offset`](DrawProvider::fill_offset)), the discrete
 //! (finite-precision) twins of each
 //! ([`discrete_next`](DrawProvider::discrete_next),
 //! [`discrete_peek_pairs`](DrawProvider::discrete_peek_pairs),
 //! [`discrete_peek_tuples`](DrawProvider::discrete_peek_tuples),
-//! [`discrete_fill_offset`](DrawProvider::discrete_fill_offset)) — under
+//! [`discrete_fill_offset`](DrawProvider::discrete_fill_offset)), and the
+//! baseline-mechanism shapes
+//! ([`gumbel_next`](DrawProvider::gumbel_next) for the
+//! exponential-mechanism race, [`exp_next`](DrawProvider::exp_next),
+//! [`staircase_next`](DrawProvider::staircase_next) /
+//! [`staircase_fill_offset`](DrawProvider::staircase_fill_offset) for the
+//! variance-optimal measurement) — under
 //! one invariant, the **stream discipline** of `README.md`: however a
 //! provider buffers internally, the sequence of draws it *serves* is
 //! bit-identical to a sequential sampling loop at the requested scales on
@@ -45,7 +51,10 @@
 
 use crate::scratch::SvtScratch;
 use free_gap_alignment::NoiseSource;
-use free_gap_noise::{ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Laplace};
+use free_gap_noise::{
+    ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Exponential, Gumbel, Laplace,
+    Staircase,
+};
 use rand::Rng;
 
 /// Largest tuple arity a provider must support — one draw per branch of the
@@ -146,6 +155,28 @@ pub trait DrawProvider {
     /// lookahead first (and may buffer more), so the served sequence always
     /// matches the sequential reference.
     fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>);
+
+    /// One standard-shape `Gumbel(beta)` draw (location 0) — the
+    /// exponential-mechanism race shape, one draw per query in stream
+    /// order. Consumes one uniform of the underlying stream on every
+    /// provider (the one-uniform inverse-CDF transform).
+    fn gumbel_next(&mut self, beta: f64) -> f64;
+
+    /// One one-sided `Exp(beta)` draw; same serving contract as
+    /// [`gumbel_next`](DrawProvider::gumbel_next).
+    fn exp_next(&mut self, beta: f64) -> f64;
+
+    /// One staircase draw from `dist` — the variance-optimal measurement
+    /// shape. Consumes exactly four uniforms of the underlying stream
+    /// (the Geng–Viswanath four-variable representation) on every provider.
+    fn staircase_next(&mut self, dist: &Staircase) -> f64;
+
+    /// Fills `out` with `base[i] +` a staircase draw from `dist`, one draw
+    /// (four uniforms) per element in index order — the staircase
+    /// measurement batch shape. The distribution is constructed once by the
+    /// caller; the dyn adapter intentionally re-derives it per draw (the
+    /// draw-exact reference cost the batched paths hoist).
+    fn staircase_fill_offset(&mut self, base: &[f64], dist: &Staircase, out: &mut Vec<f64>);
 }
 
 /// Draw-provider adapter over the alignment crate's `dyn NoiseSource` — the
@@ -230,6 +261,31 @@ impl DrawProvider for SourceDraws<'_> {
     fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
         out.clear();
         out.extend(base.iter().map(|b| b + self.source.laplace(scale)));
+    }
+
+    fn gumbel_next(&mut self, beta: f64) -> f64 {
+        self.source.gumbel(beta)
+    }
+
+    fn exp_next(&mut self, beta: f64) -> f64 {
+        self.source.exponential(beta)
+    }
+
+    fn staircase_next(&mut self, dist: &Staircase) -> f64 {
+        self.source
+            .staircase(dist.epsilon(), dist.sensitivity(), dist.gamma())
+    }
+
+    fn staircase_fill_offset(&mut self, base: &[f64], dist: &Staircase, out: &mut Vec<f64>) {
+        // Forwarded draw-by-draw: the source reconstructs the distribution
+        // per draw (one `exp` + one `ln` each), which is exactly the
+        // reference cost the scratch providers hoist out of the loop.
+        out.clear();
+        out.extend(base.iter().map(|b| {
+            b + self
+                .source
+                .staircase(dist.epsilon(), dist.sensitivity(), dist.gamma())
+        }));
     }
 }
 
@@ -329,6 +385,33 @@ impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> {
                 .map(|b| b + self.scratch.next_scaled(self.rng, scale)),
         );
     }
+
+    #[inline]
+    fn gumbel_next(&mut self, beta: f64) -> f64 {
+        // Served from the shared raw-uniform tape through the uncached
+        // transform (the scale may vary per draw, and the run's watermark
+        // cache belongs to the unit-Laplace transform) — interleaves with
+        // every other family without breaking the stream discipline.
+        self.scratch.gumbel_next(self.rng, beta)
+    }
+
+    #[inline]
+    fn exp_next(&mut self, beta: f64) -> f64 {
+        self.scratch.exp_next(self.rng, beta)
+    }
+
+    #[inline]
+    fn staircase_next(&mut self, dist: &Staircase) -> f64 {
+        self.scratch.staircase_next(self.rng, dist)
+    }
+
+    fn staircase_fill_offset(&mut self, base: &[f64], dist: &Staircase, out: &mut Vec<f64>) {
+        // Tape-served like `fill_offset`: buffered lookahead drains first,
+        // refills stay blocked, and the caller-constructed distribution is
+        // reused across the whole batch.
+        self.scratch
+            .staircase_fill_offset(self.rng, base, dist, out);
+    }
 }
 
 /// Draw-exact monomorphic provider over a plain [`rand::Rng`] — no block
@@ -422,6 +505,33 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
         let lap = Laplace::new(scale).expect("mechanism-validated scale");
         out.resize(base.len(), 0.0);
         lap.fill_into_offset(self.rng, base, out);
+    }
+
+    #[inline]
+    fn gumbel_next(&mut self, beta: f64) -> f64 {
+        Gumbel::new(beta)
+            .expect("mechanism-validated scale")
+            .sample(self.rng)
+    }
+
+    #[inline]
+    fn exp_next(&mut self, beta: f64) -> f64 {
+        Exponential::new(beta)
+            .expect("mechanism-validated scale")
+            .sample(self.rng)
+    }
+
+    #[inline]
+    fn staircase_next(&mut self, dist: &Staircase) -> f64 {
+        dist.sample(self.rng)
+    }
+
+    fn staircase_fill_offset(&mut self, base: &[f64], dist: &Staircase, out: &mut Vec<f64>) {
+        // The caller-constructed distribution serves the whole batch through
+        // the fused offset fill (construction, `exp`, and the stair-side
+        // normalization hoisted out of the per-draw loop).
+        out.resize(base.len(), 0.0);
+        dist.fill_into_offset(self.rng, base, out);
     }
 }
 
@@ -521,6 +631,57 @@ mod tests {
         for i in 0..base.len() {
             assert_eq!(oa[i].to_bits(), ob[i].to_bits(), "fill slot {i}");
             assert_eq!(oa[i].to_bits(), oc[i].to_bits(), "fill slot {i}");
+        }
+    }
+
+    #[test]
+    fn baseline_shapes_serve_identical_streams() {
+        // gumbel/exp/staircase draws across the three providers on
+        // identically seeded streams — the same unification invariant as
+        // the Laplace/discrete shapes (full interleaving coverage lives in
+        // `tests/draw_provider.rs`).
+        let stair = Staircase::new(0.8, 1.0, 0.3).expect("valid shape");
+        let mut rng_a = rng_from_seed(23);
+        let mut source = SamplingSource::new(&mut rng_a);
+        let mut a = SourceDraws::new(&mut source);
+        let mut rng_b = rng_from_seed(23);
+        let mut scratch = SvtScratch::new();
+        let mut b = ScratchDraws::new(&mut scratch, &mut rng_b);
+        let mut rng_c = rng_from_seed(23);
+        let mut c = RngDraws::new(&mut rng_c);
+        a.begin();
+        b.begin();
+        c.begin();
+        for i in 0..40 {
+            let beta = 0.5 + (i % 5) as f64;
+            let (x, y, z) = (
+                a.gumbel_next(beta),
+                b.gumbel_next(beta),
+                c.gumbel_next(beta),
+            );
+            assert_eq!(x.to_bits(), y.to_bits(), "gumbel {i}");
+            assert_eq!(x.to_bits(), z.to_bits(), "gumbel {i}");
+            let (x, y, z) = (a.exp_next(beta), b.exp_next(beta), c.exp_next(beta));
+            assert_eq!(x.to_bits(), y.to_bits(), "exponential {i}");
+            assert_eq!(x.to_bits(), z.to_bits(), "exponential {i}");
+            if i % 3 == 0 {
+                let (x, y, z) = (
+                    a.staircase_next(&stair),
+                    b.staircase_next(&stair),
+                    c.staircase_next(&stair),
+                );
+                assert_eq!(x.to_bits(), y.to_bits(), "staircase {i}");
+                assert_eq!(x.to_bits(), z.to_bits(), "staircase {i}");
+            }
+        }
+        let base = [5.0, -2.0, 11.0];
+        let (mut oa, mut ob, mut oc) = (Vec::new(), Vec::new(), Vec::new());
+        a.staircase_fill_offset(&base, &stair, &mut oa);
+        b.staircase_fill_offset(&base, &stair, &mut ob);
+        c.staircase_fill_offset(&base, &stair, &mut oc);
+        for i in 0..base.len() {
+            assert_eq!(oa[i].to_bits(), ob[i].to_bits(), "staircase fill {i}");
+            assert_eq!(oa[i].to_bits(), oc[i].to_bits(), "staircase fill {i}");
         }
     }
 

@@ -45,6 +45,17 @@ pub enum MechanismError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A utility/answer fed to a selection mechanism was NaN or infinite.
+    /// Selection over non-finite scores is undefined (a NaN poisons any
+    /// comparison-based race and `±inf` degenerates the softmax), so the
+    /// mechanisms reject the workload up front instead of panicking in a
+    /// sort or silently mis-selecting.
+    NonFiniteUtility {
+        /// Index of the offending query.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for MechanismError {
@@ -76,6 +87,12 @@ impl fmt::Display for MechanismError {
             }
             MechanismError::InvalidSplit { reason } => {
                 write!(f, "invalid budget split: {reason}")
+            }
+            MechanismError::NonFiniteUtility { index, value } => {
+                write!(
+                    f,
+                    "utility {index} is {value}; selection requires finite utilities"
+                )
             }
         }
     }
@@ -139,5 +156,10 @@ mod tests {
             reason: "fraction list must be non-empty",
         };
         assert!(e.to_string().contains("non-empty"));
+        let e = MechanismError::NonFiniteUtility {
+            index: 3,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("utility 3"));
     }
 }

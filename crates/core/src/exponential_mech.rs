@@ -6,11 +6,41 @@
 //! convention). Implemented via the Gumbel-max trick — `argmaxᵢ (ε·qᵢ/(cΔ) +
 //! Gumbelᵢ)` has exactly the softmax distribution — which keeps the
 //! per-query work `O(1)` and numerically stable for large scores.
+//!
+//! ## Execution paths
+//!
+//! The Gumbel race exists once, generic over the
+//! [`DrawProvider`] noise comes through: one standard-Gumbel draw per query
+//! in stream order, scores `qᵢ·t + Gᵢ` compared under the `f64` **total
+//! order** (ties to the smaller index). The entry points pick the provider
+//! and the selection strategy:
+//!
+//! * `run` / `run_top_k` — the dyn reference. `run_top_k` materializes all
+//!   `n` scores through [`SourceDraws`] and sorts them (the one-shot Gumbel
+//!   race as usually stated, `O(n log n)`);
+//! * `run_with_scratch` / `run_top_k_with_scratch[_into]` — the batched
+//!   fast path over [`TopKScratch`]: the race core streams scores through a
+//!   `k`-sized insertion buffer (`O(n·k)` with tiny constants, reused
+//!   buffers, monomorphic RNG). Output is **bit-identical** to the
+//!   reference sort on the same RNG stream — same draws, same total order —
+//!   asserted by `tests/scratch_equivalence.rs`;
+//! * `run_streaming` / `run_top_k_streaming[_with_scratch[_into]]` — the
+//!   same race over `impl IntoIterator<Item = f64>`: `O(k)` memory, the
+//!   query vector is never materialized. (Selection must see every query,
+//!   so unlike SVT the stream is always fully consumed.)
+//!
+//! Workloads are validated up front: a NaN or infinite utility is a typed
+//! [`MechanismError::NonFiniteUtility`], never a sort panic or a silent
+//! mis-selection.
 
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
-use free_gap_noise::{ContinuousDistribution, Gumbel};
+use crate::scratch::TopKScratch;
+use free_gap_alignment::{NoiseSource, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
+use std::cmp::Ordering;
 
 /// Exponential-mechanism selection over sensitivity-1 utility queries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,7 +70,14 @@ impl ExponentialMechanism {
 
     /// Selection probabilities (softmax of the scaled utilities), computed
     /// with the max-subtraction trick for stability.
-    pub fn probabilities(&self, answers: &QueryAnswers) -> Vec<f64> {
+    ///
+    /// Rejects empty workloads and non-finite utilities: with a `-∞`
+    /// utility the max-subtraction `q - m` degenerates to `-∞ - -∞ = NaN`
+    /// when every utility is `-∞`, and a `+∞`/NaN poisons the
+    /// normalization — all-NaN "probabilities" used to come back silently.
+    pub fn probabilities(&self, answers: &QueryAnswers) -> Result<Vec<f64>, MechanismError> {
+        answers.require_len(1)?;
+        Self::require_finite(answers.values())?;
         let t = self.exponent();
         let m = answers
             .values()
@@ -52,48 +89,321 @@ impl ExponentialMechanism {
             .iter()
             .map(|q| ((q - m) * t).exp())
             .collect();
+        // With finite utilities the max term contributes exp(0) = 1, so the
+        // total is at least 1 and the division cannot produce NaN.
         let total: f64 = weights.iter().sum();
-        weights.into_iter().map(|w| w / total).collect()
+        Ok(weights.into_iter().map(|w| w / total).collect())
     }
 
-    /// Samples one index via the Gumbel-max trick.
-    ///
-    /// # Panics
-    /// Panics on an empty workload.
-    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> usize {
-        assert!(!answers.is_empty(), "cannot select from an empty workload");
-        let t = self.exponent();
-        let gumbel = Gumbel::standard();
-        let mut best = 0;
-        let mut best_score = f64::NEG_INFINITY;
-        for (i, &q) in answers.values().iter().enumerate() {
-            let score = q * t + gumbel.sample(rng);
-            if score > best_score {
-                best_score = score;
-                best = i;
+    /// Validates every utility is finite (the selection races and the
+    /// softmax are undefined otherwise).
+    fn require_finite(values: &[f64]) -> Result<(), MechanismError> {
+        for (index, &value) in values.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(MechanismError::NonFiniteUtility { index, value });
             }
         }
-        best
+        Ok(())
+    }
+
+    /// Validates the Top-K configuration against a materialized workload.
+    fn require_top_k(&self, answers: &QueryAnswers, k: usize) -> Result<(), MechanismError> {
+        if k > answers.len() {
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must not exceed the workload size",
+            });
+        }
+        Ok(())
+    }
+
+    /// Scores one query: `q·t + standard Gumbel` — the Gumbel-max race
+    /// entry, the one place the score arithmetic exists (every path shares
+    /// it, so the reference sort and the insertion race are bit-comparable).
+    #[inline]
+    fn score<P: DrawProvider>(
+        t: f64,
+        index: usize,
+        q: f64,
+        provider: &mut P,
+    ) -> Result<f64, MechanismError> {
+        if !q.is_finite() {
+            return Err(MechanismError::NonFiniteUtility { index, value: q });
+        }
+        Ok(q * t + provider.gumbel_next(1.0))
+    }
+
+    /// The single copy of the Gumbel-max race, generic over the
+    /// [`DrawProvider`] noise comes through and lazy over the query stream:
+    /// one standard-Gumbel draw per query in stream order, maintaining the
+    /// `k` best `(score, index)` pairs in `scores`/`top` (descending under
+    /// the `f64` total order, ties to the smaller index — exactly the
+    /// reference sort's order). Returns the number of queries processed.
+    ///
+    /// `O(k)` memory: this is both the batched fast path (`k`-sized
+    /// insertion buffer instead of an `n`-sized sort) and the streaming
+    /// path (the query vector is never materialized).
+    fn race_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        k: usize,
+        provider: &mut P,
+        scores: &mut Vec<f64>,
+        top: &mut Vec<usize>,
+    ) -> Result<usize, MechanismError> {
+        provider.begin();
+        let t = self.exponent();
+        scores.clear();
+        top.clear();
+        // The buffer never holds more than min(k, processed) + 1 entries;
+        // cap the pre-reservation so a streaming caller's oversized `k`
+        // (validated only at end-of-stream) cannot trigger a huge
+        // allocation before the stream is drained.
+        let reserve = k.saturating_add(1).min(1024);
+        scores.reserve(reserve);
+        top.reserve(reserve);
+        let mut processed = 0usize;
+        for q in queries {
+            let index = processed;
+            processed += 1;
+            let s = Self::score(t, index, q, provider)?;
+            // One draw per query even when k = 0 (or the buffer is full and
+            // the score loses): the race consumes the stream exactly like
+            // the materializing reference.
+            if k == 0 || (top.len() == k && s.total_cmp(&scores[k - 1]) != Ordering::Greater) {
+                continue;
+            }
+            let pos = scores.partition_point(|v| v.total_cmp(&s) != Ordering::Less);
+            scores.insert(pos, s);
+            top.insert(pos, index);
+            if top.len() > k {
+                scores.pop();
+                top.pop();
+            }
+        }
+        Ok(processed)
+    }
+
+    /// Samples one index via the Gumbel-max trick (the dyn reference path,
+    /// through [`SourceDraws`]).
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> Result<usize, MechanismError> {
+        let mut source = SamplingSource::new(rng);
+        self.run_with_source(answers, &mut source)
+    }
+
+    /// Samples one index against an explicit noise source.
+    pub fn run_with_source(
+        &self,
+        answers: &QueryAnswers,
+        source: &mut dyn NoiseSource,
+    ) -> Result<usize, MechanismError> {
+        answers.require_len(1)?;
+        let (mut scores, mut top) = (Vec::with_capacity(2), Vec::with_capacity(2));
+        self.race_core(
+            answers.values().iter().copied(),
+            1,
+            &mut SourceDraws::new(source),
+            &mut scores,
+            &mut top,
+        )?;
+        Ok(top[0])
+    }
+
+    /// Batched fast path of [`run`](Self::run): the race core through
+    /// [`RngDraws`] with [`TopKScratch`]'s reused buffers. Bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> Result<usize, MechanismError> {
+        answers.require_len(1)?;
+        self.race_core(
+            answers.values().iter().copied(),
+            1,
+            &mut RngDraws::new(rng),
+            &mut scratch.noisy,
+            &mut scratch.top,
+        )?;
+        Ok(scratch.top[0])
+    }
+
+    /// Streaming twin of [`run`](Self::run): the argmax race over a lazy
+    /// query stream, `O(1)` memory, nothing materialized. Errors on an
+    /// empty stream.
+    pub fn run_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        rng: &mut StdRng,
+    ) -> Result<usize, MechanismError> {
+        let mut source = SamplingSource::new(rng);
+        let (mut scores, mut top) = (Vec::with_capacity(2), Vec::with_capacity(2));
+        let processed = self.race_core(
+            queries,
+            1,
+            &mut SourceDraws::new(&mut source),
+            &mut scores,
+            &mut top,
+        )?;
+        if processed == 0 {
+            return Err(MechanismError::NotEnoughQueries { got: 0, need: 1 });
+        }
+        Ok(top[0])
     }
 
     /// Samples `k` indices *with replacement-free sequential application*
     /// (peeling): repeatedly applies the mechanism to the not-yet-selected
     /// queries, spending `epsilon` each round — total cost `k·ε`. A
     /// selection baseline for the Top-K experiments.
-    pub fn run_top_k(&self, answers: &QueryAnswers, k: usize, rng: &mut StdRng) -> Vec<usize> {
-        assert!(k <= answers.len(), "k exceeds workload size");
+    ///
+    /// This is the dyn reference path: all `n` scores are materialized
+    /// through [`SourceDraws`] and sorted (one-shot Gumbel top-k is
+    /// equivalent to sequential peeling with fresh noise each round — the
+    /// Gumbel race equivalence). The scratch/streaming entry points run the
+    /// same race through a `k`-sized insertion buffer instead; outputs are
+    /// bit-identical on the same RNG stream.
+    pub fn run_top_k(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut source = SamplingSource::new(rng);
+        self.run_top_k_with_source(answers, k, &mut source)
+    }
+
+    /// [`run_top_k`](Self::run_top_k) against an explicit noise source.
+    pub fn run_top_k_with_source(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        source: &mut dyn NoiseSource,
+    ) -> Result<Vec<usize>, MechanismError> {
+        self.require_top_k(answers, k)?;
+        let mut provider = SourceDraws::new(source);
+        provider.begin();
         let t = self.exponent();
-        let gumbel = Gumbel::standard();
-        let mut scores: Vec<(f64, usize)> = answers
-            .values()
-            .iter()
-            .enumerate()
-            .map(|(i, &q)| (q * t + gumbel.sample(rng), i))
-            .collect();
-        // One-shot Gumbel top-k is equivalent to sequential peeling with
-        // fresh noise each round (Gumbel race equivalence).
-        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-        scores.into_iter().take(k).map(|(_, i)| i).collect()
+        let mut scores: Vec<(f64, usize)> = Vec::with_capacity(answers.len());
+        for (i, &q) in answers.values().iter().enumerate() {
+            scores.push((Self::score(t, i, q, &mut provider)?, i));
+        }
+        // Reference selection: total-order sort, descending score, ties to
+        // the smaller index — the exact order the race core's insertion
+        // buffer maintains (`scratch_equivalence` keeps the two honest).
+        scores.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        Ok(scores.into_iter().take(k).map(|(_, i)| i).collect())
+    }
+
+    /// Batched fast path of [`run_top_k`](Self::run_top_k) over
+    /// [`TopKScratch`]: the race core through [`RngDraws`] — `k`-sized
+    /// insertion selection, reused buffers, monomorphic RNG, no sort.
+    /// Bit-identical to [`run_top_k`](Self::run_top_k) on the same RNG
+    /// stream.
+    pub fn run_top_k_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut out = Vec::new();
+        self.run_top_k_with_scratch_into(answers, k, rng, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_top_k_with_scratch`](Self::run_top_k_with_scratch): writes the
+    /// selected indices into `out`, reusing its buffer across runs.
+    pub fn run_top_k_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MechanismError> {
+        self.require_top_k(answers, k)?;
+        self.race_core(
+            answers.values().iter().copied(),
+            k,
+            &mut RngDraws::new(rng),
+            &mut scratch.noisy,
+            &mut scratch.top,
+        )?;
+        out.clear();
+        out.extend_from_slice(&scratch.top);
+        Ok(())
+    }
+
+    /// Streaming twin of [`run_top_k`](Self::run_top_k): the race over a
+    /// lazy query stream with `O(k)` memory. The workload-size check moves
+    /// to the end of the stream (a stream shorter than `k` is
+    /// [`MechanismError::NotEnoughQueries`]).
+    pub fn run_top_k_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut source = SamplingSource::new(rng);
+        let (mut scores, mut top) = (Vec::new(), Vec::new());
+        let processed = self.race_core(
+            queries,
+            k,
+            &mut SourceDraws::new(&mut source),
+            &mut scores,
+            &mut top,
+        )?;
+        if processed < k {
+            return Err(MechanismError::NotEnoughQueries {
+                got: processed,
+                need: k,
+            });
+        }
+        Ok(top)
+    }
+
+    /// Streaming + scratch: the race over a lazy stream with
+    /// [`TopKScratch`]'s reused buffers and a monomorphic RNG.
+    pub fn run_top_k_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        k: usize,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut out = Vec::new();
+        self.run_top_k_streaming_with_scratch_into(queries, k, rng, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_top_k_streaming_with_scratch`](Self::run_top_k_streaming_with_scratch).
+    pub fn run_top_k_streaming_with_scratch_into<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        queries: I,
+        k: usize,
+        rng: &mut R,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MechanismError> {
+        let processed = self.race_core(
+            queries,
+            k,
+            &mut RngDraws::new(rng),
+            &mut scratch.noisy,
+            &mut scratch.top,
+        )?;
+        if processed < k {
+            return Err(MechanismError::NotEnoughQueries {
+                got: processed,
+                need: k,
+            });
+        }
+        out.clear();
+        out.extend_from_slice(&scratch.top);
+        Ok(())
     }
 }
 
@@ -122,7 +432,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one_and_order_by_utility() {
         let m = ExponentialMechanism::new(1.0, true).unwrap();
-        let p = m.probabilities(&workload());
+        let p = m.probabilities(&workload()).unwrap();
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(p[0] > p[1] && p[1] > p[2]);
         // Softmax ratio: p0/p1 = e^{(5-3)·1} = e².
@@ -130,14 +440,35 @@ mod tests {
     }
 
     #[test]
+    fn probabilities_reject_degenerate_workloads() {
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        // Regression: all-(-inf) utilities used to return all-NaN
+        // "probabilities" (the `q - m` max-subtraction yields -inf - -inf).
+        let all_neg_inf = QueryAnswers::counting(vec![f64::NEG_INFINITY; 3]);
+        assert!(matches!(
+            m.probabilities(&all_neg_inf),
+            Err(MechanismError::NonFiniteUtility { index: 0, .. })
+        ));
+        let with_nan = QueryAnswers::counting(vec![1.0, f64::NAN, 2.0]);
+        assert!(matches!(
+            m.probabilities(&with_nan),
+            Err(MechanismError::NonFiniteUtility { index: 1, .. })
+        ));
+        assert!(matches!(
+            m.probabilities(&QueryAnswers::counting(vec![])),
+            Err(MechanismError::NotEnoughQueries { .. })
+        ));
+    }
+
+    #[test]
     fn gumbel_sampler_matches_softmax() {
         let m = ExponentialMechanism::new(0.8, true).unwrap();
-        let p = m.probabilities(&workload());
+        let p = m.probabilities(&workload()).unwrap();
         let mut rng = rng_from_seed(50);
         let n = 200_000;
         let mut counts = [0usize; 3];
         for _ in 0..n {
-            counts[m.run(&workload(), &mut rng)] += 1;
+            counts[m.run(&workload(), &mut rng).unwrap()] += 1;
         }
         for i in 0..3 {
             let emp = counts[i] as f64 / n as f64;
@@ -150,15 +481,93 @@ mod tests {
     fn top_k_returns_distinct_indices() {
         let m = ExponentialMechanism::new(1.0, true).unwrap();
         let mut rng = rng_from_seed(51);
-        let sel = m.run_top_k(&workload(), 2, &mut rng);
+        let sel = m.run_top_k(&workload(), 2, &mut rng).unwrap();
         assert_eq!(sel.len(), 2);
         assert_ne!(sel[0], sel[1]);
     }
 
     #[test]
-    #[should_panic(expected = "empty workload")]
-    fn empty_workload_panics() {
+    fn empty_workload_is_a_typed_error() {
+        // Regression: used to be an `assert!` panic.
         let m = ExponentialMechanism::new(1.0, true).unwrap();
-        m.run(&QueryAnswers::counting(vec![]), &mut rng_from_seed(1));
+        assert!(matches!(
+            m.run(&QueryAnswers::counting(vec![]), &mut rng_from_seed(1)),
+            Err(MechanismError::NotEnoughQueries { got: 0, need: 1 })
+        ));
+        assert!(matches!(
+            m.run_streaming(std::iter::empty(), &mut rng_from_seed(1)),
+            Err(MechanismError::NotEnoughQueries { got: 0, need: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_k_is_a_typed_error() {
+        // Regression: used to be an `assert!` panic on the materialized
+        // path; the streaming path reports it at end-of-stream.
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        assert!(matches!(
+            m.run_top_k(&workload(), 4, &mut rng_from_seed(1)),
+            Err(MechanismError::InvalidK { k: 4, .. })
+        ));
+        assert!(matches!(
+            m.run_top_k_streaming(
+                workload().values().iter().copied(),
+                4,
+                &mut rng_from_seed(1)
+            ),
+            Err(MechanismError::NotEnoughQueries { got: 3, need: 4 })
+        ));
+    }
+
+    #[test]
+    fn nan_utility_is_a_typed_error_on_every_path() {
+        // Regression: a NaN score used to panic `partial_cmp().unwrap()` in
+        // `run_top_k` and silently lose every `>` comparison in `run`
+        // (mis-selecting index 0 regardless of the race).
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        let bad = QueryAnswers::counting(vec![1.0, f64::NAN, 3.0]);
+        let mut scratch = TopKScratch::new();
+        assert!(matches!(
+            m.run(&bad, &mut rng_from_seed(2)),
+            Err(MechanismError::NonFiniteUtility { index: 1, .. })
+        ));
+        assert!(matches!(
+            m.run_top_k(&bad, 2, &mut rng_from_seed(2)),
+            Err(MechanismError::NonFiniteUtility { index: 1, .. })
+        ));
+        assert!(matches!(
+            m.run_top_k_with_scratch(&bad, 2, &mut rng_from_seed(2), &mut scratch),
+            Err(MechanismError::NonFiniteUtility { index: 1, .. })
+        ));
+        let inf = QueryAnswers::counting(vec![1.0, 2.0, f64::INFINITY]);
+        assert!(matches!(
+            m.run_streaming(inf.values().iter().copied(), &mut rng_from_seed(2)),
+            Err(MechanismError::NonFiniteUtility { index: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        let m = ExponentialMechanism::new(1.0, true).unwrap();
+        assert!(m
+            .run_top_k(&workload(), 0, &mut rng_from_seed(3))
+            .unwrap()
+            .is_empty());
+        assert!(m
+            .run_top_k(&QueryAnswers::counting(vec![]), 0, &mut rng_from_seed(3))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn run_is_the_k1_race_on_the_same_stream() {
+        let m = ExponentialMechanism::new(0.9, false).unwrap();
+        for seed in 0..20 {
+            let a = m.run(&workload(), &mut rng_from_seed(seed)).unwrap();
+            let b = m
+                .run_top_k(&workload(), 1, &mut rng_from_seed(seed))
+                .unwrap();
+            assert_eq!(a, b[0], "seed {seed}");
+        }
     }
 }

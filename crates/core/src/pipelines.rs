@@ -28,7 +28,9 @@ use crate::postprocess::blue::{blue_estimates, BlueInput};
 use crate::postprocess::weighted::{combine_gap_with_measurement, topk_lambda_for_even_split};
 use crate::scratch::{SvtScratch, TopKScratch};
 use crate::sparse_vector::SparseVectorWithGap;
+use crate::staircase_mech::StaircaseMechanism;
 use free_gap_alignment::SamplingSource;
+use free_gap_noise::ContinuousDistribution;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -184,6 +186,95 @@ pub fn topk_select_measure_with_split_scratch<R: Rng + ?Sized>(
         k,
         epsilon,
         select_fraction,
+        &mut RngDraws::new(rng),
+        &mut scratch.topk,
+    )
+}
+
+/// The §5.2 protocol with the variance-optimal **staircase** measurement of
+/// §3.1 in place of Laplace: selection (and its free gaps) is the unchanged
+/// Laplace-noised Algorithm 1 at `ε/2`, while the direct measurements of
+/// the selected queries carry staircase noise at `ε/2` split evenly
+/// (the [`StaircaseMechanism::measure_split`] convention, drawn through the
+/// provider's [`staircase_fill_offset`](DrawProvider::staircase_fill_offset)
+/// shape — four uniforms per measurement). BLUE is variance-weighted, so
+/// `λ` adapts to the actual ratio `Var(selection noise)/Var(staircase
+/// noise)` instead of the fixed Laplace-vs-Laplace constants.
+fn topk_select_measure_staircase_core<P: DrawProvider>(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    provider: &mut P,
+    scratch: &mut TopKScratch,
+) -> Result<TopKPipelineResult, MechanismError> {
+    answers.require_len(k + 1)?;
+    let half = epsilon / 2.0;
+    let selector = NoisyTopKWithGap::new(k, half, answers.monotonic())?;
+    let measurer = StaircaseMechanism::new(half)?;
+
+    let selection = selector.run_provider(answers, provider, scratch);
+    let indices = selection.indices();
+    let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
+
+    let noise = measurer.noise_for_batch(k)?;
+    let mut measurements = Vec::new();
+    provider.staircase_fill_offset(&truths, &noise, &mut measurements);
+
+    // BLUE's λ is the per-draw noise-variance ratio (selection vs
+    // measurement); for Laplace-vs-Laplace it collapses to the
+    // `(c(1-f)/f)²` constants of `topk_select_measure_core`.
+    let sel_scale = selector.scale();
+    let lambda = 2.0 * sel_scale * sel_scale / noise.variance();
+
+    let gaps = selection.gaps();
+    let blue = blue_estimates(&BlueInput {
+        measurements: &measurements,
+        gaps: &gaps[..k - 1],
+        lambda,
+    })?;
+
+    Ok(TopKPipelineResult {
+        indices,
+        gaps,
+        measurements,
+        blue,
+        truths,
+    })
+}
+
+/// Runs the §5.2 protocol with staircase measurement noise (§3.1): the
+/// drop-in-replacement pipeline the paper's related-work discussion
+/// sketches. Selection and its free gaps are unchanged.
+pub fn topk_select_measure_staircase(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> Result<TopKPipelineResult, MechanismError> {
+    let mut source = SamplingSource::new(rng);
+    topk_select_measure_staircase_core(
+        answers,
+        k,
+        epsilon,
+        &mut SourceDraws::new(&mut source),
+        &mut TopKScratch::new(),
+    )
+}
+
+/// Batched fast path of [`topk_select_measure_staircase`]. Draw counts are
+/// data-independent (`n` Laplace + `4k` staircase uniforms), so the result
+/// is bit-identical to the allocating pipeline on the same RNG stream.
+pub fn topk_select_measure_staircase_scratch<R: Rng + ?Sized>(
+    answers: &QueryAnswers,
+    k: usize,
+    epsilon: f64,
+    rng: &mut R,
+    scratch: &mut PipelineScratch,
+) -> Result<TopKPipelineResult, MechanismError> {
+    topk_select_measure_staircase_core(
+        answers,
+        k,
+        epsilon,
         &mut RngDraws::new(rng),
         &mut scratch.topk,
     )
@@ -358,6 +449,53 @@ mod tests {
         let ratio = mse_blue.mean() / mse_meas.mean();
         let expect = (1.0 + k as f64) / (2.0 * k as f64); // 0.6 at k = 5
         assert!((ratio - expect).abs() < 0.05, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn staircase_pipeline_shapes_and_blue_improvement() {
+        let k = 4;
+        let mut rng = rng_from_seed(11);
+        let mut mse_blue = RunningMoments::new();
+        let mut mse_meas = RunningMoments::new();
+        for _ in 0..4_000 {
+            let r = topk_select_measure_staircase(&workload(), k, 2.0, &mut rng).unwrap();
+            assert_eq!(r.indices.len(), k);
+            assert_eq!(r.measurements.len(), k);
+            assert_eq!(r.blue.len(), k);
+            for i in 0..k {
+                mse_blue.push((r.blue[i] - r.truths[i]).powi(2));
+                mse_meas.push((r.measurements[i] - r.truths[i]).powi(2));
+            }
+        }
+        // BLUE folds the free gaps in; it must strictly beat the
+        // measurement-only baseline whatever the measurement noise family.
+        assert!(
+            mse_blue.mean() < 0.95 * mse_meas.mean(),
+            "blue {} vs measurements {}",
+            mse_blue.mean(),
+            mse_meas.mean()
+        );
+    }
+
+    #[test]
+    fn staircase_scratch_pipeline_is_bit_identical() {
+        // Data-independent draw counts: the scratch path reproduces the
+        // allocating staircase pipeline exactly.
+        let mut scratch = PipelineScratch::new();
+        for seed in 0..50 {
+            let expect =
+                topk_select_measure_staircase(&workload(), 4, 1.0, &mut rng_from_seed(seed))
+                    .unwrap();
+            let got = topk_select_measure_staircase_scratch(
+                &workload(),
+                4,
+                1.0,
+                &mut rng_from_seed(seed),
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(expect, got, "seed {seed}");
+        }
     }
 
     #[test]

@@ -61,7 +61,7 @@
 //! }
 //! ```
 
-use free_gap_noise::{BlockBuffer, DiscreteLaplace, Laplace};
+use free_gap_noise::{BlockBuffer, DiscreteLaplace, Exponential, Gumbel, Laplace, Staircase};
 use rand::Rng;
 
 /// Reusable buffers for the Noisy Top-K family's batched fast path.
@@ -230,6 +230,52 @@ impl SvtScratch {
     #[inline]
     pub(crate) fn consume_discrete(&mut self, draws: usize) {
         self.block.consume(draws);
+    }
+
+    /// Next standard-shape Gumbel(`beta`) draw, served from the shared
+    /// raw-uniform tape through the uncached transform path (the scale may
+    /// vary per draw and differs from the run's cached unit-Laplace
+    /// transform). Bit-identical to
+    /// [`Gumbel::sample`](free_gap_noise::ContinuousDistribution::sample)
+    /// at the same stream position.
+    #[inline]
+    pub(crate) fn gumbel_next<R: Rng + ?Sized>(&mut self, rng: &mut R, beta: f64) -> f64 {
+        let dist = Gumbel::new(beta).expect("mechanism-validated scale");
+        self.block.next_uncached(&dist, rng)
+    }
+
+    /// Next one-sided Exponential(`beta`) draw from the shared tape; same
+    /// serving contract as [`gumbel_next`](Self::gumbel_next).
+    #[inline]
+    pub(crate) fn exp_next<R: Rng + ?Sized>(&mut self, rng: &mut R, beta: f64) -> f64 {
+        let dist = Exponential::new(beta).expect("mechanism-validated scale");
+        self.block.next_uncached(&dist, rng)
+    }
+
+    /// Next staircase draw (four tape uniforms through the four-variable
+    /// transform), bit-identical to
+    /// [`Staircase::sample`](free_gap_noise::ContinuousDistribution::sample)
+    /// at the same stream position.
+    #[inline]
+    pub(crate) fn staircase_next<R: Rng + ?Sized>(&mut self, rng: &mut R, dist: &Staircase) -> f64 {
+        self.block.next_staircase(dist, rng)
+    }
+
+    /// Fused `base[i] + staircase draw` batch over the shared tape — the
+    /// measurement shape, with the distribution constructed once by the
+    /// caller and any buffered lookahead drained first, in order.
+    pub(crate) fn staircase_fill_offset<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        base: &[f64],
+        dist: &Staircase,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(
+            base.iter()
+                .map(|b| b + self.block.next_staircase(dist, rng)),
+        );
     }
 
     /// Fused `base[i] + discrete draw` batch over the shared tape — the

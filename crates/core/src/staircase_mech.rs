@@ -16,9 +16,35 @@
 //! classical per-measurement argument (each coordinate is an ε-DP additive
 //! release, composed sequentially).
 
+//! ## Execution paths
+//!
+//! The measurement loop exists once, generic over the
+//! [`DrawProvider`] noise comes through (the
+//! [`staircase_fill_offset`](DrawProvider::staircase_fill_offset) /
+//! [`staircase_next`](DrawProvider::staircase_next) shapes, four uniforms
+//! per draw):
+//!
+//! * `measure_split` — the dyn reference through [`SourceDraws`]: the
+//!   source reconstructs the staircase distribution per draw (an `exp` and
+//!   the stair-side normalization each time), the historical per-draw cost;
+//! * `measure_split_with_scratch[_into]` — the batched fast path through
+//!   [`ScratchDraws`]: the distribution is constructed once per batch, the
+//!   four uniforms per draw come off the shared raw-uniform tape in blocked
+//!   refills, and the output buffer is caller-owned;
+//! * `measure_split_streaming[_with_scratch[_into]]` — the same loop over
+//!   `impl IntoIterator<Item = f64>` with an explicit batch size (the
+//!   budget divisor, which a lazy stream cannot supply).
+//!
+//! All paths are bit-identical on the same RNG stream
+//! (`tests/scratch_equivalence.rs`).
+
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
+use crate::scratch::SvtScratch;
+use free_gap_alignment::{NoiseSource, SamplingSource};
 use free_gap_noise::{ContinuousDistribution, Staircase};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Vector measurement with variance-optimal staircase noise.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,14 +86,134 @@ impl StaircaseMechanism {
             .variance()
     }
 
-    /// Sequential-composition measurement: splits the budget evenly over
-    /// the answers (the staircase counterpart of
-    /// [`crate::laplace_mech::LaplaceMechanism::measure_split`]).
-    pub fn measure_split(&self, answers: &[f64], rng: &mut StdRng) -> Vec<f64> {
+    /// The single copy of the measurement loop (materialized shape):
+    /// construct the batch's noise distribution once, then one staircase
+    /// draw per answer in index order through the provider's batch shape.
+    fn measure_core<P: DrawProvider>(&self, answers: &[f64], provider: &mut P, out: &mut Vec<f64>) {
+        provider.begin();
         let noise = self
             .noise_for_batch(answers.len())
             .expect("validated at construction");
-        answers.iter().map(|a| a + noise.sample(rng)).collect()
+        provider.staircase_fill_offset(answers, &noise, out);
+    }
+
+    /// The measurement loop over a lazy answer stream. `count` is the
+    /// sequential-composition divisor (the batch size a materialized call
+    /// reads off `answers.len()`, which a stream cannot supply up front).
+    fn measure_streaming_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
+        &self,
+        answers: I,
+        count: usize,
+        provider: &mut P,
+        out: &mut Vec<f64>,
+    ) {
+        provider.begin();
+        let noise = self
+            .noise_for_batch(count)
+            .expect("validated at construction");
+        out.clear();
+        out.extend(
+            answers
+                .into_iter()
+                .map(|a| a + provider.staircase_next(&noise)),
+        );
+    }
+
+    /// Sequential-composition measurement: splits the budget evenly over
+    /// the answers (the staircase counterpart of
+    /// [`crate::laplace_mech::LaplaceMechanism::measure_split`]). The dyn
+    /// reference path.
+    pub fn measure_split(&self, answers: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        let mut source = SamplingSource::new(rng);
+        self.measure_split_with_source(answers, &mut source)
+    }
+
+    /// [`measure_split`](Self::measure_split) against an explicit noise
+    /// source (the alignment-style dyn path: one
+    /// [`NoiseSource::staircase`] call — and one distribution
+    /// reconstruction — per draw).
+    pub fn measure_split_with_source(
+        &self,
+        answers: &[f64],
+        source: &mut dyn NoiseSource,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.measure_core(answers, &mut SourceDraws::new(source), &mut out);
+        out
+    }
+
+    /// Batched fast path of [`measure_split`](Self::measure_split): the
+    /// same loop through [`ScratchDraws`] — the staircase distribution is
+    /// constructed once per batch and the four uniforms per draw are served
+    /// from the scratch's blocked raw-uniform tape. Bit-identical to
+    /// [`measure_split`](Self::measure_split) on the same RNG stream.
+    pub fn measure_split_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &[f64],
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.measure_split_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`measure_split_with_scratch`](Self::measure_split_with_scratch):
+    /// writes into `out`, reusing its buffer across runs.
+    pub fn measure_split_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &[f64],
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.measure_core(answers, &mut ScratchDraws::new(scratch, rng), out);
+    }
+
+    /// Streaming twin of [`measure_split`](Self::measure_split): measures a
+    /// lazy answer stream without materializing it, splitting the budget by
+    /// the caller-supplied `count`. Bit-identical to the materialized path
+    /// on the same RNG stream when the stream yields `count` answers.
+    pub fn measure_split_streaming<I: IntoIterator<Item = f64>>(
+        &self,
+        answers: I,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let mut source = SamplingSource::new(rng);
+        let mut out = Vec::new();
+        self.measure_streaming_core(answers, count, &mut SourceDraws::new(&mut source), &mut out);
+        out
+    }
+
+    /// Streaming + scratch: lazy answers, tape-served noise.
+    pub fn measure_split_streaming_with_scratch<R: Rng + ?Sized, I: IntoIterator<Item = f64>>(
+        &self,
+        answers: I,
+        count: usize,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.measure_split_streaming_with_scratch_into(answers, count, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`measure_split_streaming_with_scratch`](Self::measure_split_streaming_with_scratch).
+    pub fn measure_split_streaming_with_scratch_into<
+        R: Rng + ?Sized,
+        I: IntoIterator<Item = f64>,
+    >(
+        &self,
+        answers: I,
+        count: usize,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.measure_streaming_core(answers, count, &mut ScratchDraws::new(scratch, rng), out);
     }
 }
 

@@ -7,9 +7,11 @@
 //! scratch provider ([`ScratchDraws`]) and the draw-exact monomorphic
 //! provider ([`RngDraws`]) through **random interleavings** of every draw
 //! shape — single `next()`, `peek_pairs()`, `peek_tuples(m)`,
-//! `fill_offset()`, and their discrete (finite-precision) twins
+//! `fill_offset()`, their discrete (finite-precision) twins
 //! `discrete_next()` / `discrete_peek_pairs()` / `discrete_peek_tuples()` /
-//! `discrete_fill_offset()` — over identically seeded streams, and asserts
+//! `discrete_fill_offset()`, and the baseline-mechanism shapes
+//! `gumbel_next()` / `exp_next()` / `staircase_next()` /
+//! `staircase_fill_offset()` — over identically seeded streams, and asserts
 //! every consumed draw matches the sequential reference bit-for-bit. This
 //! is the property that lets one mechanism core swap providers freely: the
 //! alignment checker sees the same tape the reference loop would record,
@@ -23,7 +25,10 @@ use free_gap_alignment::SamplingSource;
 use free_gap_core::draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
 use free_gap_core::SvtScratch;
 use free_gap_noise::rng::rng_from_seed;
-use free_gap_noise::{ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Laplace};
+use free_gap_noise::{
+    ContinuousDistribution, DiscreteDistribution, DiscreteLaplace, Exponential, Gumbel, Laplace,
+    Staircase,
+};
 use proptest::prelude::*;
 use rand::Rng;
 
@@ -50,6 +55,15 @@ enum Op {
     DiscreteTuples(Vec<f64>, f64, usize),
     /// `discrete_fill_offset` over `len` zero offsets at the given rate.
     DiscreteFill(usize, f64, f64),
+    /// `gumbel_next(beta)` — the exponential-mechanism race shape.
+    GumbelNext(f64),
+    /// `exp_next(beta)`.
+    ExpNext(f64),
+    /// `staircase_next` at `(epsilon, gamma)` on unit sensitivity (four
+    /// uniforms per draw).
+    StaircaseNext(f64, f64),
+    /// `staircase_fill_offset` over `len` zero offsets at `(epsilon, gamma)`.
+    StaircaseFill(usize, f64, f64),
 }
 
 impl Op {
@@ -70,6 +84,9 @@ impl Op {
 enum Want {
     Cont(f64),
     Disc(f64, f64),
+    Gum(f64),
+    Exp(f64),
+    Stair(f64, f64),
 }
 
 /// Positive, finite scales spanning what mechanisms actually request.
@@ -87,7 +104,7 @@ fn random_ops(seed: u64, count: usize) -> Vec<Op> {
     let rate = |rng: &mut rand::rngs::StdRng| RATES[rng.gen_range(0..RATES.len())];
     let gamma = |rng: &mut rand::rngs::StdRng| GAMMAS[rng.gen_range(0..GAMMAS.len())];
     (0..count)
-        .map(|_| match rng.gen_range(0..8) {
+        .map(|_| match rng.gen_range(0..12) {
             0 => Op::Next(scale(&mut rng)),
             1 => {
                 let a = scale(&mut rng);
@@ -113,9 +130,25 @@ fn random_ops(seed: u64, count: usize) -> Vec<Op> {
                 let take = rng.gen_range(1..4);
                 Op::DiscreteTuples(rates, gamma(&mut rng), take)
             }
-            _ => Op::DiscreteFill(rng.gen_range(1..12), rate(&mut rng), gamma(&mut rng)),
+            7 => Op::DiscreteFill(rng.gen_range(1..12), rate(&mut rng), gamma(&mut rng)),
+            8 => Op::GumbelNext(scale(&mut rng)),
+            9 => Op::ExpNext(scale(&mut rng)),
+            10 => Op::StaircaseNext(rate(&mut rng), SPLITS[rng.gen_range(0..SPLITS.len())]),
+            _ => Op::StaircaseFill(
+                rng.gen_range(1..8),
+                rate(&mut rng),
+                SPLITS[rng.gen_range(0..SPLITS.len())],
+            ),
         })
         .collect()
+}
+
+/// Stair-split parameters for the staircase ops (must lie in (0, 1)).
+const SPLITS: [f64; 2] = [0.3, 0.7];
+
+/// The staircase distribution the ops request: unit sensitivity.
+fn stair_dist(epsilon: f64, split: f64) -> Staircase {
+    Staircase::new(epsilon, 1.0, split).expect("valid staircase shape")
 }
 
 /// Serves `ops` through `provider`, returning every consumed draw with the
@@ -179,6 +212,23 @@ fn serve<P: DrawProvider>(ops: &[Op], provider: &mut P) -> Vec<(Want, f64)> {
                 provider.discrete_fill_offset(&base, *rate, *gamma, &mut out);
                 served.extend(out.iter().map(|v| (Want::Disc(*rate, *gamma), *v)));
             }
+            Op::GumbelNext(beta) => {
+                served.push((Want::Gum(*beta), provider.gumbel_next(*beta)));
+            }
+            Op::ExpNext(beta) => {
+                served.push((Want::Exp(*beta), provider.exp_next(*beta)));
+            }
+            Op::StaircaseNext(eps, split) => {
+                let dist = stair_dist(*eps, *split);
+                served.push((Want::Stair(*eps, *split), provider.staircase_next(&dist)));
+            }
+            Op::StaircaseFill(len, eps, split) => {
+                let dist = stair_dist(*eps, *split);
+                let base = vec![0.0f64; *len];
+                let mut out = Vec::new();
+                provider.staircase_fill_offset(&base, &dist, &mut out);
+                served.extend(out.iter().map(|v| (Want::Stair(*eps, *split), *v)));
+            }
         }
     }
     served
@@ -195,6 +245,9 @@ fn assert_sequential(label: &str, served: &[(Want, f64)], seed: u64) {
             Want::Disc(rate, gamma) => DiscreteLaplace::new(*rate, *gamma)
                 .unwrap()
                 .sample_value(&mut rng),
+            Want::Gum(beta) => Gumbel::new(*beta).unwrap().sample(&mut rng),
+            Want::Exp(beta) => Exponential::new(*beta).unwrap().sample(&mut rng),
+            Want::Stair(eps, split) => stair_dist(*eps, *split).sample(&mut rng),
         };
         assert_eq!(
             value.to_bits(),

@@ -237,3 +237,81 @@ fn multi_branch_into_is_bit_identical() {
         assert_eq!(expect, out, "run {run}");
     }
 }
+
+#[test]
+fn exponential_top_k_into_is_bit_identical_and_reuses_the_buffer() {
+    use free_gap_core::exponential_mech::ExponentialMechanism;
+    let m = ExponentialMechanism::new(0.9, true).unwrap();
+    let answers = workload(6, 300);
+    let mut scratch = TopKScratch::new();
+    let mut out: Vec<usize> = Vec::new();
+    let mut steady_capacity = 0;
+    for run in 0..100u64 {
+        let expect = m
+            .run_top_k_with_scratch(&answers, 8, &mut derive_stream(23, run), &mut scratch)
+            .unwrap();
+        m.run_top_k_with_scratch_into(
+            &answers,
+            8,
+            &mut derive_stream(23, run),
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(expect, out, "run {run}");
+
+        // Streaming twin shares the same race core and output buffer.
+        m.run_top_k_streaming_with_scratch_into(
+            answers.values().iter().copied(),
+            8,
+            &mut derive_stream(23, run),
+            &mut scratch,
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(expect, out, "streaming run {run}");
+        if run == 0 {
+            steady_capacity = out.capacity();
+        } else {
+            assert_eq!(out.capacity(), steady_capacity, "run {run} reallocated");
+        }
+    }
+}
+
+#[test]
+fn staircase_measure_into_is_bit_identical_and_reuses_the_buffer() {
+    use free_gap_core::staircase_mech::StaircaseMechanism;
+    let m = StaircaseMechanism::new(1.1).unwrap();
+    let answers = workload(7, 250);
+    let mut scratch = SvtScratch::new();
+    let mut out: Vec<f64> = Vec::new();
+    let mut steady_capacity = 0;
+    for run in 0..100u64 {
+        let expect = m.measure_split_with_scratch(
+            answers.values(),
+            &mut derive_stream(29, run),
+            &mut scratch,
+        );
+        m.measure_split_with_scratch_into(
+            answers.values(),
+            &mut derive_stream(29, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "run {run}");
+
+        m.measure_split_streaming_with_scratch_into(
+            answers.values().iter().copied(),
+            answers.len(),
+            &mut derive_stream(29, run),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(expect, out, "streaming run {run}");
+        if run == 0 {
+            steady_capacity = out.capacity();
+        } else {
+            assert_eq!(out.capacity(), steady_capacity, "run {run} reallocated");
+        }
+    }
+}

@@ -16,12 +16,14 @@
 //! query is ever pulled from the stream — asserted with iterators that
 //! panic when over-consumed.
 
+use free_gap_core::exponential_mech::ExponentialMechanism;
 use free_gap_core::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
     AdaptiveSparseVector, ClassicSparseVector, DiscreteSparseVectorWithGap,
     MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
 };
+use free_gap_core::staircase_mech::StaircaseMechanism;
 use free_gap_core::QueryAnswers;
 use free_gap_noise::rng::derive_stream;
 use proptest::prelude::*;
@@ -464,6 +466,89 @@ fn multi_branch_streaming_never_pulls_past_budget_exhaustion() {
     }
 }
 
+#[test]
+fn exponential_mechanism_all_four_paths_are_bit_identical() {
+    // The dyn path materializes and sorts all n Gumbel scores; the
+    // scratch/streaming paths run the race through a k-sized insertion
+    // buffer. Same draws, same total order — the selections must agree
+    // index-for-index on every stream.
+    let m = ExponentialMechanism::new(0.9, true).unwrap();
+    let answers = workload(7, 400);
+    let mut scratch = TopKScratch::new();
+    for run in 0..200u64 {
+        let expect = m
+            .run_top_k(&answers, 10, &mut derive_stream(52, run))
+            .unwrap();
+        let scratch_sel = m
+            .run_top_k_with_scratch(&answers, 10, &mut derive_stream(52, run), &mut scratch)
+            .unwrap();
+        assert_eq!(expect, scratch_sel, "run {run} (scratch)");
+        let streaming = m
+            .run_top_k_streaming(
+                answers.values().iter().copied(),
+                10,
+                &mut derive_stream(52, run),
+            )
+            .unwrap();
+        assert_eq!(expect, streaming, "run {run} (streaming)");
+        let stream_scratch = m
+            .run_top_k_streaming_with_scratch(
+                answers.values().iter().copied(),
+                10,
+                &mut derive_stream(52, run),
+                &mut scratch,
+            )
+            .unwrap();
+        assert_eq!(expect, stream_scratch, "run {run} (streaming + scratch)");
+        // The argmax entry is the k = 1 race on the same stream.
+        let argmax = m.run(&answers, &mut derive_stream(52, run)).unwrap();
+        let argmax_scratch = m
+            .run_with_scratch(&answers, &mut derive_stream(52, run), &mut scratch)
+            .unwrap();
+        assert_eq!(argmax, argmax_scratch, "run {run} (argmax)");
+    }
+}
+
+#[test]
+fn staircase_measurement_all_four_paths_are_bit_identical() {
+    let m = StaircaseMechanism::new(1.3).unwrap();
+    let answers = workload(9, 300);
+    let mut scratch = SvtScratch::new();
+    for run in 0..200u64 {
+        let expect = m.measure_split(answers.values(), &mut derive_stream(53, run));
+        let got = m.measure_split_with_scratch(
+            answers.values(),
+            &mut derive_stream(53, run),
+            &mut scratch,
+        );
+        assert_eq!(expect.len(), got.len());
+        for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "run {run} slot {i} (scratch)");
+        }
+        let streaming = m.measure_split_streaming(
+            answers.values().iter().copied(),
+            answers.len(),
+            &mut derive_stream(53, run),
+        );
+        for (i, (a, b)) in expect.iter().zip(&streaming).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "run {run} slot {i} (streaming)");
+        }
+        let stream_scratch = m.measure_split_streaming_with_scratch(
+            answers.values().iter().copied(),
+            answers.len(),
+            &mut derive_stream(53, run),
+            &mut scratch,
+        );
+        for (i, (a, b)) in expect.iter().zip(&stream_scratch).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "run {run} slot {i} (streaming + scratch)"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -546,6 +631,37 @@ proptest! {
             &multi_expect,
             &multi.run_streaming_with_scratch(
                 answers.values().iter().copied(), &mut derive_stream(seed, 4), &mut svt_scratch)
+        );
+
+        // Baseline mechanisms: exponential-mechanism selection (reference
+        // sort vs insertion race) and staircase measurement.
+        let expo = ExponentialMechanism::new(0.8, monotone).unwrap();
+        let expo_expect = expo.run_top_k(&answers, k, &mut derive_stream(seed, 7)).unwrap();
+        prop_assert_eq!(
+            &expo_expect,
+            &expo.run_top_k_with_scratch(
+                &answers, k, &mut derive_stream(seed, 7), &mut topk_scratch).unwrap()
+        );
+        prop_assert_eq!(
+            &expo_expect,
+            &expo.run_top_k_streaming(
+                answers.values().iter().copied(), k, &mut derive_stream(seed, 7)).unwrap()
+        );
+
+        let stair = StaircaseMechanism::new(0.8).unwrap();
+        let stair_expect = stair.measure_split(answers.values(), &mut derive_stream(seed, 8));
+        prop_assert_eq!(
+            &stair_expect,
+            &stair.measure_split_with_scratch(
+                answers.values(), &mut derive_stream(seed, 8), &mut svt_scratch)
+        );
+        prop_assert_eq!(
+            &stair_expect,
+            &stair.measure_split_streaming_with_scratch(
+                answers.values().iter().copied(),
+                answers.len(),
+                &mut derive_stream(seed, 8),
+                &mut svt_scratch)
         );
 
         // Finite-precision variants on the integer projection of the same

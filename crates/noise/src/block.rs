@@ -8,12 +8,17 @@
 //! the distribution transform at serve time:
 //!
 //! * continuous draws go through [`SingleUniform::sample_from_uniform`]
-//!   (one uniform per draw), cached behind a lazy watermark so each uniform
-//!   is transformed at most once even when `peek` slabs overlap;
+//!   (one uniform per draw — Laplace, Gumbel, Exponential), cached behind a
+//!   lazy watermark so each uniform is transformed at most once even when
+//!   `peek` slabs overlap; a second, uncached per-draw path
+//!   ([`BlockBuffer::next_uncached`]) serves transforms whose distribution
+//!   varies per call alongside the run's cached one;
 //! * discrete Laplace draws go through
 //!   [`DiscreteLaplace::value_from_uniform`] (one uniform per draw — the
 //!   closed-form geometric-tail inversion), evaluated block-at-a-time with
-//!   the distribution's normalization hoisted out of the loop.
+//!   the distribution's normalization hoisted out of the loop;
+//! * staircase draws go through [`Staircase::sample_from_uniforms`] (four
+//!   uniforms per draw, the Geng–Viswanath four-variable representation).
 //!
 //! Buffering *uniforms* rather than transformed values is what lets the two
 //! families share one tape: a mechanism (or a random interleaving in the
@@ -39,6 +44,7 @@
 //! served well.
 
 use crate::discrete_laplace::DiscreteLaplace;
+use crate::staircase::Staircase;
 use crate::traits::SingleUniform;
 use rand::Rng;
 
@@ -121,6 +127,18 @@ impl BlockBuffer {
         v
     }
 
+    /// Next raw uniform at the cursor, refilling in blocks as needed — the
+    /// shared serving step behind every per-draw transform below.
+    #[inline]
+    fn next_raw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.cursor == self.raw.len() {
+            self.refill(rng);
+        }
+        let u = self.raw[self.cursor];
+        self.cursor += 1;
+        u
+    }
+
     /// Next discrete Laplace draw (one buffered uniform through the
     /// closed-form tail inversion), bit-identical to
     /// [`sample_value`](crate::DiscreteDistribution::sample_value) at the
@@ -129,12 +147,42 @@ impl BlockBuffer {
     /// the raw uniform.
     #[inline]
     pub fn next_discrete<R: Rng + ?Sized>(&mut self, dist: &DiscreteLaplace, rng: &mut R) -> f64 {
-        if self.cursor == self.raw.len() {
-            self.refill(rng);
-        }
-        let v = dist.value_from_uniform(self.raw[self.cursor]);
-        self.cursor += 1;
-        v
+        let u = self.next_raw(rng);
+        dist.value_from_uniform(u)
+    }
+
+    /// Next draw from `dist`, transformed directly from the raw uniform at
+    /// the cursor — no watermark cache, so unlike [`next`](Self::next) the
+    /// distribution may vary per call and may differ from the run's cached
+    /// continuous distribution (the Gumbel/Exponential provider shapes
+    /// interleave with Laplace draws this way). Bit-identical to
+    /// [`sample`](crate::ContinuousDistribution::sample) at the same stream
+    /// position.
+    #[inline]
+    pub fn next_uncached<D: SingleUniform, R: Rng + ?Sized>(
+        &mut self,
+        dist: &D,
+        rng: &mut R,
+    ) -> f64 {
+        let u = self.next_raw(rng);
+        dist.sample_from_uniform(u)
+    }
+
+    /// Next staircase draw: four buffered uniforms through
+    /// [`Staircase::sample_from_uniforms`], bit-identical to a
+    /// [`sample`](crate::ContinuousDistribution::sample) call at the same
+    /// stream position (the four-variable representation consumes exactly
+    /// four uniforms in draw order; refills preserve the partial tuple's
+    /// order because a refill only happens when the buffer is drained).
+    #[inline]
+    pub fn next_staircase<R: Rng + ?Sized>(&mut self, dist: &Staircase, rng: &mut R) -> f64 {
+        let u = [
+            self.next_raw(rng),
+            self.next_raw(rng),
+            self.next_raw(rng),
+            self.next_raw(rng),
+        ];
+        dist.sample_from_uniforms(u)
     }
 
     /// Predicted draw consumption of the current run (last run's usage; one
@@ -374,6 +422,81 @@ mod tests {
                     assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (discrete fine)");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn next_replays_gumbel_and_exponential_sequential_streams() {
+        // Gumbel/Exponential as the run's cached continuous distribution:
+        // the watermark-cached serving path is generic over SingleUniform.
+        let gum = crate::Gumbel::new(1.7).unwrap();
+        let mut expect_rng = rng_from_seed(31);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(31);
+        block.begin();
+        for i in 0..1000 {
+            let got = block.next(&gum, &mut rng);
+            let want = gum.sample(&mut expect_rng);
+            assert_eq!(got.to_bits(), want.to_bits(), "gumbel draw {i}");
+        }
+        let exp = crate::Exponential::new(0.4).unwrap();
+        let mut expect_rng = rng_from_seed(32);
+        let mut rng = rng_from_seed(32);
+        block.begin();
+        for i in 0..1000 {
+            let got = block.next(&exp, &mut rng);
+            let want = exp.sample(&mut expect_rng);
+            assert_eq!(got.to_bits(), want.to_bits(), "exponential draw {i}");
+        }
+    }
+
+    #[test]
+    fn uncached_draws_interleave_with_cached_peeks() {
+        // A Gumbel/Exponential draw served through the uncached path must
+        // come from the raw uniform even when an earlier Laplace peek
+        // already transformed that slot under the watermark cache.
+        let unit = Laplace::new(1.0).unwrap();
+        let gum = crate::Gumbel::standard();
+        let exp = crate::Exponential::new(2.0).unwrap();
+        let mut expect_rng = rng_from_seed(33);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(33);
+        block.begin();
+        for round in 0..300 {
+            // Peek a pair (transforms a slab with Laplace), consume it...
+            let pair = block.peek_tuples(&unit, &mut rng, 2)[..2].to_vec();
+            block.consume(2);
+            for (j, v) in pair.iter().enumerate() {
+                let want = unit.sample(&mut expect_rng);
+                assert_eq!(v.to_bits(), want.to_bits(), "round {round} pair {j}");
+            }
+            // ...then serve Gumbel and Exponential draws from slots the
+            // watermark may already claim.
+            let g = block.next_uncached(&gum, &mut rng);
+            assert_eq!(g.to_bits(), gum.sample(&mut expect_rng).to_bits());
+            let e = block.next_uncached(&exp, &mut rng);
+            assert_eq!(e.to_bits(), exp.sample(&mut expect_rng).to_bits());
+        }
+    }
+
+    #[test]
+    fn staircase_serving_replays_the_sequential_stream() {
+        let stair = Staircase::new(0.9, 1.0, 0.35).unwrap();
+        let unit = Laplace::new(1.0).unwrap();
+        let mut expect_rng = rng_from_seed(34);
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(34);
+        block.begin();
+        for i in 0..500 {
+            // Odd interleaving so staircase tuples straddle refills.
+            if i % 3 == 0 {
+                let got = block.next(&unit, &mut rng);
+                let want = unit.sample(&mut expect_rng);
+                assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (laplace)");
+            }
+            let got = block.next_staircase(&stair, &mut rng);
+            let want = stair.sample(&mut expect_rng);
+            assert_eq!(got.to_bits(), want.to_bits(), "draw {i} (staircase)");
         }
     }
 

@@ -5,7 +5,7 @@
 //! exponential). Density `f(x) = exp(-x/β)/β` on `x >= 0`.
 
 use crate::error::{require_open_unit, require_positive, NoiseError};
-use crate::traits::ContinuousDistribution;
+use crate::traits::{ContinuousDistribution, SingleUniform};
 use rand::Rng;
 
 /// Exponential distribution with scale `β > 0` (rate `1/β`), support `[0, ∞)`.
@@ -37,11 +37,26 @@ impl Exponential {
     }
 }
 
-impl ContinuousDistribution for Exponential {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Inverse CDF on 1-u with u in [0,1): ln argument stays in (0,1].
-        let u: f64 = rng.gen();
+impl SingleUniform for Exponential {
+    /// Inverse CDF on the survival side, `x = -β·ln(1 - u)`, under the
+    /// workspace's endpoint-guard convention (see [`crate::Laplace`]): the
+    /// `ln` argument is clamped below by `f64::MIN_POSITIVE`, so the output
+    /// is finite for all of `[0, 1]` — for `u ∈ [0, 1)` the argument already
+    /// lies in `(0, 1]` and the clamp only protects the out-of-contract
+    /// endpoint `u = 1`.
+    #[inline]
+    fn sample_from_uniform(&self, u: f64) -> f64 {
         -self.scale * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    /// One uniform draw through the [`SingleUniform`] transform — the
+    /// arithmetic exists exactly once, so the raw-uniform tape paths (and
+    /// the trait's default batch fills) are bit-identical by construction.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_from_uniform(rng.gen::<f64>())
     }
 
     fn pdf(&self, x: f64) -> f64 {
@@ -116,12 +131,48 @@ mod tests {
         assert!(d < 0.009, "KS = {d}");
     }
 
+    #[test]
+    fn transform_is_finite_and_nonnegative_at_both_endpoints() {
+        let e = Exponential::new(3.0).unwrap();
+        for u in [
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            0.5,
+            1.0 - f64::EPSILON / 2.0,
+            1.0,
+        ] {
+            let x = e.sample_from_uniform(u);
+            assert!(x.is_finite() && x >= 0.0, "u = {u:e} gave {x}");
+        }
+    }
+
     proptest! {
         #[test]
         fn quantile_inverts_cdf(p in 1e-6f64..1.0-1e-6, scale in 0.01f64..50.0) {
             let e = Exponential::new(scale).unwrap();
             let x = e.quantile(p).unwrap();
             prop_assert!((e.cdf(x) - p).abs() < 1e-9);
+        }
+
+        #[test]
+        fn transform_never_returns_non_finite(u in 0.0f64..1.0, scale in 0.01f64..100.0) {
+            let e = Exponential::new(scale).unwrap();
+            let x = e.sample_from_uniform(u);
+            prop_assert!(x.is_finite() && x >= 0.0, "u = {u} gave {x}");
+        }
+
+        #[test]
+        fn sample_matches_transform_bitwise(seed in 0u64..10_000, scale in 0.01f64..50.0) {
+            let e = Exponential::new(scale).unwrap();
+            let mut a = rng_from_seed(seed);
+            let mut b = rng_from_seed(seed);
+            for _ in 0..32 {
+                use rand::Rng;
+                let direct = e.sample(&mut a);
+                let via_u = e.sample_from_uniform(b.gen::<f64>());
+                prop_assert!(direct.to_bits() == via_u.to_bits());
+            }
         }
 
         #[test]

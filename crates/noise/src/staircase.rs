@@ -82,20 +82,44 @@ impl Staircase {
     pub fn inner_side_probability(&self) -> f64 {
         self.gamma / (self.gamma + (1.0 - self.gamma) * self.b)
     }
+
+    /// The sampler as a pure transform of four uniforms `u ∈ [0, 1)` —
+    /// sign, geometric layer (one-uniform CDF inversion, see
+    /// [`crate::Geometric::index_from_uniform`]), within-stair position,
+    /// and stair side, in draw order.
+    ///
+    /// The law mirrors [`SingleUniform`](crate::SingleUniform) with arity
+    /// four: `sample(rng)` is exactly
+    /// `sample_from_uniforms([rng.gen(); 4])` — same arithmetic, same bits.
+    /// This is the hook the raw-uniform tape uses to serve staircase draws
+    /// ([`crate::BlockBuffer::next_staircase`]), which is what lets the
+    /// staircase measurement mechanism share one buffered stream with the
+    /// Laplace/Gumbel/discrete families.
+    #[inline]
+    pub fn sample_from_uniforms(&self, u: [f64; Self::URANDS]) -> f64 {
+        let sign = if u[0] < 0.5 { 1.0 } else { -1.0 };
+        let g = self.geometric.index_from_uniform(u[1]) as f64;
+        let inner = u[3] < self.inner_side_probability();
+        let magnitude = if inner {
+            (g + self.gamma * u[2]) * self.delta
+        } else {
+            (g + self.gamma + (1.0 - self.gamma) * u[2]) * self.delta
+        };
+        sign * magnitude
+    }
+
+    /// Uniform draws one staircase sample consumes (the Geng–Viswanath
+    /// four-variable representation).
+    pub const URANDS: usize = 4;
 }
 
 impl ContinuousDistribution for Staircase {
+    /// Four uniform draws through
+    /// [`sample_from_uniforms`](Self::sample_from_uniforms) — the arithmetic
+    /// exists exactly once, so the raw-uniform tape path is bit-identical by
+    /// construction.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-        let g = self.geometric.sample(rng) as f64;
-        let u: f64 = rng.gen();
-        let inner = rng.gen::<f64>() < self.inner_side_probability();
-        let magnitude = if inner {
-            (g + self.gamma * u) * self.delta
-        } else {
-            (g + self.gamma + (1.0 - self.gamma) * u) * self.delta
-        };
-        sign * magnitude
+        self.sample_from_uniforms([rng.gen(), rng.gen(), rng.gen(), rng.gen()])
     }
 
     fn pdf(&self, x: f64) -> f64 {
@@ -293,7 +317,32 @@ mod tests {
         );
     }
 
+    #[test]
+    fn transform_is_finite_at_uniform_endpoints() {
+        let s = Staircase::new(1.0, 1.0, 0.3).unwrap();
+        let edge = [0.0, f64::MIN_POSITIVE, 0.5, 1.0 - f64::EPSILON / 2.0, 1.0];
+        for &a in &edge {
+            for &b in &edge {
+                let x = s.sample_from_uniforms([a, b, a, b]);
+                assert!(x.is_finite(), "u = [{a:e}, {b:e}, ..] gave {x}");
+            }
+        }
+    }
+
     proptest! {
+        #[test]
+        fn sample_matches_transform_bitwise(seed in 0u64..10_000, eps in 0.1f64..4.0) {
+            // The four-uniform law behind the tape serving path.
+            let s = Staircase::new(eps, 1.5, 0.35).unwrap();
+            let mut a = rng_from_seed(seed);
+            let mut b = rng_from_seed(seed);
+            for _ in 0..16 {
+                let direct = s.sample(&mut a);
+                let via_u = s.sample_from_uniforms([b.gen(), b.gen(), b.gen(), b.gen()]);
+                prop_assert!(direct.to_bits() == via_u.to_bits());
+            }
+        }
+
         #[test]
         fn quantile_inverts_cdf(p in 0.01f64..0.99, eps in 0.2f64..4.0, gamma in 0.05f64..0.95) {
             let s = Staircase::new(eps, 1.0, gamma).unwrap();

@@ -84,9 +84,11 @@ pub trait ContinuousDistribution {
 /// transform at serve time, so continuous and discrete draws can share one
 /// buffered stream without breaking the sequential draw order.
 ///
-/// Distributions whose sampler needs more than one uniform (e.g.
-/// [`crate::LaplaceDiff`], [`crate::Staircase`]) cannot implement this
-/// trait and cannot back a [`crate::BlockBuffer`].
+/// Distributions whose sampler needs more than one uniform cannot implement
+/// this trait: [`crate::LaplaceDiff`] stays off the tape entirely, while
+/// [`crate::Staircase`] rides it through its own fixed-arity transform
+/// ([`crate::Staircase::sample_from_uniforms`], four uniforms per draw,
+/// served by [`crate::BlockBuffer::next_staircase`]).
 pub trait SingleUniform: ContinuousDistribution {
     /// The sampler as a pure transform of one uniform `u ∈ [0, 1)`.
     fn sample_from_uniform(&self, u: f64) -> f64;

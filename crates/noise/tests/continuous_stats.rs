@@ -1,0 +1,206 @@
+//! Statistical acceptance tests for the tape-served Gumbel and Exponential
+//! samplers — the continuous counterpart of `discrete_stats.rs`.
+//!
+//! The exponential mechanism and the staircase baseline now draw through
+//! the raw-uniform [`BlockBuffer`] tape; bit-equality across execution
+//! paths says nothing if the one shared transform is wrong, so the tape
+//! path ships with two layers of evidence:
+//!
+//! 1. **Distribution-level**: chi-square goodness-of-fit of tape-served
+//!    fills against the closed-form CDFs at significance 1e-4, over
+//!    equiprobable quantile bins (a shift of the endpoint-guard convention
+//!    that moved tail mass fails here even if every moment test passes),
+//!    plus a power check against a corrupted reference.
+//! 2. **Bit-level**: proptests asserting the tape-served draws — cached
+//!    watermark path, uncached per-draw path, and `peek` slabs — are
+//!    bit-identical to a sequential `sample` loop on the same RNG stream.
+
+use free_gap_noise::rng::rng_from_seed;
+use free_gap_noise::{
+    BlockBuffer, ContinuousDistribution, Exponential, Gumbel, Laplace, SingleUniform,
+};
+use proptest::prelude::*;
+
+/// Standard-normal quantile of `1 - 1e-4` (one-sided).
+const Z_1E4: f64 = 3.719_016_485_455_68;
+
+/// Chi-square quantile at upper-tail probability 1e-4 for `df` degrees of
+/// freedom (Wilson–Hilferty cube approximation, as in `discrete_stats.rs`).
+fn chi2_crit_1e4(df: usize) -> f64 {
+    let k = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * k) + Z_1E4 * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// Draws `n` values from `dist` through the tape (the watermark-cached
+/// `next` serving path, `dist` as the run's continuous distribution).
+fn tape_served<D: SingleUniform>(dist: &D, n: usize, seed: u64) -> Vec<f64> {
+    let mut block = BlockBuffer::new();
+    let mut rng = rng_from_seed(seed);
+    block.begin();
+    (0..n).map(|_| block.next(dist, &mut rng)).collect()
+}
+
+/// Chi-square statistic of `values` against `dist`'s closed form over
+/// `bins` equiprobable quantile bins. Returns `(statistic, bins)`.
+fn chi2_equiprobable<D: ContinuousDistribution>(
+    dist: &D,
+    values: &[f64],
+    bins: usize,
+) -> (f64, usize) {
+    // Bin edges at the i/bins quantiles: every bin expects n/bins draws.
+    let edges: Vec<f64> = (1..bins)
+        .map(|i| {
+            dist.quantile(i as f64 / bins as f64)
+                .expect("quantile in (0, 1)")
+        })
+        .collect();
+    let mut observed = vec![0u64; bins];
+    for &v in values {
+        let bin = edges.partition_point(|e| *e < v);
+        observed[bin] += 1;
+    }
+    let expect = values.len() as f64 / bins as f64;
+    assert!(expect >= 5.0, "bins too fine for the sample size");
+    let stat = observed
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expect;
+            d * d / expect
+        })
+        .sum();
+    (stat, bins)
+}
+
+#[test]
+fn tape_served_gumbel_matches_closed_form_chi_square() {
+    // Scales spanning sub-unit through wide; 200k tape-served draws each.
+    for (i, &scale) in [0.25f64, 1.0, 7.5].iter().enumerate() {
+        let g = Gumbel::new(scale).unwrap();
+        let values = tape_served(&g, 200_000, 0x6B31 + i as u64);
+        let (stat, bins) = chi2_equiprobable(&g, &values, 64);
+        let crit = chi2_crit_1e4(bins - 1);
+        assert!(
+            stat < crit,
+            "β = {scale}: chi² = {stat:.1} ≥ {crit:.1} at significance 1e-4"
+        );
+    }
+}
+
+#[test]
+fn tape_served_exponential_matches_closed_form_chi_square() {
+    for (i, &scale) in [0.1f64, 1.0, 12.0].iter().enumerate() {
+        let e = Exponential::new(scale).unwrap();
+        let values = tape_served(&e, 200_000, 0xE4B + i as u64);
+        let (stat, bins) = chi2_equiprobable(&e, &values, 64);
+        let crit = chi2_crit_1e4(bins - 1);
+        assert!(
+            stat < crit,
+            "β = {scale}: chi² = {stat:.1} ≥ {crit:.1} at significance 1e-4"
+        );
+    }
+}
+
+#[test]
+fn chi_square_detects_a_corrupted_sampler() {
+    // Power check so the acceptance tests cannot rot into tautologies: the
+    // same statistic against a *wrong* reference (neighboring scale) must
+    // blow past the same critical value, for both families.
+    let values = tape_served(&Gumbel::new(1.0).unwrap(), 200_000, 0xBAD6);
+    let (stat, bins) = chi2_equiprobable(&Gumbel::new(1.08).unwrap(), &values, 64);
+    assert!(
+        stat > chi2_crit_1e4(bins - 1),
+        "no power against a wrong Gumbel scale: chi² = {stat:.1}"
+    );
+    let values = tape_served(&Exponential::new(1.0).unwrap(), 200_000, 0xBADE);
+    let (stat, bins) = chi2_equiprobable(&Exponential::new(1.08).unwrap(), &values, 64);
+    assert!(
+        stat > chi2_crit_1e4(bins - 1),
+        "no power against a wrong Exponential scale: chi² = {stat:.1}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cached tape path serves Gumbel/Exponential draws bit-identically
+    /// to a sequential `sample` loop, across refill boundaries.
+    #[test]
+    fn tape_serving_is_bit_identical_to_sequential_draws(
+        seed in 0u64..50_000,
+        scale in 0.01f64..50.0,
+        n in 1usize..600,
+    ) {
+        let g = Gumbel::new(scale).unwrap();
+        let served = tape_served(&g, n, seed);
+        let mut rng = rng_from_seed(seed);
+        for (i, &v) in served.iter().enumerate() {
+            let want = g.sample(&mut rng);
+            prop_assert!(v.to_bits() == want.to_bits(), "gumbel draw {i}");
+        }
+        let e = Exponential::new(scale).unwrap();
+        let served = tape_served(&e, n, seed);
+        let mut rng = rng_from_seed(seed);
+        for (i, &v) in served.iter().enumerate() {
+            let want = e.sample(&mut rng);
+            prop_assert!(v.to_bits() == want.to_bits(), "exponential draw {i}");
+        }
+    }
+
+    /// Peek slabs with Gumbel/Exponential as the run distribution exercise
+    /// the lazy per-block transform watermark — served values still replay
+    /// the sequential stream, and partial consumption commits correctly.
+    #[test]
+    fn tape_peek_slabs_replay_the_sequential_stream(
+        seed in 0u64..50_000,
+        scale in 0.05f64..20.0,
+        m in 1usize..5,
+        rounds in 1usize..40,
+    ) {
+        let g = Gumbel::new(scale).unwrap();
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(seed);
+        let mut expect_rng = rng_from_seed(seed);
+        block.begin();
+        for round in 0..rounds {
+            let slab = block.peek_tuples(&g, &mut rng, m);
+            prop_assert!(slab.len() >= m && slab.len().is_multiple_of(m));
+            let take = (slab.len() / m).min(2) * m;
+            for (j, &v) in slab[..take].iter().enumerate() {
+                let want = g.sample(&mut expect_rng);
+                prop_assert!(
+                    v.to_bits() == want.to_bits(),
+                    "round {round}, slot {j}"
+                );
+            }
+            block.consume(take);
+        }
+    }
+
+    /// The uncached per-draw path (the draw-provider serving shape) mixes
+    /// Gumbel, Exponential and cached Laplace draws on one tape without
+    /// breaking the sequential order.
+    #[test]
+    fn uncached_mixed_families_share_one_sequential_stream(
+        seed in 0u64..50_000,
+        beta_g in 0.1f64..10.0,
+        beta_e in 0.1f64..10.0,
+        n in 1usize..400,
+    ) {
+        let unit = Laplace::new(1.0).unwrap();
+        let g = Gumbel::new(beta_g).unwrap();
+        let e = Exponential::new(beta_e).unwrap();
+        let mut block = BlockBuffer::new();
+        let mut rng = rng_from_seed(seed);
+        let mut expect_rng = rng_from_seed(seed);
+        block.begin();
+        for i in 0..n {
+            let (got, want) = match i % 3 {
+                0 => (block.next(&unit, &mut rng), unit.sample(&mut expect_rng)),
+                1 => (block.next_uncached(&g, &mut rng), g.sample(&mut expect_rng)),
+                _ => (block.next_uncached(&e, &mut rng), e.sample(&mut expect_rng)),
+            };
+            prop_assert!(got.to_bits() == want.to_bits(), "draw {i}");
+        }
+    }
+}

@@ -126,7 +126,7 @@ fn exponential_mechanism_agrees_with_noisy_max_on_easy_instances() {
     let mut expo_hits = 0;
     let mut nmax_hits = 0;
     for _ in 0..500 {
-        if expo.run(&answers, &mut rng) == 0 {
+        if expo.run(&answers, &mut rng).unwrap() == 0 {
             expo_hits += 1;
         }
         if nmax.run(&answers, &mut rng) == 0 {
