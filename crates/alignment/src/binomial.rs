@@ -1,0 +1,342 @@
+//! Exact binomial confidence machinery for statistically sound empirical
+//! privacy bounds.
+//!
+//! A Monte-Carlo privacy attack observes an event `E` with frequency
+//! `x_A / n` under input `D` and `x_B / n` under the neighbor `D'`, and wants
+//! to report a **lower bound** on the true privacy loss
+//! `ln(P(E | D) / P(E | D'))` that holds with high probability over the
+//! sampling randomness — a raw plug-in ratio overstates the loss whenever
+//! the favorable side got lucky. Following the dp-sniper recipe, the sound
+//! construction is a one-sided [Clopper–Pearson] interval on each side:
+//!
+//! * `p_A ≥ lower(x_A, n, α/2)` with confidence `1 - α/2`, and
+//! * `p_B ≤ upper(x_B, n, α/2)` with confidence `1 - α/2`,
+//!
+//! so `ε ≥ ln(lower / upper)` with confidence `1 - α` by a union bound —
+//! see [`epsilon_lower_bound`]. The Clopper–Pearson bounds are *exact*
+//! (they invert the binomial tail rather than a normal approximation), so
+//! the guarantee needs no large-`n` caveat; the price is conservatism,
+//! which for a lower bound is the safe direction.
+//!
+//! The quantile inversion runs through the regularized incomplete beta
+//! function ([`beta_inc_reg`], Lentz-style continued fraction), the same
+//! route every statistics library takes; [`binomial_cdf`] exposes the exact
+//! tail it inverts so the test-suite can cross-check the two against a
+//! direct pmf summation.
+//!
+//! [Clopper–Pearson]: https://en.wikipedia.org/wiki/Binomial_proportion_confidence_interval
+
+/// Natural log of the gamma function (Lanczos approximation, `g = 7`,
+/// 9 coefficients — ~15 significant digits for `x > 0`).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Reflection is unnecessary for x > 0; shift into the stable region.
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the beta function `B(a, b)`.
+fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Continued-fraction evaluation for the incomplete beta function (modified
+/// Lentz algorithm; converges for `x < (a + 1) / (a + b + 2)`).
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `x ∈ [0, 1]`.
+pub fn beta_inc_reg(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must lie in [0, 1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+    // Use the continued fraction on whichever side converges fast and
+    // reflect for the other.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Exact binomial CDF `P(X ≤ k)` for `X ~ Binomial(n, p)`, through the
+/// incomplete-beta identity `P(X ≤ k) = I_{1-p}(n - k, k + 1)`.
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    if k >= n {
+        return 1.0;
+    }
+    beta_inc_reg((n - k) as f64, (k + 1) as f64, 1.0 - p)
+}
+
+/// Quantile of the `Beta(a, b)` distribution by bisection on
+/// [`beta_inc_reg`] (monotone in `x`; 90 halvings put the answer well below
+/// `f64` resolution).
+fn beta_quantile(q: f64, a: f64, b: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must lie in [0, 1]"
+    );
+    if q == 0.0 {
+        return 0.0;
+    }
+    if q == 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    for _ in 0..90 {
+        let mid = 0.5 * (lo + hi);
+        if beta_inc_reg(a, b, mid) < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One-sided exact lower confidence bound for a binomial proportion: the
+/// largest `p_lo` with `P(X ≥ x | n, p_lo) ≤ alpha`, so
+/// `P(p ≥ p_lo) ≥ 1 - alpha` for the true `p`. Zero when `x = 0` (no
+/// nontrivial lower bound exists).
+pub fn binomial_lower_bound(x: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!(x <= n, "successes cannot exceed trials");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must lie in (0, 1), got {alpha}"
+    );
+    if x == 0 {
+        return 0.0;
+    }
+    beta_quantile(alpha, x as f64, (n - x + 1) as f64)
+}
+
+/// One-sided exact upper confidence bound for a binomial proportion: the
+/// smallest `p_hi` with `P(X ≤ x | n, p_hi) ≤ alpha`. One when `x = n`.
+/// Strictly positive even when `x = 0` (`1 - alpha^{1/n}` in closed form) —
+/// which is what keeps ratio bounds against a zero count finite.
+pub fn binomial_upper_bound(x: u64, n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one trial");
+    assert!(x <= n, "successes cannot exceed trials");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "alpha must lie in (0, 1), got {alpha}"
+    );
+    if x == n {
+        return 1.0;
+    }
+    beta_quantile(1.0 - alpha, (x + 1) as f64, (n - x) as f64)
+}
+
+/// Two-sided Clopper–Pearson interval at confidence `1 - alpha`.
+pub fn clopper_pearson(x: u64, n: u64, alpha: f64) -> (f64, f64) {
+    (
+        binomial_lower_bound(x, n, alpha / 2.0),
+        binomial_upper_bound(x, n, alpha / 2.0),
+    )
+}
+
+/// Statistically sound empirical lower bound on the privacy loss of an
+/// event observed `count_a` times in `trials` runs on `D` and `count_b`
+/// times in `trials` runs on `D'`.
+///
+/// Returns `max(0, ln(lower_{α/2}(count_a) / upper_{α/2}(count_b)))`: with
+/// probability at least `1 - alpha` over the sampling randomness, the true
+/// `ln(P(E|D) / P(E|D'))` — and therefore the mechanism's true `ε` — is at
+/// least the returned value. A zero `count_b` yields a **finite** bound
+/// (the upper bound at zero successes is `1 - (α/2)^{1/n} > 0`): disjoint
+/// empirical support claims only as much privacy loss as `trials` runs can
+/// actually witness, growing like `ln(n)` rather than jumping to `∞`.
+pub fn epsilon_lower_bound(count_a: u64, count_b: u64, trials: u64, alpha: f64) -> f64 {
+    let lo = binomial_lower_bound(count_a, trials, alpha / 2.0);
+    let hi = binomial_upper_bound(count_b, trials, alpha / 2.0);
+    if lo <= 0.0 {
+        return 0.0;
+    }
+    (lo / hi).ln().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference binomial CDF by direct log-space pmf summation — slow and
+    /// only for small `n`, but independent of the incomplete-beta path.
+    fn cdf_by_summation(k: u64, n: u64, p: f64) -> f64 {
+        let ln_p = p.ln();
+        let ln_q = (1.0 - p).ln();
+        (0..=k)
+            .map(|i| {
+                let ln_choose = ln_gamma((n + 1) as f64)
+                    - ln_gamma((i + 1) as f64)
+                    - ln_gamma((n - i + 1) as f64);
+                (ln_choose + i as f64 * ln_p + (n - i) as f64 * ln_q).exp()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beta_inc_matches_direct_binomial_sums() {
+        // I_{1-p}(n-k, k+1) must agree with Σ pmf across a (k, p) grid.
+        let n = 40;
+        for k in [0u64, 1, 5, 20, 35, 39] {
+            for p in [0.01, 0.2, 0.5, 0.77, 0.99] {
+                let via_beta = binomial_cdf(k, n, p);
+                let via_sum = cdf_by_summation(k, n, p);
+                assert!(
+                    (via_beta - via_sum).abs() < 1e-10,
+                    "k={k} p={p}: {via_beta} vs {via_sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_invert_the_exact_tails() {
+        // Defining equations: P(X ≥ x | n, lo) = alpha and
+        // P(X ≤ x | n, hi) = alpha, checked through the independent
+        // summation CDF.
+        let (n, x, alpha) = (50u64, 13u64, 0.025);
+        let lo = binomial_lower_bound(x, n, alpha);
+        let hi = binomial_upper_bound(x, n, alpha);
+        let upper_tail_at_lo = 1.0 - cdf_by_summation(x - 1, n, lo);
+        let lower_tail_at_hi = cdf_by_summation(x, n, hi);
+        assert!(
+            (upper_tail_at_lo - alpha).abs() < 1e-9,
+            "{upper_tail_at_lo}"
+        );
+        assert!(
+            (lower_tail_at_hi - alpha).abs() < 1e-9,
+            "{lower_tail_at_hi}"
+        );
+        assert!(lo < x as f64 / n as f64 && (x as f64 / n as f64) < hi);
+    }
+
+    #[test]
+    fn edge_counts() {
+        assert_eq!(binomial_lower_bound(0, 100, 0.05), 0.0);
+        assert_eq!(binomial_upper_bound(100, 100, 0.05), 1.0);
+        // Zero successes still upper-bounds p away from zero: the closed
+        // form is 1 - alpha^(1/n).
+        let hi = binomial_upper_bound(0, 100, 0.05);
+        let expect = 1.0 - 0.05_f64.powf(1.0 / 100.0);
+        assert!((hi - expect).abs() < 1e-9, "{hi} vs {expect}");
+        // Full successes lower-bound p near one: alpha^(1/n).
+        let lo = binomial_lower_bound(100, 100, 0.05);
+        assert!((lo - 0.05_f64.powf(1.0 / 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clopper_pearson_contains_the_point_estimate() {
+        for (x, n) in [(5u64, 20u64), (50, 100), (1, 1000), (999, 1000)] {
+            let (lo, hi) = clopper_pearson(x, n, 0.05);
+            let p_hat = x as f64 / n as f64;
+            assert!(lo <= p_hat && p_hat <= hi, "({lo}, {hi}) vs {p_hat}");
+            // Tighter alpha widens the interval.
+            let (lo2, hi2) = clopper_pearson(x, n, 0.001);
+            assert!(lo2 <= lo && hi <= hi2);
+        }
+    }
+
+    #[test]
+    fn epsilon_lower_bound_behaves() {
+        // Identical counts: no evidence of loss.
+        assert_eq!(epsilon_lower_bound(500, 500, 10_000, 0.05), 0.0);
+        // Heavier side A: positive, below the plug-in ratio.
+        let b = epsilon_lower_bound(2_000, 500, 10_000, 0.05);
+        let plug_in = (2_000.0_f64 / 500.0).ln();
+        assert!(b > 0.0 && b < plug_in, "bound {b}, plug-in {plug_in}");
+        // More trials at the same frequencies tighten toward the plug-in.
+        let tighter = epsilon_lower_bound(20_000, 5_000, 100_000, 0.05);
+        assert!(tighter > b);
+        // Zero count on the neighbor: finite, grows with trials.
+        let z1 = epsilon_lower_bound(900, 0, 1_000, 0.05);
+        let z2 = epsilon_lower_bound(90_000, 0, 100_000, 0.05);
+        assert!(z1.is_finite() && z2.is_finite());
+        assert!(z2 > z1, "{z2} should exceed {z1}");
+        // Zero count on A: no lower bound.
+        assert_eq!(epsilon_lower_bound(0, 0, 1_000, 0.05), 0.0);
+    }
+}

@@ -23,7 +23,20 @@ pub struct EmpiricalEpsilon {
     /// overwhelming evidence of an unbounded privacy loss (a pure-DP
     /// mechanism assigns every output positive probability under both).
     pub epsilon_hat: f64,
-    /// The output achieving it (its `Debug` rendering).
+    /// Add-one-smoothed twin of [`epsilon_hat`](Self::epsilon_hat):
+    /// largest `|ln((c_D(ω) + 1) / (c_D'(ω) + 1))|` over outputs frequent
+    /// enough on at least one side (`max(c_D, c_D') ≥ min_count`).
+    ///
+    /// **Always finite**, including for outputs never seen on one side —
+    /// an event observed `c` times against zero claims only `ln(c + 1)` of
+    /// loss, which is the most `trials` runs can statistically witness.
+    /// This is the value to compare against a claimed `ε` when a finite
+    /// one-sided bound is needed (the `∞` sentinel in `epsilon_hat` stays
+    /// as the unambiguous disjoint-support flag). For bounds with explicit
+    /// confidence levels, use
+    /// [`crate::binomial::epsilon_lower_bound`] on the underlying counts.
+    pub epsilon_hat_smoothed: f64,
+    /// The output achieving `epsilon_hat` (its `Debug` rendering).
     pub witness: String,
     /// Number of distinct outputs observed across both runs.
     pub distinct_outputs: usize,
@@ -71,17 +84,26 @@ where
     let distinct_outputs = keys.len();
 
     let mut epsilon_hat: f64 = 0.0;
+    let mut epsilon_hat_smoothed: f64 = 0.0;
     let mut witness = String::from("<none qualified>");
     for k in keys {
         let ca = hist_a.get(k).copied().unwrap_or(0);
         let cb = hist_b.get(k).copied().unwrap_or(0);
+        if ca.max(cb) >= min_count {
+            // Add-one smoothing keeps the ratio finite even on disjoint
+            // support, so the smoothed estimate never degenerates to ∞/NaN.
+            let smoothed = (((ca + 1) as f64) / ((cb + 1) as f64)).ln().abs();
+            epsilon_hat_smoothed = epsilon_hat_smoothed.max(smoothed);
+        }
         // Disjoint support: frequent on one side, never on the other. Under
         // pure ε-DP this has probability ≲ trials·e^{-ε·min_count}; treat as
         // an unbounded-loss witness rather than skipping it.
         if (ca >= min_count && cb == 0) || (cb >= min_count && ca == 0) {
-            epsilon_hat = f64::INFINITY;
-            witness = format!("{k:?} (one-sided: {ca} vs {cb})");
-            break;
+            if !epsilon_hat.is_infinite() {
+                epsilon_hat = f64::INFINITY;
+                witness = format!("{k:?} (one-sided: {ca} vs {cb})");
+            }
+            continue;
         }
         if ca < min_count || cb < min_count {
             continue;
@@ -95,6 +117,7 @@ where
 
     EmpiricalEpsilon {
         epsilon_hat,
+        epsilon_hat_smoothed,
         witness,
         distinct_outputs,
         trials,
@@ -200,6 +223,53 @@ mod tests {
     fn rejects_zero_trials() {
         let mut rng = rng_from_seed(1);
         empirical_epsilon(|_: &[f64], _: &mut StdRng| 0u8, &[], &[], 0, 1, &mut rng);
+    }
+
+    #[test]
+    fn one_sided_events_get_a_finite_smoothed_bound() {
+        // Regression for the zero-count edge case: an output frequent on one
+        // database and absent on the neighbor keeps the ∞ sentinel in
+        // `epsilon_hat` but must also report a finite one-sided bound.
+        let mut rng = rng_from_seed(9);
+        let audit = empirical_epsilon(
+            |answers: &[f64], _: &mut StdRng| answers[0] as i64,
+            &[0.0],
+            &[1.0],
+            1_000,
+            100,
+            &mut rng,
+        );
+        assert!(audit.epsilon_hat.is_infinite());
+        assert!(
+            audit.epsilon_hat_smoothed.is_finite(),
+            "smoothed bound must never be infinite"
+        );
+        // 1000 observations vs 0 → ln(1001 / 1) ≈ 6.9.
+        let expect = 1001.0_f64.ln();
+        assert!(
+            (audit.epsilon_hat_smoothed - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            audit.epsilon_hat_smoothed
+        );
+    }
+
+    #[test]
+    fn smoothed_bound_tracks_the_ratio_on_overlapping_support() {
+        // When both sides are frequent, smoothing barely moves the estimate:
+        // the smoothed value stays within ~2% of the raw log-ratio and never
+        // exceeds max over events of the smoothed ratio by construction.
+        let mut rng = rng_from_seed(2024);
+        let d: Vec<f64> = vec![3.0, 2.0, 1.0];
+        let dprime: Vec<f64> = vec![2.0, 3.0, 2.0];
+        let audit = empirical_epsilon(noisy_argmax, &d, &dprime, 60_000, 300, &mut rng);
+        assert!(audit.epsilon_hat.is_finite());
+        assert!(
+            (audit.epsilon_hat_smoothed - audit.epsilon_hat).abs()
+                < 0.05 * audit.epsilon_hat.max(1.0),
+            "smoothed {} strayed from raw {}",
+            audit.epsilon_hat_smoothed,
+            audit.epsilon_hat
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod adjacency;
+pub mod binomial;
 pub mod checker;
 pub mod empirical;
 pub mod mechanism;
@@ -48,6 +49,7 @@ pub mod source;
 pub mod tape;
 
 pub use adjacency::{AdjacencyModel, Perturbation};
+pub use binomial::{clopper_pearson, epsilon_lower_bound};
 pub use checker::{check_alignment, AlignmentError, AlignmentReport};
 pub use mechanism::AlignedMechanism;
 pub use source::{NoiseSource, RecordingSource, ReplaySource, SamplingSource};

@@ -1,0 +1,156 @@
+//! The standard attack suite: every correct SVT mechanism and every zoo
+//! variant, attacked identically, with a pass/fail verdict for the whole
+//! board.
+//!
+//! The suite is a two-sided oracle over the harness itself:
+//!
+//! * **Soundness** — no correct mechanism may be flagged. The estimate
+//!   phase's Clopper–Pearson bound cannot exceed a mechanism's true ε
+//!   except with probability ≤ α/2, so a false flag means the harness
+//!   (not the mechanism) is broken.
+//! * **Power** — every zoo variant must be flagged: its empirical ε lower
+//!   bound must exceed the ε its flawed proof claims.
+//!
+//! `repro attack` prints this board and exits nonzero unless both hold.
+
+use crate::estimator::{attack, AttackConfig, AttackResult};
+use crate::inputs::{standard_pairs, InputPair};
+use crate::target::AttackTarget;
+use free_gap_core::sparse_vector::broken::{
+    BudgetMisallocationSvt, NoQueryNoiseSvt, NoisyValueSvt, UnboundedCountSvt, UnscaledNoiseSvt,
+};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, ClassicSparseVector, DiscreteSparseVectorWithGap, SparseVectorWithGap,
+};
+
+/// The public threshold every suite target is built around.
+pub const SUITE_THRESHOLD: f64 = 10.0;
+
+/// One suite member: a target plus the verdict the suite expects.
+pub struct SuiteEntry {
+    /// The mechanism under attack.
+    pub target: Box<dyn AttackTarget>,
+    /// `true` for zoo variants (must be flagged), `false` for the paper's
+    /// mechanisms (must pass).
+    pub expect_broken: bool,
+}
+
+/// The standard board: four correct mechanisms (general-sensitivity
+/// configuration, so every candidate pair's adjacency is covered by their
+/// claims) and the five-variant zoo at parameters where each flaw is
+/// statistically detectable.
+pub fn standard_suite() -> Vec<SuiteEntry> {
+    let t = SUITE_THRESHOLD;
+    let correct: Vec<Box<dyn AttackTarget>> = vec![
+        Box::new(ClassicSparseVector::new(2, 1.0, t, false).expect("valid")),
+        Box::new(SparseVectorWithGap::new(2, 1.0, t, false).expect("valid")),
+        Box::new(AdaptiveSparseVector::new(2, 1.0, t, false).expect("valid")),
+        Box::new(DiscreteSparseVectorWithGap::new(2, 1.0, t, false).expect("valid")),
+    ];
+    let broken: Vec<Box<dyn AttackTarget>> = vec![
+        // k = 1 keeps the compound ⊥…⊥⊤-plus-value witness short enough to
+        // be frequent; the sample_factor covers the rest.
+        Box::new(NoisyValueSvt::new(1, 1.0, t).expect("valid")),
+        // The flaw needs k ≥ 2; k = 3 triples the per-answer overrun.
+        Box::new(UnscaledNoiseSvt::new(3, 0.6, t).expect("valid")),
+        Box::new(NoQueryNoiseSvt::new(1.0, t).expect("valid")),
+        Box::new(BudgetMisallocationSvt::new(1, 0.8, t).expect("valid")),
+        Box::new(UnboundedCountSvt::new(1.0, t).expect("valid")),
+    ];
+    correct
+        .into_iter()
+        .map(|target| SuiteEntry {
+            target,
+            expect_broken: false,
+        })
+        .chain(broken.into_iter().map(|target| SuiteEntry {
+            target,
+            expect_broken: true,
+        }))
+        .collect()
+}
+
+/// One row of the suite board.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    /// The verdict the suite expects for this target.
+    pub expect_broken: bool,
+    /// What the attack actually measured.
+    pub result: AttackResult,
+}
+
+impl SuiteRow {
+    /// True when the measured verdict matches the expectation.
+    pub fn verdict_ok(&self) -> bool {
+        self.result.flagged == self.expect_broken
+    }
+}
+
+/// All attack results plus the board-level verdicts.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// One row per suite target, in suite order.
+    pub rows: Vec<SuiteRow>,
+}
+
+impl SuiteReport {
+    /// Correct mechanisms that were (wrongly) flagged.
+    pub fn false_flags(&self) -> impl Iterator<Item = &SuiteRow> {
+        self.rows
+            .iter()
+            .filter(|r| !r.expect_broken && r.result.flagged)
+    }
+
+    /// Zoo variants that escaped detection.
+    pub fn escapes(&self) -> impl Iterator<Item = &SuiteRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.expect_broken && !r.result.flagged)
+    }
+
+    /// True when every verdict matches: no false flags, no escapes.
+    pub fn ok(&self) -> bool {
+        self.rows.iter().all(SuiteRow::verdict_ok)
+    }
+}
+
+/// Runs the standard suite against the standard candidate pairs.
+pub fn run_suite(cfg: &AttackConfig) -> SuiteReport {
+    run_suite_with(standard_suite(), &standard_pairs(SUITE_THRESHOLD), cfg)
+}
+
+/// Runs an explicit set of suite entries against explicit pairs — the
+/// extension point for attacking a new variant (see README's "adding a
+/// variant to the zoo").
+pub fn run_suite_with(
+    entries: Vec<SuiteEntry>,
+    pairs: &[InputPair],
+    cfg: &AttackConfig,
+) -> SuiteReport {
+    let rows = entries
+        .into_iter()
+        .map(|e| SuiteRow {
+            expect_broken: e.expect_broken,
+            result: attack(e.target.as_ref(), pairs, cfg),
+        })
+        .collect();
+    SuiteReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_composition() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 9);
+        assert_eq!(suite.iter().filter(|e| e.expect_broken).count(), 5);
+        let zoo_names: Vec<&str> = suite
+            .iter()
+            .filter(|e| e.expect_broken)
+            .map(|e| e.target.name())
+            .collect();
+        assert!(zoo_names.iter().all(|n| n.starts_with("zoo:")));
+    }
+}

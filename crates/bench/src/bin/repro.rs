@@ -24,6 +24,11 @@
 //!   bench-history F..  merge several bench JSON files (e.g. CI's uploaded
 //!                      /tmp/bench.json artifacts, oldest commit first)
 //!                      into a cell × artifact runs/sec trend table
+//!   attack             adversarial privacy audit: attack every correct SVT
+//!                      mechanism and every broken zoo variant, print the
+//!                      claimed-ε vs empirical-ε-lower-bound board, and exit
+//!                      nonzero if any correct mechanism is flagged or any
+//!                      broken variant escapes detection
 //!   all                everything above except `bench`, paper defaults
 //!
 //! Options:
@@ -49,6 +54,13 @@
 //!                      only (rejects --json); used by CI's second
 //!                      invocation so the stale-baseline check is explicit
 //!                      and instant
+//!   --trials N         `attack`: estimate-phase Monte-Carlo trials per side
+//!                      (search phase scales along; default 300000)
+//!   --significance F   `attack`: significance α of the reported
+//!                      Clopper–Pearson lower bounds, in (0, 0.5) (default
+//!                      0.01, or 0.05 with --quick)
+//!   --quick            `attack`: budgeted CI smoke configuration (fewer
+//!                      trials, α = 0.05, same verdicts on the suite)
 //! ```
 //!
 //! The paper averages 10,000 runs per point; defaults here are chosen so the
@@ -58,7 +70,7 @@
 use free_gap_bench::experiments::fig1::Panel;
 use free_gap_bench::experiments::{self, epsilon_grid, k_grid};
 use free_gap_bench::perf;
-use free_gap_bench::table::Table;
+use free_gap_bench::table::{Cell, Table};
 use free_gap_bench::workloads::parse_dataset;
 use free_gap_bench::ExperimentConfig;
 use free_gap_data::Dataset;
@@ -83,6 +95,12 @@ struct CliOptions {
     tolerance: f64,
     tolerance_explicit: bool,
     baseline_only: bool,
+    /// `attack`: estimate-phase trials per side (`--trials`).
+    attack_trials: Option<usize>,
+    /// `attack`: significance α of the reported bounds (`--significance`).
+    significance: Option<f64>,
+    /// `attack`: budgeted CI smoke configuration (`--quick`).
+    quick: bool,
     /// Which workload-shaping options were passed explicitly (the `bench`
     /// command uses a fixed synthetic workload and rejects them).
     workload_flags: Vec<&'static str>,
@@ -110,6 +128,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         tolerance: 0.25,
         tolerance_explicit: false,
         baseline_only: false,
+        attack_trials: None,
+        significance: None,
+        quick: false,
         workload_flags: Vec::new(),
         files: Vec::new(),
     };
@@ -180,6 +201,25 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.tolerance_explicit = true;
             }
             "--baseline-only" => opts.baseline_only = true,
+            "--trials" => {
+                let trials: usize = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+                if trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+                opts.attack_trials = Some(trials);
+            }
+            "--significance" => {
+                let alpha: f64 = value("--significance")?
+                    .parse()
+                    .map_err(|e| format!("--significance: {e}"))?;
+                if !(alpha.is_finite() && alpha > 0.0 && alpha < 0.5) {
+                    return Err("--significance must be in (0, 0.5)".into());
+                }
+                opts.significance = Some(alpha);
+            }
+            "--quick" => opts.quick = true,
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -236,6 +276,24 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
     if opts.tolerance_explicit && opts.command != "bench-compare" {
         return Err(format!(
             "--tolerance only applies to `bench-compare`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.attack_trials.is_some() && opts.command != "attack" {
+        return Err(format!(
+            "--trials only applies to `attack`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.significance.is_some() && opts.command != "attack" {
+        return Err(format!(
+            "--significance only applies to `attack`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.quick && opts.command != "attack" {
+        return Err(format!(
+            "--quick only applies to `attack`, not `{}`",
             opts.command
         ));
     }
@@ -338,6 +396,95 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
                 loaded.push((path.clone(), json));
             }
             vec![perf::bench_history(&loaded)?]
+        }
+        "attack" => {
+            // The suite is a self-contained audit over fixed synthetic
+            // workloads; reject options it would silently ignore.
+            if let Some(flag) = opts.workload_flags.first() {
+                return Err(format!(
+                    "`attack` audits fixed adversarial workloads; {flag} is not supported (only --trials, --significance, --quick, --seed, --csv apply)"
+                ));
+            }
+            if opts.runs.is_some() {
+                return Err(
+                    "`attack` sizes its Monte-Carlo phases with --trials, not --runs".to_string(),
+                );
+            }
+            let mut cfg = if opts.quick {
+                free_gap_attack::AttackConfig::quick(opts.seed)
+            } else {
+                free_gap_attack::AttackConfig::full(opts.seed)
+            };
+            if let Some(trials) = opts.attack_trials {
+                cfg.estimate_trials = trials;
+                // Keep the dp-sniper phase split: the search phase explores
+                // every (pair, classifier) cell at ~1/8 of the estimate
+                // budget the chosen cell then gets.
+                cfg.search_trials = (trials / 8).max(1_000);
+            }
+            if let Some(alpha) = opts.significance {
+                cfg.alpha = alpha;
+            }
+            let report = free_gap_attack::run_suite(&cfg);
+            let mut table = Table::new(
+                format!(
+                    "Adversarial privacy audit (α = {}, {} estimate trials/side)",
+                    cfg.alpha, cfg.estimate_trials
+                ),
+                &[
+                    "target",
+                    "claimed ε",
+                    "ε̂ ≥",
+                    "expected",
+                    "verdict",
+                    "pair",
+                    "classifier",
+                    "hits D",
+                    "hits D'",
+                ],
+            );
+            for row in &report.rows {
+                let r = &row.result;
+                table.push_row(vec![
+                    r.name.into(),
+                    r.claimed_epsilon.into(),
+                    r.epsilon_lower_bound.into(),
+                    if row.expect_broken {
+                        "broken"
+                    } else {
+                        "correct"
+                    }
+                    .into(),
+                    match (r.flagged, row.verdict_ok()) {
+                        (true, true) => "FLAGGED ✓",
+                        (false, true) => "pass ✓",
+                        (true, false) => "FLAGGED ✗ (false positive)",
+                        (false, false) => "escaped ✗",
+                    }
+                    .into(),
+                    r.pair.into(),
+                    r.classifier.into(),
+                    Cell::Int(r.counts.0 as i64),
+                    Cell::Int(r.counts.1 as i64),
+                ]);
+            }
+            emit(&table, opts.csv);
+            let false_flags: Vec<&str> = report.false_flags().map(|r| r.result.name).collect();
+            let escapes: Vec<&str> = report.escapes().map(|r| r.result.name).collect();
+            if !false_flags.is_empty() || !escapes.is_empty() {
+                return Err(format!(
+                    "attack suite failed: {} correct mechanism(s) falsely flagged [{}], {} broken variant(s) escaped [{}]",
+                    false_flags.len(),
+                    false_flags.join(", "),
+                    escapes.len(),
+                    escapes.join(", ")
+                ));
+            }
+            eprintln!(
+                "all {} verdicts correct: every zoo variant flagged, every correct mechanism passed",
+                report.rows.len()
+            );
+            Vec::new()
         }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
         "fig1a" => vec![experiments::fig1::run(
@@ -470,7 +617,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only]");
+            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|attack|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick]");
             return ExitCode::FAILURE;
         }
     };
@@ -485,5 +632,77 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_attack_options() {
+        let opts = parse_args(&args(&[
+            "attack",
+            "--trials",
+            "5000",
+            "--significance",
+            "0.05",
+            "--quick",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.command, "attack");
+        assert_eq!(opts.attack_trials, Some(5000));
+        assert_eq!(opts.significance, Some(0.05));
+        assert!(opts.quick);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn validates_attack_option_values() {
+        assert!(parse_args(&args(&["attack", "--trials", "0"])).is_err());
+        assert!(parse_args(&args(&["attack", "--significance", "0.7"])).is_err());
+        assert!(parse_args(&args(&["attack", "--significance", "0"])).is_err());
+        assert!(parse_args(&args(&["attack", "--significance", "nan"])).is_err());
+    }
+
+    #[test]
+    fn attack_options_are_rejected_on_other_commands() {
+        // The cross-command flag-rejection pattern: a flag the selected
+        // command would silently ignore is an error, not a no-op.
+        for flags in [
+            vec!["fig1a", "--trials", "5000"],
+            vec!["bench", "--significance", "0.05"],
+            vec!["all", "--quick"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("only applies to `attack`"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn attack_rejects_foreign_flags() {
+        for flags in [
+            vec!["attack", "--eps", "0.5"],
+            vec!["attack", "--dataset", "kosarak"],
+            vec!["attack", "--scale", "0.5"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("not supported"), "{flags:?}: {err}");
+        }
+        let opts = parse_args(&args(&["attack", "--runs", "10"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("--trials, not --runs"), "{err}");
+        // --budget is still bench-only.
+        let opts = parse_args(&args(&["attack", "--budget", "1.0"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("--budget only applies to `bench`"), "{err}");
     }
 }

@@ -108,6 +108,11 @@ impl AdaptiveSparseVector {
         self.threshold
     }
 
+    /// The total privacy budget `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Threshold budget `ε₀ = θε`.
     pub fn epsilon0(&self) -> f64 {
         self.theta * self.epsilon

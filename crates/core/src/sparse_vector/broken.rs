@@ -1,40 +1,66 @@
-//! ⚠️ Deliberately **non-private** Sparse Vector variants from the
-//! literature — DO NOT USE on real data.
+//! ⚠️ The **variant zoo**: deliberately non-private Sparse Vector variants
+//! from the literature — DO NOT USE on real data.
 //!
 //! The paper's §1 recalls that Sparse-Vector-with-Gap "was a surprising
 //! result given the number of incorrect attempts at improving Sparse Vector
 //! based on flawed manual proofs" (catalogued by Lyu et al., the paper's
-//! reference \[31\]). This module reproduces three of those catalogued
-//! mistakes so the
-//! test-suite can demonstrate that the workspace's auditing tools detect
-//! them — each with the tool suited to its failure mode:
+//! reference \[31\], and analyzed again by Chen–Machanavajjhala, *On the
+//! Privacy Properties of Variants on the Sparse Vector Technique*). This
+//! module reproduces five of those catalogued mistakes so the workspace's
+//! auditing layers — the alignment checker, the black-box empirical
+//! auditor, and the `free-gap-attack` harness — can demonstrate that each
+//! failure mode is detected:
 //!
-//! * [`NoisyValueSvt`] (Roth's lecture-notes variant, Lyu's Alg. 3):
-//!   releases the raw noisy value `qᵢ + νᵢ` for every `⊤`, reusing the
-//!   compared noise with no extra budget. The candidate alignment that
-//!   preserves the released value cannot simultaneously preserve the
-//!   comparison, and the **alignment checker** reports the output mismatch.
-//!   The contrast with the paper is surgical: releasing `qᵢ + νᵢ - T̃` (the
-//!   gap) aligns perfectly; releasing `qᵢ + νᵢ` does not, because
-//!   subtracting the noisy threshold is what lets the winner's noise shift
-//!   absorb the threshold's shift.
-//! * [`UnscaledNoiseSvt`] (Lee–Clifton style, Lyu's Alg. 5): stops after
-//!   `k` answers but adds per-query noise that does **not** scale with `k`.
-//!   Its natural alignment is valid (outputs are preserved) but its
-//!   Definition-6 **cost** reaches `ε₁ + k·ε₂ > ε`, and the checker reports
-//!   the overrun — the proof obligation of Lemma 1(iv) fails exactly as
-//!   Lyu et al. diagnosed.
-//! * [`NoQueryNoiseSvt`] (Stoddard et al. style, Lyu's Alg. 4): perturbs
-//!   only the threshold and answers unboundedly. Given the single noise
-//!   draw the output is a deterministic function of the data, so adjacent
-//!   inputs produce **disjoint** output distributions; the black-box
-//!   **empirical auditor** returns `ε̂ = ∞`.
+//! * [`NoisyValueSvt`] (**noisy-value reuse**; Roth's lecture-notes
+//!   variant, Lyu's Alg. 3): releases the raw noisy value `qᵢ + νᵢ` for
+//!   every `⊤`, reusing the compared noise with no extra budget. The
+//!   candidate alignment that preserves the released value cannot
+//!   simultaneously preserve the comparison, and the **alignment checker**
+//!   reports the output mismatch. The contrast with the paper is surgical:
+//!   releasing `qᵢ + νᵢ - T̃` (the gap) aligns perfectly; releasing
+//!   `qᵢ + νᵢ` does not, because subtracting the noisy threshold is what
+//!   lets the winner's noise shift absorb the threshold's shift.
+//! * [`UnscaledNoiseSvt`] (**unscaled noise**; Lee–Clifton style, Lyu's
+//!   Alg. 5): stops after `k` answers but adds per-query noise that does
+//!   **not** scale with `k`. Its natural alignment is valid (outputs are
+//!   preserved) but its Definition-6 **cost** reaches `ε₁ + k·ε₂ > ε`, and
+//!   the checker reports the overrun — the proof obligation of Lemma 1(iv)
+//!   fails exactly as Lyu et al. diagnosed.
+//! * [`NoQueryNoiseSvt`] (**no query noise**; Stoddard et al. style, Lyu's
+//!   Alg. 4): perturbs only the threshold and answers unboundedly. Given
+//!   the single noise draw the output is a deterministic function of the
+//!   data, so adjacent inputs produce **disjoint** output distributions;
+//!   the black-box **empirical auditor** returns `ε̂ = ∞`.
+//! * [`BudgetMisallocationSvt`] (**budget misallocation**): writes down the
+//!   `ε₁ = ε₂ = ε/2` split in its (flawed) proof but calibrates both noise
+//!   scales to the **full** `ε` — threshold `Lap(1/ε)` instead of
+//!   `Lap(1/ε₁)`, queries `Lap(k/ε)` instead of `Lap(k/ε₂)`. Every draw is
+//!   half as noisy as the accounting assumes, so the true cost is exactly
+//!   `2ε` against a claimed `ε` — a *finite* overrun, which makes this the
+//!   calibration case for empirical ε estimators (unlike the unbounded
+//!   variants, a sound lower bound must land in `(ε, 2ε]`).
+//! * [`UnboundedCountSvt`] (**unbounded ⊤ count**; Chen et al. style,
+//!   Lyu's Alg. 6): uses the correct `k = 1` noise scales but never halts —
+//!   every query is answered `⊤`/`⊥` with no cap on the number of `⊤`s.
+//!   Each additional `⊤` spends another `ε₂`, so the true cost grows
+//!   linearly in the number of above-threshold answers while the claim
+//!   stays fixed: not `ε'`-DP for any finite `ε'` on long workloads.
+//!
+//! Every variant runs through the same [`DrawProvider`] substrate as the
+//! correct mechanisms: `run` is the draw-exact dyn path (the alignment
+//! checker interposes here) and `run_with_scratch[_into]` is the batched
+//! fast path over [`SvtScratch`], bit-identical on the same RNG stream —
+//! which is what lets the `free-gap-attack` Monte-Carlo harness hammer the
+//! zoo at full scratch-path speed with deterministic derived sub-streams.
 
 use super::SvOutput;
 use crate::answers::QueryAnswers;
+use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
+use crate::scratch::SvtScratch;
 use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSource};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Lyu Alg. 3 (Roth): SVT that releases `qᵢ + νᵢ` for `⊤` answers,
 /// claiming the same ε as plain SVT. **Not ε-DP.**
@@ -70,6 +96,42 @@ impl NoisyValueSvt {
         self.claimed_epsilon
     }
 
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The single copy of the decision loop, generic over the provider —
+    /// same budget split and noise as a correct monotone SVT, but the
+    /// released value re-exposes `νᵢ` without the noisy threshold folded
+    /// in: that is the flaw.
+    fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        out: &mut NoisyValueOutput,
+    ) {
+        provider.begin();
+        let eps1 = self.claimed_epsilon / 2.0;
+        let eps2 = self.claimed_epsilon / 2.0;
+        let noisy_threshold = self.threshold + provider.next(1.0 / eps1);
+        let qscale = self.k as f64 / eps2;
+        out.clear();
+        let mut answered = 0usize;
+        for &q in answers.values() {
+            if answered == self.k {
+                break;
+            }
+            let noisy = q + provider.next(qscale);
+            if noisy >= noisy_threshold {
+                out.push(Some(noisy));
+                answered += 1;
+            } else {
+                out.push(None);
+            }
+        }
+    }
+
     /// Runs the mechanism.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> NoisyValueOutput {
         let mut source = SamplingSource::new(rng);
@@ -81,28 +143,33 @@ impl NoisyValueSvt {
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
     ) -> NoisyValueOutput {
-        // Same budget split and noise as a correct monotone SVT…
-        let eps1 = self.claimed_epsilon / 2.0;
-        let eps2 = self.claimed_epsilon / 2.0;
-        let noisy_threshold = self.threshold + source.laplace(1.0 / eps1);
-        let qscale = self.k as f64 / eps2;
         let mut out = Vec::new();
-        let mut answered = 0usize;
-        for &q in answers.values() {
-            if answered == self.k {
-                break;
-            }
-            let noisy = q + source.laplace(qscale);
-            if noisy >= noisy_threshold {
-                // …but the released value re-exposes νᵢ without the noisy
-                // threshold folded in: this is the flaw.
-                out.push(Some(noisy));
-                answered += 1;
-            } else {
-                out.push(None);
-            }
-        }
+        self.run_core(answers, &mut SourceDraws::new(source), &mut out);
         out
+    }
+
+    /// Batched fast path over [`SvtScratch`]; bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> NoisyValueOutput {
+        let mut out = Vec::new();
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut NoisyValueOutput,
+    ) {
+        self.run_core(answers, &mut ScratchDraws::new(scratch, rng), out);
     }
 }
 
@@ -184,6 +251,11 @@ impl UnscaledNoiseSvt {
         self.claimed_epsilon
     }
 
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
     /// The loss the natural alignment actually needs in the worst case:
     /// `ε₁ + k·ε₂` (per-answer cost `ε₂` instead of `ε₂/k`).
     pub fn worst_case_alignment_cost(&self) -> f64 {
@@ -192,33 +264,68 @@ impl UnscaledNoiseSvt {
         eps1 + self.k as f64 * eps2
     }
 
-    fn run_with_source(&self, answers: &QueryAnswers, source: &mut dyn NoiseSource) -> SvOutput {
+    fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        out: &mut SvOutput,
+    ) {
+        provider.begin();
         let eps1 = self.claimed_epsilon / 2.0;
         let eps2 = self.claimed_epsilon / 2.0;
-        let noisy_threshold = self.threshold + source.laplace(1.0 / eps1);
+        let noisy_threshold = self.threshold + provider.next(1.0 / eps1);
         // The bug: scale 2/ε₂ no matter how many answers the run will emit.
         let qscale = 2.0 / eps2;
-        let mut above = Vec::new();
+        out.above.clear();
         let mut answered = 0usize;
         for &q in answers.values() {
             if answered == self.k {
                 break;
             }
-            let noisy = q + source.laplace(qscale);
+            let noisy = q + provider.next(qscale);
             if noisy >= noisy_threshold {
-                above.push(Some(0.0));
+                out.above.push(Some(0.0));
                 answered += 1;
             } else {
-                above.push(None);
+                out.above.push(None);
             }
         }
-        SvOutput { above }
+    }
+
+    fn run_with_source(&self, answers: &QueryAnswers, source: &mut dyn NoiseSource) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(answers, &mut SourceDraws::new(source), &mut out);
+        out
     }
 
     /// Runs the mechanism.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
+    }
+
+    /// Batched fast path over [`SvtScratch`]; bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_core(answers, &mut ScratchDraws::new(scratch, rng), out);
     }
 }
 
@@ -281,22 +388,256 @@ impl NoQueryNoiseSvt {
         self.claimed_epsilon
     }
 
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        out: &mut SvOutput,
+    ) {
+        provider.begin();
+        let noisy_threshold = self.threshold + provider.next(1.0 / self.claimed_epsilon);
+        out.above.clear();
+        out.above.extend(answers.values().iter().map(|&q| {
+            if q >= noisy_threshold {
+                Some(0.0)
+            } else {
+                None
+            }
+        }));
+    }
+
     /// Runs the mechanism.
     pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
         let mut source = SamplingSource::new(rng);
-        let noisy_threshold = self.threshold + source.laplace(1.0 / self.claimed_epsilon);
-        let above = answers
-            .values()
-            .iter()
-            .map(|&q| {
-                if q >= noisy_threshold {
-                    Some(0.0)
-                } else {
-                    None
-                }
-            })
-            .collect();
-        SvOutput { above }
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(answers, &mut SourceDraws::new(&mut source), &mut out);
+        out
+    }
+
+    /// Batched fast path over [`SvtScratch`]; bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_core(answers, &mut ScratchDraws::new(scratch, rng), out);
+    }
+}
+
+/// Budget-misallocation SVT: the proof splits `ε₁ = ε₂ = ε/2`, the code
+/// calibrates both noise scales to the full `ε`. True cost exactly `2ε`
+/// against a claimed `ε`. **Not ε-DP** (it *is* `2ε`-DP — the finite-gap
+/// case an empirical ε estimator must be able to resolve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetMisallocationSvt {
+    k: usize,
+    claimed_epsilon: f64,
+    threshold: f64,
+}
+
+impl BudgetMisallocationSvt {
+    /// Creates the (broken) mechanism with its claimed budget.
+    pub fn new(k: usize, claimed_epsilon: f64, threshold: f64) -> Result<Self, MechanismError> {
+        if k == 0 {
+            return Err(MechanismError::InvalidK {
+                k,
+                requirement: "k must be at least 1",
+            });
+        }
+        Ok(Self {
+            k,
+            claimed_epsilon: require_epsilon(claimed_epsilon)?,
+            threshold,
+        })
+    }
+
+    /// The budget the flawed proof claims.
+    pub fn claimed_epsilon(&self) -> f64 {
+        self.claimed_epsilon
+    }
+
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The budget the noise scales actually spend: `2ε` (each half of the
+    /// written-down `ε/2 + ε/2` split is under-noised by exactly 2×).
+    pub fn true_epsilon(&self) -> f64 {
+        2.0 * self.claimed_epsilon
+    }
+
+    fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        out: &mut SvOutput,
+    ) {
+        provider.begin();
+        // The bug: the proof says Lap(1/ε₁) and Lap(k/ε₂) with
+        // ε₁ = ε₂ = ε/2; the scales below plug in the *total* ε instead.
+        let noisy_threshold = self.threshold + provider.next(1.0 / self.claimed_epsilon);
+        let qscale = self.k as f64 / self.claimed_epsilon;
+        out.above.clear();
+        let mut answered = 0usize;
+        for &q in answers.values() {
+            if answered == self.k {
+                break;
+            }
+            let noisy = q + provider.next(qscale);
+            if noisy >= noisy_threshold {
+                out.above.push(Some(0.0));
+                answered += 1;
+            } else {
+                out.above.push(None);
+            }
+        }
+    }
+
+    /// Runs the mechanism.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(answers, &mut SourceDraws::new(&mut source), &mut out);
+        out
+    }
+
+    /// Batched fast path over [`SvtScratch`]; bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_core(answers, &mut ScratchDraws::new(scratch, rng), out);
+    }
+}
+
+/// Chen et al. style (Lyu Alg. 6): correct `k = 1` noise scales
+/// (`Lap(2/ε)` threshold, `Lap(4/ε)` queries, the general-query even
+/// split), but **no cap on the number of `⊤`s** — every query is answered.
+/// Each `⊤` spends another `ε₂ = ε/2`, so the true cost is
+/// `ε/2 + (#⊤)·ε/2`, unbounded on long workloads. **Not ε'-DP for any
+/// finite ε'.**
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnboundedCountSvt {
+    claimed_epsilon: f64,
+    threshold: f64,
+}
+
+impl UnboundedCountSvt {
+    /// Creates the (broken) mechanism with its claimed budget.
+    pub fn new(claimed_epsilon: f64, threshold: f64) -> Result<Self, MechanismError> {
+        Ok(Self {
+            claimed_epsilon: require_epsilon(claimed_epsilon)?,
+            threshold,
+        })
+    }
+
+    /// The budget the flawed proof claims.
+    pub fn claimed_epsilon(&self) -> f64 {
+        self.claimed_epsilon
+    }
+
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The budget a run actually spends when it answers `tops` queries
+    /// above threshold: `ε₁ + tops·ε₂` with `ε₁ = ε₂ = ε/2`.
+    pub fn true_epsilon_for(&self, tops: usize) -> f64 {
+        0.5 * self.claimed_epsilon * (1.0 + tops as f64)
+    }
+
+    fn run_core<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        out: &mut SvOutput,
+    ) {
+        provider.begin();
+        let eps1 = self.claimed_epsilon / 2.0;
+        let eps2 = self.claimed_epsilon / 2.0;
+        let noisy_threshold = self.threshold + provider.next(1.0 / eps1);
+        let qscale = 2.0 / eps2;
+        out.above.clear();
+        // The bug: no `answered == k` stop — the loop runs to the end of
+        // the workload no matter how many ⊤s it has already emitted.
+        for &q in answers.values() {
+            let noisy = q + provider.next(qscale);
+            if noisy >= noisy_threshold {
+                out.above.push(Some(0.0));
+            } else {
+                out.above.push(None);
+            }
+        }
+    }
+
+    /// Runs the mechanism.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> SvOutput {
+        let mut source = SamplingSource::new(rng);
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_core(answers, &mut SourceDraws::new(&mut source), &mut out);
+        out
+    }
+
+    /// Batched fast path over [`SvtScratch`]; bit-identical to
+    /// [`run`](Self::run) on the same RNG stream.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvOutput {
+        let mut out = SvOutput { above: Vec::new() };
+        self.run_with_scratch_into(answers, rng, scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch).
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+        out: &mut SvOutput,
+    ) {
+        self.run_core(answers, &mut ScratchDraws::new(scratch, rng), out);
     }
 }
 
@@ -314,6 +655,79 @@ mod tests {
         assert!(NoisyValueSvt::new(0, 1.0, 0.0).is_err());
         assert!(UnscaledNoiseSvt::new(1, 0.0, 0.0).is_err());
         assert!(NoQueryNoiseSvt::new(f64::NAN, 0.0).is_err());
+        assert!(BudgetMisallocationSvt::new(0, 1.0, 0.0).is_err());
+        assert!(BudgetMisallocationSvt::new(2, -1.0, 0.0).is_err());
+        assert!(UnboundedCountSvt::new(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn scratch_paths_are_bit_identical_to_run() {
+        // Every zoo variant's scratch fast path must replay the dyn path's
+        // exact outputs on the same RNG stream — the property the attack
+        // harness's Monte-Carlo loops rely on.
+        let answers = QueryAnswers::general(vec![10.5, 9.0, 10.0, 8.5, 11.0, 9.5, 10.2, 7.0]);
+        let mut scratch = SvtScratch::new();
+        for seed in 0..25u64 {
+            let nv = NoisyValueSvt::new(2, 0.8, 10.0).unwrap();
+            let a = nv.run(&answers, &mut rng_from_seed(seed));
+            let b = nv.run_with_scratch(&answers, &mut rng_from_seed(seed), &mut scratch);
+            assert_eq!(a, b, "NoisyValueSvt diverged at seed {seed}");
+
+            let un = UnscaledNoiseSvt::new(3, 0.8, 10.0).unwrap();
+            let a = un.run(&answers, &mut rng_from_seed(seed));
+            let b = un.run_with_scratch(&answers, &mut rng_from_seed(seed), &mut scratch);
+            assert_eq!(a, b, "UnscaledNoiseSvt diverged at seed {seed}");
+
+            let nq = NoQueryNoiseSvt::new(0.8, 10.0).unwrap();
+            let a = nq.run(&answers, &mut rng_from_seed(seed));
+            let b = nq.run_with_scratch(&answers, &mut rng_from_seed(seed), &mut scratch);
+            assert_eq!(a, b, "NoQueryNoiseSvt diverged at seed {seed}");
+
+            let bm = BudgetMisallocationSvt::new(2, 0.8, 10.0).unwrap();
+            let a = bm.run(&answers, &mut rng_from_seed(seed));
+            let b = bm.run_with_scratch(&answers, &mut rng_from_seed(seed), &mut scratch);
+            assert_eq!(a, b, "BudgetMisallocationSvt diverged at seed {seed}");
+
+            let ub = UnboundedCountSvt::new(0.8, 10.0).unwrap();
+            let a = ub.run(&answers, &mut rng_from_seed(seed));
+            let b = ub.run_with_scratch(&answers, &mut rng_from_seed(seed), &mut scratch);
+            assert_eq!(a, b, "UnboundedCountSvt diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let answers = QueryAnswers::general(vec![10.0, 9.0, 11.0]);
+        let mut scratch = SvtScratch::new();
+        let mut sv = SvOutput { above: Vec::new() };
+        let mut nv: NoisyValueOutput = Vec::new();
+        for seed in 0..5u64 {
+            let m = BudgetMisallocationSvt::new(2, 1.0, 10.0).unwrap();
+            m.run_with_scratch_into(&answers, &mut rng_from_seed(seed), &mut scratch, &mut sv);
+            assert_eq!(sv, m.run(&answers, &mut rng_from_seed(seed)));
+            let m = NoisyValueSvt::new(1, 1.0, 10.0).unwrap();
+            m.run_with_scratch_into(&answers, &mut rng_from_seed(seed), &mut scratch, &mut nv);
+            assert_eq!(nv, m.run(&answers, &mut rng_from_seed(seed)));
+        }
+    }
+
+    #[test]
+    fn unbounded_count_processes_everything() {
+        // No stop condition: every query of a long workload is answered,
+        // and with a high threshold noise draw pinned low the ⊤ count can
+        // exceed any fixed k.
+        let m = UnboundedCountSvt::new(100.0, 0.0).unwrap();
+        let answers = QueryAnswers::general(vec![5.0; 200]);
+        let out = m.run(&answers, &mut rng_from_seed(1));
+        assert_eq!(out.processed(), 200);
+        assert!(out.answered() > 100, "answered {}", out.answered());
+        assert!((m.true_epsilon_for(out.answered())) > m.claimed_epsilon());
+    }
+
+    #[test]
+    fn budget_misallocation_true_epsilon_is_double() {
+        let m = BudgetMisallocationSvt::new(3, 0.7, 5.0).unwrap();
+        assert!((m.true_epsilon() - 1.4).abs() < 1e-12);
     }
 
     #[test]
@@ -434,6 +848,9 @@ mod tests {
             audit.epsilon_hat,
             audit.witness
         );
+        // The smoothed one-sided bound stays finite but still convicts.
+        assert!(audit.epsilon_hat_smoothed.is_finite());
+        assert!(audit.epsilon_hat_smoothed > mech.claimed_epsilon());
     }
 
     #[test]

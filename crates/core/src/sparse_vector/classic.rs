@@ -67,6 +67,11 @@ impl ClassicSparseVector {
         self.threshold
     }
 
+    /// The total privacy budget `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Threshold-noise budget `ε₁ = θε`.
     pub fn epsilon1(&self) -> f64 {
         self.threshold_share * self.epsilon

@@ -68,6 +68,16 @@ impl DiscreteSparseVectorWithGap {
         Ok(self)
     }
 
+    /// The total privacy budget `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The public threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
     /// Threshold-noise rate per unit: `ε₁ = θε`.
     pub fn threshold_rate(&self) -> f64 {
         self.threshold_share * self.epsilon

@@ -51,6 +51,11 @@ impl SparseVectorWithGap {
         self.inner.threshold()
     }
 
+    /// The total privacy budget `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.inner.epsilon()
+    }
+
     /// Threshold-noise budget `ε₁`.
     pub fn epsilon1(&self) -> f64 {
         self.inner.epsilon1()
