@@ -24,6 +24,10 @@
 //!   bench-history F..  merge several bench JSON files (e.g. CI's uploaded
 //!                      /tmp/bench.json artifacts, oldest commit first)
 //!                      into a cell × artifact runs/sec trend table
+//!   lint               free-gap-lint: the four static invariants
+//!                      (stream-discipline, endpoint-guard, panic-freedom,
+//!                      taxonomy) over crates/{core,noise}; exits nonzero
+//!                      on any unallowed finding
 //!   attack             adversarial privacy audit: attack every correct SVT
 //!                      mechanism and every broken zoo variant, print the
 //!                      claimed-ε vs empirical-ε-lower-bound board, and exit
@@ -61,6 +65,11 @@
 //!                      0.01, or 0.05 with --quick)
 //!   --quick            `attack`: budgeted CI smoke configuration (fewer
 //!                      trials, α = 0.05, same verdicts on the suite)
+//!   --rule NAME        `lint`: check a single rule (stream-discipline |
+//!                      endpoint-guard | panic-freedom | taxonomy)
+//!   --fixtures         `lint`: run the power-check corpus instead of the
+//!                      real tree — every known-bad fixture must be flagged
+//!                      and every fixed twin must stay clean
 //! ```
 //!
 //! The paper averages 10,000 runs per point; defaults here are chosen so the
@@ -101,6 +110,10 @@ struct CliOptions {
     significance: Option<f64>,
     /// `attack`: budgeted CI smoke configuration (`--quick`).
     quick: bool,
+    /// `lint`: restrict to a single named rule (`--rule`).
+    lint_rule: Option<String>,
+    /// `lint`: run the fixture power checks instead of the tree (`--fixtures`).
+    fixtures: bool,
     /// Which workload-shaping options were passed explicitly (the `bench`
     /// command uses a fixed synthetic workload and rejects them).
     workload_flags: Vec<&'static str>,
@@ -131,6 +144,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         attack_trials: None,
         significance: None,
         quick: false,
+        lint_rule: None,
+        fixtures: false,
         workload_flags: Vec::new(),
         files: Vec::new(),
     };
@@ -220,6 +235,8 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.significance = Some(alpha);
             }
             "--quick" => opts.quick = true,
+            "--rule" => opts.lint_rule = Some(value("--rule")?),
+            "--fixtures" => opts.fixtures = true,
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -294,6 +311,18 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
     if opts.quick && opts.command != "attack" {
         return Err(format!(
             "--quick only applies to `attack`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.lint_rule.is_some() && opts.command != "lint" {
+        return Err(format!(
+            "--rule only applies to `lint`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.fixtures && opts.command != "lint" {
+        return Err(format!(
+            "--fixtures only applies to `lint`, not `{}`",
             opts.command
         ));
     }
@@ -486,6 +515,93 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             );
             Vec::new()
         }
+        "lint" => {
+            // Static analysis over the checkout: no workload, no RNG.
+            if let Some(flag) = opts.workload_flags.first() {
+                return Err(format!(
+                    "`lint` is a static check; {flag} is not supported (only --rule, --fixtures apply)"
+                ));
+            }
+            if opts.runs.is_some() {
+                return Err("`lint` is a static check; --runs does not apply".to_string());
+            }
+            let rules: Vec<free_gap_lint::Rule> = match &opts.lint_rule {
+                Some(name) => vec![free_gap_lint::Rule::from_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown rule `{name}` (expected one of: {})",
+                        free_gap_lint::Rule::ALL
+                            .map(free_gap_lint::Rule::name)
+                            .join(", ")
+                    )
+                })?],
+                None => free_gap_lint::Rule::ALL.to_vec(),
+            };
+            if opts.fixtures {
+                // Power mode: the corpus of historical bugs must still fire
+                // its rule, and each fixed twin must still lint clean.
+                let rows =
+                    free_gap_lint::power_check().map_err(|e| format!("reading fixtures: {e}"))?;
+                let rows: Vec<_> = rows
+                    .into_iter()
+                    .filter(|r| rules.contains(&r.fixture.rule))
+                    .collect();
+                let mut failed = 0usize;
+                for row in &rows {
+                    let expect = if row.fixture.expect_flagged {
+                        "must flag"
+                    } else {
+                        "must pass"
+                    };
+                    let got = if row.ok { "ok" } else { "POWER FAILURE" };
+                    eprintln!(
+                        "  [{}] {:<24} {:>9} … {} ({} finding(s))",
+                        row.fixture.rule,
+                        row.fixture.path,
+                        expect,
+                        got,
+                        row.diagnostics.len()
+                    );
+                    if !row.ok {
+                        failed += 1;
+                        for d in &row.diagnostics {
+                            eprintln!("      {d}");
+                        }
+                    }
+                }
+                if failed > 0 {
+                    return Err(format!(
+                        "{failed} of {} fixture power check(s) failed: a rule lost the ability to catch (or over-fires on) its historical bug",
+                        rows.len()
+                    ));
+                }
+                eprintln!("all {} fixture power checks passed", rows.len());
+            } else {
+                let layout = free_gap_lint::TreeLayout::at(std::path::Path::new("."));
+                layout.validate()?;
+                let diagnostics = free_gap_lint::lint_tree(&layout, &rules)
+                    .map_err(|e| format!("linting: {e}"))?;
+                if !diagnostics.is_empty() {
+                    let mut msg = format!("{} invariant violation(s):\n", diagnostics.len());
+                    for d in &diagnostics {
+                        msg.push_str(&format!("  {d}\n"));
+                    }
+                    msg.push_str(
+                        "fix the violation or justify it with `// lint:allow(rule): reason`",
+                    );
+                    return Err(msg);
+                }
+                eprintln!(
+                    "free-gap-lint: clean under {} ({} rule(s))",
+                    rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    rules.len()
+                );
+            }
+            Vec::new()
+        }
         "datasets" => vec![experiments::datasets::run(&config(opts, 1))],
         "fig1a" => vec![experiments::fig1::run(
             &config(opts, 1000),
@@ -617,7 +733,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|attack|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick]");
+            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|attack|lint|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick] [--rule NAME] [--fixtures]");
             return ExitCode::FAILURE;
         }
     };
@@ -704,5 +820,39 @@ mod tests {
         let opts = parse_args(&args(&["attack", "--budget", "1.0"])).unwrap();
         let err = run_command(&opts).unwrap_err();
         assert!(err.contains("--budget only applies to `bench`"), "{err}");
+    }
+
+    #[test]
+    fn lint_options_are_rejected_on_other_commands() {
+        for flags in [
+            vec!["fig1a", "--rule", "panic-freedom"],
+            vec!["bench", "--rule", "taxonomy"],
+            vec!["attack", "--fixtures"],
+            vec!["all", "--fixtures"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("only applies to `lint`"), "{flags:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn lint_rejects_foreign_flags_and_unknown_rules() {
+        for flags in [
+            vec!["lint", "--eps", "0.5"],
+            vec!["lint", "--dataset", "kosarak"],
+            vec!["lint", "--scale", "0.5"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("not supported"), "{flags:?}: {err}");
+        }
+        let opts = parse_args(&args(&["lint", "--runs", "10"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("--runs does not apply"), "{err}");
+        let opts = parse_args(&args(&["lint", "--rule", "no-such-rule"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        assert!(err.contains("stream-discipline"), "{err}");
     }
 }

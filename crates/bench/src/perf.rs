@@ -343,14 +343,14 @@ macro_rules! scratch_runner {
     ($mech:ident, $answers:expr, $scratch:ident, $out:ident, $seed:ident) => {
         |r, fast| {
             if fast {
-                $mech.run_with_scratch_into(
+                let _ = $mech.run_with_scratch_into(
                     $answers,
                     &mut derive_fast_stream($seed, r),
                     &mut $scratch,
                     &mut $out,
                 );
             } else {
-                $mech.run_with_scratch_into(
+                let _ = $mech.run_with_scratch_into(
                     $answers,
                     &mut derive_stream($seed, r),
                     &mut $scratch,
@@ -417,7 +417,7 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 n,
                 k,
                 |r| {
-                    black_box(topk.run(&answers, &mut derive_stream(seed, r)));
+                    black_box(topk.run(&answers, &mut derive_stream(seed, r)).unwrap());
                 },
                 scratch_runner!(topk, &answers, topk_scratch, topk_out, seed),
             );
@@ -430,7 +430,11 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 n,
                 k,
                 |r| {
-                    black_box(classic_topk.run(&answers, &mut derive_stream(seed, r)));
+                    black_box(
+                        classic_topk
+                            .run(&answers, &mut derive_stream(seed, r))
+                            .unwrap(),
+                    );
                 },
                 scratch_runner!(classic_topk, &answers, topk_scratch, classic_topk_out, seed),
             );
@@ -652,7 +656,11 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 n,
                 k,
                 |r| {
-                    black_box(disc_topk.run(&int_answers, &mut derive_stream(seed, r)));
+                    black_box(
+                        disc_topk
+                            .run(&int_answers, &mut derive_stream(seed, r))
+                            .unwrap(),
+                    );
                 },
                 scratch_runner!(
                     disc_topk,

@@ -78,6 +78,7 @@ impl QueryAnswers {
     /// # Panics
     /// Panics if lengths differ.
     pub fn perturbed(&self, deltas: &[f64]) -> Self {
+        // lint:allow(panic-freedom): documented panic; builds audit workloads, not a serving path
         assert_eq!(self.values.len(), deltas.len(), "delta length mismatch");
         Self {
             values: self.values.iter().zip(deltas).map(|(v, d)| v + d).collect(),

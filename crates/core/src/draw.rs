@@ -218,6 +218,7 @@ impl DrawProvider for SourceDraws<'_> {
 
     fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
         let m = unit_epsilons.len();
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(
             (1..=MAX_TUPLE).contains(&m),
             "tuple arity must be in 1..={MAX_TUPLE}"
@@ -246,6 +247,7 @@ impl DrawProvider for SourceDraws<'_> {
 
     fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
         let m = scales.len();
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(
             (1..=MAX_TUPLE).contains(&m),
             "tuple arity must be in 1..={MAX_TUPLE}"
@@ -335,6 +337,7 @@ impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> {
 
     #[inline]
     fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(
             (1..=MAX_TUPLE).contains(&unit_epsilons.len()),
             "tuple arity must be in 1..={MAX_TUPLE}"
@@ -435,6 +438,9 @@ impl<'a, R: Rng + ?Sized> RngDraws<'a, R> {
     }
 }
 
+// Draw-exact construction re-checks parameters the mechanism already
+// validated; the expects below are justified per-site for the lint.
+#[allow(clippy::expect_used)]
 impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
     fn begin(&mut self) {}
 
@@ -444,24 +450,28 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
 
     fn next(&mut self, scale: f64) -> f64 {
         Laplace::new(scale)
+            // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
             .expect("mechanism-validated scale")
             .sample(self.rng)
     }
 
     fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
         DiscreteLaplace::new(unit_epsilon, gamma)
+            // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
             .expect("mechanism-validated rate")
             .sample_value(self.rng)
     }
 
     fn discrete_peek_tuples(&mut self, unit_epsilons: &[f64], gamma: f64) -> &[f64] {
         let m = unit_epsilons.len();
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(
             (1..=MAX_TUPLE).contains(&m),
             "tuple arity must be in 1..={MAX_TUPLE}"
         );
         for (slot, &rate) in self.tuple[..m].iter_mut().zip(unit_epsilons) {
             *slot = DiscreteLaplace::new(rate, gamma)
+                // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
                 .expect("mechanism-validated rate")
                 .sample_value(self.rng);
         }
@@ -480,6 +490,7 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
         // One distribution construction for the whole batch (`exp`/`ln`
         // hoisted), then the fused offset fill — the discrete analogue of
         // the continuous `fill_into_offset` fast path.
+        // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
         let dl = DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism-validated rate");
         out.resize(base.len(), 0.0);
         dl.fill_values_into_offset(self.rng, base, out);
@@ -487,12 +498,14 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
 
     fn peek_tuples(&mut self, scales: &[f64]) -> &[f64] {
         let m = scales.len();
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(
             (1..=MAX_TUPLE).contains(&m),
             "tuple arity must be in 1..={MAX_TUPLE}"
         );
         for (slot, &scale) in self.tuple[..m].iter_mut().zip(scales) {
             *slot = Laplace::new(scale)
+                // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
                 .expect("mechanism-validated scale")
                 .sample(self.rng);
         }
@@ -502,6 +515,7 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
     fn consume(&mut self, _draws: usize) {}
 
     fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
         let lap = Laplace::new(scale).expect("mechanism-validated scale");
         out.resize(base.len(), 0.0);
         lap.fill_into_offset(self.rng, base, out);
@@ -510,6 +524,7 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
     #[inline]
     fn gumbel_next(&mut self, beta: f64) -> f64 {
         Gumbel::new(beta)
+            // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
             .expect("mechanism-validated scale")
             .sample(self.rng)
     }
@@ -517,6 +532,7 @@ impl<R: Rng + ?Sized> DrawProvider for RngDraws<'_, R> {
     #[inline]
     fn exp_next(&mut self, beta: f64) -> f64 {
         Exponential::new(beta)
+            // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
             .expect("mechanism-validated scale")
             .sample(self.rng)
     }

@@ -212,6 +212,7 @@ impl ExponentialMechanism {
     /// Batched fast path of [`run`](Self::run): the race core through
     /// [`RngDraws`] with [`TopKScratch`]'s reused buffers. Bit-identical to
     /// [`run`](Self::run) on the same RNG stream.
+    // lint:allow(taxonomy): returns a single winner index — there is no output buffer an _into twin could reuse
     pub fn run_with_scratch<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,

@@ -82,7 +82,7 @@
 //! // 5 counting queries, budget ε = 1.0, top-3 with free gaps.
 //! let answers = QueryAnswers::counting(vec![120.0, 40.0, 97.0, 80.0, 3.0]);
 //! let mech = NoisyTopKWithGap::new(3, 1.0, true).unwrap();
-//! let out = mech.run(&answers, &mut rng_from_seed(1));
+//! let out = mech.run(&answers, &mut rng_from_seed(1)).unwrap();
 //! assert_eq!(out.items.len(), 3);
 //! for item in &out.items {
 //!     assert!(item.gap >= 0.0); // gaps are free — and always non-negative
@@ -91,6 +91,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// R3 (panic-freedom) surfaced in the compiler too: every non-test unwrap/expect
+// in the two privacy-critical crates must carry a per-site justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod answers;
 pub mod budget;

@@ -47,6 +47,7 @@ pub fn selection_quality(returned: &[usize], truth: &[usize]) -> SelectionQualit
 /// Percent improvement of `candidate` MSE over `baseline` MSE:
 /// `100·(1 - candidate/baseline)`. Positive means the candidate is better.
 pub fn mse_improvement_percent(baseline_mse: f64, candidate_mse: f64) -> f64 {
+    // lint:allow(panic-freedom): experiment-report arithmetic; a non-positive MSE is a harness bug
     assert!(baseline_mse > 0.0, "baseline MSE must be positive");
     100.0 * (1.0 - candidate_mse / baseline_mse)
 }

@@ -56,45 +56,54 @@ impl ClassicNoisyTopK {
     /// rule as the gap variant — Theorem 2's honest-comparison requirement).
     /// Writes the selected indices into `out`, reusing its buffer.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries (kept identical
-    /// to the gap variant so the two are comparable on the same workloads).
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries (kept identical to the gap variant so the two are
+    /// comparable on the same workloads).
     pub(crate) fn run_core<P: DrawProvider>(
         &self,
         answers: &QueryAnswers,
         provider: &mut P,
         scratch: &mut TopKScratch,
         out: &mut Vec<usize>,
-    ) {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
+    ) -> Result<(), MechanismError> {
+        answers.require_len(self.k + 1)?;
         provider.fill_offset(answers.values(), self.scale(), &mut scratch.noisy);
         top_indices_into(&scratch.noisy, self.k, out);
+        Ok(())
     }
 
     /// Runs the mechanism: indices of the `k` largest noisy answers,
     /// descending (`run_core` through [`SourceDraws`]).
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_source(
         &self,
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, MechanismError> {
         let mut out = Vec::new();
         self.run_core(
             answers,
             &mut SourceDraws::new(source),
             &mut TopKScratch::new(),
             &mut out,
-        );
-        out
+        )?;
+        Ok(out)
     }
 
     /// Runs with a plain RNG.
-    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> Vec<usize> {
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut StdRng,
+    ) -> Result<Vec<usize>, MechanismError> {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
     }
@@ -104,32 +113,34 @@ impl ClassicNoisyTopK {
     /// and [`crate::scratch`]). Output is bit-identical to
     /// [`run`](Self::run) on the same RNG stream.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_scratch<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut TopKScratch,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, MechanismError> {
         let mut out = Vec::new();
-        self.run_with_scratch_into(answers, rng, scratch, &mut out);
-        out
+        self.run_with_scratch_into(answers, rng, scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
     /// writes the selected indices into `out`, reusing its buffer.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_scratch_into<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut TopKScratch,
         out: &mut Vec<usize>,
-    ) {
-        self.run_core(answers, &mut RngDraws::new(rng), scratch, out);
+    ) -> Result<(), MechanismError> {
+        self.run_core(answers, &mut RngDraws::new(rng), scratch, out)
     }
 }
 
@@ -138,7 +149,10 @@ impl AlignedMechanism for ClassicNoisyTopK {
     type Output = Vec<usize>;
 
     fn run(&self, input: &QueryAnswers, source: &mut dyn NoiseSource) -> Vec<usize> {
+        #[allow(clippy::expect_used)]
         self.run_with_source(input, source)
+            // lint:allow(panic-freedom): checker replays pre-validated workloads; not a serving path
+            .expect("alignment checker workloads are pre-validated")
     }
 
     /// Same alignment as the gap variant (Eq. 2) — the proof never used the
@@ -189,8 +203,12 @@ impl ClassicNoisyMax {
     }
 
     /// Runs the mechanism, returning the approximate argmax index.
-    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> usize {
-        self.inner.run(answers, rng)[0]
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// 2 queries.
+    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> Result<usize, MechanismError> {
+        Ok(self.inner.run(answers, rng)?[0])
     }
 }
 
@@ -219,8 +237,8 @@ mod tests {
         let classic = ClassicNoisyTopK::new(3, 0.7, true).unwrap();
         let with_gap = NoisyTopKWithGap::new(3, 0.7, true).unwrap();
         for seed in 0..50 {
-            let a = classic.run(&workload(), &mut rng_from_seed(seed));
-            let b = with_gap.run(&workload(), &mut rng_from_seed(seed));
+            let a = classic.run(&workload(), &mut rng_from_seed(seed)).unwrap();
+            let b = with_gap.run(&workload(), &mut rng_from_seed(seed)).unwrap();
             assert_eq!(a, b.indices(), "seed {seed}");
         }
     }
@@ -228,7 +246,7 @@ mod tests {
     #[test]
     fn high_epsilon_selects_true_argmax() {
         let m = ClassicNoisyMax::new(1e6, true).unwrap();
-        assert_eq!(m.run(&workload(), &mut rng_from_seed(1)), 0);
+        assert_eq!(m.run(&workload(), &mut rng_from_seed(1)).unwrap(), 0);
     }
 
     #[test]
@@ -254,7 +272,7 @@ mod tests {
             let mut rng = rng_from_seed(33);
             (0..2_000)
                 .filter(|_| {
-                    let mut got = m.run(&d, &mut rng);
+                    let mut got = m.run(&d, &mut rng).unwrap();
                     got.sort_unstable();
                     got == truth
                 })

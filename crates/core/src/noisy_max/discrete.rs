@@ -77,7 +77,9 @@ impl DiscreteNoisyTopKWithGap {
     /// Appendix A.1: the `δ` of the `(ε, δ)` guarantee for an `n`-query
     /// workload — the probability of any tie among the noisy answers.
     pub fn delta(&self, n: usize) -> f64 {
+        #[allow(clippy::expect_used)]
         union_tie_bound(n, self.unit_epsilon(), self.gamma)
+            // lint:allow(panic-freedom): rate and γ were range-checked in with_gamma; the bound cannot fail
             .expect("parameters validated at construction")
     }
 
@@ -105,10 +107,8 @@ impl DiscreteNoisyTopKWithGap {
         provider: &mut P,
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
-    ) {
-        answers
-            .require_len(self.k + 1)
-            .unwrap_or_else(|e| panic!("{e}"));
+    ) -> Result<(), MechanismError> {
+        answers.require_len(self.k + 1)?;
         self.validate_lattice(answers);
         provider.begin();
         provider.discrete_fill_offset(
@@ -123,31 +123,41 @@ impl DiscreteNoisyTopKWithGap {
             index: scratch.top[i],
             gap: scratch.noisy[scratch.top[i]] - scratch.noisy[scratch.top[i + 1]],
         }));
+        Ok(())
     }
 
     /// Runs the mechanism. Ties among noisy answers are broken by the
     /// smaller index; `delta(n)` bounds the probability that a tie among
     /// the top `k + 1` occurred at all.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_source(
         &self,
         answers: &QueryAnswers,
         source: &mut dyn NoiseSource,
-    ) -> TopKOutput {
+    ) -> Result<TopKOutput, MechanismError> {
         let mut out = TopKOutput { items: Vec::new() };
         self.run_core(
             answers,
             &mut SourceDraws::new(source),
             &mut TopKScratch::new(),
             &mut out,
-        );
-        out
+        )?;
+        Ok(out)
     }
 
     /// Runs with a plain RNG.
-    pub fn run(&self, answers: &QueryAnswers, rng: &mut StdRng) -> TopKOutput {
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run(
+        &self,
+        answers: &QueryAnswers,
+        rng: &mut StdRng,
+    ) -> Result<TopKOutput, MechanismError> {
         let mut source = SamplingSource::new(rng);
         self.run_with_source(answers, &mut source)
     }
@@ -160,32 +170,34 @@ impl DiscreteNoisyTopKWithGap {
     /// `dyn` dispatch). Output is bit-identical to [`run`](Self::run) on
     /// the same RNG stream; see [`crate::scratch`] for the contract.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_scratch<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut TopKScratch,
-    ) -> TopKOutput {
+    ) -> Result<TopKOutput, MechanismError> {
         let mut out = TopKOutput { items: Vec::new() };
-        self.run_with_scratch_into(answers, rng, scratch, &mut out);
-        out
+        self.run_with_scratch_into(answers, rng, scratch, &mut out)?;
+        Ok(out)
     }
 
     /// Allocation-free twin of [`run_with_scratch`](Self::run_with_scratch):
     /// writes into `out`, reusing its `items` buffer across runs.
     ///
-    /// # Panics
-    /// Panics if the workload has fewer than `k + 1` queries.
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
     pub fn run_with_scratch_into<R: Rng + ?Sized>(
         &self,
         answers: &QueryAnswers,
         rng: &mut R,
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
-    ) {
-        self.run_core(answers, &mut RngDraws::new(rng), scratch, out);
+    ) -> Result<(), MechanismError> {
+        self.run_core(answers, &mut RngDraws::new(rng), scratch, out)
     }
 }
 
@@ -194,7 +206,10 @@ impl AlignedMechanism for DiscreteNoisyTopKWithGap {
     type Output = TopKOutput;
 
     fn run(&self, input: &QueryAnswers, source: &mut dyn NoiseSource) -> TopKOutput {
+        #[allow(clippy::expect_used)]
         self.run_with_source(input, source)
+            // lint:allow(panic-freedom): checker replays pre-validated workloads; not a serving path
+            .expect("alignment checker workloads are pre-validated")
     }
 
     /// Eq. (2) verbatim; all shifts are integer combinations of lattice
@@ -264,7 +279,7 @@ mod tests {
         let m = DiscreteNoisyTopKWithGap::new(3, 1.0, true).unwrap();
         let mut rng = rng_from_seed(1);
         for _ in 0..100 {
-            let out = m.run(&workload(), &mut rng);
+            let out = m.run(&workload(), &mut rng).unwrap();
             for item in &out.items {
                 assert!(item.gap >= 0.0);
                 assert!(
@@ -296,10 +311,10 @@ mod tests {
         let mut rng = rng_from_seed(2);
         let n = 20_000;
         let d_hits = (0..n)
-            .filter(|_| disc.run(&answers, &mut rng).indices() == [0])
+            .filter(|_| disc.run(&answers, &mut rng).unwrap().indices() == [0])
             .count();
         let c_hits = (0..n)
-            .filter(|_| cont.run(&answers, &mut rng).indices() == [0])
+            .filter(|_| cont.run(&answers, &mut rng).unwrap().indices() == [0])
             .count();
         let diff = (d_hits as f64 - c_hits as f64).abs() / n as f64;
         assert!(diff < 0.02, "selection rates diverge: {d_hits} vs {c_hits}");

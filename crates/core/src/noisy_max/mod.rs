@@ -38,7 +38,7 @@ pub(crate) fn top_indices_into(values: &[f64], m: usize, buf: &mut Vec<usize>) {
     }
     buf.reserve(m + 1);
     for i in 0..values.len() {
-        if buf.len() == m && values[i] <= values[*buf.last().expect("non-empty")] {
+        if buf.len() == m && values[i] <= values[buf[m - 1]] {
             continue;
         }
         // Equal values sort earlier-index-first because we scan ascending.

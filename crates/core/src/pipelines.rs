@@ -92,7 +92,7 @@ fn topk_select_measure_core<P: DrawProvider>(
     let selector = NoisyTopKWithGap::new(k, f * epsilon, answers.monotonic())?;
     let measurer = LaplaceMechanism::new((1.0 - f) * epsilon)?;
 
-    let selection = selector.run_provider(answers, provider, scratch);
+    let selection = selector.run_provider(answers, provider, scratch)?;
     let indices = selection.indices();
     let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
 
@@ -212,7 +212,7 @@ fn topk_select_measure_staircase_core<P: DrawProvider>(
     let selector = NoisyTopKWithGap::new(k, half, answers.monotonic())?;
     let measurer = StaircaseMechanism::new(half)?;
 
-    let selection = selector.run_provider(answers, provider, scratch);
+    let selection = selector.run_provider(answers, provider, scratch)?;
     let indices = selection.indices();
     let truths: Vec<f64> = indices.iter().map(|&i| answers.values()[i]).collect();
 

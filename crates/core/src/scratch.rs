@@ -56,7 +56,9 @@
 //! let mech = NoisyTopKWithGap::new(3, 1.0, true).unwrap();
 //! let mut scratch = TopKScratch::new();
 //! for run in 0..100 {
-//!     let out = mech.run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch);
+//!     let out = mech
+//!         .run_with_scratch(&answers, &mut derive_stream(7, run), &mut scratch)
+//!         .unwrap();
 //!     assert_eq!(out.items.len(), 3);
 //! }
 //! ```
@@ -119,9 +121,11 @@ pub struct SvtScratch {
 
 impl SvtScratch {
     /// Creates an empty scratch.
+    #[allow(clippy::expect_used)]
     pub fn new() -> Self {
         Self {
             block: BlockBuffer::new(),
+            // lint:allow(panic-freedom): the constant unit scale is always a valid Laplace parameter
             unit: Laplace::new(1.0).expect("unit scale is valid"),
             scaled: Vec::new(),
             discrete_dists: Vec::new(),
@@ -172,6 +176,7 @@ impl SvtScratch {
 
     /// The cached discrete Laplace for `(unit_epsilon, gamma)`, constructed
     /// once per distinct rate and reused across draws and runs.
+    #[allow(clippy::expect_used)]
     fn discrete_dist(
         dists: &mut Vec<((u64, u64), DiscreteLaplace)>,
         unit_epsilon: f64,
@@ -181,6 +186,7 @@ impl SvtScratch {
         if let Some((_, d)) = dists.iter().find(|(k, _)| *k == key) {
             return *d;
         }
+        // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
         let d = DiscreteLaplace::new(unit_epsilon, gamma).expect("mechanism-validated rate");
         dists.push((key, d));
         d
@@ -239,7 +245,9 @@ impl SvtScratch {
     /// [`Gumbel::sample`](free_gap_noise::ContinuousDistribution::sample)
     /// at the same stream position.
     #[inline]
+    #[allow(clippy::expect_used)]
     pub(crate) fn gumbel_next<R: Rng + ?Sized>(&mut self, rng: &mut R, beta: f64) -> f64 {
+        // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
         let dist = Gumbel::new(beta).expect("mechanism-validated scale");
         self.block.next_uncached(&dist, rng)
     }
@@ -247,7 +255,9 @@ impl SvtScratch {
     /// Next one-sided Exponential(`beta`) draw from the shared tape; same
     /// serving contract as [`gumbel_next`](Self::gumbel_next).
     #[inline]
+    #[allow(clippy::expect_used)]
     pub(crate) fn exp_next<R: Rng + ?Sized>(&mut self, rng: &mut R, beta: f64) -> f64 {
+        // lint:allow(panic-freedom): the scale/rate was validated by the mechanism constructor; re-validation cannot fail
         let dist = Exponential::new(beta).expect("mechanism-validated scale");
         self.block.next_uncached(&dist, rng)
     }

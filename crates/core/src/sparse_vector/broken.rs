@@ -53,6 +53,8 @@
 //! which is what lets the `free-gap-attack` Monte-Carlo harness hammer the
 //! zoo at full scratch-path speed with deterministic derived sub-streams.
 
+// lint:allow-file(taxonomy): the zoo's scratch paths are attack targets, deliberately broken — they
+// must never join the equivalence suite or the bench grid as if they were serving mechanisms.
 use super::SvOutput;
 use crate::answers::QueryAnswers;
 use crate::draw::{DrawProvider, ScratchDraws, SourceDraws};

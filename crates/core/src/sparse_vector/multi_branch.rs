@@ -163,6 +163,7 @@ impl MultiBranchAdaptiveSparseVector {
 
     /// Budget of branch `b` (0 = cheapest): `ε₁ / 2^{m-1-b}`.
     pub fn branch_budget(&self, b: usize) -> f64 {
+        // lint:allow(panic-freedom): branch index is an internal loop variable, never user input
         assert!(b < self.branches, "branch index out of range");
         self.epsilon1() / (1u64 << (self.branches - 1 - b)) as f64
     }

@@ -80,8 +80,10 @@ impl StaircaseMechanism {
     }
 
     /// Per-coordinate noise variance under [`measure_split`](Self::measure_split).
+    #[allow(clippy::expect_used)]
     pub fn split_variance(&self, k: usize) -> f64 {
         self.noise_for_batch(k)
+            // lint:allow(panic-freedom): parameters were validated at construction; the batch distribution cannot fail
             .expect("validated at construction")
             .variance()
     }
@@ -89,10 +91,12 @@ impl StaircaseMechanism {
     /// The single copy of the measurement loop (materialized shape):
     /// construct the batch's noise distribution once, then one staircase
     /// draw per answer in index order through the provider's batch shape.
+    #[allow(clippy::expect_used)]
     fn measure_core<P: DrawProvider>(&self, answers: &[f64], provider: &mut P, out: &mut Vec<f64>) {
         provider.begin();
         let noise = self
             .noise_for_batch(answers.len())
+            // lint:allow(panic-freedom): parameters were validated at construction; the batch distribution cannot fail
             .expect("validated at construction");
         provider.staircase_fill_offset(answers, &noise, out);
     }
@@ -100,6 +104,7 @@ impl StaircaseMechanism {
     /// The measurement loop over a lazy answer stream. `count` is the
     /// sequential-composition divisor (the batch size a materialized call
     /// reads off `answers.len()`, which a stream cannot supply up front).
+    #[allow(clippy::expect_used)]
     fn measure_streaming_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
         &self,
         answers: I,
@@ -110,6 +115,7 @@ impl StaircaseMechanism {
         provider.begin();
         let noise = self
             .noise_for_batch(count)
+            // lint:allow(panic-freedom): parameters were validated at construction; the batch distribution cannot fail
             .expect("validated at construction");
         out.clear();
         out.extend(

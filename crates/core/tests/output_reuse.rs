@@ -42,8 +42,11 @@ fn topk_into_is_bit_identical_and_reuses_the_buffer() {
     let mut out = TopKOutput { items: Vec::new() };
     let mut steady_capacity = 0;
     for run in 0..100u64 {
-        let expect = m.run_with_scratch(&answers, &mut derive_stream(3, run), &mut scratch);
-        m.run_with_scratch_into(&answers, &mut derive_stream(3, run), &mut scratch, &mut out);
+        let expect = m
+            .run_with_scratch(&answers, &mut derive_stream(3, run), &mut scratch)
+            .unwrap();
+        m.run_with_scratch_into(&answers, &mut derive_stream(3, run), &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(expect, out, "run {run}");
         if run == 0 {
             steady_capacity = out.items.capacity();
@@ -65,8 +68,11 @@ fn classic_topk_into_is_bit_identical_and_reuses_the_buffer() {
     let mut out = Vec::new();
     let mut steady_capacity = 0;
     for run in 0..100u64 {
-        let expect = m.run_with_scratch(&answers, &mut derive_stream(5, run), &mut scratch);
-        m.run_with_scratch_into(&answers, &mut derive_stream(5, run), &mut scratch, &mut out);
+        let expect = m
+            .run_with_scratch(&answers, &mut derive_stream(5, run), &mut scratch)
+            .unwrap();
+        m.run_with_scratch_into(&answers, &mut derive_stream(5, run), &mut scratch, &mut out)
+            .unwrap();
         assert_eq!(expect, out, "run {run}");
         if run == 0 {
             steady_capacity = out.capacity();
@@ -152,13 +158,16 @@ fn discrete_topk_into_is_bit_identical_and_reuses_the_buffer() {
     let mut out = TopKOutput { items: Vec::new() };
     let mut steady_capacity = 0;
     for run in 0..100u64 {
-        let expect = m.run_with_scratch(&answers, &mut derive_stream(17, run), &mut scratch);
+        let expect = m
+            .run_with_scratch(&answers, &mut derive_stream(17, run), &mut scratch)
+            .unwrap();
         m.run_with_scratch_into(
             &answers,
             &mut derive_stream(17, run),
             &mut scratch,
             &mut out,
-        );
+        )
+        .unwrap();
         assert_eq!(expect, out, "run {run}");
         if run == 0 {
             steady_capacity = out.items.capacity();

@@ -75,8 +75,10 @@ fn topk_with_gap_scratch_is_bit_identical() {
     let answers = workload(1, 400);
     let mut scratch = TopKScratch::new();
     for run in 0..200u64 {
-        let expect = m.run(&answers, &mut derive_stream(42, run));
-        let got = m.run_with_scratch(&answers, &mut derive_stream(42, run), &mut scratch);
+        let expect = m.run(&answers, &mut derive_stream(42, run)).unwrap();
+        let got = m
+            .run_with_scratch(&answers, &mut derive_stream(42, run), &mut scratch)
+            .unwrap();
         assert_eq!(expect, got, "run {run}");
         // PartialEq on f64 gaps is exact equality: spot-check bits too.
         for (a, b) in expect.items.iter().zip(&got.items) {
@@ -231,8 +233,10 @@ fn discrete_topk_scratch_is_bit_identical() {
     let answers = integer_workload(7, 350);
     let mut scratch = TopKScratch::new();
     for run in 0..200u64 {
-        let expect = m.run(&answers, &mut derive_stream(47, run));
-        let got = m.run_with_scratch(&answers, &mut derive_stream(47, run), &mut scratch);
+        let expect = m.run(&answers, &mut derive_stream(47, run)).unwrap();
+        let got = m
+            .run_with_scratch(&answers, &mut derive_stream(47, run), &mut scratch)
+            .unwrap();
         assert_eq!(expect, got, "run {run}");
         for (a, b) in expect.items.iter().zip(&got.items) {
             assert_eq!(a.gap.to_bits(), b.gap.to_bits(), "run {run}");

@@ -1,0 +1,31 @@
+//! R2 power-check fixture — the unclamped-endpoint bug, verbatim.
+//!
+//! The pre-PR-5 Laplace inverse-CDF transform evaluated `ln(1 - 2|u'|)`
+//! directly. A tape uniform can be exactly 0, making the operand 0 and the
+//! draw `-inf`; downstream comparisons against a `-inf` threshold noise then
+//! mis-selected deterministically. The shipped convention clamps every such
+//! operand with `.max(f64::MIN_POSITIVE)`.
+
+impl SingleUniform for Laplace {
+    #[inline]
+    fn sample_from_uniform(&self, u: f64) -> f64 {
+        let u = u - 0.5;
+        let magnitude = -self.scale * (1.0 - 2.0 * u.abs()).ln();
+        if u < 0.0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+impl Gumbel {
+    /// Double-ln transform: both logs take tape-uniform-derived operands,
+    /// so both need the guard; here neither has it.
+    fn fill_from_uniforms(&self, uniforms: &[f64], out: &mut [f64]) {
+        for (slot, &u) in out.iter_mut().zip(uniforms) {
+            let e = -(u.ln());
+            *slot = -self.scale * e.ln();
+        }
+    }
+}

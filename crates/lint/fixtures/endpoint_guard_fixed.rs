@@ -1,0 +1,34 @@
+//! R2 power-check fixture — the shipped convention. Must lint clean.
+//!
+//! Every `.ln()` whose operand derives from a tape uniform is clamped with
+//! `.max(f64::MIN_POSITIVE)`. Pure-math helpers (`quantile`, CDFs) take
+//! caller probabilities, not tape uniforms, and are out of scope by the
+//! transform-naming convention.
+
+impl SingleUniform for Laplace {
+    #[inline]
+    fn sample_from_uniform(&self, u: f64) -> f64 {
+        let u = u - 0.5;
+        let magnitude = -self.scale * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln();
+        if u < 0.0 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+impl Gumbel {
+    fn fill_from_uniforms(&self, uniforms: &[f64], out: &mut [f64]) {
+        for (slot, &u) in out.iter_mut().zip(uniforms) {
+            let e = -(u.max(f64::MIN_POSITIVE).ln());
+            *slot = -self.scale * e.max(f64::MIN_POSITIVE).ln();
+        }
+    }
+
+    /// Out of scope: the argument is a caller-supplied probability with a
+    /// validated open-interval domain, not a tape uniform.
+    fn quantile(&self, p: f64) -> f64 {
+        -self.scale * (-(p.ln())).ln()
+    }
+}

@@ -1,0 +1,27 @@
+//! R3 power-check fixture — the PR-5 NaN-panic bug, verbatim.
+//!
+//! The Gumbel top-k reference sorted scores with `partial_cmp().unwrap()`.
+//! A NaN utility (caller bug, but user-reachable input) made `partial_cmp`
+//! return `None` and the serving path panic — or, with `unwrap_or(Equal)`
+//! band-aids, silently mis-select. The fix is `f64::total_cmp`, which gives
+//! NaN a defined order, plus typed `MechanismError` returns for the
+//! genuinely invalid-input paths.
+
+impl ExponentialMechanism {
+    fn sample_top_k<R: Rng + ?Sized>(&self, qualities: &[f64], k: usize, rng: &mut R) -> Vec<usize> {
+        let mut scores: Vec<(f64, usize)> = qualities
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| (q * self.t + self.gumbel.sample(rng), i))
+            .collect();
+        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scores.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    fn require_len(&self, answers: &[f64], k: usize) -> usize {
+        if answers.len() <= k {
+            panic!("need at least {} queries, got {}", k + 1, answers.len());
+        }
+        answers.len()
+    }
+}

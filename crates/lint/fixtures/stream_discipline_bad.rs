@@ -1,0 +1,33 @@
+//! R1 power-check fixture — the PR-4 stream-discipline bug, verbatim.
+//!
+//! `ScratchDraws::discrete_next` sampled the RNG directly instead of going
+//! through the scratch tape. Correct *in isolation* (the comment even argues
+//! why), it silently desynchronized the stream once blocked lookahead
+//! buffered uniforms ahead of the cursor: the direct draw consumed RNG
+//! words the tape had already committed to serving, so scratch runs
+//! diverged from the dyn reference only on workloads that interleave
+//! discrete and continuous draws after a lookahead. The scratch-equivalence
+//! suite caught it at Monte-Carlo cost; this rule catches it at read time.
+
+impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> {
+    #[inline]
+    fn next(&mut self, scale: f64) -> f64 {
+        self.scratch.next_scaled(self.rng, scale)
+    }
+
+    fn discrete_next(&mut self, unit_epsilon: f64, gamma: f64) -> f64 {
+        // Discrete draws are rare (no batched fast path yet): sample
+        // directly, preserving the sequential stream position.
+        DiscreteLaplace::new(unit_epsilon, gamma)
+            .expect("mechanism-validated rate")
+            .sample_value(self.rng)
+    }
+}
+
+/// A provider-generic core that falls back to a raw RNG for its final
+/// draw — the other way the discipline breaks.
+fn run_core<P: DrawProvider>(provider: &mut P, threshold: f64) -> f64 {
+    let rho = provider.next(1.0);
+    let mut rng = rng_from_seed(42);
+    rho + threshold + rng.gen_range(0.0..1.0)
+}

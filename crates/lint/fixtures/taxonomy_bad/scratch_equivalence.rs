@@ -1,0 +1,8 @@
+//! Equivalence suite of the bad fixture tree: covers `UnbenchedMechanism`
+//! only — `BadMechanism` and `GhostMechanism` have no entry.
+
+#[test]
+fn unbenched_mechanism_scratch_matches_dyn() {
+    let mech = UnbenchedMechanism::new(1.0);
+    assert_paths_agree(&mech);
+}

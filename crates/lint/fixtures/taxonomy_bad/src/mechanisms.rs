@@ -1,0 +1,38 @@
+//! R4 power-check fixture tree — every way the taxonomy can go incomplete.
+
+/// Has a scratch fast path but no `_into` twin, and no equivalence entry:
+/// the bench grid lists it, yet nothing proves the fast path correct and
+/// the timed loops cannot drive it allocation-free.
+impl BadMechanism {
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+    ) -> Vec<GapOutcome> {
+        run_core(answers, &mut ScratchDraws::new(scratch, rng))
+    }
+}
+
+/// Complete pair and equivalence entry — but never declared in
+/// `MECHANISM_PATHS`, so bench-check cannot guard its cell.
+impl UnbenchedMechanism {
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+    ) -> Vec<GapOutcome> {
+        run_core(answers, &mut ScratchDraws::new(scratch, rng))
+    }
+
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+        out: &mut Vec<GapOutcome>,
+    ) {
+        run_core_into(answers, &mut ScratchDraws::new(scratch, rng), out)
+    }
+}

@@ -1,0 +1,6 @@
+//! Bench grid of the fixed fixture tree.
+
+pub const MECHANISM_PATHS: [(&str, &[&str]); 2] = [
+    ("GoodMechanism", &["dyn", "scratch"]),
+    ("ScalarMechanism", &["dyn", "scratch"]),
+];

@@ -1,0 +1,14 @@
+//! Equivalence suite of the fixed fixture tree: every taxonomy participant
+//! has an entry.
+
+#[test]
+fn good_mechanism_scratch_matches_dyn() {
+    let mech = GoodMechanism::new(1.0);
+    assert_paths_agree(&mech);
+}
+
+#[test]
+fn scalar_mechanism_scratch_matches_dyn() {
+    let mech = ScalarMechanism::new(1.0);
+    assert_winner_agrees(&mech);
+}

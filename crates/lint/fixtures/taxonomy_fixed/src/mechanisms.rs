@@ -1,0 +1,38 @@
+//! R4 power-check fixture tree — a complete taxonomy. Must lint clean.
+
+/// Full pair: scratch fast path + allocation-free `_into` twin, with an
+/// equivalence entry and a bench grid cell.
+impl GoodMechanism {
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+    ) -> Vec<GapOutcome> {
+        run_core(answers, &mut ScratchDraws::new(scratch, rng))
+    }
+
+    pub fn run_with_scratch_into<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+        out: &mut Vec<GapOutcome>,
+    ) {
+        run_core_into(answers, &mut ScratchDraws::new(scratch, rng), out)
+    }
+}
+
+impl ScalarMechanism {
+    /// Returns a single winner index — there is no output buffer to reuse,
+    /// so the `_into` twin is exempted rather than invented.
+    // lint:allow(taxonomy): scalar winner index; no buffer for an _into twin to reuse
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+    ) -> usize {
+        select_core(answers, &mut ScratchDraws::new(scratch, rng))
+    }
+}

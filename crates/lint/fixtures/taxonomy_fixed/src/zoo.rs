@@ -1,0 +1,14 @@
+//! Deliberately-broken variant zoo: attacked by the privacy-attack harness,
+//! never benched — exempt from the taxonomy as a whole file.
+// lint:allow-file(taxonomy): the zoo is an attack target, not a benched mechanism
+
+impl LeakyZooVariant {
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        answers: &QueryAnswers<'_>,
+        scratch: &mut SvtScratch,
+        rng: &mut R,
+    ) -> Vec<GapOutcome> {
+        run_leaky_core(answers, &mut ScratchDraws::new(scratch, rng))
+    }
+}

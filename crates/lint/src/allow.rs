@@ -1,0 +1,153 @@
+//! The allowlist syntax: `// lint:allow(rule): reason`.
+//!
+//! An allow on line `L` suppresses diagnostics of the named rule on line `L`
+//! (trailing comment) and line `L + 1` (annotation-above convention).
+//! `// lint:allow-file(rule): reason` anywhere in a file suppresses the rule
+//! for the whole file. A non-empty reason is mandatory — an unexplained
+//! exemption is itself a finding, and so is naming a rule that does not
+//! exist (a typoed allow would otherwise silently suppress nothing while
+//! looking like it suppresses something).
+
+use crate::lexer::LineComment;
+use crate::Rule;
+
+/// Parsed allows of one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// (line of the allow comment, rule) pairs.
+    line_allows: Vec<(u32, Rule)>,
+    /// Rules suppressed file-wide.
+    file_allows: Vec<Rule>,
+    /// Malformed annotations: (line, message).
+    pub malformed: Vec<(u32, String)>,
+}
+
+impl Allows {
+    /// True when `rule` diagnostics at `line` are suppressed.
+    pub fn is_allowed(&self, rule: Rule, line: u32) -> bool {
+        self.file_allows.contains(&rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+/// Parses every `lint:allow` annotation out of a file's line comments.
+pub fn parse(comments: &[LineComment]) -> Allows {
+    let mut allows = Allows::default();
+    for c in comments {
+        let text = c.text.trim_start_matches(['/', '!']).trim();
+        let (body, file_wide) = if let Some(rest) = text.strip_prefix("lint:allow-file") {
+            (rest, true)
+        } else if let Some(rest) = text.strip_prefix("lint:allow") {
+            (rest, false)
+        } else {
+            continue;
+        };
+        let Some(rest) = body.strip_prefix('(') else {
+            allows.malformed.push((
+                c.line,
+                "lint:allow must name a rule: `lint:allow(rule): reason`".into(),
+            ));
+            continue;
+        };
+        let Some((name, after)) = rest.split_once(')') else {
+            allows
+                .malformed
+                .push((c.line, "unclosed rule name in lint:allow".into()));
+            continue;
+        };
+        let Some(rule) = Rule::from_name(name.trim()) else {
+            allows.malformed.push((
+                c.line,
+                format!(
+                    "lint:allow names unknown rule `{}` (expected one of: {})",
+                    name.trim(),
+                    Rule::ALL.map(|r| r.name()).join(", ")
+                ),
+            ));
+            continue;
+        };
+        let reason_ok = after
+            .trim_start()
+            .strip_prefix(':')
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            allows.malformed.push((
+                c.line,
+                format!(
+                    "lint:allow({}) needs a justification: `lint:allow({}): reason`",
+                    rule.name(),
+                    rule.name()
+                ),
+            ));
+            continue;
+        }
+        if file_wide {
+            allows.file_allows.push(rule);
+        } else {
+            allows.line_allows.push((c.line, rule));
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comments(lines: &[(u32, &str)]) -> Vec<LineComment> {
+        lines
+            .iter()
+            .map(|&(line, text)| LineComment {
+                line,
+                text: text.to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let a = parse(&comments(&[(
+            10,
+            " lint:allow(panic-freedom): arity is a compile-time property",
+        )]));
+        assert!(a.is_allowed(Rule::PanicFreedom, 10));
+        assert!(a.is_allowed(Rule::PanicFreedom, 11));
+        assert!(!a.is_allowed(Rule::PanicFreedom, 12));
+        assert!(!a.is_allowed(Rule::EndpointGuard, 11));
+        assert!(a.malformed.is_empty());
+    }
+
+    #[test]
+    fn file_allow_covers_everything() {
+        let a = parse(&comments(&[(
+            1,
+            " lint:allow-file(taxonomy): zoo is attacked, not benched",
+        )]));
+        assert!(a.is_allowed(Rule::Taxonomy, 999));
+        assert!(!a.is_allowed(Rule::PanicFreedom, 999));
+    }
+
+    #[test]
+    fn missing_reason_and_unknown_rule_are_malformed() {
+        let a = parse(&comments(&[
+            (3, " lint:allow(panic-freedom)"),
+            (4, " lint:allow(panic-freedom):   "),
+            (5, " lint:allow(no-such-rule): why"),
+            (6, " lint:allow no parens"),
+        ]));
+        assert_eq!(a.malformed.len(), 4);
+        assert!(!a.is_allowed(Rule::PanicFreedom, 3));
+    }
+
+    #[test]
+    fn doc_comment_markers_are_tolerated() {
+        let a = parse(&comments(&[(
+            7,
+            "/ lint:allow(endpoint-guard): operand is a probability, not a tape uniform",
+        )]));
+        assert!(a.is_allowed(Rule::EndpointGuard, 8));
+    }
+}

@@ -1,0 +1,339 @@
+//! `free-gap-lint` — a source-level invariant checker for the repo's
+//! privacy-critical conventions.
+//!
+//! Every privacy bug this repo has shipped and then fixed was a
+//! *source-level convention violation*, not a logic error: a raw-RNG draw
+//! inside a provider-generic core silently broke the stream discipline
+//! (PR 4), an unclamped `ln(u)` endpoint produced non-finite noise, and
+//! `partial_cmp().unwrap()` panicked or mis-selected on NaN utilities
+//! (PR 5). The dynamic layers (scratch equivalence, chi-square statistics,
+//! the attack harness) catch these after the fact at Monte-Carlo cost; this
+//! crate catches them at review time for free by enforcing four named rules
+//! over `crates/{core,noise}/src`:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `stream-discipline` (R1) | no raw RNG/`NoiseSource` draws inside provider-generic cores or the blocked `ScratchDraws` provider — randomness flows through [`DrawProvider`] methods only |
+//! | `endpoint-guard` (R2) | every `.ln()` in a uniform transform clamps its operand with `.max(f64::MIN_POSITIVE)` |
+//! | `panic-freedom` (R3) | no `unwrap`/`expect`/`panic!`/`assert!` in non-test mechanism code — typed `MechanismError` or a justified allow |
+//! | `taxonomy` (R4) | every `*_with_scratch` fast path has its `_into` twin, a `scratch_equivalence` entry, and a `MECHANISM_PATHS` bench cell (cross-file) |
+//!
+//! Findings are suppressed by `// lint:allow(rule): reason` on or above the
+//! offending line (file-wide: `lint:allow-file`); the reason is mandatory.
+//! The analysis is a dependency-free hand-rolled tokenizer (the container
+//! is offline, so `syn` is not an option) plus a single structural pass —
+//! see [`lexer`] and [`scanner`].
+//!
+//! The fixture corpus under `fixtures/` reproduces each historical bug
+//! verbatim and doubles as a power check: a rule that stops flagging its
+//! fixture fails this crate's own tests, the same corrupted-reference
+//! discipline as the chi-square and attack layers.
+//!
+//! [`DrawProvider`]: https://docs.rs/free-gap-core
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod scanner;
+pub mod taxonomy;
+
+use rules::FileScope;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The four invariant rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1 — randomness in provider-generic cores flows through
+    /// `DrawProvider` only.
+    StreamDiscipline,
+    /// R2 — `.ln()` operands in uniform transforms are clamped.
+    EndpointGuard,
+    /// R3 — non-test mechanism code never panics.
+    PanicFreedom,
+    /// R4 — the scratch/`_into`/equivalence/bench taxonomy is complete.
+    Taxonomy,
+}
+
+impl Rule {
+    /// All rules, in documentation order.
+    pub const ALL: [Rule; 4] = [
+        Rule::StreamDiscipline,
+        Rule::EndpointGuard,
+        Rule::PanicFreedom,
+        Rule::Taxonomy,
+    ];
+
+    /// The kebab-case rule name used in diagnostics and allow annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::StreamDiscipline => "stream-discipline",
+            Rule::EndpointGuard => "endpoint-guard",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::Taxonomy => "taxonomy",
+        }
+    }
+
+    /// Parses a rule name (as accepted by `repro lint --rule`).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: `file:line: [rule] message`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Recursively lists `.rs` files under `dir`, sorted for deterministic
+/// diagnostic order.
+pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the token-level rules over every `.rs` file in `dir` under the
+/// given [`FileScope`].
+pub fn lint_dir(dir: &Path, scope: FileScope, rules: &[Rule]) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for file in rust_files(dir)? {
+        lint_file(&file, scope, rules, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Runs the token-level rules over a single file.
+pub fn lint_file(
+    file: &Path,
+    scope: FileScope,
+    rules: &[Rule],
+    out: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
+    let src = std::fs::read_to_string(file)?;
+    let lexed = lexer::lex(&src);
+    let scoped = scanner::scan(&lexed.tokens);
+    let allows = allow::parse(&lexed.comments);
+    rules::check_file(file, &scoped, &allows, scope, rules, out);
+    Ok(())
+}
+
+/// The layout of a tree to lint: where the two crates' sources and the two
+/// cross-file anchors (equivalence suite, bench grid) live.
+#[derive(Debug, Clone)]
+pub struct TreeLayout {
+    /// `crates/core/src` — R1 + R3 scope.
+    pub core_src: PathBuf,
+    /// `crates/noise/src` — R2 + R3 scope.
+    pub noise_src: PathBuf,
+    /// `crates/core/tests/scratch_equivalence.rs` — R4 anchor.
+    pub equivalence: PathBuf,
+    /// `crates/bench/src/perf.rs` — R4 anchor (`MECHANISM_PATHS`).
+    pub perf: PathBuf,
+}
+
+impl TreeLayout {
+    /// The repo's conventional layout under `root`.
+    pub fn at(root: &Path) -> TreeLayout {
+        TreeLayout {
+            core_src: root.join("crates/core/src"),
+            noise_src: root.join("crates/noise/src"),
+            equivalence: root.join("crates/core/tests/scratch_equivalence.rs"),
+            perf: root.join("crates/bench/src/perf.rs"),
+        }
+    }
+
+    /// Quick existence check with a readable error, so `repro lint` run
+    /// from the wrong directory fails with a path, not an empty report.
+    pub fn validate(&self) -> Result<(), String> {
+        for (what, p) in [
+            ("core sources", &self.core_src),
+            ("noise sources", &self.noise_src),
+            ("scratch_equivalence suite", &self.equivalence),
+            ("bench perf grid", &self.perf),
+        ] {
+            if !p.exists() {
+                return Err(format!(
+                    "{} not found at {} — run from the repository root",
+                    what,
+                    p.display()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lints a whole tree with the selected rules. This is what `repro lint`
+/// and CI run.
+pub fn lint_tree(layout: &TreeLayout, rules: &[Rule]) -> io::Result<Vec<Diagnostic>> {
+    let mut out = lint_dir(&layout.core_src, FileScope::Core, rules)?;
+    out.extend(lint_dir(&layout.noise_src, FileScope::Noise, rules)?);
+    if rules.contains(&Rule::Taxonomy) {
+        let inv = taxonomy::inventory(&layout.core_src, &layout.equivalence, &layout.perf)?;
+        taxonomy::check(&inv, &layout.equivalence, &layout.perf, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(out)
+}
+
+/// Directory holding the fixture corpus (compiled into the binary; valid
+/// wherever the workspace checkout lives).
+pub fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+/// One fixture: a file (or taxonomy tree) that must — or must not — be
+/// flagged by a specific rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Fixture {
+    /// Path relative to [`fixtures_dir`].
+    pub path: &'static str,
+    /// The rule under test.
+    pub rule: Rule,
+    /// Token-rule scope the fixture is linted under (ignored for R4 trees).
+    pub scope: FileScope,
+    /// Whether the rule must flag the fixture (`true`: the historical bug,
+    /// reproduced verbatim) or must stay silent (`false`: the shipped fix).
+    pub expect_flagged: bool,
+}
+
+/// The corpus: one known-bad snippet per rule — each reproducing the
+/// historical bug verbatim — plus the corrected twin that must lint clean
+/// (so a rule can neither under- nor over-fire without failing the power
+/// checks).
+pub const FIXTURES: [Fixture; 8] = [
+    Fixture {
+        path: "stream_discipline_bad.rs",
+        rule: Rule::StreamDiscipline,
+        scope: FileScope::Core,
+        expect_flagged: true,
+    },
+    Fixture {
+        path: "stream_discipline_fixed.rs",
+        rule: Rule::StreamDiscipline,
+        scope: FileScope::Core,
+        expect_flagged: false,
+    },
+    Fixture {
+        path: "endpoint_guard_bad.rs",
+        rule: Rule::EndpointGuard,
+        scope: FileScope::Noise,
+        expect_flagged: true,
+    },
+    Fixture {
+        path: "endpoint_guard_fixed.rs",
+        rule: Rule::EndpointGuard,
+        scope: FileScope::Noise,
+        expect_flagged: false,
+    },
+    Fixture {
+        path: "panic_freedom_bad.rs",
+        rule: Rule::PanicFreedom,
+        scope: FileScope::Core,
+        expect_flagged: true,
+    },
+    Fixture {
+        path: "panic_freedom_fixed.rs",
+        rule: Rule::PanicFreedom,
+        scope: FileScope::Core,
+        expect_flagged: false,
+    },
+    Fixture {
+        path: "taxonomy_bad",
+        rule: Rule::Taxonomy,
+        scope: FileScope::Core,
+        expect_flagged: true,
+    },
+    Fixture {
+        path: "taxonomy_fixed",
+        rule: Rule::Taxonomy,
+        scope: FileScope::Core,
+        expect_flagged: false,
+    },
+];
+
+/// Lints one fixture with its rule; returns the diagnostics.
+pub fn lint_fixture(fixture: &Fixture) -> io::Result<Vec<Diagnostic>> {
+    let path = fixtures_dir().join(fixture.path);
+    let mut out = Vec::new();
+    if fixture.rule == Rule::Taxonomy {
+        let layout = TreeLayout {
+            core_src: path.join("src"),
+            noise_src: path.join("src"),
+            equivalence: path.join("scratch_equivalence.rs"),
+            perf: path.join("perf.rs"),
+        };
+        let inv = taxonomy::inventory(&layout.core_src, &layout.equivalence, &layout.perf)?;
+        taxonomy::check(&inv, &layout.equivalence, &layout.perf, &mut out);
+    } else {
+        lint_file(&path, fixture.scope, &[fixture.rule], &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Result row of a fixture power check.
+#[derive(Debug)]
+pub struct PowerRow {
+    /// The fixture.
+    pub fixture: Fixture,
+    /// Diagnostics its rule produced.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether the outcome matched `expect_flagged`.
+    pub ok: bool,
+}
+
+/// Runs every fixture; each bad fixture must be flagged by its rule and
+/// each fixed twin must lint clean.
+pub fn power_check() -> io::Result<Vec<PowerRow>> {
+    let mut rows = Vec::new();
+    for fixture in FIXTURES {
+        let diagnostics = lint_fixture(&fixture)?;
+        let ok = diagnostics.is_empty() != fixture.expect_flagged;
+        rows.push(PowerRow {
+            fixture,
+            diagnostics,
+            ok,
+        });
+    }
+    Ok(rows)
+}

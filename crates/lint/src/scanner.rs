@@ -1,0 +1,281 @@
+//! Structural context over the flat token stream.
+//!
+//! One forward pass assigns every token the context the rules scope on:
+//! whether it sits inside a `#[cfg(test)]` item, the name and signature of
+//! the enclosing function, and the header of the enclosing `impl`/`trait`
+//! block. Signatures and headers are stored as identifier soups — the rules
+//! only ever ask "does the signature mention `DrawProvider`", never anything
+//! positional, so a space-joined identifier list is exactly enough and stays
+//! robust against formatting.
+
+use crate::lexer::{Token, TokenKind};
+use std::rc::Rc;
+
+/// Context of one token.
+#[derive(Debug, Clone, Default)]
+pub struct Ctx {
+    /// Inside an item annotated `#[cfg(test)]` (at any nesting depth).
+    pub in_test: bool,
+    /// Name of the innermost enclosing function body, if any.
+    pub fn_name: Option<Rc<str>>,
+    /// Identifier soup of that function's signature (generics, parameters,
+    /// return type, where clause).
+    pub fn_sig: Option<Rc<str>>,
+    /// Identifier soup of the enclosing `impl`/`trait` header, if any.
+    pub header: Option<Rc<str>>,
+}
+
+/// A token paired with its structural context.
+#[derive(Debug)]
+pub struct ScopedToken<'a> {
+    /// The token.
+    pub tok: &'a Token,
+    /// Context at that token.
+    pub ctx: Ctx,
+}
+
+#[derive(Clone, Default)]
+struct Scope {
+    ctx: Ctx,
+}
+
+/// Runs the context pass. Brace-balanced scopes inherit their parent
+/// context; `fn`, `impl`/`trait`, and `#[cfg(test)]` immediately before a
+/// `{` stamp the new scope.
+pub fn scan(tokens: &[Token]) -> Vec<ScopedToken<'_>> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Scope> = vec![Scope::default()];
+    let mut pending_test = false;
+    let mut pending_fn: Option<(Rc<str>, Rc<str>)> = None;
+    let mut pending_header: Option<Rc<str>> = None;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let top = stack.last().expect("scope stack never empties").clone();
+        out.push(ScopedToken {
+            tok: t,
+            ctx: top.ctx.clone(),
+        });
+        match &t.kind {
+            TokenKind::Punct('#') => {
+                // Outer attribute `#[...]`; inner `#![...]` is skipped the
+                // same way (it cannot start an item).
+                let mut j = i + 1;
+                if matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('!'))) {
+                    j += 1;
+                }
+                if matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct('['))) {
+                    let (attr_idents, end) = collect_bracketed(tokens, j);
+                    // `#[cfg(test)]` (or any cfg mentioning `test`) marks the
+                    // next item as test-only.
+                    if attr_idents.iter().any(|s| s == "cfg")
+                        && attr_idents.iter().any(|s| s == "test")
+                    {
+                        pending_test = true;
+                    }
+                    // The `#` was pushed at the top of the loop; append the
+                    // rest of the attribute so `out` stays a faithful copy.
+                    for t in &tokens[i + 1..end] {
+                        out.push(ScopedToken {
+                            tok: t,
+                            ctx: top.ctx.clone(),
+                        });
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            TokenKind::Ident if t.text == "impl" || t.text == "trait" => {
+                let (idents, end) = collect_until_body(tokens, i + 1);
+                pending_header = Some(Rc::from(idents.join(" ")));
+                for t in &tokens[i + 1..end] {
+                    out.push(ScopedToken {
+                        tok: t,
+                        ctx: top.ctx.clone(),
+                    });
+                }
+                i = end;
+                continue;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                // `fn` introducing an item (not the `fn(..)` pointer type,
+                // which is followed by `(`).
+                if let Some(name_tok) = tokens.get(i + 1) {
+                    if name_tok.kind == TokenKind::Ident {
+                        let (idents, end) = collect_until_body(tokens, i + 2);
+                        pending_fn =
+                            Some((Rc::from(name_tok.text.as_str()), Rc::from(idents.join(" "))));
+                        for t in &tokens[i + 1..end] {
+                            out.push(ScopedToken {
+                                tok: t,
+                                ctx: top.ctx.clone(),
+                            });
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+            TokenKind::Punct('{') => {
+                let mut scope = top.clone();
+                if pending_test {
+                    scope.ctx.in_test = true;
+                }
+                if let Some(h) = pending_header.take() {
+                    scope.ctx.header = Some(h);
+                    // A new impl/trait block resets the function context.
+                    scope.ctx.fn_name = None;
+                    scope.ctx.fn_sig = None;
+                }
+                if let Some((name, sig)) = pending_fn.take() {
+                    scope.ctx.fn_name = Some(name);
+                    scope.ctx.fn_sig = Some(sig);
+                }
+                pending_test = false;
+                stack.push(scope);
+            }
+            TokenKind::Punct('}') if stack.len() > 1 => {
+                stack.pop();
+            }
+            TokenKind::Punct(';') => {
+                // Item ended without a body (trait method declaration,
+                // `#[cfg(test)] use …;`): discard pendings.
+                pending_fn = None;
+                pending_header = None;
+                pending_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects identifier text from `start` until the `[`…`]` attribute closes;
+/// returns (idents, index past the closing `]`).
+fn collect_bracketed(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j + 1);
+                }
+            }
+            TokenKind::Ident => idents.push(tokens[j].text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, j)
+}
+
+/// Collects identifier text from `start` until the opening `{` of the item
+/// body (exclusive) or a top-level `;`; returns (idents, index of that
+/// token). Paren/bracket depth is tracked so `[f64; 2]` in a signature does
+/// not end the item.
+fn collect_until_body(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => depth = depth.saturating_sub(1),
+            TokenKind::Punct('{') if depth == 0 => return (idents, j),
+            TokenKind::Punct(';') if depth == 0 => return (idents, j),
+            TokenKind::Ident => idents.push(tokens[j].text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of<'a>(scoped: &'a [ScopedToken<'a>], ident: &str) -> &'a Ctx {
+        &scoped
+            .iter()
+            .find(|s| s.tok.text == ident)
+            .expect("ident present")
+            .ctx
+    }
+
+    #[test]
+    fn fn_signature_and_name_are_attached_to_body_tokens() {
+        let src =
+            "pub(crate) fn run_core<P: DrawProvider>(&self, provider: &mut P) { body_marker(); }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        let ctx = ctx_of(&scoped, "body_marker");
+        assert_eq!(ctx.fn_name.as_deref(), Some("run_core"));
+        assert!(ctx.fn_sig.as_deref().unwrap().contains("DrawProvider"));
+    }
+
+    #[test]
+    fn impl_header_reaches_method_bodies() {
+        let src = "impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> { fn next(&mut self) -> f64 { inner_marker() } }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        let ctx = ctx_of(&scoped, "inner_marker");
+        let header = ctx.header.as_deref().unwrap();
+        assert!(header.contains("DrawProvider") && header.contains("ScratchDraws"));
+        assert_eq!(ctx.fn_name.as_deref(), Some("next"));
+    }
+
+    #[test]
+    fn cfg_test_marks_whole_module() {
+        let src = "fn live() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b(); } }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        assert!(!ctx_of(&scoped, "a").in_test);
+        assert!(ctx_of(&scoped, "b").in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn_only_covers_it() {
+        let src = "#[cfg(test)] fn t() { x(); } fn live() { y(); }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        assert!(ctx_of(&scoped, "x").in_test);
+        assert!(!ctx_of(&scoped, "y").in_test);
+    }
+
+    #[test]
+    fn signature_array_semicolons_do_not_end_the_item() {
+        let src = "fn peek_pairs(&mut self, scales: [f64; 2]) -> &[f64] { m() }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        assert_eq!(ctx_of(&scoped, "m").fn_name.as_deref(), Some("peek_pairs"));
+    }
+
+    #[test]
+    fn nested_fn_restores_outer_scope() {
+        let src = "fn outer() { fn inner() { a(); } b(); }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        assert_eq!(ctx_of(&scoped, "a").fn_name.as_deref(), Some("inner"));
+        assert_eq!(ctx_of(&scoped, "b").fn_name.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn trait_default_bodies_get_trait_header() {
+        let src = "pub trait DrawProvider { fn pairs(&mut self) { delegate(); } }";
+        let lexed = lex(src);
+        let scoped = scan(&lexed.tokens);
+        assert!(ctx_of(&scoped, "delegate")
+            .header
+            .as_deref()
+            .unwrap()
+            .contains("DrawProvider"));
+    }
+}

@@ -1,0 +1,369 @@
+//! R4 — taxonomy completeness, the cross-file structural rule.
+//!
+//! Every mechanism that exposes a `*_with_scratch` fast path must:
+//!
+//! 1. expose the allocation-free `*_with_scratch_into` twin (the bench grid
+//!    drives the `_into` paths, so a missing twin silently drops the
+//!    mechanism out of the timed loops),
+//! 2. appear in the `scratch_equivalence` suite (otherwise nothing proves
+//!    the fast path bit-identical to the reference), and
+//! 3. appear in the bench `MECHANISM_PATHS` grid (otherwise `bench-check`
+//!    cannot notice the cell going missing).
+//!
+//! The reverse directions hold too: every `MECHANISM_PATHS` name must
+//! resolve to a type with a scratch path and an equivalence entry — a
+//! mechanism added to the grid without an equivalence test is exactly the
+//! gap this rule exists to close.
+//!
+//! Exemptions use the same allow syntax as the token rules:
+//! `// lint:allow(taxonomy): reason` on (or above) the `fn` line skips the
+//! twin check for that entry point (e.g. a scalar-returning winner index
+//! with no buffer to reuse), and a file-level
+//! `// lint:allow-file(taxonomy): reason` skips a whole file (the broken
+//! zoo is attacked, not benched).
+
+use crate::allow;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::{Diagnostic, Rule};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `*_with_scratch*` entry point found in the core sources.
+#[derive(Debug)]
+struct ScratchFn {
+    file: PathBuf,
+    line: u32,
+    allowed: bool,
+}
+
+/// Everything R4 extracts from the tree before cross-checking.
+#[derive(Debug, Default)]
+pub struct Inventory {
+    /// type name → method name → site.
+    types: BTreeMap<String, BTreeMap<String, ScratchFn>>,
+    /// Identifiers appearing in the equivalence suite.
+    equivalence_idents: Vec<String>,
+    /// Mechanism names in `MECHANISM_PATHS`, with the literal's line.
+    grid: Vec<(String, u32)>,
+}
+
+impl Inventory {
+    /// Sorted list of mechanism type names exposing a scratch fast path —
+    /// the seed for the exhaustiveness test that pins today's taxonomy.
+    pub fn mechanism_types(&self) -> Vec<String> {
+        self.types.keys().cloned().collect()
+    }
+
+    /// Sorted mechanism names of the bench grid.
+    pub fn grid_mechanisms(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.grid.iter().map(|(n, _)| n.clone()).collect();
+        v.sort();
+        v
+    }
+}
+
+/// Collects the inventory from the core sources, the equivalence suite and
+/// the bench grid file.
+pub fn inventory(core_src: &Path, equivalence: &Path, perf: &Path) -> io::Result<Inventory> {
+    let mut inv = Inventory::default();
+    for file in crate::rust_files(core_src)? {
+        collect_scratch_fns(&file, &mut inv)?;
+    }
+    let eq_src = std::fs::read_to_string(equivalence)?;
+    inv.equivalence_idents = lex(&eq_src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text)
+        .collect();
+    let perf_src = std::fs::read_to_string(perf)?;
+    inv.grid = grid_mechanisms(&lex(&perf_src).tokens);
+    Ok(inv)
+}
+
+/// Runs the cross-checks over a collected inventory.
+pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Diagnostic>) {
+    for (ty, fns) in &inv.types {
+        let mut anchor: Option<(&PathBuf, u32)> = None;
+        for (name, site) in fns {
+            anchor.get_or_insert((&site.file, site.line));
+            if name.ends_with("_with_scratch") && !site.allowed {
+                let twin = format!("{name}_into");
+                if !fns.contains_key(&twin) {
+                    out.push(Diagnostic {
+                        file: site.file.clone(),
+                        line: site.line,
+                        rule: Rule::Taxonomy,
+                        message: format!(
+                            "`{ty}::{name}` has no `{twin}` twin: every scratch fast path \
+                             needs the out-parameter variant the bench grid drives \
+                             (allocation-free timed loops)"
+                        ),
+                    });
+                }
+            }
+        }
+        let (file, line) = anchor.map(|(f, l)| (f.clone(), l)).unwrap_or_default();
+        if !inv.equivalence_idents.iter().any(|i| i == ty) {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "`{ty}` exposes a scratch fast path but never appears in the \
+                     scratch_equivalence suite ({}): nothing proves the fast path \
+                     bit-identical to the reference",
+                    equivalence.display()
+                ),
+            });
+        }
+        if !inv.grid.iter().any(|(n, _)| n == ty) {
+            out.push(Diagnostic {
+                file,
+                line,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "`{ty}` exposes a scratch fast path but is missing from \
+                     MECHANISM_PATHS ({}): bench-check cannot guard cells that \
+                     were never declared",
+                    perf.display()
+                ),
+            });
+        }
+    }
+    for (name, line) in &inv.grid {
+        if !inv.types.contains_key(name) {
+            out.push(Diagnostic {
+                file: perf.to_path_buf(),
+                line: *line,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "MECHANISM_PATHS lists `{name}` but no type of that name exposes a \
+                     `*_with_scratch` entry point in the core sources"
+                ),
+            });
+        }
+        if !inv.equivalence_idents.iter().any(|i| i == name) {
+            out.push(Diagnostic {
+                file: perf.to_path_buf(),
+                line: *line,
+                rule: Rule::Taxonomy,
+                message: format!(
+                    "`{name}` is benched in MECHANISM_PATHS but has no \
+                     scratch_equivalence entry ({}): a grid cell without an \
+                     equivalence test can drift from the reference unnoticed",
+                    equivalence.display()
+                ),
+            });
+        }
+    }
+}
+
+/// Collects `fn *_with_scratch*` names per impl type from one file.
+fn collect_scratch_fns(path: &Path, inv: &mut Inventory) -> io::Result<()> {
+    let src = std::fs::read_to_string(path)?;
+    let lexed = lex(&src);
+    let allows = allow::parse(&lexed.comments);
+    if allows.is_allowed(Rule::Taxonomy, u32::MAX) {
+        // File-level allow: nothing in this file participates in R4.
+        return Ok(());
+    }
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident && toks[i].text == "impl" {
+            if let Some((ty, body_start)) = parse_impl_header(toks, i + 1) {
+                let body_end = matching_brace(toks, body_start);
+                let mut j = body_start + 1;
+                while j + 1 < body_end {
+                    if toks[j].kind == TokenKind::Ident
+                        && toks[j].text == "fn"
+                        && toks[j + 1].kind == TokenKind::Ident
+                        && toks[j + 1].text.contains("_with_scratch")
+                    {
+                        let name = toks[j + 1].text.clone();
+                        let line = toks[j].line;
+                        inv.types.entry(ty.clone()).or_default().insert(
+                            name,
+                            ScratchFn {
+                                file: path.to_path_buf(),
+                                line,
+                                allowed: allows.is_allowed(Rule::Taxonomy, line),
+                            },
+                        );
+                    }
+                    j += 1;
+                }
+                i = body_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Parses an impl header starting right after the `impl` token. Returns the
+/// implemented type's name (the path after `for` when present, the
+/// self-type otherwise) and the index of the body's `{`.
+fn parse_impl_header(toks: &[Token], mut i: usize) -> Option<(String, usize)> {
+    // Skip `<generics>` (angle depth; impl headers contain no `->`).
+    if matches!(toks.get(i).map(|t| &t.kind), Some(TokenKind::Punct('<'))) {
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match toks[i].kind {
+                TokenKind::Punct('<') => depth += 1,
+                TokenKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut ty: Option<String> = None;
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => depth -= 1,
+            TokenKind::Punct('{') if depth <= 0 => return ty.map(|t| (t, i)),
+            TokenKind::Ident if depth <= 0 => {
+                let t = toks[i].text.as_str();
+                if t == "for" {
+                    ty = None; // the self-type follows; restart capture
+                } else if t == "where" {
+                    // bounds only from here on; keep the captured type
+                } else if ty.is_none() && t != "dyn" {
+                    ty = Some(t.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Extracts `(name, line)` for each mechanism in the `MECHANISM_PATHS`
+/// array literal: the string literal directly following a `(` inside the
+/// array (path strings follow `[` or `,` instead).
+fn grid_mechanisms(toks: &[Token]) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokenKind::Ident && toks[i].text == "MECHANISM_PATHS" {
+            // Require an `=` before any top-level `;` — i.e. the definition,
+            // not a later use.
+            let mut j = i + 1;
+            let mut bracket = 0i32;
+            let mut is_def = false;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokenKind::Punct('[') | TokenKind::Punct('(') => bracket += 1,
+                    TokenKind::Punct(']') | TokenKind::Punct(')') => bracket -= 1,
+                    TokenKind::Punct('=') if bracket == 0 => {
+                        is_def = true;
+                        break;
+                    }
+                    TokenKind::Punct(';') if bracket == 0 => break,
+                    TokenKind::Punct('{') if bracket == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_def {
+                // Advance to the array's `[`, then walk it.
+                while j < toks.len() && toks[j].kind != TokenKind::Punct('[') {
+                    j += 1;
+                }
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match &toks[j].kind {
+                        TokenKind::Punct('[') => depth += 1,
+                        TokenKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return out;
+                            }
+                        }
+                        TokenKind::Literal
+                            if matches!(
+                                toks.get(j - 1).map(|t| &t.kind),
+                                Some(TokenKind::Punct('('))
+                            ) =>
+                        {
+                            out.push((toks[j].text.clone(), toks[j].line));
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impl_header_variants_resolve_the_self_type() {
+        let cases = [
+            ("impl NoisyTopKWithGap { }", "NoisyTopKWithGap"),
+            (
+                "impl<R: Rng + ?Sized> DrawProvider for ScratchDraws<'_, R> { }",
+                "ScratchDraws",
+            ),
+            ("impl Default for SvtScratch { }", "SvtScratch"),
+            ("impl<T> Foo<T> where T: Clone { }", "Foo"),
+        ];
+        for (src, want) in cases {
+            let toks = lex(src).tokens;
+            let (ty, _) = parse_impl_header(&toks, 1).expect(src);
+            assert_eq!(ty, want, "{src}");
+        }
+    }
+
+    #[test]
+    fn grid_extraction_takes_mechanism_names_only() {
+        let src = r#"
+            pub const MECHANISM_PATHS: [(&str, &[&str]); 2] = [
+                ("NoisyTopKWithGap", &["dyn", "scratch"]),
+                ("ClassicSparseVector", &["dyn", "scratch", "streaming"]),
+            ];
+            fn use_it() { for (m, p) in MECHANISM_PATHS { drop((m, p)); } }
+        "#;
+        let names: Vec<String> = grid_mechanisms(&lex(src).tokens)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["NoisyTopKWithGap", "ClassicSparseVector"]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Power checks for the lint itself, in the same corrupted-reference
+//! discipline as the chi-square and attack layers: each rule must flag the
+//! historical bug it was written for (reproduced verbatim in `fixtures/`),
+//! must stay silent on the shipped fix, and must pass the real tree clean.
+//! A rule that stops firing on its fixture — or starts firing on the fix —
+//! fails here before it can rot in CI.
+
+use free_gap_lint::{
+    fixtures_dir, lint_fixture, lint_tree, power_check, taxonomy, Rule, TreeLayout, FIXTURES,
+};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn every_bad_fixture_is_flagged_by_its_rule() {
+    for fixture in FIXTURES.iter().filter(|f| f.expect_flagged) {
+        let diags = lint_fixture(fixture).expect("fixture lints");
+        assert!(
+            !diags.is_empty(),
+            "{} must be flagged by {} — the rule lost its power against the \
+             historical bug it encodes",
+            fixture.path,
+            fixture.rule
+        );
+        assert!(
+            diags.iter().all(|d| d.rule == fixture.rule),
+            "{}: unexpected rules in {diags:?}",
+            fixture.path
+        );
+    }
+}
+
+#[test]
+fn every_fixed_fixture_lints_clean() {
+    for fixture in FIXTURES.iter().filter(|f| !f.expect_flagged) {
+        let diags = lint_fixture(fixture).expect("fixture lints");
+        assert!(
+            diags.is_empty(),
+            "{} must lint clean under {} but got:\n{}",
+            fixture.path,
+            fixture.rule,
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn power_check_api_agrees_with_fixture_expectations() {
+    let rows = power_check().expect("power check runs");
+    assert_eq!(rows.len(), FIXTURES.len());
+    for row in rows {
+        assert!(
+            row.ok,
+            "power row failed for {} (expect_flagged={}): {:?}",
+            row.fixture.path, row.fixture.expect_flagged, row.diagnostics
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_are_verbatim_reproductions() {
+    // The stream-discipline fixture must carry the exact PR-4 line (a raw
+    // `sample_value(self.rng)` inside the ScratchDraws provider) and the
+    // panic-freedom fixture the exact PR-5 sort. If someone "cleans up" the
+    // fixtures, the power check would silently test a strawman.
+    let sd = std::fs::read_to_string(fixtures_dir().join("stream_discipline_bad.rs")).unwrap();
+    assert!(sd.contains(".sample_value(self.rng)"));
+    assert!(sd.contains("DiscreteLaplace::new(unit_epsilon, gamma)"));
+    let pf = std::fs::read_to_string(fixtures_dir().join("panic_freedom_bad.rs")).unwrap();
+    assert!(pf.contains("b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))"));
+    let eg = std::fs::read_to_string(fixtures_dir().join("endpoint_guard_bad.rs")).unwrap();
+    assert!(eg.contains("(1.0 - 2.0 * u.abs()).ln()"));
+}
+
+#[test]
+fn real_tree_lints_clean_under_all_rules() {
+    let layout = TreeLayout::at(&repo_root());
+    layout.validate().expect("repo layout");
+    let diags = lint_tree(&layout, &Rule::ALL).expect("tree lints");
+    assert!(
+        diags.is_empty(),
+        "the real tree must be finding-free (fix or lint:allow each):\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn taxonomy_inventory_pins_todays_mechanism_list() {
+    // Exhaustiveness seed: the exact set of benched mechanisms today. Adding
+    // a mechanism to MECHANISM_PATHS updates this list — and R4 then forces
+    // the scratch_equivalence entry and the `_into` twin to exist before the
+    // tree lints clean again. Removing one must also be deliberate.
+    let layout = TreeLayout::at(&repo_root());
+    let inv = taxonomy::inventory(&layout.core_src, &layout.equivalence, &layout.perf)
+        .expect("inventory");
+    assert_eq!(
+        inv.grid_mechanisms(),
+        [
+            "AdaptiveSparseVector",
+            "ClassicNoisyTopK",
+            "ClassicSparseVector",
+            "DiscreteNoisyTopKWithGap",
+            "DiscreteSparseVectorWithGap",
+            "ExponentialMechanism",
+            "MultiBranchAdaptiveSparseVector",
+            "NoisyTopKWithGap",
+            "SparseVectorWithGap",
+            "StaircaseMechanism",
+        ],
+        "MECHANISM_PATHS changed: update this seed AND make sure the \
+         scratch_equivalence + _into taxonomy is complete for the new set"
+    );
+    // Every benched mechanism's type must be in the scratch-fn inventory.
+    let types = inv.mechanism_types();
+    for m in inv.grid_mechanisms() {
+        assert!(
+            types.contains(&m),
+            "grid mechanism {m} has no *_with_scratch entry point"
+        );
+    }
+}

@@ -204,6 +204,7 @@ impl BlockBuffer {
         rng: &mut R,
         m: usize,
     ) -> &[f64] {
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(m >= 1, "tuple arity must be at least 1");
         if self.cursor + m > self.raw.len() {
             self.refill_keeping_leftover(rng, m);
@@ -262,6 +263,7 @@ impl BlockBuffer {
         out: &mut Vec<f64>,
     ) {
         let m = dists.len();
+        // lint:allow(panic-freedom): tuple arity is a compile-time property of the mechanism core, never user input
         assert!(m >= 1, "tuple arity must be at least 1");
         if self.cursor + m > self.raw.len() {
             self.refill_keeping_leftover(rng, m);
@@ -287,6 +289,7 @@ impl BlockBuffer {
     /// (checked once per block, so the guard costs nothing per draw).
     #[inline]
     pub fn consume(&mut self, draws: usize) {
+        // lint:allow(panic-freedom): tape-serving invariant — over-consuming is a provider bug, not user data
         assert!(
             self.cursor + draws <= self.raw.len(),
             "consumed more draws than were peeked"

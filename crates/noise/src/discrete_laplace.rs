@@ -190,6 +190,7 @@ impl DiscreteDistribution for DiscreteLaplace {
     /// (`out[i] = base[i] + draw`), same chunked layout and the same
     /// bit-identity contract.
     fn fill_values_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        // lint:allow(panic-freedom): documented panic — the mechanism core sizes both buffers before the call
         assert_eq!(base.len(), out.len(), "offset/output length mismatch");
         const CHUNK: usize = 512;
         let mut uniforms = [0.0f64; CHUNK];

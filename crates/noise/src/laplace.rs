@@ -99,6 +99,7 @@ impl ContinuousDistribution for Laplace {
     /// Noisy-Max hot loop, one buffer write per query.
     #[inline]
     fn fill_into_offset<R: Rng + ?Sized>(&self, rng: &mut R, base: &[f64], out: &mut [f64]) {
+        // lint:allow(panic-freedom): documented panic — the mechanism core sizes both buffers before the call
         assert_eq!(base.len(), out.len(), "offset/output length mismatch");
         for (slot, b) in out.iter_mut().zip(base) {
             *slot = b + self.sample_from_uniform(rng.gen::<f64>());

@@ -36,15 +36,24 @@ pub struct LaplaceDiff {
     rate_query: f64,
     /// `ε₀` in the paper: the rate (inverse scale) of the threshold noise.
     rate_threshold: f64,
+    /// `Lap(1/ε*)`, constructed once at validation time so sampling is
+    /// panic-free.
+    lap_query: Laplace,
+    /// `Lap(1/ε₀)`, constructed once at validation time.
+    lap_threshold: Laplace,
 }
 
 impl LaplaceDiff {
     /// Creates the difference distribution from the two rates
     /// (`rate = 1/scale`; the paper's `ε*` and `ε₀`).
     pub fn new(rate_query: f64, rate_threshold: f64) -> Result<Self, NoiseError> {
+        let rate_query = require_positive("rate_query", rate_query)?;
+        let rate_threshold = require_positive("rate_threshold", rate_threshold)?;
         Ok(Self {
-            rate_query: require_positive("rate_query", rate_query)?,
-            rate_threshold: require_positive("rate_threshold", rate_threshold)?,
+            rate_query,
+            rate_threshold,
+            lap_query: Laplace::new(1.0 / rate_query)?,
+            lap_threshold: Laplace::new(1.0 / rate_threshold)?,
         })
     }
 
@@ -97,11 +106,9 @@ impl LaplaceDiff {
 
 impl ContinuousDistribution for LaplaceDiff {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        // Direct simulation keeps the sampler trivially correct; both Laplace
-        // constructions are infallible for validated positive rates.
-        let q = Laplace::new(1.0 / self.rate_query).expect("validated rate");
-        let t = Laplace::new(1.0 / self.rate_threshold).expect("validated rate");
-        q.sample(rng) - t.sample(rng)
+        // Direct simulation keeps the sampler trivially correct; the two
+        // Laplace components were constructed at validation time.
+        self.lap_query.sample(rng) - self.lap_threshold.sample(rng)
     }
 
     fn pdf(&self, x: f64) -> f64 {

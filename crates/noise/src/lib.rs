@@ -54,6 +54,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// R3 (panic-freedom) surfaced in the compiler too: every non-test unwrap/expect
+// in the two privacy-critical crates must carry a per-site justification.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod block;
 pub mod discrete_laplace;

@@ -92,7 +92,7 @@ impl EmpiricalCdf {
     pub fn new(mut samples: Vec<f64>) -> Self {
         debug_assert!(samples.iter().all(|x| x.is_finite()), "non-finite sample");
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 
@@ -131,7 +131,7 @@ impl EmpiricalCdf {
 /// CDF: `sup_x |F̂(x) - F(x)|`, evaluated at the jump points.
 pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> f64 {
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
@@ -158,6 +158,7 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn mean_squared_error(estimates: &[f64], truths: &[f64]) -> f64 {
+    // lint:allow(panic-freedom): documented panic on mismatched pair lengths — a caller bug, not data
     assert_eq!(estimates.len(), truths.len(), "paired slices must match");
     if estimates.is_empty() {
         return 0.0;

@@ -21,7 +21,7 @@ fn main() {
 
     // --- Discrete-Laplace Top-K on integer counts (γ = 1) ---
     let mech = DiscreteNoisyTopKWithGap::new(k, epsilon, true).unwrap();
-    let out = mech.run(&answers, &mut rng_from_seed(1));
+    let out = mech.run(&answers, &mut rng_from_seed(1)).unwrap();
     println!("discrete Noisy-Top-{k}-with-Gap (γ = 1, integer counts):");
     for item in &out.items {
         println!(

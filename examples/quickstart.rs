@@ -26,13 +26,13 @@ fn main() {
 
     // The classic mechanism: indices only.
     let classic = ClassicNoisyTopK::new(k, epsilon, true).unwrap();
-    let indices = classic.run(&answers, &mut rng);
+    let indices = classic.run(&answers, &mut rng).unwrap();
     println!("\nclassic Noisy Top-{k} (ε = {epsilon}): items {indices:?} — and that's all");
 
     // The paper's mechanism: same privacy cost, same selection quality,
     // plus one free gap per selected query.
     let with_gap = NoisyTopKWithGap::new(k, epsilon, true).unwrap();
-    let out = with_gap.run(&answers, &mut rng);
+    let out = with_gap.run(&answers, &mut rng).unwrap();
     println!("\nNoisy-Top-{k}-with-Gap (ε = {epsilon}, same cost):");
     for (rank, item) in out.items.iter().enumerate() {
         println!(

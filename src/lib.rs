@@ -38,7 +38,7 @@
 //! let answers = QueryAnswers::counting(vec![120.0, 40.0, 97.0, 80.0, 3.0]);
 //! let mech = NoisyTopKWithGap::new(2, 1.0, true).unwrap();
 //! let mut rng = rng_from_seed(42);
-//! let out = mech.run(&answers, &mut rng);
+//! let out = mech.run(&answers, &mut rng).unwrap();
 //! println!("winner: query #{} (gap to runner-up ≈ {:.1})",
 //!          out.items[0].index, out.items[0].gap);
 //! ```

@@ -26,7 +26,9 @@ fn noisy_max_with_gap_epsilon_hat() {
     let eps = 1.0;
     let mech = NoisyMaxWithGap::new(eps, false).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
-        let (idx, gap) = mech.run(&QueryAnswers::general(answers.to_vec()), rng);
+        let (idx, gap) = mech
+            .run(&QueryAnswers::general(answers.to_vec()), rng)
+            .unwrap();
         (idx, (gap / 4.0).floor().min(6.0) as i64)
     };
     let d = vec![3.0, 2.0, 0.0];
@@ -52,7 +54,9 @@ fn monotone_configuration_under_non_monotone_adjacency_is_flagged() {
     let eps = 1.0;
     let mech = NoisyMaxWithGap::new(eps, true).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
-        let (idx, gap) = mech.run(&QueryAnswers::counting(answers.to_vec()), rng);
+        let (idx, gap) = mech
+            .run(&QueryAnswers::counting(answers.to_vec()), rng)
+            .unwrap();
         (idx, (gap / 4.0).floor().min(6.0) as i64)
     };
     let d = vec![3.0, 2.0, 0.0];
@@ -79,7 +83,9 @@ fn monotone_noisy_max_consumes_half_budget() {
     let eps = 0.8;
     let mech = NoisyTopKWithGap::new(1, eps, true).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
-        let out = mech.run(&QueryAnswers::counting(answers.to_vec()), rng);
+        let out = mech
+            .run(&QueryAnswers::counting(answers.to_vec()), rng)
+            .unwrap();
         (
             out.items[0].index,
             (out.items[0].gap / 5.0).floor().min(5.0) as i64,
@@ -158,6 +164,7 @@ fn sanity_the_audit_catches_overconfident_budgets() {
     let mech = NoisyTopKWithGap::new(1, true_eps, true).unwrap();
     let run = |answers: &[f64], rng: &mut StdRng| {
         mech.run(&QueryAnswers::counting(answers.to_vec()), rng)
+            .unwrap()
             .items[0]
             .index
     };

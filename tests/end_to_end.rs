@@ -22,7 +22,7 @@ fn dataset_to_topk_selection_finds_heavy_items() {
     let runs = 200;
     for _ in 0..runs {
         let got = mech.run(&answers, &mut rng);
-        let q = selection_quality(&got.indices(), &truth);
+        let q = selection_quality(&got.unwrap().indices(), &truth);
         if q.recall > 0.79 {
             hits += 1;
         }
@@ -109,6 +109,7 @@ fn budget_accountant_tracks_pipeline_spend() {
     let out = selector.run(&answers, &mut rng);
     budget.spend(shares[0]).unwrap();
     let measurer = LaplaceMechanism::new(shares[1]).unwrap();
+    let out = out.unwrap();
     let truths: Vec<f64> = out.indices().iter().map(|&i| answers.values()[i]).collect();
     let _ = measurer.run(&truths, &mut rng);
     budget.spend(shares[1]).unwrap();
@@ -129,7 +130,7 @@ fn exponential_mechanism_agrees_with_noisy_max_on_easy_instances() {
         if expo.run(&answers, &mut rng).unwrap() == 0 {
             expo_hits += 1;
         }
-        if nmax.run(&answers, &mut rng) == 0 {
+        if nmax.run(&answers, &mut rng).unwrap() == 0 {
             nmax_hits += 1;
         }
     }
@@ -180,8 +181,10 @@ fn discrete_topk_tracks_continuous_on_integer_counts() {
     let mut c_recall = 0.0;
     let runs = 300;
     for _ in 0..runs {
-        d_recall += selection_quality(&disc.run(&answers, &mut rng).indices(), &truth).recall;
-        c_recall += selection_quality(&cont.run(&answers, &mut rng).indices(), &truth).recall;
+        d_recall +=
+            selection_quality(&disc.run(&answers, &mut rng).unwrap().indices(), &truth).recall;
+        c_recall +=
+            selection_quality(&cont.run(&answers, &mut rng).unwrap().indices(), &truth).recall;
     }
     assert!(
         (d_recall - c_recall).abs() / (runs as f64) < 0.05,

@@ -18,7 +18,7 @@ fn theorem2_gap_variance_matches_16k2_over_eps2() {
     let mut gaps = RunningMoments::new();
     for run in 0..40_000u64 {
         let mut rng = derive_stream(1, run);
-        let out = mech.run(&answers, &mut rng);
+        let out = mech.run(&answers, &mut rng).unwrap();
         if out.indices() == vec![0, 1, 2] {
             // gap between ranks 1 and 2 — two noise terms only
             gaps.push(out.items[0].gap);
