@@ -14,6 +14,11 @@
 //!   ablation-split     selection/measurement budget-split sweep
 //!   ablation-branches  branch-count sweep for multi-branch Adaptive-SVT
 //!   bench              mechanism-throughput grid → BENCH_mechanisms.json
+//!   serve-bench        multi-tenant serving-layer load generator →
+//!                      BENCH_serve.json: p50/p95/p99 request latency,
+//!                      budget-rejection counts, idle-session evictions and
+//!                      the bit-reproducibility digest (fixed seed → same
+//!                      digest for any worker count)
 //!   bench-check        verify a written BENCH_mechanisms.json covers every
 //!                      mechanism × path × n × k cell (CI smoke gate);
 //!                      read-only — never re-times anything
@@ -64,7 +69,16 @@
 //!                      Clopper–Pearson lower bounds, in (0, 0.5) (default
 //!                      0.01, or 0.05 with --quick)
 //!   --quick            `attack`: budgeted CI smoke configuration (fewer
-//!                      trials, α = 0.05, same verdicts on the suite)
+//!                      trials, α = 0.05, same verdicts on the suite);
+//!                      `serve-bench`: 4 tenants × 300 requests instead of
+//!                      8 × 2000
+//!   --tenants N        `serve-bench`: number of registered tenants
+//!   --duration F       `serve-bench`: wall-clock cap in seconds; the run
+//!                      stops issuing requests when it elapses and the
+//!                      report is marked truncated
+//!   --qps F            `serve-bench`: aggregate request-rate target the
+//!                      workers pace themselves to (default: unpaced
+//!                      closed loop)
 //!   --rule NAME        `lint`: check a single rule (stream-discipline |
 //!                      endpoint-guard | panic-freedom | taxonomy)
 //!   --fixtures         `lint`: run the power-check corpus instead of the
@@ -110,6 +124,12 @@ struct CliOptions {
     significance: Option<f64>,
     /// `attack`: budgeted CI smoke configuration (`--quick`).
     quick: bool,
+    /// `serve-bench`: tenant count (`--tenants`).
+    tenants: Option<usize>,
+    /// `serve-bench`: wall-clock cap in seconds (`--duration`).
+    duration: Option<f64>,
+    /// `serve-bench`: aggregate request-rate target (`--qps`).
+    qps: Option<f64>,
     /// `lint`: restrict to a single named rule (`--rule`).
     lint_rule: Option<String>,
     /// `lint`: run the fixture power checks instead of the tree (`--fixtures`).
@@ -144,6 +164,9 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         attack_trials: None,
         significance: None,
         quick: false,
+        tenants: None,
+        duration: None,
+        qps: None,
         lint_rule: None,
         fixtures: false,
         workload_flags: Vec::new(),
@@ -235,6 +258,31 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 opts.significance = Some(alpha);
             }
             "--quick" => opts.quick = true,
+            "--tenants" => {
+                let tenants: usize = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                if tenants == 0 {
+                    return Err("--tenants must be at least 1".into());
+                }
+                opts.tenants = Some(tenants);
+            }
+            "--duration" => {
+                let duration: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+                if !(duration.is_finite() && duration > 0.0) {
+                    return Err("--duration must be positive".into());
+                }
+                opts.duration = Some(duration);
+            }
+            "--qps" => {
+                let qps: f64 = value("--qps")?.parse().map_err(|e| format!("--qps: {e}"))?;
+                if !(qps.is_finite() && qps > 0.0) {
+                    return Err("--qps must be positive".into());
+                }
+                opts.qps = Some(qps);
+            }
             "--rule" => opts.lint_rule = Some(value("--rule")?),
             "--fixtures" => opts.fixtures = true,
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
@@ -308,9 +356,27 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             opts.command
         ));
     }
-    if opts.quick && opts.command != "attack" {
+    if opts.quick && opts.command != "attack" && opts.command != "serve-bench" {
         return Err(format!(
-            "--quick only applies to `attack`, not `{}`",
+            "--quick only applies to `attack` and `serve-bench`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.tenants.is_some() && opts.command != "serve-bench" {
+        return Err(format!(
+            "--tenants only applies to `serve-bench`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.duration.is_some() && opts.command != "serve-bench" {
+        return Err(format!(
+            "--duration only applies to `serve-bench`, not `{}`",
+            opts.command
+        ));
+    }
+    if opts.qps.is_some() && opts.command != "serve-bench" {
+        return Err(format!(
+            "--qps only applies to `serve-bench`, not `{}`",
             opts.command
         ));
     }
@@ -359,6 +425,75 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
                 .map_err(|e| format!("writing {}: {e}", opts.json))?;
             eprintln!("wrote {}", opts.json);
             vec![perf::to_table(&records)]
+        }
+        "serve-bench" => {
+            // The serving benchmark scripts its own tenants/workload;
+            // reject options it would silently ignore.
+            if let Some(flag) = opts.workload_flags.first() {
+                return Err(format!(
+                    "`serve-bench` scripts a fixed per-tenant workload; {flag} is not supported (only --tenants, --duration, --qps, --quick, --seed, --csv, --json apply)"
+                ));
+            }
+            if opts.runs.is_some() {
+                return Err(
+                    "`serve-bench` sizes its load with --tenants/--duration, not --runs"
+                        .to_string(),
+                );
+            }
+            let mut cfg = if opts.quick {
+                free_gap_serve::ServeBenchConfig::quick(opts.seed)
+            } else {
+                free_gap_serve::ServeBenchConfig::full(opts.seed)
+            };
+            if let Some(tenants) = opts.tenants {
+                cfg.tenants = tenants;
+            }
+            cfg.duration_cap_secs = opts.duration;
+            cfg.qps = opts.qps;
+            let report =
+                free_gap_serve::bench::run(&cfg).map_err(|e| format!("serve-bench: {e}"))?;
+            // serve-bench writes its own schema; default to its own file
+            // rather than clobbering BENCH_mechanisms.json.
+            let json_path = if opts.json_explicit {
+                opts.json.clone()
+            } else {
+                "BENCH_serve.json".to_string()
+            };
+            std::fs::write(&json_path, free_gap_serve::bench::to_json(&cfg, &report))
+                .map_err(|e| format!("writing {json_path}: {e}"))?;
+            eprintln!("wrote {json_path}");
+            let mut table = Table::new(
+                format!(
+                    "serve-bench: {} tenants × {} requests over {} workers (ε = {:.1}/tenant, digest {:#018x}{})",
+                    cfg.tenants,
+                    cfg.requests_per_tenant,
+                    cfg.workers,
+                    cfg.epsilon_per_tenant,
+                    report.digest,
+                    if report.truncated { ", TRUNCATED" } else { "" },
+                ),
+                &[
+                    "completed",
+                    "rejected",
+                    "budget_rejected",
+                    "evictions",
+                    "p50_us",
+                    "p95_us",
+                    "p99_us",
+                    "req/s",
+                ],
+            );
+            table.push_row(vec![
+                Cell::Int(report.completed as i64),
+                Cell::Int(report.rejected as i64),
+                Cell::Int(report.budget_rejected as i64),
+                Cell::Int(report.evictions as i64),
+                report.p50_us.into(),
+                report.p95_us.into(),
+                report.p99_us.into(),
+                report.requests_per_sec.into(),
+            ]);
+            vec![table]
         }
         "bench-check" => {
             // Read-only: checks coverage of an already-written file, never
@@ -733,7 +868,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|bench-check|bench-compare|bench-history FILE..|attack|lint|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick] [--rule NAME] [--fixtures]");
+            eprintln!("usage: repro <bench|serve-bench|bench-check|bench-compare|bench-history FILE..|attack|lint|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick] [--tenants N] [--duration F] [--qps F] [--rule NAME] [--fixtures]");
             return ExitCode::FAILURE;
         }
     };
@@ -820,6 +955,78 @@ mod tests {
         let opts = parse_args(&args(&["attack", "--budget", "1.0"])).unwrap();
         let err = run_command(&opts).unwrap_err();
         assert!(err.contains("--budget only applies to `bench`"), "{err}");
+    }
+
+    #[test]
+    fn parses_serve_bench_options() {
+        let opts = parse_args(&args(&[
+            "serve-bench",
+            "--tenants",
+            "16",
+            "--duration",
+            "2.5",
+            "--qps",
+            "5000",
+            "--quick",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(opts.command, "serve-bench");
+        assert_eq!(opts.tenants, Some(16));
+        assert_eq!(opts.duration, Some(2.5));
+        assert_eq!(opts.qps, Some(5000.0));
+        assert!(opts.quick);
+        assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn validates_serve_bench_option_values() {
+        assert!(parse_args(&args(&["serve-bench", "--tenants", "0"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "--duration", "0"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "--duration", "nan"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "--qps", "-5"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "--qps", "inf"])).is_err());
+    }
+
+    #[test]
+    fn serve_bench_options_are_rejected_on_other_commands() {
+        for flags in [
+            vec!["fig1a", "--tenants", "4"],
+            vec!["bench", "--duration", "1.0"],
+            vec!["attack", "--qps", "100"],
+            vec!["all", "--tenants", "2"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(
+                err.contains("only applies to `serve-bench`"),
+                "{flags:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_bench_rejects_foreign_flags() {
+        for flags in [
+            vec!["serve-bench", "--eps", "0.5"],
+            vec!["serve-bench", "--dataset", "kosarak"],
+            vec!["serve-bench", "--scale", "0.5"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("not supported"), "{flags:?}: {err}");
+        }
+        let opts = parse_args(&args(&["serve-bench", "--runs", "10"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("not --runs"), "{err}");
+        // The neighbouring commands' flags stay rejected too.
+        let opts = parse_args(&args(&["serve-bench", "--trials", "100"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("only applies to `attack`"), "{err}");
+        let opts = parse_args(&args(&["serve-bench", "--budget", "1.0"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("only applies to `bench`"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //! All paths execute the *same mechanism*: `scratch` and `streaming` are
 //! bit-identical to `dyn` per run (see `free_gap_core::scratch` and the
 //! `scratch_equivalence` suite), and `scratch_fast` only swaps the
-//! generator. Results are printed as a table and written to
+//! generator. The `dyn` and `scratch(_fast)` cells dispatch through the
+//! unified `free_gap_core::api::Mechanism` trait
+//! ([`AnyMechanism::call_reference`] / [`AnyMechanism::call_batched`], the
+//! same surface the serving layer speaks), whose bit-identity to the
+//! historical per-mechanism entry points is pinned by the `api_surface`
+//! suite. Results are printed as a table and written to
 //! `BENCH_mechanisms.json` so the perf trajectory is tracked across PRs —
 //! compare the file in version control against a fresh run on the same
 //! machine before claiming a regression or a win.
@@ -70,10 +75,11 @@
 //! CI smoke step runs against a freshly written file.
 
 use crate::table::Table;
-use free_gap_core::exponential_mech::ExponentialMechanism;
-use free_gap_core::noisy_max::{
-    ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap, TopKOutput,
+use free_gap_core::api::{
+    AnyMechanism, CallScratch, ExponentialTopK, Mechanism, MechanismOutput, QuerySlice,
 };
+use free_gap_core::exponential_mech::ExponentialMechanism;
+use free_gap_core::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
 use free_gap_core::sparse_vector::{
     AdaptiveSparseVector, AdaptiveSvOutput, ClassicSparseVector, DiscreteSparseVectorWithGap,
@@ -334,35 +340,59 @@ fn bench_streaming_cell(
     });
 }
 
-/// Expands to the `(run_index, fast)` closure for one mechanism's scratch
-/// paths: the two arms differ only in which generator family the per-run
-/// stream is derived from. Uses the `run_with_scratch_into` out-parameter
-/// variants with a per-cell reused output, so the timed loop is fully
-/// allocation-free after warm-up.
-macro_rules! scratch_runner {
-    ($mech:ident, $answers:expr, $scratch:ident, $out:ident, $seed:ident) => {
-        |r, fast| {
-            if fast {
-                let _ = $mech.run_with_scratch_into(
-                    $answers,
-                    &mut derive_fast_stream($seed, r),
-                    &mut $scratch,
-                    &mut $out,
-                );
-            } else {
-                let _ = $mech.run_with_scratch_into(
-                    $answers,
-                    &mut derive_stream($seed, r),
-                    &mut $scratch,
-                    &mut $out,
-                );
-            }
-            black_box(&$out);
-        }
-    };
+/// The ten grid mechanisms as [`AnyMechanism`] values, in
+/// [`MECHANISM_PATHS`] record order. One constructor list instead of ten
+/// inline blocks: the unified call surface is what lets [`run_grid`]'s
+/// timing loop dispatch every dyn/scratch cell through the same two
+/// closures.
+fn grid_mechanisms(k: usize, threshold: f64, int_threshold: f64) -> Vec<AnyMechanism> {
+    vec![
+        NoisyTopKWithGap::new(k, 0.7, true)
+            .expect("valid parameters")
+            .into(),
+        ClassicNoisyTopK::new(k, 0.7, true)
+            .expect("valid parameters")
+            .into(),
+        DiscreteNoisyTopKWithGap::new(k, 0.7, true)
+            .expect("valid parameters")
+            .into(),
+        ExponentialTopK::new(
+            ExponentialMechanism::new(0.7, true).expect("valid parameters"),
+            k,
+        )
+        .expect("valid parameters")
+        .into(),
+        StaircaseMechanism::new(0.7)
+            .expect("valid parameters")
+            .into(),
+        SparseVectorWithGap::new(k, 0.7, threshold, true)
+            .expect("valid parameters")
+            .into(),
+        ClassicSparseVector::new(k, 0.7, threshold, true)
+            .expect("valid parameters")
+            .into(),
+        AdaptiveSparseVector::new(k, 0.7, threshold, true)
+            .expect("valid parameters")
+            .into(),
+        MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, 3)
+            .expect("valid parameters")
+            .into(),
+        DiscreteSparseVectorWithGap::new(k, 0.7, int_threshold, true)
+            .expect("valid parameters")
+            .into(),
+    ]
 }
 
 /// Runs the full `mechanism × path × n × k` grid.
+///
+/// The `dyn`/`scratch`/`scratch_fast` cells all dispatch through the
+/// unified `Mechanism` trait: `dyn` is [`AnyMechanism::call_reference`]
+/// (the allocating `dyn NoiseSource` path) and the scratch cells are
+/// [`AnyMechanism::call_batched`] under the two generator families — one
+/// pair of closures for all ten mechanisms, where the old grid carried a
+/// hand-written pair per mechanism. The `streaming` cells stay on the
+/// mechanisms' own lazy-iterator entry points (streaming is not part of
+/// the one-shot call surface).
 pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
     let seed = config.seed;
     let mut records = Vec::new();
@@ -373,85 +403,73 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
             let threshold = rank_threshold(&answers, k);
             // Element of the rounded workload, so it sits on the lattice.
             let int_threshold = rank_threshold(&int_answers, k);
-            let mut topk_scratch = TopKScratch::new();
-            let mut disc_topk_scratch = TopKScratch::new();
-            // One SVT scratch per mechanism × path: predictive batch sizing
-            // assumes consecutive runs of the same mechanism.
-            let mut svt_gap_scratch = SvtScratch::new();
-            let mut classic_svt_scratch = SvtScratch::new();
-            let mut adaptive_scratch = SvtScratch::new();
-            let mut multi_branch_scratch = SvtScratch::new();
+            for mech in grid_mechanisms(k, threshold, int_threshold) {
+                // The finite-precision mechanisms run on the
+                // integer-lattice projection of the workload (their
+                // contract); everything else on the continuous counts.
+                let workload = match mech {
+                    AnyMechanism::DiscreteNoisyTopKWithGap(_)
+                    | AnyMechanism::DiscreteSparseVectorWithGap(_) => &int_answers,
+                    _ => &answers,
+                };
+                let req = QuerySlice::from_answers(workload);
+                let mut scratch = CallScratch::new();
+                let mut dyn_out = MechanismOutput::new_for(&mech);
+                let mut out = MechanismOutput::new_for(&mech);
+                bench_cell(
+                    &mut records,
+                    config,
+                    mech.name(),
+                    n,
+                    k,
+                    |r| {
+                        mech.call_reference(&req, &mut derive_stream(seed, r), &mut dyn_out)
+                            .expect("validated workload");
+                        black_box(&dyn_out);
+                    },
+                    |r, fast| {
+                        if fast {
+                            mech.call_batched(
+                                &req,
+                                &mut derive_fast_stream(seed, r),
+                                &mut scratch,
+                                &mut out,
+                            )
+                        } else {
+                            mech.call_batched(
+                                &req,
+                                &mut derive_stream(seed, r),
+                                &mut scratch,
+                                &mut out,
+                            )
+                        }
+                        .expect("validated workload");
+                        black_box(&out);
+                    },
+                );
+            }
+
+            // Streaming cells: the lazy-iterator serving path, timed on the
+            // mechanisms' own streaming entry points.
             let mut svt_gap_stream_scratch = SvtScratch::new();
             let mut classic_svt_stream_scratch = SvtScratch::new();
             let mut adaptive_stream_scratch = SvtScratch::new();
             let mut multi_branch_stream_scratch = SvtScratch::new();
-            let mut disc_svt_scratch = SvtScratch::new();
             let mut disc_svt_stream_scratch = SvtScratch::new();
-            // Reused outputs for the `_into` fast paths (one per mechanism
-            // family, so the timed loops allocate nothing after warm-up).
-            let mut topk_out = TopKOutput { items: Vec::new() };
-            let mut classic_topk_out: Vec<usize> = Vec::new();
-            let mut sv_out = SvOutput { above: Vec::new() };
             let mut sv_stream_out = SvOutput { above: Vec::new() };
-            let mut adaptive_out = AdaptiveSvOutput {
+            let mut adaptive_stream_out = AdaptiveSvOutput {
                 outcomes: Vec::new(),
                 spent: 0.0,
                 epsilon: 0.0,
             };
-            let mut adaptive_stream_out = adaptive_out.clone();
-            let mut multi_out = MultiBranchSvOutput {
+            let mut multi_stream_out = MultiBranchSvOutput {
                 outcomes: Vec::new(),
                 spent: 0.0,
                 epsilon: 0.0,
             };
-            let mut multi_stream_out = multi_out.clone();
-            let mut disc_topk_out = TopKOutput { items: Vec::new() };
-            let mut disc_sv_out = SvOutput { above: Vec::new() };
-            let mut disc_sv_stream_out = SvOutput { above: Vec::new() };
-
-            let topk = NoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "NoisyTopKWithGap",
-                n,
-                k,
-                |r| {
-                    black_box(topk.run(&answers, &mut derive_stream(seed, r)).unwrap());
-                },
-                scratch_runner!(topk, &answers, topk_scratch, topk_out, seed),
-            );
-
-            let classic_topk = ClassicNoisyTopK::new(k, 0.7, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "ClassicNoisyTopK",
-                n,
-                k,
-                |r| {
-                    black_box(
-                        classic_topk
-                            .run(&answers, &mut derive_stream(seed, r))
-                            .unwrap(),
-                    );
-                },
-                scratch_runner!(classic_topk, &answers, topk_scratch, classic_topk_out, seed),
-            );
 
             let svt_gap =
                 SparseVectorWithGap::new(k, 0.7, threshold, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "SparseVectorWithGap",
-                n,
-                k,
-                |r| {
-                    black_box(svt_gap.run(&answers, &mut derive_stream(seed, r)));
-                },
-                scratch_runner!(svt_gap, &answers, svt_gap_scratch, sv_out, seed),
-            );
             bench_streaming_cell(&mut records, config, "SparseVectorWithGap", n, k, |r| {
                 svt_gap.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
@@ -464,17 +482,6 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
 
             let classic_svt =
                 ClassicSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "ClassicSparseVector",
-                n,
-                k,
-                |r| {
-                    black_box(classic_svt.run(&answers, &mut derive_stream(seed, r)));
-                },
-                scratch_runner!(classic_svt, &answers, classic_svt_scratch, sv_out, seed),
-            );
             bench_streaming_cell(&mut records, config, "ClassicSparseVector", n, k, |r| {
                 classic_svt.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
@@ -487,17 +494,6 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
 
             let adaptive =
                 AdaptiveSparseVector::new(k, 0.7, threshold, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "AdaptiveSparseVector",
-                n,
-                k,
-                |r| {
-                    black_box(adaptive.run(&answers, &mut derive_stream(seed, r)));
-                },
-                scratch_runner!(adaptive, &answers, adaptive_scratch, adaptive_out, seed),
-            );
             bench_streaming_cell(&mut records, config, "AdaptiveSparseVector", n, k, |r| {
                 adaptive.run_streaming_with_scratch_into(
                     answers.values().iter().copied(),
@@ -508,21 +504,8 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 black_box(&adaptive_stream_out);
             });
 
-            // Three branches: the ladder beyond Algorithm 2, newly wired
-            // into the scratch/streaming substrate.
             let multi = MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, 3)
                 .expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "MultiBranchAdaptiveSparseVector",
-                n,
-                k,
-                |r| {
-                    black_box(multi.run(&answers, &mut derive_stream(seed, r)));
-                },
-                scratch_runner!(multi, &answers, multi_branch_scratch, multi_out, seed),
-            );
             bench_streaming_cell(
                 &mut records,
                 config,
@@ -540,51 +523,9 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 },
             );
 
-            // Exponential-mechanism selection (§2 baseline): the dyn path
-            // materializes and sorts all n Gumbel scores (the one-shot race
-            // as usually stated); the scratch/streaming paths run the same
-            // race through the k-sized insertion buffer — bit-identical
-            // output, O(n·k) instead of O(n log n), reused buffers.
-            let mut expo_scratch = TopKScratch::new();
             let mut expo_stream_scratch = TopKScratch::new();
-            let mut expo_out: Vec<usize> = Vec::new();
             let mut expo_stream_out: Vec<usize> = Vec::new();
             let expo = ExponentialMechanism::new(0.7, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "ExponentialMechanism",
-                n,
-                k,
-                |r| {
-                    black_box(
-                        expo.run_top_k(&answers, k, &mut derive_stream(seed, r))
-                            .expect("validated workload"),
-                    );
-                },
-                |r, fast| {
-                    if fast {
-                        expo.run_top_k_with_scratch_into(
-                            &answers,
-                            k,
-                            &mut derive_fast_stream(seed, r),
-                            &mut expo_scratch,
-                            &mut expo_out,
-                        )
-                        .expect("validated workload");
-                    } else {
-                        expo.run_top_k_with_scratch_into(
-                            &answers,
-                            k,
-                            &mut derive_stream(seed, r),
-                            &mut expo_scratch,
-                            &mut expo_out,
-                        )
-                        .expect("validated workload");
-                    }
-                    black_box(&expo_out);
-                },
-            );
             bench_streaming_cell(&mut records, config, "ExponentialMechanism", n, k, |r| {
                 expo.run_top_k_streaming_with_scratch_into(
                     answers.values().iter().copied(),
@@ -597,44 +538,9 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 black_box(&expo_stream_out);
             });
 
-            // Staircase measurement (§3.1 baseline): budget split evenly
-            // over the n answers. The dyn path reconstructs the staircase
-            // distribution per draw (exp + stair-side normalization); the
-            // scratch paths hoist it once per batch and serve the four
-            // uniforms per draw from the blocked raw-uniform tape.
-            let mut stair_scratch = SvtScratch::new();
             let mut stair_stream_scratch = SvtScratch::new();
-            let mut stair_out: Vec<f64> = Vec::new();
             let mut stair_stream_out: Vec<f64> = Vec::new();
             let stair = StaircaseMechanism::new(0.7).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "StaircaseMechanism",
-                n,
-                k,
-                |r| {
-                    black_box(stair.measure_split(answers.values(), &mut derive_stream(seed, r)));
-                },
-                |r, fast| {
-                    if fast {
-                        stair.measure_split_with_scratch_into(
-                            answers.values(),
-                            &mut derive_fast_stream(seed, r),
-                            &mut stair_scratch,
-                            &mut stair_out,
-                        );
-                    } else {
-                        stair.measure_split_with_scratch_into(
-                            answers.values(),
-                            &mut derive_stream(seed, r),
-                            &mut stair_scratch,
-                            &mut stair_out,
-                        );
-                    }
-                    black_box(&stair_out);
-                },
-            );
             bench_streaming_cell(&mut records, config, "StaircaseMechanism", n, k, |r| {
                 stair.measure_split_streaming_with_scratch_into(
                     answers.values().iter().copied(),
@@ -646,44 +552,8 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                 black_box(&stair_stream_out);
             });
 
-            // Finite-precision (§5.1 / Appendix A.1) variants on the
-            // integer-lattice workload: the discrete-noise fast path.
-            let disc_topk = DiscreteNoisyTopKWithGap::new(k, 0.7, true).expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "DiscreteNoisyTopKWithGap",
-                n,
-                k,
-                |r| {
-                    black_box(
-                        disc_topk
-                            .run(&int_answers, &mut derive_stream(seed, r))
-                            .unwrap(),
-                    );
-                },
-                scratch_runner!(
-                    disc_topk,
-                    &int_answers,
-                    disc_topk_scratch,
-                    disc_topk_out,
-                    seed
-                ),
-            );
-
             let disc_svt = DiscreteSparseVectorWithGap::new(k, 0.7, int_threshold, true)
                 .expect("valid parameters");
-            bench_cell(
-                &mut records,
-                config,
-                "DiscreteSparseVectorWithGap",
-                n,
-                k,
-                |r| {
-                    black_box(disc_svt.run(&int_answers, &mut derive_stream(seed, r)));
-                },
-                scratch_runner!(disc_svt, &int_answers, disc_svt_scratch, disc_sv_out, seed),
-            );
             bench_streaming_cell(
                 &mut records,
                 config,
@@ -695,9 +565,9 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                         int_answers.values().iter().copied(),
                         &mut derive_stream(seed, r),
                         &mut disc_svt_stream_scratch,
-                        &mut disc_sv_stream_out,
+                        &mut sv_stream_out,
                     );
-                    black_box(&disc_sv_stream_out);
+                    black_box(&sv_stream_out);
                 },
             );
         }

@@ -9,6 +9,21 @@
 
 use crate::error::MechanismError;
 
+/// Validates that a borrowed workload has at least `need` queries — the
+/// slice-level form of [`QueryAnswers::require_len`], shared by the
+/// mechanism cores and the unified [`crate::api`] call surface (whose
+/// [`crate::api::QuerySlice`] borrows answers instead of owning them).
+pub(crate) fn require_min_len(values: &[f64], need: usize) -> Result<(), MechanismError> {
+    if values.len() >= need {
+        Ok(())
+    } else {
+        Err(MechanismError::NotEnoughQueries {
+            got: values.len(),
+            need,
+        })
+    }
+}
+
 /// A vector of sensitivity-1 query answers, tagged with monotonicity.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryAnswers {
@@ -62,14 +77,7 @@ impl QueryAnswers {
 
     /// Validates that the workload has at least `need` queries.
     pub fn require_len(&self, need: usize) -> Result<(), MechanismError> {
-        if self.values.len() >= need {
-            Ok(())
-        } else {
-            Err(MechanismError::NotEnoughQueries {
-                got: self.values.len(),
-                need,
-            })
-        }
+        require_min_len(&self.values, need)
     }
 
     /// Returns a copy with each answer shifted by the paired delta —

@@ -49,6 +49,19 @@ impl PrivacyBudget {
     /// A tiny relative slack (1e-12) absorbs floating-point drift when
     /// callers split a budget into shares that sum exactly to the total.
     pub fn spend(&mut self, epsilon: f64) -> Result<(), MechanismError> {
+        self.try_debit(epsilon)
+    }
+
+    /// The debit-or-reject primitive behind [`spend`](Self::spend): on
+    /// `Ok` exactly `epsilon` was deducted; on `Err` the accountant is
+    /// unchanged. A serving ledger holds this under a lock so concurrent
+    /// requests can never jointly oversubscribe the total.
+    ///
+    /// # Errors
+    /// [`MechanismError::InvalidEpsilon`] for non-positive or non-finite
+    /// requests, [`MechanismError::BudgetExhausted`] (carrying the
+    /// requested and remaining amounts) when the debit does not fit.
+    pub fn try_debit(&mut self, epsilon: f64) -> Result<(), MechanismError> {
         let epsilon = crate::error::require_epsilon(epsilon)?;
         let slack = 1e-12 * self.total;
         if self.spent + epsilon > self.total + slack {
@@ -58,6 +71,33 @@ impl PrivacyBudget {
             });
         }
         self.spent = (self.spent + epsilon).min(self.total);
+        Ok(())
+    }
+
+    /// Returns previously debited budget — the outer-accountant analogue
+    /// of Algorithm 2's remaining-budget output: a mechanism that halts
+    /// early (or a session evicted before exhausting its answer cap) hands
+    /// its unspent share back. Only ever credits what was actually spent.
+    ///
+    /// # Errors
+    /// [`MechanismError::InvalidEpsilon`] for negative or non-finite
+    /// amounts (zero is a no-op), [`MechanismError::InvalidSplit`] when
+    /// the credit exceeds what was spent (beyond the usual 1e-12 relative
+    /// slack) — releasing budget that was never debited is a caller bug,
+    /// not drift.
+    pub fn release(&mut self, epsilon: f64) -> Result<(), MechanismError> {
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(MechanismError::InvalidEpsilon { value: epsilon });
+        }
+        if epsilon == 0.0 {
+            return Ok(());
+        }
+        if epsilon > self.spent + 1e-12 * self.total {
+            return Err(MechanismError::InvalidSplit {
+                reason: "cannot release more budget than was spent",
+            });
+        }
+        self.spent = (self.spent - epsilon).max(0.0);
         Ok(())
     }
 
@@ -175,5 +215,69 @@ mod tests {
     fn rejects_bad_total() {
         assert!(PrivacyBudget::new(0.0).is_err());
         assert!(PrivacyBudget::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_debit_edge_cases() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        // Zero, negative and non-finite debits are typed InvalidEpsilon.
+        for bad in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(b.try_debit(bad), Err(MechanismError::InvalidEpsilon { .. })),
+                "accepted {bad}"
+            );
+            assert_eq!(b.spent(), 0.0, "failed debit of {bad} mutated state");
+        }
+        // An over-debit reports both sides and leaves state unchanged.
+        b.try_debit(0.9).unwrap();
+        match b.try_debit(0.2) {
+            Err(MechanismError::BudgetExhausted {
+                requested,
+                remaining,
+            }) => {
+                assert!((requested - 0.2).abs() < 1e-15);
+                assert!((remaining - 0.1).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!((b.spent() - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn release_returns_spent_budget() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.try_debit(0.6).unwrap();
+        b.release(0.25).unwrap();
+        assert!((b.spent() - 0.35).abs() < 1e-12);
+        assert!((b.remaining() - 0.65).abs() < 1e-12);
+        // The freed budget is spendable again.
+        b.try_debit(0.65).unwrap();
+        assert!(!b.can_spend(0.01));
+    }
+
+    #[test]
+    fn release_edge_cases() {
+        let mut b = PrivacyBudget::new(1.0).unwrap();
+        b.try_debit(0.5).unwrap();
+        // Zero is a no-op.
+        b.release(0.0).unwrap();
+        assert!((b.spent() - 0.5).abs() < 1e-15);
+        // Negative / non-finite are typed InvalidEpsilon.
+        for bad in [-0.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.release(bad),
+                Err(MechanismError::InvalidEpsilon { .. })
+            ));
+        }
+        // Releasing more than was spent is a caller bug, and must not
+        // mint budget.
+        assert!(matches!(
+            b.release(0.6),
+            Err(MechanismError::InvalidSplit { .. })
+        ));
+        assert!((b.spent() - 0.5).abs() < 1e-15);
+        // Releasing exactly what was spent returns to a fresh accountant.
+        b.release(0.5).unwrap();
+        assert_eq!(b.spent(), 0.0);
     }
 }

@@ -58,6 +58,11 @@ impl ExponentialMechanism {
         })
     }
 
+    /// The privacy budget `ε` one selection costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// The softmax temperature exponent applied to each utility:
     /// `ε/2` in general, `ε` for monotone utilities.
     pub fn exponent(&self) -> f64 {
@@ -108,7 +113,13 @@ impl ExponentialMechanism {
 
     /// Validates the Top-K configuration against a materialized workload.
     fn require_top_k(&self, answers: &QueryAnswers, k: usize) -> Result<(), MechanismError> {
-        if k > answers.len() {
+        Self::require_top_k_len(answers.len(), k)
+    }
+
+    /// Slice-level form of the Top-K validation, shared with the unified
+    /// [`crate::api`] call surface.
+    pub(crate) fn require_top_k_len(len: usize, k: usize) -> Result<(), MechanismError> {
+        if k > len {
             return Err(MechanismError::InvalidK {
                 k,
                 requirement: "k must not exceed the workload size",
@@ -143,7 +154,7 @@ impl ExponentialMechanism {
     /// `O(k)` memory: this is both the batched fast path (`k`-sized
     /// insertion buffer instead of an `n`-sized sort) and the streaming
     /// path (the query vector is never materialized).
-    fn race_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
+    pub(crate) fn race_core<P: DrawProvider, I: IntoIterator<Item = f64>>(
         &self,
         queries: I,
         k: usize,

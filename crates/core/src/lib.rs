@@ -72,6 +72,23 @@
 //! [`free_gap_noise::rng::FastRng`] Monte-Carlo generator) and
 //! `repro bench-compare` gates CI on the recorded trajectory.
 //!
+//! ## Unified call surface
+//!
+//! [`api`] packages every grid mechanism behind one request/response
+//! shape: the [`api::Mechanism`] trait (`QuerySlice` in,
+//! [`api::MechanismOutput`] out, noise through any provider) and the
+//! [`api::AnyMechanism`] dispatch enum with the provider-choosing
+//! conveniences [`api::AnyMechanism::call_batched`] (fast path) and
+//! [`api::AnyMechanism::call_reference`] (dyn reference path). The
+//! per-mechanism entry points above remain the ergonomic surface; the
+//! unified one is what uniform callers — the benchmark grid and the
+//! `free-gap-serve` multi-tenant server — build on. The SVT family
+//! additionally exposes a *resumable* streaming form
+//! ([`sparse_vector::ClassicSparseVector::stream_open`] /
+//! [`sparse_vector::ClassicSparseVector::stream_feed`]) whose batched
+//! feeds are bit-identical to a one-shot streaming run, which is what an
+//! open server session drives.
+//!
 //! ## Example
 //!
 //! ```
@@ -97,6 +114,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod answers;
+pub mod api;
 pub mod budget;
 pub mod draw;
 pub mod error;
@@ -111,6 +129,7 @@ pub mod sparse_vector;
 pub mod staircase_mech;
 
 pub use answers::QueryAnswers;
+pub use api::{AnyMechanism, CallScratch, ExponentialTopK, Mechanism, MechanismOutput, QuerySlice};
 pub use budget::PrivacyBudget;
 pub use draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
 pub use error::MechanismError;

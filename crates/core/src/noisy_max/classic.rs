@@ -46,6 +46,11 @@ impl ClassicNoisyTopK {
         self.k
     }
 
+    /// The total privacy budget `ε` one run costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// The per-query Laplace scale.
     pub fn scale(&self) -> f64 {
         top_k_scale(self.k, self.epsilon, self.monotonic)
@@ -62,13 +67,14 @@ impl ClassicNoisyTopK {
     /// comparable on the same workloads).
     pub(crate) fn run_core<P: DrawProvider>(
         &self,
-        answers: &QueryAnswers,
+        answers: &[f64],
         provider: &mut P,
         scratch: &mut TopKScratch,
         out: &mut Vec<usize>,
     ) -> Result<(), MechanismError> {
-        answers.require_len(self.k + 1)?;
-        provider.fill_offset(answers.values(), self.scale(), &mut scratch.noisy);
+        crate::answers::require_min_len(answers, self.k + 1)?;
+        provider.begin();
+        provider.fill_offset(answers, self.scale(), &mut scratch.noisy);
         top_indices_into(&scratch.noisy, self.k, out);
         Ok(())
     }
@@ -86,7 +92,7 @@ impl ClassicNoisyTopK {
     ) -> Result<Vec<usize>, MechanismError> {
         let mut out = Vec::new();
         self.run_core(
-            answers,
+            answers.values(),
             &mut SourceDraws::new(source),
             &mut TopKScratch::new(),
             &mut out,
@@ -140,7 +146,7 @@ impl ClassicNoisyTopK {
         scratch: &mut TopKScratch,
         out: &mut Vec<usize>,
     ) -> Result<(), MechanismError> {
-        self.run_core(answers, &mut RngDraws::new(rng), scratch, out)
+        self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
     }
 }
 

@@ -67,6 +67,11 @@ impl DiscreteNoisyTopKWithGap {
         })
     }
 
+    /// The total privacy budget `ε` one run costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// The per-query noise rate per unit of value: `ε/(2k)` in general,
     /// `ε/k` for monotone workloads (the discrete analogue of `Lap(2k/ε)`).
     pub fn unit_epsilon(&self) -> f64 {
@@ -83,9 +88,9 @@ impl DiscreteNoisyTopKWithGap {
             .expect("parameters validated at construction")
     }
 
-    fn validate_lattice(&self, answers: &QueryAnswers) {
+    fn validate_lattice(&self, answers: &[f64]) {
         debug_assert!(
-            answers.values().iter().all(|v| {
+            answers.iter().all(|v| {
                 let steps = v / self.gamma;
                 (steps - steps.round()).abs() < 1e-9
             }),
@@ -103,20 +108,15 @@ impl DiscreteNoisyTopKWithGap {
     /// in `scratch`; the output is written into `out`, reusing its buffer.
     pub(crate) fn run_core<P: DrawProvider>(
         &self,
-        answers: &QueryAnswers,
+        answers: &[f64],
         provider: &mut P,
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
-        answers.require_len(self.k + 1)?;
+        crate::answers::require_min_len(answers, self.k + 1)?;
         self.validate_lattice(answers);
         provider.begin();
-        provider.discrete_fill_offset(
-            answers.values(),
-            self.unit_epsilon(),
-            self.gamma,
-            &mut scratch.noisy,
-        );
+        provider.discrete_fill_offset(answers, self.unit_epsilon(), self.gamma, &mut scratch.noisy);
         top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
         out.items.clear();
         out.items.extend((0..self.k).map(|i| TopKItem {
@@ -140,7 +140,7 @@ impl DiscreteNoisyTopKWithGap {
     ) -> Result<TopKOutput, MechanismError> {
         let mut out = TopKOutput { items: Vec::new() };
         self.run_core(
-            answers,
+            answers.values(),
             &mut SourceDraws::new(source),
             &mut TopKScratch::new(),
             &mut out,
@@ -197,7 +197,7 @@ impl DiscreteNoisyTopKWithGap {
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
-        self.run_core(answers, &mut RngDraws::new(rng), scratch, out)
+        self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
     }
 }
 

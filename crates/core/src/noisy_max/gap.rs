@@ -85,6 +85,11 @@ impl NoisyTopKWithGap {
         self.k
     }
 
+    /// The total privacy budget `ε` one run costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// The per-query Laplace scale.
     pub fn scale(&self) -> f64 {
         top_k_scale(self.k, self.epsilon, self.monotonic)
@@ -108,13 +113,14 @@ impl NoisyTopKWithGap {
     /// `k + 1` queries (the `k`-th gap needs a runner-up).
     pub(crate) fn run_core<P: DrawProvider>(
         &self,
-        answers: &QueryAnswers,
+        answers: &[f64],
         provider: &mut P,
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
-        answers.require_len(self.k + 1)?;
-        provider.fill_offset(answers.values(), self.scale(), &mut scratch.noisy);
+        crate::answers::require_min_len(answers, self.k + 1)?;
+        provider.begin();
+        provider.fill_offset(answers, self.scale(), &mut scratch.noisy);
         top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
         out.items.clear();
         out.items.extend((0..self.k).map(|i| TopKItem {
@@ -137,7 +143,7 @@ impl NoisyTopKWithGap {
     ) -> Result<TopKOutput, MechanismError> {
         let mut out = TopKOutput { items: Vec::new() };
         self.run_core(
-            answers,
+            answers.values(),
             &mut SourceDraws::new(source),
             &mut TopKScratch::new(),
             &mut out,
@@ -193,7 +199,7 @@ impl NoisyTopKWithGap {
         scratch: &mut TopKScratch,
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
-        self.run_core(answers, &mut RngDraws::new(rng), scratch, out)
+        self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
     }
 
     /// Gap-releasing selection through an arbitrary [`DrawProvider`] — the
@@ -205,7 +211,7 @@ impl NoisyTopKWithGap {
         scratch: &mut TopKScratch,
     ) -> Result<TopKOutput, MechanismError> {
         let mut out = TopKOutput { items: Vec::new() };
-        self.run_core(answers, provider, scratch, &mut out)?;
+        self.run_core(answers.values(), provider, scratch, &mut out)?;
         Ok(out)
     }
 }

@@ -16,6 +16,43 @@ use free_gap_alignment::{AlignedMechanism, NoiseSource, NoiseTape, SamplingSourc
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// Resumable state of one streaming SVT run: the noisy threshold, the
+/// hoisted per-query noise scale, and the `⊤`-answer count.
+///
+/// Created by [`ClassicSparseVector::stream_open`] /
+/// [`SparseVectorWithGap::stream_open`](super::SparseVectorWithGap::stream_open)
+/// and advanced one query at a time with `stream_feed` — the shape a
+/// long-lived server needs for analyst sessions whose query stream spans
+/// many requests. The state is plain data (no borrow of the RNG or
+/// scratch), so it can live across calls while each call reconstructs the
+/// [`ScratchDraws`] provider over the session's persistent `rng`/`scratch`
+/// pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SvtStreamState {
+    noisy_threshold: f64,
+    query_scale: f64,
+    answered: usize,
+    k: usize,
+}
+
+impl SvtStreamState {
+    /// Number of `⊤` answers emitted so far.
+    pub fn answered(&self) -> usize {
+        self.answered
+    }
+
+    /// True once the `k`-th `⊤` has been answered; further feeds return
+    /// `None` without observing the query.
+    pub fn is_halted(&self) -> bool {
+        self.answered >= self.k
+    }
+
+    /// The answer cap `k` of the mechanism that opened the stream.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
 /// Classic SVT (no gap release).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassicSparseVector {
@@ -118,25 +155,92 @@ impl ClassicSparseVector {
         let capacity = provider
             .predicted_draws()
             .min(queries.size_hint().1.unwrap_or(usize::MAX));
-        let noisy_threshold = self.threshold + provider.next(self.threshold_scale());
-        let qscale = self.query_scale();
+        let mut state = self.stream_state_core(provider);
         out.above.clear();
         out.above.reserve(capacity);
-        let mut answered = 0usize;
-        while answered < self.k {
+        while !state.is_halted() {
             let Some(q) = queries.next() else { break };
-            let noisy = q + provider.next(qscale);
-            if noisy >= noisy_threshold {
-                out.above.push(Some(if release_gaps {
-                    noisy - noisy_threshold
-                } else {
-                    0.0
-                }));
-                answered += 1;
-            } else {
-                out.above.push(None);
+            if let Some(decision) = self.stream_step_core(&mut state, q, provider, release_gaps) {
+                out.above.push(decision);
             }
         }
+    }
+
+    /// Draws the threshold noise and builds the resumable stream state.
+    /// The caller must have called `provider.begin()` already (this is the
+    /// first draw of a run); the public entry is
+    /// [`stream_open`](Self::stream_open).
+    pub(crate) fn stream_state_core<P: DrawProvider>(&self, provider: &mut P) -> SvtStreamState {
+        SvtStreamState {
+            noisy_threshold: self.threshold + provider.next(self.threshold_scale()),
+            query_scale: self.query_scale(),
+            answered: 0,
+            k: self.k,
+        }
+    }
+
+    /// One step of the SVT decision loop — the single copy
+    /// [`run_core`](Self::run_core) and the resumable
+    /// [`stream_feed`](Self::stream_feed) both execute. Returns `None` once
+    /// the run has halted (the query is *not* observed in that case),
+    /// otherwise `Some(decision)`: `Some(gap-or-0.0)` for `⊤`, `None` for
+    /// `⊥`.
+    #[inline]
+    pub(crate) fn stream_step_core<P: DrawProvider>(
+        &self,
+        state: &mut SvtStreamState,
+        q: f64,
+        provider: &mut P,
+        release_gaps: bool,
+    ) -> Option<Option<f64>> {
+        if state.is_halted() {
+            return None;
+        }
+        let noisy = q + provider.next(state.query_scale);
+        Some(if noisy >= state.noisy_threshold {
+            state.answered += 1;
+            Some(if release_gaps {
+                noisy - state.noisy_threshold
+            } else {
+                0.0
+            })
+        } else {
+            None
+        })
+    }
+
+    /// Opens a resumable streaming run: starts a fresh noise tape on
+    /// `scratch` and draws the threshold noise from `rng`. Feed the
+    /// returned state one query at a time with
+    /// [`stream_feed`](Self::stream_feed) — in any batching across any
+    /// number of calls, the decisions are bit-identical to one
+    /// [`run_streaming_with_scratch`](Self::run_streaming_with_scratch)
+    /// call over the concatenated stream on the same RNG, provided the
+    /// same `rng`/`scratch` pair keeps serving this stream until it halts
+    /// (the scratch's buffered lookahead is part of the tape, so the pair
+    /// must not be lent to another run in between).
+    pub fn stream_open<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvtStreamState {
+        let mut provider = ScratchDraws::new(scratch, rng);
+        provider.begin();
+        self.stream_state_core(&mut provider)
+    }
+
+    /// Feeds one query to an open stream (see
+    /// [`stream_open`](Self::stream_open)): `None` once the run has halted
+    /// — the query is never observed — otherwise the `⊤`/`⊥` decision
+    /// (`Some(0.0)` for `⊤`; classic SVT withholds the gap).
+    pub fn stream_feed<R: Rng + ?Sized>(
+        &self,
+        state: &mut SvtStreamState,
+        query: f64,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> Option<Option<f64>> {
+        self.stream_step_core(state, query, &mut ScratchDraws::new(scratch, rng), false)
     }
 
     /// Materialized dyn-source entry: [`run_core`](Self::run_core) through

@@ -6,7 +6,7 @@
 //! `qᵢ + νᵢ - T̃`, for free. `gap + T` is then a noisy estimate of `qᵢ(D)`
 //! that §6.2 sharpens with measurements and confidence bounds.
 
-use super::classic::ClassicSparseVector;
+use super::classic::{ClassicSparseVector, SvtStreamState};
 use super::SvOutput;
 use crate::answers::QueryAnswers;
 use crate::draw::{DrawProvider, SourceDraws};
@@ -169,6 +169,48 @@ impl SparseVectorWithGap {
     ) {
         self.inner
             .run_scratch_core(queries, rng, scratch, true, out);
+    }
+
+    /// Gap-releasing selection over a plain answer slice through an
+    /// arbitrary [`DrawProvider`] — the unified-API hook
+    /// (`crate::api::Mechanism`) drives this so the decision loop still
+    /// exists only once, in [`ClassicSparseVector`].
+    pub(crate) fn run_values_core<P: DrawProvider>(
+        &self,
+        values: &[f64],
+        provider: &mut P,
+        out: &mut SvOutput,
+    ) {
+        self.inner
+            .run_core(values.iter().copied(), provider, true, out);
+    }
+
+    /// Opens a resumable gap-releasing stream; contract as in
+    /// [`ClassicSparseVector::stream_open`].
+    pub fn stream_open<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> SvtStreamState {
+        self.inner.stream_open(rng, scratch)
+    }
+
+    /// Feeds one query to an open stream: `None` once the run has halted
+    /// (the query is never observed), otherwise the decision — `Some(gap)`
+    /// for `⊤` with the free gap released, `None` for `⊥`.
+    pub fn stream_feed<R: Rng + ?Sized>(
+        &self,
+        state: &mut SvtStreamState,
+        query: f64,
+        rng: &mut R,
+        scratch: &mut SvtScratch,
+    ) -> Option<Option<f64>> {
+        self.inner.stream_step_core(
+            state,
+            query,
+            &mut crate::draw::ScratchDraws::new(scratch, rng),
+            true,
+        )
     }
 }
 

@@ -10,7 +10,7 @@ mod multi_branch;
 mod output;
 
 pub use adaptive::AdaptiveSparseVector;
-pub use classic::ClassicSparseVector;
+pub use classic::{ClassicSparseVector, SvtStreamState};
 pub use discrete::DiscreteSparseVectorWithGap;
 pub use gap::SparseVectorWithGap;
 pub use multi_branch::{

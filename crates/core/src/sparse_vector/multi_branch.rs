@@ -151,6 +151,11 @@ impl MultiBranchAdaptiveSparseVector {
         self.branches
     }
 
+    /// The total privacy budget `ε` one run costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Threshold budget `ε₀ = θε`.
     pub fn epsilon0(&self) -> f64 {
         self.theta * self.epsilon

@@ -62,6 +62,11 @@ impl StaircaseMechanism {
         })
     }
 
+    /// The privacy budget `ε` one measurement batch costs.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Overrides the sensitivity `Δ`.
     pub fn with_sensitivity(mut self, sensitivity: f64) -> Result<Self, MechanismError> {
         if !(sensitivity.is_finite() && sensitivity > 0.0) {
@@ -92,7 +97,12 @@ impl StaircaseMechanism {
     /// construct the batch's noise distribution once, then one staircase
     /// draw per answer in index order through the provider's batch shape.
     #[allow(clippy::expect_used)]
-    fn measure_core<P: DrawProvider>(&self, answers: &[f64], provider: &mut P, out: &mut Vec<f64>) {
+    pub(crate) fn measure_core<P: DrawProvider>(
+        &self,
+        answers: &[f64],
+        provider: &mut P,
+        out: &mut Vec<f64>,
+    ) {
         provider.begin();
         let noise = self
             .noise_for_batch(answers.len())

@@ -1,0 +1,292 @@
+//! Pins the unified call surface (`free_gap_core::api`) to the historical
+//! per-mechanism entry points:
+//!
+//! * `call_reference` is bit-identical to each mechanism's dyn `run` path;
+//! * `call_batched` is bit-identical to each mechanism's `*_with_scratch`
+//!   fast path;
+//! * the resumable streaming SVT (`stream_open`/`stream_feed`) is
+//!   bit-identical to a one-shot streaming run under any batching of the
+//!   query feed.
+//!
+//! Together with `tests/scratch_equivalence.rs` (which pins the fast paths
+//! to the dyn paths) this makes the new API surface a pure re-packaging:
+//! no mechanism's served distribution changes.
+
+use free_gap_core::answers::QueryAnswers;
+use free_gap_core::api::{
+    AnyMechanism, CallScratch, ExponentialTopK, Mechanism, MechanismOutput, QuerySlice,
+};
+use free_gap_core::exponential_mech::ExponentialMechanism;
+use free_gap_core::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap};
+use free_gap_core::sparse_vector::{
+    AdaptiveSparseVector, ClassicSparseVector, DiscreteSparseVectorWithGap,
+    MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
+};
+use free_gap_core::staircase_mech::StaircaseMechanism;
+use free_gap_core::{SvtScratch, TopKScratch};
+use free_gap_noise::rng::{derive_fast_stream, derive_stream};
+
+fn values() -> Vec<f64> {
+    vec![120.0, 40.0, 97.0, 80.0, 3.0, 55.0, 101.0, 12.0]
+}
+
+fn grid() -> Vec<AnyMechanism> {
+    let expo = ExponentialMechanism::new(0.8, true).unwrap();
+    vec![
+        NoisyTopKWithGap::new(3, 1.0, true).unwrap().into(),
+        ClassicNoisyTopK::new(3, 1.0, true).unwrap().into(),
+        DiscreteNoisyTopKWithGap::new(3, 1.0, true).unwrap().into(),
+        ExponentialTopK::new(expo, 3).unwrap().into(),
+        StaircaseMechanism::new(1.0).unwrap().into(),
+        SparseVectorWithGap::new(3, 0.7, 60.0, true).unwrap().into(),
+        ClassicSparseVector::new(3, 0.7, 60.0, true).unwrap().into(),
+        AdaptiveSparseVector::new(3, 0.7, 60.0, true)
+            .unwrap()
+            .into(),
+        MultiBranchAdaptiveSparseVector::new(3, 0.7, 60.0, true, 3)
+            .unwrap()
+            .into(),
+        DiscreteSparseVectorWithGap::new(3, 0.7, 60.0, true)
+            .unwrap()
+            .into(),
+    ]
+}
+
+/// `call_reference` goes through the same dyn `SourceDraws` path as each
+/// mechanism's `run`, so on the same `StdRng` stream the outputs must be
+/// bit-identical.
+#[test]
+fn call_reference_matches_run_entry_points() {
+    let vals = values();
+    let answers = QueryAnswers::counting(vals.clone());
+    let req = QuerySlice::new(&vals);
+    for mech in grid() {
+        for seed in 0..20u64 {
+            let mut out = MechanismOutput::new_for(&mech);
+            mech.call_reference(&req, &mut derive_stream(seed, 0), &mut out)
+                .unwrap();
+            let expect = match &mech {
+                AnyMechanism::NoisyTopKWithGap(m) => {
+                    MechanismOutput::TopK(m.run(&answers, &mut derive_stream(seed, 0)).unwrap())
+                }
+                AnyMechanism::ClassicNoisyTopK(m) => {
+                    MechanismOutput::Indices(m.run(&answers, &mut derive_stream(seed, 0)).unwrap())
+                }
+                AnyMechanism::DiscreteNoisyTopKWithGap(m) => {
+                    MechanismOutput::TopK(m.run(&answers, &mut derive_stream(seed, 0)).unwrap())
+                }
+                AnyMechanism::Exponential(m) => MechanismOutput::Indices(
+                    m.mechanism()
+                        .run_top_k(&answers, m.k(), &mut derive_stream(seed, 0))
+                        .unwrap(),
+                ),
+                AnyMechanism::Staircase(m) => MechanismOutput::Measurements(
+                    m.measure_split(&vals, &mut derive_stream(seed, 0)),
+                ),
+                AnyMechanism::SparseVectorWithGap(m) => {
+                    MechanismOutput::SparseVector(m.run(&answers, &mut derive_stream(seed, 0)))
+                }
+                AnyMechanism::ClassicSparseVector(m) => {
+                    MechanismOutput::SparseVector(m.run(&answers, &mut derive_stream(seed, 0)))
+                }
+                AnyMechanism::AdaptiveSparseVector(m) => {
+                    MechanismOutput::Adaptive(m.run(&answers, &mut derive_stream(seed, 0)))
+                }
+                AnyMechanism::MultiBranchAdaptiveSparseVector(m) => {
+                    MechanismOutput::MultiBranch(m.run(&answers, &mut derive_stream(seed, 0)))
+                }
+                AnyMechanism::DiscreteSparseVectorWithGap(m) => {
+                    MechanismOutput::SparseVector(m.run(&answers, &mut derive_stream(seed, 0)))
+                }
+            };
+            assert_eq!(out, expect, "{} seed {seed}", mech.name());
+        }
+    }
+}
+
+/// `call_batched` picks each mechanism's historical fast provider, so on
+/// the same RNG stream it must be bit-identical to the mechanism's own
+/// `*_with_scratch` entry point.
+#[test]
+fn call_batched_matches_with_scratch_entry_points() {
+    let vals = values();
+    let answers = QueryAnswers::counting(vals.clone());
+    let req = QuerySlice::new(&vals);
+    for mech in grid() {
+        let mut scratch = CallScratch::new();
+        let mut out = MechanismOutput::new_for(&mech);
+        for seed in 0..20u64 {
+            mech.call_batched(
+                &req,
+                &mut derive_fast_stream(seed, 1),
+                &mut scratch,
+                &mut out,
+            )
+            .unwrap();
+            let mut topk = TopKScratch::new();
+            let mut svt = SvtScratch::new();
+            let rng = &mut derive_fast_stream(seed, 1);
+            let expect = match &mech {
+                AnyMechanism::NoisyTopKWithGap(m) => {
+                    MechanismOutput::TopK(m.run_with_scratch(&answers, rng, &mut topk).unwrap())
+                }
+                AnyMechanism::ClassicNoisyTopK(m) => {
+                    MechanismOutput::Indices(m.run_with_scratch(&answers, rng, &mut topk).unwrap())
+                }
+                AnyMechanism::DiscreteNoisyTopKWithGap(m) => {
+                    MechanismOutput::TopK(m.run_with_scratch(&answers, rng, &mut topk).unwrap())
+                }
+                AnyMechanism::Exponential(m) => MechanismOutput::Indices(
+                    m.mechanism()
+                        .run_top_k_with_scratch(&answers, m.k(), rng, &mut topk)
+                        .unwrap(),
+                ),
+                AnyMechanism::Staircase(m) => MechanismOutput::Measurements(
+                    m.measure_split_with_scratch(&vals, rng, &mut svt),
+                ),
+                AnyMechanism::SparseVectorWithGap(m) => {
+                    MechanismOutput::SparseVector(m.run_with_scratch(&answers, rng, &mut svt))
+                }
+                AnyMechanism::ClassicSparseVector(m) => {
+                    MechanismOutput::SparseVector(m.run_with_scratch(&answers, rng, &mut svt))
+                }
+                AnyMechanism::AdaptiveSparseVector(m) => {
+                    MechanismOutput::Adaptive(m.run_with_scratch(&answers, rng, &mut svt))
+                }
+                AnyMechanism::MultiBranchAdaptiveSparseVector(m) => MechanismOutput::MultiBranch(
+                    m.run_streaming_with_scratch(vals.iter().copied(), rng, &mut svt),
+                ),
+                AnyMechanism::DiscreteSparseVectorWithGap(m) => {
+                    MechanismOutput::SparseVector(m.run_with_scratch(&answers, rng, &mut svt))
+                }
+            };
+            assert_eq!(out, expect, "{} seed {seed}", mech.name());
+        }
+    }
+}
+
+/// Names and costs are what a uniform caller (benchmark grid, serving
+/// ledger) keys on: pin them.
+#[test]
+fn names_and_costs_are_stable() {
+    let expect = [
+        ("NoisyTopKWithGap", 1.0),
+        ("ClassicNoisyTopK", 1.0),
+        ("DiscreteNoisyTopKWithGap", 1.0),
+        ("ExponentialMechanism", 2.4), // k = 3 peels at ε = 0.8 each
+        ("StaircaseMechanism", 1.0),
+        ("SparseVectorWithGap", 0.7),
+        ("ClassicSparseVector", 0.7),
+        ("AdaptiveSparseVector", 0.7),
+        ("MultiBranchAdaptiveSparseVector", 0.7),
+        ("DiscreteSparseVectorWithGap", 0.7),
+    ];
+    let grid = grid();
+    assert_eq!(grid.len(), expect.len());
+    for (mech, (name, cost)) in grid.iter().zip(expect) {
+        assert_eq!(mech.name(), name);
+        assert!((mech.cost() - cost).abs() < 1e-12, "{name} cost");
+    }
+}
+
+/// Feeding a streaming SVT run one query at a time (or in any other
+/// batching) through `stream_open`/`stream_feed` must reproduce the
+/// one-shot streaming run bit for bit — the property that lets a server
+/// hold a session open across requests.
+#[test]
+fn resumable_stream_matches_one_shot() {
+    let queries = values();
+    let gap = SparseVectorWithGap::new(3, 0.7, 60.0, true).unwrap();
+    let classic = ClassicSparseVector::new(3, 0.7, 60.0, true).unwrap();
+    // Batchings: one-at-a-time, pairs, front-loaded, everything-at-once.
+    let batchings: &[&[usize]] = &[
+        &[1, 1, 1, 1, 1, 1, 1, 1],
+        &[2, 2, 2, 2],
+        &[5, 3],
+        &[8],
+        &[3, 1, 4],
+    ];
+    for seed in 0..30u64 {
+        let one_shot_gap = {
+            let mut scratch = SvtScratch::new();
+            gap.run_streaming_with_scratch(
+                queries.iter().copied(),
+                &mut derive_fast_stream(seed, 2),
+                &mut scratch,
+            )
+        };
+        let one_shot_classic = {
+            let mut scratch = SvtScratch::new();
+            classic.run_streaming_with_scratch(
+                queries.iter().copied(),
+                &mut derive_fast_stream(seed, 2),
+                &mut scratch,
+            )
+        };
+        for batching in batchings {
+            assert_eq!(batching.iter().sum::<usize>(), queries.len());
+            // Gap-releasing variant.
+            let mut rng = derive_fast_stream(seed, 2);
+            let mut scratch = SvtScratch::new();
+            let mut state = gap.stream_open(&mut rng, &mut scratch);
+            let mut decisions = Vec::new();
+            let mut offset = 0;
+            for &batch in *batching {
+                for &q in &queries[offset..offset + batch] {
+                    if let Some(d) = gap.stream_feed(&mut state, q, &mut rng, &mut scratch) {
+                        decisions.push(d);
+                    }
+                }
+                offset += batch;
+            }
+            assert_eq!(
+                decisions, one_shot_gap.above,
+                "gap seed {seed} batching {batching:?}"
+            );
+            assert_eq!(state.answered(), one_shot_gap.answered());
+            assert_eq!(state.is_halted(), one_shot_gap.answered() == gap.k());
+            // Classic variant: same decisions, gaps withheld.
+            let mut rng = derive_fast_stream(seed, 2);
+            let mut scratch = SvtScratch::new();
+            let mut state = classic.stream_open(&mut rng, &mut scratch);
+            let mut decisions = Vec::new();
+            for &q in &queries {
+                if let Some(d) = classic.stream_feed(&mut state, q, &mut rng, &mut scratch) {
+                    decisions.push(d);
+                }
+            }
+            assert_eq!(
+                decisions, one_shot_classic.above,
+                "classic seed {seed} batching {batching:?}"
+            );
+        }
+    }
+}
+
+/// Once the answer cap is reached, further feeds return `None` without
+/// observing the query or advancing the noise stream.
+#[test]
+fn halted_stream_ignores_further_queries() {
+    let gap = SparseVectorWithGap::new(1, 1.0, 10.0, true).unwrap();
+    let mut rng = derive_fast_stream(7, 3);
+    let mut scratch = SvtScratch::new();
+    let mut state = gap.stream_open(&mut rng, &mut scratch);
+    // A query far above threshold: answered immediately, halting the run.
+    let mut fed = 0;
+    while !state.is_halted() {
+        if gap
+            .stream_feed(&mut state, 500.0, &mut rng, &mut scratch)
+            .is_none()
+        {
+            break;
+        }
+        fed += 1;
+        assert!(fed < 100, "far-above query never answered");
+    }
+    assert!(state.is_halted());
+    assert_eq!(state.answered(), 1);
+    assert_eq!(state.k(), 1);
+    assert!(gap
+        .stream_feed(&mut state, 500.0, &mut rng, &mut scratch)
+        .is_none());
+}

@@ -9,7 +9,7 @@
 //! (PR 5). The dynamic layers (scratch equivalence, chi-square statistics,
 //! the attack harness) catch these after the fact at Monte-Carlo cost; this
 //! crate catches them at review time for free by enforcing four named rules
-//! over `crates/{core,noise}/src`:
+//! over `crates/{core,noise,serve}/src`:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -157,14 +157,17 @@ pub fn lint_file(
     Ok(())
 }
 
-/// The layout of a tree to lint: where the two crates' sources and the two
-/// cross-file anchors (equivalence suite, bench grid) live.
+/// The layout of a tree to lint: where the linted crates' sources and the
+/// two cross-file anchors (equivalence suite, bench grid) live.
 #[derive(Debug, Clone)]
 pub struct TreeLayout {
     /// `crates/core/src` — R1 + R3 scope.
     pub core_src: PathBuf,
     /// `crates/noise/src` — R2 + R3 scope.
     pub noise_src: PathBuf,
+    /// `crates/serve/src` — R1 + R3 scope (the serving layer must never
+    /// panic or touch raw streams from provider-generic code).
+    pub serve_src: PathBuf,
     /// `crates/core/tests/scratch_equivalence.rs` — R4 anchor.
     pub equivalence: PathBuf,
     /// `crates/bench/src/perf.rs` — R4 anchor (`MECHANISM_PATHS`).
@@ -177,6 +180,7 @@ impl TreeLayout {
         TreeLayout {
             core_src: root.join("crates/core/src"),
             noise_src: root.join("crates/noise/src"),
+            serve_src: root.join("crates/serve/src"),
             equivalence: root.join("crates/core/tests/scratch_equivalence.rs"),
             perf: root.join("crates/bench/src/perf.rs"),
         }
@@ -188,6 +192,7 @@ impl TreeLayout {
         for (what, p) in [
             ("core sources", &self.core_src),
             ("noise sources", &self.noise_src),
+            ("serve sources", &self.serve_src),
             ("scratch_equivalence suite", &self.equivalence),
             ("bench perf grid", &self.perf),
         ] {
@@ -208,6 +213,7 @@ impl TreeLayout {
 pub fn lint_tree(layout: &TreeLayout, rules: &[Rule]) -> io::Result<Vec<Diagnostic>> {
     let mut out = lint_dir(&layout.core_src, FileScope::Core, rules)?;
     out.extend(lint_dir(&layout.noise_src, FileScope::Noise, rules)?);
+    out.extend(lint_dir(&layout.serve_src, FileScope::Serve, rules)?);
     if rules.contains(&Rule::Taxonomy) {
         let inv = taxonomy::inventory(&layout.core_src, &layout.equivalence, &layout.perf)?;
         taxonomy::check(&inv, &layout.equivalence, &layout.perf, &mut out);
@@ -300,6 +306,7 @@ pub fn lint_fixture(fixture: &Fixture) -> io::Result<Vec<Diagnostic>> {
         let layout = TreeLayout {
             core_src: path.join("src"),
             noise_src: path.join("src"),
+            serve_src: path.join("src"),
             equivalence: path.join("scratch_equivalence.rs"),
             perf: path.join("perf.rs"),
         };

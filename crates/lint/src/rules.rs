@@ -15,6 +15,11 @@ pub enum FileScope {
     Core,
     /// `crates/noise/src` — samplers and transforms: R2 + R3.
     Noise,
+    /// `crates/serve/src` — the multi-tenant serving layer: R1 + R3.
+    /// Serving code dispatches through the unified `api` surface, so any
+    /// provider-generic helper it grows is held to the same stream
+    /// discipline as the cores — and a panic here takes live sessions down.
+    Serve,
 }
 
 /// Method names whose call inside a stream-disciplined scope bypasses the
@@ -167,7 +172,10 @@ pub fn check_file(
         let text = st.tok.text.as_str();
 
         // R1 — stream discipline.
-        if want(Rule::StreamDiscipline) && scope == FileScope::Core && r1_in_scope(&st.ctx) {
+        if want(Rule::StreamDiscipline)
+            && matches!(scope, FileScope::Core | FileScope::Serve)
+            && r1_in_scope(&st.ctx)
+        {
             let here = st
                 .ctx
                 .fn_name

@@ -1,0 +1,318 @@
+//! Serving-layer invariants: the ISSUE's acceptance criteria live here.
+//!
+//! * concurrent debits can never jointly oversubscribe a tenant's ε
+//!   (seeded stress race + exact-sum assertion on dyadic amounts);
+//! * an evicted session's unspent budget is released exactly once;
+//! * per-tenant responses are independent of how requests from different
+//!   tenants interleave (the sequential reference check);
+//! * the serve-bench digest is bit-identical for 1 vs 4 worker threads.
+
+use free_gap_core::noisy_max::NoisyTopKWithGap;
+use free_gap_core::sparse_vector::SparseVectorWithGap;
+use free_gap_serve::server::RejectReason;
+use free_gap_serve::{
+    BudgetLedger, MechanismRequest, MechanismResponse, QueryServer, RequestBody, ServeBenchConfig,
+    WorkerScratch,
+};
+
+/// N threads race debits of dyadic amounts (exact in binary, so sums are
+/// order-independent): the ledger's spent total must equal the exact sum
+/// of the granted debits, and never exceed ε.
+#[test]
+fn concurrent_debits_never_oversubscribe_epsilon() {
+    let total = 10.0;
+    let ledger = BudgetLedger::new(total).unwrap();
+    // Dyadic per-thread amounts: any interleaving sums exactly.
+    let amounts = [0.25, 0.5, 0.125];
+    let granted: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let ledger = &ledger;
+                let amount = amounts[t % amounts.len()];
+                scope.spawn(move || {
+                    let mut granted = 0.0;
+                    for _ in 0..200 {
+                        if ledger.try_debit(amount).is_ok() {
+                            granted += amount;
+                        }
+                    }
+                    granted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let granted_sum: f64 = granted.iter().sum();
+    // Exact equality: every quantity is a small dyadic rational.
+    assert_eq!(ledger.spent(), granted_sum);
+    assert!(ledger.spent() <= total);
+    // The race must have actually filled the budget: every thread alone
+    // requests 200 × amount ≥ 25 > ε, so less than ε spent would mean
+    // debits were lost. The smallest amount always fits until < 0.125
+    // remains, and all amounts divide evenly into 10.
+    assert_eq!(ledger.spent(), total);
+    assert!(matches!(
+        ledger.try_debit(0.125),
+        Err(free_gap_core::MechanismError::BudgetExhausted { .. })
+    ));
+}
+
+/// Same race with uniform amounts: the grant count is exactly ε / amount.
+#[test]
+fn concurrent_debit_grant_count_is_exact() {
+    let ledger = BudgetLedger::new(10.0).unwrap();
+    let grants: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let ledger = &ledger;
+                scope.spawn(move || (0..100).filter(|_| ledger.try_debit(0.25).is_ok()).count())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(grants, 40); // 10 / 0.25, no more, no less
+    assert_eq!(ledger.spent(), 10.0);
+}
+
+fn tick(server: &QueryServer, tenant: u64, scratch: &mut WorkerScratch) -> MechanismResponse {
+    // An unknown-session feed advances the tenant's logical clock (and so
+    // drives idle eviction) without touching the ledger.
+    server.handle(
+        &MechanismRequest {
+            tenant,
+            body: RequestBody::Feed {
+                session: u64::MAX,
+                queries: vec![1.0],
+            },
+        },
+        scratch,
+    )
+}
+
+#[test]
+fn evicted_session_budget_is_released_exactly_once() {
+    let server = QueryServer::new(11).with_max_idle(2);
+    server.register_tenant(0, 10.0).unwrap();
+    let svt = SparseVectorWithGap::new(4, 0.5, 10.0, true).unwrap();
+    let mut scratch = WorkerScratch::new();
+    let open = server.handle(
+        &MechanismRequest {
+            tenant: 0,
+            body: RequestBody::OpenSession { session: 7, svt },
+        },
+        &mut scratch,
+    );
+    assert_eq!(
+        open,
+        MechanismResponse::SessionOpened {
+            session: 7,
+            cost: svt.epsilon()
+        }
+    );
+    assert_eq!(server.open_sessions(0), Some(1));
+    let after_open = server.remaining(0).unwrap();
+    assert!((after_open - (10.0 - svt.epsilon())).abs() < 1e-12);
+    // Tick the clock past the idle horizon without touching the session.
+    for _ in 0..4 {
+        assert!(tick(&server, 0, &mut scratch).is_rejected());
+    }
+    assert_eq!(server.evictions(), 1);
+    assert_eq!(server.open_sessions(0), Some(0));
+    // No query was answered, so the whole ε₂ share comes back; only the
+    // threshold share ε₁ stays spent.
+    let after_evict = server.remaining(0).unwrap();
+    assert!((after_evict - (10.0 - svt.epsilon1())).abs() < 1e-12);
+    // Closing the already-evicted session must not release again.
+    let close = server.handle(
+        &MechanismRequest {
+            tenant: 0,
+            body: RequestBody::CloseSession { session: 7 },
+        },
+        &mut scratch,
+    );
+    assert_eq!(
+        close,
+        MechanismResponse::Rejected(RejectReason::UnknownSession)
+    );
+    assert_eq!(server.remaining(0), Some(after_evict));
+    assert_eq!(server.evictions(), 1);
+}
+
+#[test]
+fn explicit_close_releases_the_unanswered_share() {
+    let server = QueryServer::new(11);
+    server.register_tenant(0, 10.0).unwrap();
+    let svt = SparseVectorWithGap::new(4, 0.5, 10.0, true).unwrap();
+    let mut scratch = WorkerScratch::new();
+    server.handle(
+        &MechanismRequest {
+            tenant: 0,
+            body: RequestBody::OpenSession { session: 1, svt },
+        },
+        &mut scratch,
+    );
+    // One far-above query is answered almost surely: 1 of k = 4 answers.
+    let feed = server.handle(
+        &MechanismRequest {
+            tenant: 0,
+            body: RequestBody::Feed {
+                session: 1,
+                queries: vec![1000.0],
+            },
+        },
+        &mut scratch,
+    );
+    let MechanismResponse::Decisions(decisions) = feed else {
+        panic!("expected decisions, got {feed:?}");
+    };
+    let answered = decisions.iter().filter(|d| d.is_some()).count();
+    let close = server.handle(
+        &MechanismRequest {
+            tenant: 0,
+            body: RequestBody::CloseSession { session: 1 },
+        },
+        &mut scratch,
+    );
+    let expect_released = svt.epsilon2() * (4 - answered) as f64 / 4.0;
+    let MechanismResponse::SessionClosed { released, .. } = close else {
+        panic!("expected close, got {close:?}");
+    };
+    assert!((released - expect_released).abs() < 1e-12);
+    let spent = server.spent(0).unwrap();
+    assert!((spent - (svt.epsilon() - expect_released)).abs() < 1e-12);
+}
+
+/// Per-tenant responses must not depend on how requests from *different*
+/// tenants interleave: serving tenant 0's script before tenant 1's, or
+/// alternating them request by request, yields bit-identical responses —
+/// the sequential reference behind the derived-sub-stream design.
+#[test]
+fn tenant_responses_are_independent_of_cross_tenant_interleaving() {
+    let mech = NoisyTopKWithGap::new(3, 0.7, true).unwrap();
+    let queries: Vec<f64> = (0..16).map(|j| 100.0 - 3.0 * j as f64).collect();
+    let mut script: Vec<MechanismRequest> = Vec::new();
+    for t in 0..2u64 {
+        for _ in 0..6 {
+            script.push(MechanismRequest {
+                tenant: t,
+                body: RequestBody::Call {
+                    mechanism: mech.into(),
+                    queries: queries.clone(),
+                },
+            });
+        }
+    }
+    let serve = |order: Vec<usize>| -> Vec<(u64, MechanismResponse)> {
+        let server = QueryServer::new(42);
+        server.register_tenant(0, 100.0).unwrap();
+        server.register_tenant(1, 100.0).unwrap();
+        let mut scratch = WorkerScratch::new();
+        order
+            .into_iter()
+            .map(|idx| {
+                let req = &script[idx];
+                (req.tenant, server.handle(req, &mut scratch))
+            })
+            .collect()
+    };
+    // Sequential: all of tenant 0, then all of tenant 1.
+    let sequential = serve((0..12).collect());
+    // Interleaved: 0, 6, 1, 7, 2, 8, ...
+    let interleaved = serve((0..6).flat_map(|i| [i, i + 6]).collect());
+    for t in 0..2u64 {
+        let a: Vec<_> = sequential.iter().filter(|(rt, _)| *rt == t).collect();
+        let b: Vec<_> = interleaved.iter().filter(|(rt, _)| *rt == t).collect();
+        assert_eq!(a, b, "tenant {t} responses diverged under interleaving");
+    }
+}
+
+#[test]
+fn budget_rejections_are_typed_and_leave_state_unchanged() {
+    let server = QueryServer::new(9);
+    server.register_tenant(0, 1.0).unwrap();
+    let mech = NoisyTopKWithGap::new(3, 0.7, true).unwrap();
+    let queries: Vec<f64> = (0..8).map(|j| 50.0 - j as f64).collect();
+    let call = MechanismRequest {
+        tenant: 0,
+        body: RequestBody::Call {
+            mechanism: mech.into(),
+            queries,
+        },
+    };
+    let mut scratch = WorkerScratch::new();
+    assert!(matches!(
+        server.handle(&call, &mut scratch),
+        MechanismResponse::Output(_)
+    ));
+    // Second call needs 0.7 of the remaining 0.3: typed budget rejection.
+    let rejected = server.handle(&call, &mut scratch);
+    assert!(rejected.is_budget_rejected());
+    let MechanismResponse::Rejected(RejectReason::Budget(
+        free_gap_core::MechanismError::BudgetExhausted {
+            requested,
+            remaining,
+        },
+    )) = rejected
+    else {
+        panic!("expected typed budget rejection, got {rejected:?}");
+    };
+    assert!((requested - 0.7).abs() < 1e-12);
+    assert!((remaining - 0.3).abs() < 1e-12);
+    // The failed request debited nothing.
+    assert!((server.remaining(0).unwrap() - 0.3).abs() < 1e-12);
+    // Unknown tenants are their own rejection.
+    let stray = MechanismRequest {
+        tenant: 99,
+        body: RequestBody::CloseSession { session: 0 },
+    };
+    assert_eq!(
+        server.handle(&stray, &mut scratch),
+        MechanismResponse::Rejected(RejectReason::UnknownTenant)
+    );
+}
+
+/// The acceptance pin: a fixed-seed serve-bench run is bit-reproducible
+/// across 1 vs 4 worker threads — same digest, same outcome counts — and
+/// actually exercises rejections and evictions.
+#[test]
+fn serve_bench_is_bit_reproducible_across_worker_counts() {
+    let mut config = ServeBenchConfig::quick(20190412);
+    config.tenants = 4;
+    config.requests_per_tenant = 150;
+    config.epsilon_per_tenant = 0.45 * 150.0;
+    let mut one = config;
+    one.workers = 1;
+    let mut four = config;
+    four.workers = 4;
+    let a = free_gap_serve::bench::run(&one).unwrap();
+    let b = free_gap_serve::bench::run(&four).unwrap();
+    assert_eq!(a.digest, b.digest, "digest diverged across worker counts");
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.rejected, b.rejected);
+    assert_eq!(a.budget_rejected, b.budget_rejected);
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.completed, a.planned);
+    assert!(!a.truncated);
+    // The script is sized to overrun the budget and leak sessions.
+    assert!(a.budget_rejected > 0, "no budget rejection exercised");
+    assert!(a.evictions > 0, "no eviction exercised");
+    assert!(a.rejected >= a.budget_rejected);
+    // Latency quantiles are ordered and populated.
+    assert!(a.p50_us > 0.0);
+    assert!(a.p50_us <= a.p95_us && a.p95_us <= a.p99_us);
+    assert!(a.requests_per_sec > 0.0);
+}
+
+/// Different seeds must produce different digests (the digest actually
+/// depends on the noise, not just the script shape).
+#[test]
+fn serve_bench_digest_depends_on_seed() {
+    let mut config = ServeBenchConfig::quick(1);
+    config.tenants = 2;
+    config.requests_per_tenant = 40;
+    config.epsilon_per_tenant = 40.0;
+    let a = free_gap_serve::bench::run(&config).unwrap();
+    config.seed = 2;
+    let b = free_gap_serve::bench::run(&config).unwrap();
+    assert_ne!(a.digest, b.digest);
+}
