@@ -79,6 +79,10 @@
 //!   --qps F            `serve-bench`: aggregate request-rate target the
 //!                      workers pace themselves to (default: unpaced
 //!                      closed loop)
+//!   --par-threshold N  `serve-bench`: serve one-shot calls with at least
+//!                      N queries through the intra-run parallel noise
+//!                      path (default: off; changes the noise stream, so
+//!                      digests are only comparable at the same setting)
 //!   --rule NAME        `lint`: check a single rule (stream-discipline |
 //!                      endpoint-guard | panic-freedom | taxonomy)
 //!   --fixtures         `lint`: run the power-check corpus instead of the
@@ -130,6 +134,9 @@ struct CliOptions {
     duration: Option<f64>,
     /// `serve-bench`: aggregate request-rate target (`--qps`).
     qps: Option<f64>,
+    /// `serve-bench`: parallel-path opt-in query-count threshold
+    /// (`--par-threshold`).
+    par_threshold: Option<usize>,
     /// `lint`: restrict to a single named rule (`--rule`).
     lint_rule: Option<String>,
     /// `lint`: run the fixture power checks instead of the tree (`--fixtures`).
@@ -167,6 +174,7 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
         tenants: None,
         duration: None,
         qps: None,
+        par_threshold: None,
         lint_rule: None,
         fixtures: false,
         workload_flags: Vec::new(),
@@ -283,6 +291,14 @@ fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                 }
                 opts.qps = Some(qps);
             }
+            "--par-threshold" => {
+                // 0 is meaningful (every call takes the parallel path), so
+                // only a non-numeric value is rejected.
+                let threshold: usize = value("--par-threshold")?
+                    .parse()
+                    .map_err(|e| format!("--par-threshold: {e}"))?;
+                opts.par_threshold = Some(threshold);
+            }
             "--rule" => opts.lint_rule = Some(value("--rule")?),
             "--fixtures" => opts.fixtures = true,
             other if !other.starts_with('-') => opts.files.push(other.to_string()),
@@ -380,6 +396,12 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             opts.command
         ));
     }
+    if opts.par_threshold.is_some() && opts.command != "serve-bench" {
+        return Err(format!(
+            "--par-threshold only applies to `serve-bench`, not `{}`",
+            opts.command
+        ));
+    }
     if opts.lint_rule.is_some() && opts.command != "lint" {
         return Err(format!(
             "--rule only applies to `lint`, not `{}`",
@@ -431,7 +453,7 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             // reject options it would silently ignore.
             if let Some(flag) = opts.workload_flags.first() {
                 return Err(format!(
-                    "`serve-bench` scripts a fixed per-tenant workload; {flag} is not supported (only --tenants, --duration, --qps, --quick, --seed, --csv, --json apply)"
+                    "`serve-bench` scripts a fixed per-tenant workload; {flag} is not supported (only --tenants, --duration, --qps, --par-threshold, --quick, --seed, --csv, --json apply)"
                 ));
             }
             if opts.runs.is_some() {
@@ -450,6 +472,7 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             }
             cfg.duration_cap_secs = opts.duration;
             cfg.qps = opts.qps;
+            cfg.par_threshold = opts.par_threshold;
             let report =
                 free_gap_serve::bench::run(&cfg).map_err(|e| format!("serve-bench: {e}"))?;
             // serve-bench writes its own schema; default to its own file
@@ -868,7 +891,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: repro <bench|serve-bench|bench-check|bench-compare|bench-history FILE..|attack|lint|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick] [--tenants N] [--duration F] [--qps F] [--rule NAME] [--fixtures]");
+            eprintln!("usage: repro <bench|serve-bench|bench-check|bench-compare|bench-history FILE..|attack|lint|datasets|fig1a|fig1b|fig2a|fig2b|fig3|fig4|ablation-theta|ablation-sigma|ablation-split|ablation-branches|all> [--runs N] [--scale F] [--seed N] [--eps F] [--dataset NAME] [--budget F] [--csv] [--json PATH] [--baseline PATH] [--tolerance F] [--baseline-only] [--trials N] [--significance F] [--quick] [--tenants N] [--duration F] [--qps F] [--par-threshold N] [--rule NAME] [--fixtures]");
             return ExitCode::FAILURE;
         }
     };
@@ -967,6 +990,8 @@ mod tests {
             "2.5",
             "--qps",
             "5000",
+            "--par-threshold",
+            "32",
             "--quick",
             "--seed",
             "9",
@@ -976,6 +1001,7 @@ mod tests {
         assert_eq!(opts.tenants, Some(16));
         assert_eq!(opts.duration, Some(2.5));
         assert_eq!(opts.qps, Some(5000.0));
+        assert_eq!(opts.par_threshold, Some(32));
         assert!(opts.quick);
         assert_eq!(opts.seed, 9);
     }
@@ -987,6 +1013,10 @@ mod tests {
         assert!(parse_args(&args(&["serve-bench", "--duration", "nan"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "--qps", "-5"])).is_err());
         assert!(parse_args(&args(&["serve-bench", "--qps", "inf"])).is_err());
+        assert!(parse_args(&args(&["serve-bench", "--par-threshold", "x"])).is_err());
+        // 0 means "every call": valid.
+        let opts = parse_args(&args(&["serve-bench", "--par-threshold", "0"])).unwrap();
+        assert_eq!(opts.par_threshold, Some(0));
     }
 
     #[test]
@@ -996,6 +1026,7 @@ mod tests {
             vec!["bench", "--duration", "1.0"],
             vec!["attack", "--qps", "100"],
             vec!["all", "--tenants", "2"],
+            vec!["bench", "--par-threshold", "64"],
         ] {
             let opts = parse_args(&args(&flags)).unwrap();
             let err = run_command(&opts).unwrap_err();

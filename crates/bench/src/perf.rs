@@ -9,11 +9,16 @@
 //! | `scratch` | `run_with_scratch` — batched noise, reused buffers, monomorphic `StdRng` |
 //! | `scratch_fast` | `run_with_scratch` driven by [`FastRng`](free_gap_noise::rng::FastRng) (Xoshiro) — the Monte-Carlo fast path |
 //! | `streaming` | `run_streaming_with_scratch` (and the baselines' streaming entries) — the lazy-iterator serving path (all mechanisms except the Noisy-Top-K family, which needs the whole vector by definition) |
+//! | `par` | [`AnyMechanism::call_par`] — the intra-run parallel path: per-block sub-stream noise fill plus the per-chunk selection reduce, threads clamped to `min(available_parallelism, 4)` (the Top-K family, the exponential race and the staircase measurement; the SVT family's threshold loop is inherently sequential) |
 //!
 //! All paths execute the *same mechanism*: `scratch` and `streaming` are
 //! bit-identical to `dyn` per run (see `free_gap_core::scratch` and the
 //! `scratch_equivalence` suite), and `scratch_fast` only swaps the
-//! generator. The `dyn` and `scratch(_fast)` cells dispatch through the
+//! generator. The `par` path draws the documented per-block sub-stream
+//! layout instead of one sequential stream — a *different* (equally
+//! well-defined) sample than `scratch_fast`, but bit-identical to itself
+//! for every thread count (the `draw` module's 1-vs-4-thread digest tests
+//! pin this), so its throughput is comparable cell-for-cell. The `dyn` and `scratch(_fast)` cells dispatch through the
 //! unified `free_gap_core::api::Mechanism` trait
 //! ([`AnyMechanism::call_reference`] / [`AnyMechanism::call_batched`], the
 //! same surface the serving layer speaks), whose bit-identity to the
@@ -78,6 +83,7 @@ use crate::table::Table;
 use free_gap_core::api::{
     AnyMechanism, CallScratch, ExponentialTopK, Mechanism, MechanismOutput, QuerySlice,
 };
+use free_gap_core::draw::ParallelDraws;
 use free_gap_core::exponential_mech::ExponentialMechanism;
 use free_gap_core::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap};
 use free_gap_core::scratch::{SvtScratch, TopKScratch};
@@ -87,7 +93,7 @@ use free_gap_core::sparse_vector::{
 };
 use free_gap_core::staircase_mech::StaircaseMechanism;
 use free_gap_core::QueryAnswers;
-use free_gap_noise::rng::{derive_fast_stream, derive_stream};
+use free_gap_noise::rng::{derive_fast_stream, derive_stream, derive_stream_seed};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::hint::black_box;
@@ -98,19 +104,25 @@ use std::time::Instant;
 /// [`run_grid`] produces exactly these cells and [`missing_cells`] checks a
 /// written JSON against them.
 pub const MECHANISM_PATHS: [(&str, &[&str]); 10] = [
-    ("NoisyTopKWithGap", &["dyn", "scratch", "scratch_fast"]),
-    ("ClassicNoisyTopK", &["dyn", "scratch", "scratch_fast"]),
+    (
+        "NoisyTopKWithGap",
+        &["dyn", "scratch", "scratch_fast", "par"],
+    ),
+    (
+        "ClassicNoisyTopK",
+        &["dyn", "scratch", "scratch_fast", "par"],
+    ),
     (
         "DiscreteNoisyTopKWithGap",
-        &["dyn", "scratch", "scratch_fast"],
+        &["dyn", "scratch", "scratch_fast", "par"],
     ),
     (
         "ExponentialMechanism",
-        &["dyn", "scratch", "scratch_fast", "streaming"],
+        &["dyn", "scratch", "scratch_fast", "streaming", "par"],
     ),
     (
         "StaircaseMechanism",
-        &["dyn", "scratch", "scratch_fast", "streaming"],
+        &["dyn", "scratch", "scratch_fast", "streaming", "par"],
     ),
     (
         "SparseVectorWithGap",
@@ -395,6 +407,13 @@ fn grid_mechanisms(k: usize, threshold: f64, int_threshold: f64) -> Vec<AnyMecha
 /// the one-shot call surface).
 pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
     let seed = config.seed;
+    // Thread count for the `par` cells: the machine's parallelism, clamped
+    // to the four-way layout the digest tests pin. Only wall-clock depends
+    // on it — ParallelDraws output is identical for every thread count.
+    let par_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(4);
     let mut records = Vec::new();
     for &n in &N_GRID {
         let answers = synthetic_counts(n, seed);
@@ -447,6 +466,35 @@ pub fn run_grid(config: &BenchConfig) -> Vec<BenchRecord> {
                         black_box(&out);
                     },
                 );
+
+                // The intra-run parallel path: the mechanisms with a bulk
+                // noise fill and/or a selection reduce (MECHANISM_PATHS
+                // rows carrying "par").
+                if matches!(
+                    mech,
+                    AnyMechanism::NoisyTopKWithGap(_)
+                        | AnyMechanism::ClassicNoisyTopK(_)
+                        | AnyMechanism::DiscreteNoisyTopKWithGap(_)
+                        | AnyMechanism::Exponential(_)
+                        | AnyMechanism::Staircase(_)
+                ) {
+                    let mut par = ParallelDraws::new(0, par_threads);
+                    let mut par_out = MechanismOutput::new_for(&mech);
+                    let (runs, elapsed_secs) = time_cell(config, |r| {
+                        par.reset(derive_stream_seed(seed, r));
+                        mech.call_par(&req, &mut par, &mut scratch, &mut par_out)
+                            .expect("validated workload");
+                        black_box(&par_out);
+                    });
+                    records.push(BenchRecord {
+                        mechanism: mech.name(),
+                        path: "par",
+                        n,
+                        k,
+                        runs,
+                        elapsed_secs,
+                    });
+                }
             }
 
             // Streaming cells: the lazy-iterator serving path, timed on the
@@ -784,7 +832,8 @@ pub fn bench_history(files: &[(String, String)]) -> Result<Table, String> {
 /// Renders the records as a table with one row per `mechanism × n × k` and
 /// the paths side by side (speedups relative to `dyn`; the streaming
 /// columns show `-` for the Noisy-Top-K mechanisms, which have no
-/// streaming path).
+/// streaming path, and the par columns show `-` for the SVT family, whose
+/// threshold loop is inherently sequential).
 pub fn to_table(records: &[BenchRecord]) -> Table {
     let mut table = Table::new(
         "bench: mechanism throughput (runs/sec; speedup vs dyn path)".to_string(),
@@ -799,6 +848,8 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
             "fast_speedup",
             "streaming_rps",
             "streaming_speedup",
+            "par_rps",
+            "par_speedup",
         ],
     );
     // Group by cell key and look paths up by name — no reliance on record
@@ -845,6 +896,17 @@ pub fn to_table(records: &[BenchRecord]) -> Table {
             Some(streaming_rec) => {
                 row.push(streaming_rec.runs_per_sec().into());
                 row.push(ratio(streaming_rec).into());
+            }
+            None => {
+                row.push("-".into());
+                row.push("-".into());
+            }
+        }
+        // Likewise the SVT family has no parallel path.
+        match find("par") {
+            Some(par_rec) => {
+                row.push(par_rec.runs_per_sec().into());
+                row.push(ratio(par_rec).into());
             }
             None => {
                 row.push("-".into());
@@ -989,8 +1051,9 @@ mod tests {
             .cloned()
             .collect();
         let missing = missing_cells(&to_json(7, &pruned));
-        // 3 Top-K paths + 4 SVT paths, per n × k cell.
-        assert_eq!(missing.len(), 7 * N_GRID.len() * K_GRID.len());
+        // 4 Top-K paths (dyn/scratch/scratch_fast/par) + 4 SVT paths
+        // (dyn/scratch/scratch_fast/streaming), per n × k cell.
+        assert_eq!(missing.len(), 8 * N_GRID.len() * K_GRID.len());
         assert!(missing
             .iter()
             .all(|m| m.starts_with("DiscreteNoisyTopKWithGap")

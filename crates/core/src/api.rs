@@ -26,7 +26,7 @@
 //! old entry points remain and stay bit-identical: `call` goes through the
 //! very same `run_core` bodies (`tests/api_surface.rs` pins this).
 
-use crate::draw::{DrawProvider, RngDraws, ScratchDraws, SourceDraws};
+use crate::draw::{DrawProvider, ParallelDraws, RngDraws, ScratchDraws, SourceDraws};
 use crate::error::MechanismError;
 use crate::exponential_mech::ExponentialMechanism;
 use crate::noisy_max::{ClassicNoisyTopK, DiscreteNoisyTopKWithGap, NoisyTopKWithGap, TopKOutput};
@@ -693,6 +693,34 @@ impl AnyMechanism {
         }
     }
 
+    /// The intra-run parallel path: [`Mechanism::call`] through a
+    /// [`ParallelDraws`] provider over the per-block sub-stream layout.
+    /// The Noisy-Max family gets a parallel noise fill plus the per-chunk
+    /// selection reduce, the exponential race a batched parallel Gumbel
+    /// fill with the race replayed over precomputed scores, staircase a
+    /// parallel measurement fill; the SVT family runs sequentially off the
+    /// provider's scalar tape (its adaptive threshold loop is inherently
+    /// sequential). Bit-identical for any thread count of `par` — but a
+    /// *different stream* than [`call_batched`](Self::call_batched): the
+    /// run is keyed by the provider's run seed, so callers
+    /// [`reset`](ParallelDraws::reset) `par` per request.
+    pub fn call_par(
+        &self,
+        req: &QuerySlice<'_>,
+        par: &mut ParallelDraws,
+        scratch: &mut CallScratch,
+        out: &mut MechanismOutput,
+    ) -> Result<(), MechanismError> {
+        match self {
+            Self::Exponential(m) => {
+                let indices = out.indices_mut();
+                m.mechanism()
+                    .race_par_core(req.values(), m.k(), par, &mut scratch.topk, indices)
+            }
+            _ => self.call(req, par, &mut scratch.topk, out),
+        }
+    }
+
     /// The dyn reference path: [`Mechanism::call`] through
     /// [`SourceDraws`] over a [`SamplingSource`], allocating fresh
     /// buffers per call — the historical per-draw-cost baseline the
@@ -799,6 +827,64 @@ mod tests {
         let a = MechanismOutput::Indices(Vec::new());
         let b = MechanismOutput::Measurements(Vec::new());
         assert_ne!(a.digest(0), b.digest(0));
+    }
+
+    #[test]
+    fn call_par_is_bit_identical_across_thread_counts() {
+        // Every grid mechanism, a workload large enough to engage both the
+        // parallel fill (> one block) and the parallel select reduce
+        // (> PAR_SELECT_MIN), and a fresh same-seed provider per call: the
+        // digest must not depend on the thread count.
+        let k = 5;
+        let threshold = 500.0;
+        #[allow(clippy::expect_used)]
+        // lint:allow(panic-freedom): test-only grid construction with known-valid parameters
+        let grid: Vec<AnyMechanism> = vec![
+            NoisyTopKWithGap::new(k, 0.7, true).expect("valid").into(),
+            ClassicNoisyTopK::new(k, 0.7, true).expect("valid").into(),
+            DiscreteNoisyTopKWithGap::new(k, 0.7, true)
+                .expect("valid")
+                .into(),
+            ExponentialTopK::new(ExponentialMechanism::new(0.7, true).expect("valid"), k)
+                .expect("valid")
+                .into(),
+            StaircaseMechanism::new(0.7).expect("valid").into(),
+            SparseVectorWithGap::new(k, 0.7, threshold, true)
+                .expect("valid")
+                .into(),
+            ClassicSparseVector::new(k, 0.7, threshold, true)
+                .expect("valid")
+                .into(),
+            AdaptiveSparseVector::new(k, 0.7, threshold, true)
+                .expect("valid")
+                .into(),
+            MultiBranchAdaptiveSparseVector::new(k, 0.7, threshold, true, 3)
+                .expect("valid")
+                .into(),
+            DiscreteSparseVectorWithGap::new(k, 0.7, threshold, true)
+                .expect("valid")
+                .into(),
+        ];
+        let mut s = 0x5EED_u64;
+        let values: Vec<f64> = (0..9000)
+            .map(|_| (splitmix64(&mut s) % 1_000) as f64)
+            .collect();
+        let req = QuerySlice::new(&values);
+        for mech in &grid {
+            let mut digests = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let mut par = ParallelDraws::new(42, threads);
+                let mut scratch = CallScratch::new();
+                let mut out = MechanismOutput::new_for(mech);
+                #[allow(clippy::expect_used)]
+                // lint:allow(panic-freedom): test asserts the call succeeds
+                mech.call_par(&req, &mut par, &mut scratch, &mut out)
+                    .expect("call_par");
+                digests.push(out.digest(7));
+            }
+            assert_eq!(digests[0], digests[1], "1 vs 2 threads: {}", mech.name());
+            assert_eq!(digests[0], digests[2], "1 vs 4 threads: {}", mech.name());
+        }
     }
 
     #[test]

@@ -45,6 +45,24 @@ pub enum MechanismError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A benchmark/serving configuration knob was degenerate (zero
+    /// tenants, a zero or non-finite duration cap, a non-positive QPS
+    /// target, …). Degenerate knobs used to be silently clamped or
+    /// filtered; typed rejection keeps a mistyped flag from quietly
+    /// producing an empty run.
+    InvalidBenchConfig {
+        /// Name of the rejected knob.
+        name: &'static str,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// A worker thread panicked mid-run. The run is aborted and the
+    /// panic surfaced as a typed error instead of a hang or an opaque
+    /// propagated unwind, so callers can report which worker died.
+    WorkerPanicked {
+        /// Index of the worker whose thread panicked.
+        worker: usize,
+    },
     /// A utility/answer fed to a selection mechanism was NaN or infinite.
     /// Selection over non-finite scores is undefined (a NaN poisons any
     /// comparison-based race and `±inf` degenerates the softmax), so the
@@ -87,6 +105,12 @@ impl fmt::Display for MechanismError {
             }
             MechanismError::InvalidSplit { reason } => {
                 write!(f, "invalid budget split: {reason}")
+            }
+            MechanismError::InvalidBenchConfig { name, requirement } => {
+                write!(f, "invalid benchmark config `{name}`: {requirement}")
+            }
+            MechanismError::WorkerPanicked { worker } => {
+                write!(f, "worker {worker} panicked; run aborted")
             }
             MechanismError::NonFiniteUtility { index, value } => {
                 write!(
@@ -161,5 +185,12 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_string().contains("utility 3"));
+        let e = MechanismError::InvalidBenchConfig {
+            name: "tenants",
+            requirement: "must be at least 1",
+        };
+        assert!(e.to_string().contains("tenants"));
+        let e = MechanismError::WorkerPanicked { worker: 2 };
+        assert!(e.to_string().contains("worker 2"));
     }
 }

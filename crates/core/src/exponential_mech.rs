@@ -348,6 +348,80 @@ impl ExponentialMechanism {
         Ok(())
     }
 
+    /// Intra-run parallel path of [`run_top_k`](Self::run_top_k): all
+    /// utilities are validated up front, every score `qᵢ·t + Gumbelᵢ` is
+    /// produced in one batched
+    /// [`gumbel_fill_offset`](DrawProvider::gumbel_fill_offset) (split
+    /// across a per-block provider's threads), and the race's insertion
+    /// rule replays over the precomputed scores in index order — the exact
+    /// `f64`-total-order rule of [`race_core`](Self::race_core), so the
+    /// result is bit-identical for any thread count of the same provider
+    /// family. (Per-chunk reduce is deliberately *not* used here: the race
+    /// orders by `total_cmp`, not the Noisy-Max `>=` rule.)
+    pub fn run_top_k_par_with_scratch<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut out = Vec::new();
+        self.run_top_k_par_with_scratch_into(answers, k, provider, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_top_k_par_with_scratch`](Self::run_top_k_par_with_scratch).
+    pub fn run_top_k_par_with_scratch_into<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        k: usize,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MechanismError> {
+        self.race_par_core(answers.values(), k, provider, scratch, out)
+    }
+
+    /// Slice-level body of the batched parallel race, shared with the
+    /// unified [`crate::api`] call surface.
+    pub(crate) fn race_par_core<P: DrawProvider>(
+        &self,
+        values: &[f64],
+        k: usize,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MechanismError> {
+        Self::require_top_k_len(values.len(), k)?;
+        Self::require_finite(values)?;
+        provider.begin();
+        let t = self.exponent();
+        scratch.aux.clear();
+        scratch.aux.extend(values.iter().map(|q| q * t));
+        provider.gumbel_fill_offset(&scratch.aux, 1.0, &mut scratch.noisy);
+        // The race's insertion rule over the precomputed scores: `out`
+        // holds the k best indices, descending under the total order, ties
+        // to the smaller index (identical to `race_core`, which compares
+        // against its parallel sorted-score buffer — same values either way).
+        out.clear();
+        out.reserve(k.saturating_add(1).min(1024));
+        for i in 0..scratch.noisy.len() {
+            let s = scratch.noisy[i];
+            if k == 0
+                || (out.len() == k && s.total_cmp(&scratch.noisy[out[k - 1]]) != Ordering::Greater)
+            {
+                continue;
+            }
+            let pos = out.partition_point(|&j| scratch.noisy[j].total_cmp(&s) != Ordering::Less);
+            out.insert(pos, i);
+            if out.len() > k {
+                out.pop();
+            }
+        }
+        Ok(())
+    }
+
     /// Streaming twin of [`run_top_k`](Self::run_top_k): the race over a
     /// lazy query stream with `O(k)` memory. The workload-size check moves
     /// to the end of the stream (a stream shorter than `k` is

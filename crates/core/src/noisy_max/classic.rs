@@ -7,7 +7,7 @@
 //! implemented independently to make the experiments' comparison honest
 //! (same draw pattern, same selection rule).
 
-use super::{top_indices_into, top_k_scale};
+use super::top_k_scale;
 use crate::answers::QueryAnswers;
 use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
@@ -75,7 +75,7 @@ impl ClassicNoisyTopK {
         crate::answers::require_min_len(answers, self.k + 1)?;
         provider.begin();
         provider.fill_offset(answers, self.scale(), &mut scratch.noisy);
-        top_indices_into(&scratch.noisy, self.k, out);
+        provider.select_top(&scratch.noisy, self.k, out);
         Ok(())
     }
 
@@ -147,6 +147,41 @@ impl ClassicNoisyTopK {
         out: &mut Vec<usize>,
     ) -> Result<(), MechanismError> {
         self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
+    }
+
+    /// Intra-run parallel path (see
+    /// [`NoisyTopKWithGap::run_par_with_scratch`](super::NoisyTopKWithGap::run_par_with_scratch)):
+    /// `run_core` through a per-block provider, fill and selection split
+    /// across its threads, bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+    ) -> Result<Vec<usize>, MechanismError> {
+        let mut out = Vec::new();
+        self.run_par_with_scratch_into(answers, provider, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_par_with_scratch`](Self::run_par_with_scratch).
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch_into<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut Vec<usize>,
+    ) -> Result<(), MechanismError> {
+        self.run_core(answers.values(), provider, scratch, out)
     }
 }
 

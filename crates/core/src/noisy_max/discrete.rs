@@ -16,7 +16,6 @@
 //! * the same Eq.-2 alignment, whose shifts are automatically lattice-valued
 //!   because adjacent integer workloads differ by integers.
 
-use super::top_indices_into;
 use crate::answers::QueryAnswers;
 use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
@@ -117,7 +116,7 @@ impl DiscreteNoisyTopKWithGap {
         self.validate_lattice(answers);
         provider.begin();
         provider.discrete_fill_offset(answers, self.unit_epsilon(), self.gamma, &mut scratch.noisy);
-        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
+        provider.select_top(&scratch.noisy, self.k + 1, &mut scratch.top);
         out.items.clear();
         out.items.extend((0..self.k).map(|i| TopKItem {
             index: scratch.top[i],
@@ -198,6 +197,41 @@ impl DiscreteNoisyTopKWithGap {
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
         self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
+    }
+
+    /// Intra-run parallel path (see
+    /// [`NoisyTopKWithGap::run_par_with_scratch`](crate::noisy_max::NoisyTopKWithGap::run_par_with_scratch)):
+    /// `run_core` through a per-block provider, discrete fill and selection
+    /// split across its threads, bit-identical for any thread count.
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+    ) -> Result<TopKOutput, MechanismError> {
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_par_with_scratch_into(answers, provider, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_par_with_scratch`](Self::run_par_with_scratch).
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch_into<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) -> Result<(), MechanismError> {
+        self.run_core(answers.values(), provider, scratch, out)
     }
 }
 

@@ -12,7 +12,7 @@
 //! `qᵢ - q'ᵢ + max_{l∉I}(q'_l + η_l) - max_{l∉I}(q_l + η_l)`,
 //! which preserves every win margin exactly.
 
-use super::{top_indices_into, top_k_scale};
+use super::top_k_scale;
 use crate::answers::QueryAnswers;
 use crate::draw::{DrawProvider, RngDraws, SourceDraws};
 use crate::error::{require_epsilon, MechanismError};
@@ -121,7 +121,7 @@ impl NoisyTopKWithGap {
         crate::answers::require_min_len(answers, self.k + 1)?;
         provider.begin();
         provider.fill_offset(answers, self.scale(), &mut scratch.noisy);
-        top_indices_into(&scratch.noisy, self.k + 1, &mut scratch.top);
+        provider.select_top(&scratch.noisy, self.k + 1, &mut scratch.top);
         out.items.clear();
         out.items.extend((0..self.k).map(|i| TopKItem {
             index: scratch.top[i],
@@ -200,6 +200,43 @@ impl NoisyTopKWithGap {
         out: &mut TopKOutput,
     ) -> Result<(), MechanismError> {
         self.run_core(answers.values(), &mut RngDraws::new(rng), scratch, out)
+    }
+
+    /// Intra-run parallel path: `run_core` through a per-block provider —
+    /// [`ParallelDraws`](crate::draw::ParallelDraws) to split the noise fill
+    /// and Top-K selection across threads, or its sequential reference
+    /// [`BlockSeqDraws`](crate::draw::BlockSeqDraws), which is bit-identical
+    /// for any thread count. Note the run is keyed by the provider's
+    /// `run_seed`, a *different stream* from the single-RNG paths.
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+    ) -> Result<TopKOutput, MechanismError> {
+        let mut out = TopKOutput { items: Vec::new() };
+        self.run_par_with_scratch_into(answers, provider, scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free twin of
+    /// [`run_par_with_scratch`](Self::run_par_with_scratch).
+    ///
+    /// # Errors
+    /// [`MechanismError::NotEnoughQueries`] if the workload has fewer than
+    /// `k + 1` queries.
+    pub fn run_par_with_scratch_into<P: DrawProvider>(
+        &self,
+        answers: &QueryAnswers,
+        provider: &mut P,
+        scratch: &mut TopKScratch,
+        out: &mut TopKOutput,
+    ) -> Result<(), MechanismError> {
+        self.run_core(answers.values(), provider, scratch, out)
     }
 
     /// Gap-releasing selection through an arbitrary [`DrawProvider`] — the

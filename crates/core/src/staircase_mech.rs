@@ -187,6 +187,34 @@ impl StaircaseMechanism {
         self.measure_core(answers, &mut ScratchDraws::new(scratch, rng), out);
     }
 
+    /// Intra-run parallel path of [`measure_split`](Self::measure_split):
+    /// the same measurement loop through a per-block provider
+    /// ([`ParallelDraws`](crate::draw::ParallelDraws) or its sequential
+    /// reference [`BlockSeqDraws`](crate::draw::BlockSeqDraws)) — the batch
+    /// staircase fill split across the provider's threads, bit-identical
+    /// for any thread count. The run is keyed by the provider's `run_seed`,
+    /// a *different stream* from the single-RNG paths.
+    pub fn measure_split_par<P: DrawProvider>(
+        &self,
+        answers: &[f64],
+        provider: &mut P,
+    ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.measure_split_par_into(answers, provider, &mut out);
+        out
+    }
+
+    /// Allocation-free twin of
+    /// [`measure_split_par`](Self::measure_split_par).
+    pub fn measure_split_par_into<P: DrawProvider>(
+        &self,
+        answers: &[f64],
+        provider: &mut P,
+        out: &mut Vec<f64>,
+    ) {
+        self.measure_core(answers, provider, out);
+    }
+
     /// Streaming twin of [`measure_split`](Self::measure_split): measures a
     /// lazy answer stream without materializing it, splitting the budget by
     /// the caller-supplied `count`. Bit-identical to the materialized path

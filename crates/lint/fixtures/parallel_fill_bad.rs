@@ -1,0 +1,19 @@
+//! R1 power-check fixture — a per-block parallel fill that bypasses the
+//! sub-stream layout.
+//!
+//! The bulk fill re-seeds a raw generator off the provider's block count
+//! and samples it directly, instead of deriving the documented per-block
+//! sub-stream and filling through the tape-backed engine. Correct-looking
+//! in isolation, it ties every sample to how many blocks earlier fills
+//! happened to consume — so outputs differ between thread counts, which is
+//! exactly the invariant the per-block layout exists to protect.
+
+impl DrawProvider for ParallelDraws {
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        out.clear();
+        let mut rng = rng_from_seed(self.next_block);
+        for b in base {
+            out.push(b + scale * rng.gen_range(0.0..1.0));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! R1 power-check fixture — the shipped per-block fill. Must lint clean.
+//!
+//! Bulk fills reserve the run's next block indices and delegate to the
+//! sequential engine, which derives one sub-stream per block index; scalar
+//! draws ride the reserved scalar stream through the internal tape. No
+//! method in either provider touches a raw generator.
+
+impl DrawProvider for ParallelDraws {
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        self.inner.fill_offset_engine(base, scale, out, self.threads)
+    }
+
+    fn gumbel_next(&mut self, beta: f64) -> f64 {
+        self.inner.gumbel_next(beta)
+    }
+}
+
+impl DrawProvider for BlockSeqDraws {
+    fn fill_offset(&mut self, base: &[f64], scale: f64, out: &mut Vec<f64>) {
+        self.fill_offset_engine(base, scale, out, 1)
+    }
+
+    fn next(&mut self, scale: f64) -> f64 {
+        self.tape.next_scaled(&mut self.scalar_rng, scale)
+    }
+}

@@ -247,7 +247,7 @@ pub struct Fixture {
 /// historical bug verbatim — plus the corrected twin that must lint clean
 /// (so a rule can neither under- nor over-fire without failing the power
 /// checks).
-pub const FIXTURES: [Fixture; 8] = [
+pub const FIXTURES: [Fixture; 10] = [
     Fixture {
         path: "stream_discipline_bad.rs",
         rule: Rule::StreamDiscipline,
@@ -256,6 +256,18 @@ pub const FIXTURES: [Fixture; 8] = [
     },
     Fixture {
         path: "stream_discipline_fixed.rs",
+        rule: Rule::StreamDiscipline,
+        scope: FileScope::Core,
+        expect_flagged: false,
+    },
+    Fixture {
+        path: "parallel_fill_bad.rs",
+        rule: Rule::StreamDiscipline,
+        scope: FileScope::Core,
+        expect_flagged: true,
+    },
+    Fixture {
+        path: "parallel_fill_fixed.rs",
         rule: Rule::StreamDiscipline,
         scope: FileScope::Core,
         expect_flagged: false,

@@ -67,6 +67,7 @@ pub mod geometric;
 pub mod gumbel;
 pub mod laplace;
 pub mod laplace_diff;
+pub mod par;
 pub mod rng;
 pub mod staircase;
 pub mod stats;

@@ -11,7 +11,9 @@
 //! ## Determinism
 //!
 //! Each tenant's request script is a pure function of `(tenant, request
-//! index)`, tenants are partitioned across workers by `tenant % workers`,
+//! index)`, tenants are partitioned across workers in contiguous runs by
+//! the quotient rule `worker(t) = t × workers / tenants` (after clamping
+//! the worker count to the tenant count, so no spawned worker ever idles),
 //! and every worker drives its tenants round-robin in index order — so the
 //! per-tenant request order is identical for any worker count. Combined
 //! with the server's per-tenant derived noise sub-streams, the fold of
@@ -20,11 +22,19 @@
 //! the same seed (`tests/serve.rs` pins this). Latencies are the only
 //! numbers that vary run to run.
 //!
+//! Degenerate configurations (zero tenants, a zero/non-finite duration
+//! cap, a non-positive QPS target) are rejected up front with
+//! [`MechanismError::InvalidBenchConfig`] instead of silently clamped,
+//! and a worker thread that panics mid-run surfaces as
+//! [`MechanismError::WorkerPanicked`] after every sibling is joined —
+//! never a hang or an opaque propagated unwind.
+//!
 //! ## `BENCH_serve.json` protocol
 //!
 //! A single flat JSON object, schema `free-gap-serve/bench/v1`:
 //! configuration echo (`seed`, `tenants`, `workers`,
-//! `requests_per_tenant`, `epsilon_per_tenant`), outcome counts
+//! `requests_per_tenant`, `epsilon_per_tenant`, `par_threshold` — `null`
+//! when the parallel path is off), outcome counts
 //! (`completed`, `rejected`, `budget_rejected`, `evictions`), the latency
 //! quantiles in microseconds (`p50_us`/`p95_us`/`p99_us`), wall-clock
 //! `elapsed_secs` with `requests_per_sec`, and the reproducibility
@@ -41,7 +51,7 @@ use free_gap_core::sparse_vector::{
     MultiBranchAdaptiveSparseVector, SparseVectorWithGap,
 };
 use free_gap_core::staircase_mech::StaircaseMechanism;
-use free_gap_core::ExponentialTopK;
+use free_gap_core::{ExponentialTopK, MechanismError};
 use free_gap_noise::rng::{derive_fast_stream, splitmix64};
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -69,6 +79,12 @@ pub struct ServeBenchConfig {
     /// themselves to `qps / workers` each. Affects timing only, never the
     /// per-tenant request order or digest.
     pub qps: Option<f64>,
+    /// Optional opt-in (`--par-threshold`) to the server's intra-run
+    /// parallel call path for one-shot calls with at least this many
+    /// queries (see [`QueryServer::with_par_threshold`]). Changes the
+    /// noise stream those calls draw, so the digest is only comparable
+    /// between runs with the same setting.
+    pub par_threshold: Option<usize>,
 }
 
 impl ServeBenchConfig {
@@ -94,12 +110,85 @@ impl ServeBenchConfig {
             epsilon_per_tenant: 0.45 * requests_per_tenant as f64,
             duration_cap_secs: None,
             qps: None,
+            par_threshold: None,
         }
     }
 
     fn planned_requests(&self) -> usize {
         self.tenants * self.requests_per_tenant
     }
+
+    /// Rejects degenerate configurations with a typed error before any
+    /// tenant is registered or thread spawned: zero tenants would serve
+    /// nothing, and a zero or non-finite duration cap / QPS target is
+    /// always a mistyped flag, not a meaningful run.
+    pub fn validate(&self) -> Result<(), MechanismError> {
+        if self.tenants == 0 {
+            return Err(MechanismError::InvalidBenchConfig {
+                name: "tenants",
+                requirement: "must be at least 1",
+            });
+        }
+        if let Some(d) = self.duration_cap_secs {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(MechanismError::InvalidBenchConfig {
+                    name: "duration",
+                    requirement: "must be a positive, finite number of seconds",
+                });
+            }
+        }
+        if let Some(q) = self.qps {
+            if !(q.is_finite() && q > 0.0) {
+                return Err(MechanismError::InvalidBenchConfig {
+                    name: "qps",
+                    requirement: "must be a positive, finite requests-per-second rate",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The tenants worker `worker` owns under the contiguous quotient
+/// partition `worker(t) = t × workers / tenants`. With `workers ≤
+/// tenants` (the caller clamps) every worker owns at least one tenant —
+/// unlike the old `tenant % workers` rule, which left workers idle
+/// whenever there were fewer tenants than workers.
+fn tenants_for_worker(tenants: usize, workers: usize, worker: usize) -> Vec<u64> {
+    (0..tenants as u64)
+        .filter(|&t| (t as usize).wrapping_mul(workers) / tenants == worker)
+        .collect()
+}
+
+/// Spawns `workers` scoped threads over `body` and joins **every** handle
+/// before returning, mapping the first panic to
+/// [`MechanismError::WorkerPanicked`]. Joining each handle in a plain
+/// loop matters: short-circuiting on the first failure would drop the
+/// remaining handles back to the scope, which re-raises the captured
+/// panic instead of returning the typed error.
+fn run_partitioned<T, F>(workers: usize, body: F) -> Result<Vec<T>, MechanismError>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = (0..workers).map(|w| scope.spawn(move || body(w))).collect();
+        let mut out = Vec::with_capacity(workers);
+        let mut panicked = None;
+        for (worker, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(v) => out.push(v),
+                Err(_) => {
+                    panicked.get_or_insert(worker);
+                }
+            }
+        }
+        match panicked {
+            None => Ok(out),
+            Some(worker) => Err(MechanismError::WorkerPanicked { worker }),
+        }
+    })
 }
 
 /// The outcome of one serve-bench run.
@@ -229,13 +318,12 @@ fn worker_loop(
     svt: SparseVectorWithGap,
     workload: &[f64],
     worker: usize,
+    workers: usize,
     start: Instant,
     deadline: Option<Instant>,
 ) -> WorkerStats {
     let mut scratch = WorkerScratch::new();
-    let my_tenants: Vec<u64> = (0..config.tenants as u64)
-        .filter(|t| *t as usize % config.workers == worker)
-        .collect();
+    let my_tenants = tenants_for_worker(config.tenants, workers, worker);
     let mut stats = WorkerStats {
         digests: my_tenants
             .iter()
@@ -247,10 +335,9 @@ fn worker_loop(
         latencies_us: Vec::with_capacity(my_tenants.len() * config.requests_per_tenant),
         ..WorkerStats::default()
     };
-    let pace = config
-        .qps
-        .filter(|q| q.is_finite() && *q > 0.0)
-        .map(|q| config.workers as f64 / q);
+    // The rate was validated up front; each of the `workers` live threads
+    // paces itself to an equal share of it.
+    let pace = config.qps.map(|q| workers as f64 / q);
     let mut issued = 0u64;
     'script: for i in 0..config.requests_per_tenant {
         for (slot, &t) in my_tenants.iter().enumerate() {
@@ -298,6 +385,7 @@ fn percentile(sorted_us: &[f64], q: f64) -> f64 {
 /// and aggregates latency quantiles, rejection counts and the
 /// reproducibility digest.
 pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, free_gap_core::MechanismError> {
+    config.validate()?;
     let workload = synthetic_workload(config.seed);
     let threshold = rank_threshold(&workload);
     let grid = script_grid(threshold)?;
@@ -306,44 +394,33 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, free_gap_core:
     let session_svt = SparseVectorWithGap::new(3, 0.5, threshold, true)?;
     // 32 idle ticks: leaked sessions (every 4th block) get evicted a few
     // blocks later, well within even the --quick script.
-    let server = QueryServer::new(config.seed).with_max_idle(32);
+    let mut server = QueryServer::new(config.seed).with_max_idle(32);
+    if let Some(n) = config.par_threshold {
+        server = server.with_par_threshold(n);
+    }
     for t in 0..config.tenants as u64 {
         server.register_tenant(t, config.epsilon_per_tenant)?;
     }
-    let workers = config.workers.max(1);
+    // Clamp to the tenant count so every spawned worker owns at least one
+    // tenant (rebalancing never changes the digest: it folds per tenant).
+    let workers = config.workers.min(config.tenants).max(1);
     let start = Instant::now();
     let deadline = config
         .duration_cap_secs
-        .filter(|d| d.is_finite() && *d > 0.0)
         .map(|d| start + Duration::from_secs_f64(d));
-    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let grid = &grid;
-                let workload = &workload;
-                let server = &server;
-                scope.spawn(move || {
-                    worker_loop(
-                        config,
-                        server,
-                        grid,
-                        session_svt,
-                        workload,
-                        w,
-                        start,
-                        deadline,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(s) => s,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .collect()
-    });
+    let stats = run_partitioned(workers, |w| {
+        worker_loop(
+            config,
+            &server,
+            &grid,
+            session_svt,
+            &workload,
+            w,
+            workers,
+            start,
+            deadline,
+        )
+    })?;
     let elapsed_secs = start.elapsed().as_secs_f64();
     let mut latencies: Vec<f64> = Vec::new();
     let mut digest = 0u64;
@@ -384,10 +461,14 @@ pub fn run(config: &ServeBenchConfig) -> Result<ServeBenchReport, free_gap_core:
 
 /// Serializes a report to the `BENCH_serve.json` schema.
 pub fn to_json(config: &ServeBenchConfig, report: &ServeBenchReport) -> String {
+    let par_threshold = config
+        .par_threshold
+        .map_or_else(|| "null".to_owned(), |n| n.to_string());
     format!(
         "{{\n  \"schema\": \"free-gap-serve/bench/v1\",\n  \
          \"seed\": {},\n  \"tenants\": {},\n  \"workers\": {},\n  \
          \"requests_per_tenant\": {},\n  \"epsilon_per_tenant\": {:.3},\n  \
+         \"par_threshold\": {},\n  \
          \"planned\": {},\n  \"completed\": {},\n  \"rejected\": {},\n  \
          \"budget_rejected\": {},\n  \"evictions\": {},\n  \
          \"latency_us\": {{ \"p50\": {:.2}, \"p95\": {:.2}, \"p99\": {:.2} }},\n  \
@@ -398,6 +479,7 @@ pub fn to_json(config: &ServeBenchConfig, report: &ServeBenchReport) -> String {
         config.workers,
         config.requests_per_tenant,
         config.epsilon_per_tenant,
+        par_threshold,
         report.planned,
         report.completed,
         report.rejected,
@@ -448,6 +530,122 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = ServeBenchConfig::quick(7);
+        assert!(ok.validate().is_ok());
+        let no_tenants = ServeBenchConfig { tenants: 0, ..ok };
+        assert!(matches!(
+            no_tenants.validate(),
+            Err(MechanismError::InvalidBenchConfig {
+                name: "tenants",
+                ..
+            })
+        ));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = ServeBenchConfig {
+                duration_cap_secs: Some(bad),
+                ..ok
+            };
+            assert!(matches!(
+                cfg.validate(),
+                Err(MechanismError::InvalidBenchConfig {
+                    name: "duration",
+                    ..
+                })
+            ));
+            let cfg = ServeBenchConfig {
+                qps: Some(bad),
+                ..ok
+            };
+            assert!(matches!(
+                cfg.validate(),
+                Err(MechanismError::InvalidBenchConfig { name: "qps", .. })
+            ));
+        }
+        // Well-formed caps pass.
+        let capped = ServeBenchConfig {
+            duration_cap_secs: Some(1.5),
+            qps: Some(200.0),
+            ..ok
+        };
+        assert!(capped.validate().is_ok());
+        // run() refuses before doing any work.
+        assert!(run(&no_tenants).is_err());
+    }
+
+    #[test]
+    fn quotient_partition_keeps_every_worker_busy() {
+        for tenants in [1usize, 2, 3, 4, 5, 8, 9] {
+            for requested in 1usize..=6 {
+                let workers = requested.min(tenants).max(1);
+                let mut seen: Vec<u64> = Vec::new();
+                for w in 0..workers {
+                    let owned = tenants_for_worker(tenants, workers, w);
+                    assert!(
+                        !owned.is_empty(),
+                        "worker {w} of {workers} idle with {tenants} tenants"
+                    );
+                    seen.extend(owned);
+                }
+                // Disjoint and complete: each tenant served exactly once.
+                seen.sort_unstable();
+                assert_eq!(seen, (0..tenants as u64).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        // lint:allow(panic-freedom): test deliberately panics a worker
+        let result = run_partitioned(3, |w| {
+            if w == 1 {
+                panic!("worker down");
+            }
+            w
+        });
+        assert_eq!(result, Err(MechanismError::WorkerPanicked { worker: 1 }));
+        // All-success side: every worker's value comes back in order.
+        assert_eq!(run_partitioned(3, |w| w), Ok(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn rebalancing_fewer_tenants_than_workers_is_digest_invariant() {
+        let base = ServeBenchConfig {
+            seed: 11,
+            tenants: 2,
+            workers: 4,
+            requests_per_tenant: 26,
+            epsilon_per_tenant: 0.45 * 26.0,
+            duration_cap_secs: None,
+            qps: None,
+            par_threshold: None,
+        };
+        let wide = run(&base).unwrap();
+        assert_eq!(wide.completed, base.planned_requests());
+        let narrow = run(&ServeBenchConfig { workers: 1, ..base }).unwrap();
+        assert_eq!(wide.digest, narrow.digest);
+        assert_eq!(wide.completed, narrow.completed);
+    }
+
+    #[test]
+    fn par_threshold_runs_clean_and_deterministic() {
+        let base = ServeBenchConfig {
+            seed: 11,
+            tenants: 2,
+            workers: 2,
+            requests_per_tenant: 26,
+            epsilon_per_tenant: 0.45 * 26.0,
+            duration_cap_secs: None,
+            qps: None,
+            par_threshold: Some(1),
+        };
+        let a = run(&base).unwrap();
+        assert_eq!(a.completed, base.planned_requests());
+        let b = run(&base).unwrap();
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
     fn json_echoes_the_outcome() {
         let config = ServeBenchConfig::quick(7);
         let report = ServeBenchReport {
@@ -466,7 +664,13 @@ mod tests {
         };
         let json = to_json(&config, &report);
         assert!(json.contains("\"schema\": \"free-gap-serve/bench/v1\""));
+        assert!(json.contains("\"par_threshold\": null"));
         assert!(json.contains("\"budget_rejected\": 400"));
+        let par_config = ServeBenchConfig {
+            par_threshold: Some(32),
+            ..config
+        };
+        assert!(to_json(&par_config, &report).contains("\"par_threshold\": 32"));
         assert!(json.contains("\"p99\": 99.90"));
         assert!(json.contains("\"digest\": \"0x00000000deadbeef\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -28,9 +28,10 @@
 use crate::ledger::BudgetLedger;
 use crate::session::SvtSession;
 use free_gap_core::api::{AnyMechanism, CallScratch, Mechanism, MechanismOutput, QuerySlice};
+use free_gap_core::draw::ParallelDraws;
 use free_gap_core::sparse_vector::SparseVectorWithGap;
 use free_gap_core::MechanismError;
-use free_gap_noise::rng::{derive_fast_stream, splitmix64};
+use free_gap_noise::rng::{derive_fast_stream, derive_stream_seed, splitmix64};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
@@ -176,6 +177,7 @@ impl MechanismResponse {
 pub struct WorkerScratch {
     call: CallScratch,
     out: MechanismOutput,
+    par: ParallelDraws,
 }
 
 impl WorkerScratch {
@@ -184,8 +186,21 @@ impl WorkerScratch {
         Self {
             call: CallScratch::new(),
             out: MechanismOutput::Indices(Vec::new()),
+            par: ParallelDraws::new(0, default_par_threads()),
         }
     }
+}
+
+/// Default intra-run thread count for the parallel call path: the
+/// machine's available parallelism clamped to the four-way layout the
+/// tests pin (one thread when parallelism cannot be queried). The clamp
+/// only affects wall-clock, never bits — [`ParallelDraws`] output is
+/// identical for every thread count.
+pub(crate) fn default_par_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(4)
 }
 
 impl Default for WorkerScratch {
@@ -228,6 +243,10 @@ impl Tenant {
 pub struct QueryServer {
     seed: u64,
     max_idle: u64,
+    /// One-shot calls whose workload reaches this length run through the
+    /// intra-run parallel path ([`AnyMechanism::call_par`]); `None`
+    /// (default) serves everything on the sequential batched path.
+    par_threshold: Option<usize>,
     tenants: RwLock<HashMap<u64, Arc<Tenant>>>,
 }
 
@@ -240,6 +259,7 @@ impl QueryServer {
         Self {
             seed,
             max_idle: DEFAULT_MAX_IDLE,
+            par_threshold: None,
             tenants: RwLock::new(HashMap::new()),
         }
     }
@@ -248,6 +268,18 @@ impl QueryServer {
     /// tenant's clock a session may sit untouched).
     pub fn with_max_idle(mut self, max_idle: u64) -> Self {
         self.max_idle = max_idle;
+        self
+    }
+
+    /// Opts one-shot calls with at least `threshold` queries into the
+    /// intra-run parallel path. The parallel path draws a *different*
+    /// (equally well-defined) noise stream than the sequential batched
+    /// path — the per-block layout keyed by `(tenant seed, request
+    /// sequence)` — so flipping this knob changes outputs, but for a fixed
+    /// threshold every response stays bit-reproducible regardless of the
+    /// worker count or the machine's core count.
+    pub fn with_par_threshold(mut self, threshold: usize) -> Self {
+        self.par_threshold = Some(threshold);
         self
     }
 
@@ -327,9 +359,26 @@ impl QueryServer {
                     return MechanismResponse::Rejected(budget_reject(e));
                 }
                 inner.seq += 1;
-                let mut rng = derive_fast_stream(tenant.seed, inner.seq);
                 let slice = QuerySlice::new(queries);
-                match mechanism.call_batched(&slice, &mut rng, &mut worker.call, &mut worker.out) {
+                let result = match self.par_threshold {
+                    Some(threshold) if queries.len() >= threshold => {
+                        // Same derivation key as the sequential path, but
+                        // feeding the per-block sub-stream layout instead
+                        // of one sequential generator.
+                        worker.par.reset(derive_stream_seed(tenant.seed, inner.seq));
+                        mechanism.call_par(
+                            &slice,
+                            &mut worker.par,
+                            &mut worker.call,
+                            &mut worker.out,
+                        )
+                    }
+                    _ => {
+                        let mut rng = derive_fast_stream(tenant.seed, inner.seq);
+                        mechanism.call_batched(&slice, &mut rng, &mut worker.call, &mut worker.out)
+                    }
+                };
+                match result {
                     Ok(()) => MechanismResponse::Output(worker.out.clone()),
                     Err(e) => {
                         // The call drew no noise and released no output:
