@@ -27,6 +27,8 @@
 //! bit-reproducible for a given seed regardless of thread count or
 //! scheduling.
 
+// lint:allow-file(panic-freedom): attack harness runs offline; an impossible count or a failed invariant must abort the audit loudly rather than ship a wrong epsilon estimate
+
 use crate::events::{classify, CLASSIFIER_NAMES, NUM_CLASSIFIERS};
 use crate::inputs::InputPair;
 use crate::target::{AttackTarget, Observation};

@@ -38,6 +38,8 @@
 //!   the pair for any mechanism whose comparisons are deterministic given
 //!   the threshold draw (no per-query noise). Not on the integer lattice.
 
+// lint:allow-file(panic-freedom): neighboring-input constructors assert their own shape invariants; a malformed pair must abort the audit, not silently weaken it
+
 use free_gap_core::answers::QueryAnswers;
 
 /// A named neighboring input pair.

@@ -29,10 +29,12 @@
 //!   bench-history F..  merge several bench JSON files (e.g. CI's uploaded
 //!                      /tmp/bench.json artifacts, oldest commit first)
 //!                      into a cell × artifact runs/sec trend table
-//!   lint               free-gap-lint: the four static invariants
+//!   lint               free-gap-lint: the eight static invariants
 //!                      (stream-discipline, endpoint-guard, panic-freedom,
-//!                      taxonomy) over crates/{core,noise}; exits nonzero
-//!                      on any unallowed finding
+//!                      taxonomy, budget-balance, lock-discipline,
+//!                      par-purity, float-totality) over
+//!                      crates/{core,noise,serve,attack,bench}; exits
+//!                      nonzero on any unallowed finding
 //!   attack             adversarial privacy audit: attack every correct SVT
 //!                      mechanism and every broken zoo variant, print the
 //!                      claimed-ε vs empirical-ε-lower-bound board, and exit
@@ -54,7 +56,10 @@
 //!   --csv              emit CSV instead of aligned tables
 //!   --json PATH        where `bench` writes its JSON / which file
 //!                      `bench-check`/`bench-compare` read (default
-//!                      BENCH_mechanisms.json)
+//!                      BENCH_mechanisms.json); for `lint`: write the
+//!                      machine-readable finding report (schema
+//!                      free-gap-lint/1, includes allow-suppressed
+//!                      findings) before the pass/fail verdict
 //!   --baseline PATH    committed baseline for `bench-compare`
 //!                      (default BENCH_mechanisms.json)
 //!   --tolerance F      allowed fractional throughput drop per cell for
@@ -84,7 +89,9 @@
 //!                      path (default: off; changes the noise stream, so
 //!                      digests are only comparable at the same setting)
 //!   --rule NAME        `lint`: check a single rule (stream-discipline |
-//!                      endpoint-guard | panic-freedom | taxonomy)
+//!                      endpoint-guard | panic-freedom | taxonomy |
+//!                      budget-balance | lock-discipline | par-purity |
+//!                      float-totality)
 //!   --fixtures         `lint`: run the power-check corpus instead of the
 //!                      real tree — every known-bad fixture must be flagged
 //!                      and every fixed twin must stay clean
@@ -414,6 +421,17 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             opts.command
         ));
     }
+    if opts.json_explicit
+        && !matches!(
+            opts.command.as_str(),
+            "bench" | "serve-bench" | "bench-check" | "bench-compare" | "lint"
+        )
+    {
+        return Err(format!(
+            "--json only applies to `bench`, `serve-bench`, `bench-check`, `bench-compare`, and `lint`, not `{}`",
+            opts.command
+        ));
+    }
     if opts.baseline_explicit
         && opts.command != "bench-compare"
         && !(opts.command == "bench-check" && opts.baseline_only)
@@ -677,11 +695,17 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             // Static analysis over the checkout: no workload, no RNG.
             if let Some(flag) = opts.workload_flags.first() {
                 return Err(format!(
-                    "`lint` is a static check; {flag} is not supported (only --rule, --fixtures apply)"
+                    "`lint` is a static check; {flag} is not supported (only --rule, --fixtures, --json apply)"
                 ));
             }
             if opts.runs.is_some() {
                 return Err("`lint` is a static check; --runs does not apply".to_string());
+            }
+            if opts.fixtures && opts.json_explicit {
+                return Err(
+                    "--json reports tree findings; it does not apply to `lint --fixtures`"
+                        .to_string(),
+                );
             }
             let rules: Vec<free_gap_lint::Rule> = match &opts.lint_rule {
                 Some(name) => vec![free_gap_lint::Rule::from_name(name).ok_or_else(|| {
@@ -736,8 +760,23 @@ fn run_command(opts: &CliOptions) -> Result<Vec<Table>, String> {
             } else {
                 let layout = free_gap_lint::TreeLayout::at(std::path::Path::new("."));
                 layout.validate()?;
-                let diagnostics = free_gap_lint::lint_tree(&layout, &rules)
+                // The full report keeps allow-suppressed findings so the JSON
+                // artifact doubles as a machine-readable allow inventory; the
+                // pass/fail verdict only counts the active ones.
+                let report = free_gap_lint::lint_tree_report(&layout, &rules)
                     .map_err(|e| format!("linting: {e}"))?;
+                if opts.json_explicit {
+                    // Written before the verdict so CI still gets the artifact
+                    // when the lint fails — that run is exactly the one whose
+                    // report someone needs to read.
+                    std::fs::write(&opts.json, free_gap_lint::report_json(&rules, &report))
+                        .map_err(|e| format!("writing {}: {e}", opts.json))?;
+                    eprintln!("wrote {}", opts.json);
+                }
+                let diagnostics: Vec<_> = report
+                    .into_iter()
+                    .filter(|d| d.allow == free_gap_lint::AllowState::None)
+                    .collect();
                 if !diagnostics.is_empty() {
                     let mut msg = format!("{} invariant violation(s):\n", diagnostics.len());
                     for d in &diagnostics {
@@ -1092,5 +1131,48 @@ mod tests {
         let err = run_command(&opts).unwrap_err();
         assert!(err.contains("unknown rule"), "{err}");
         assert!(err.contains("stream-discipline"), "{err}");
+    }
+
+    #[test]
+    fn json_is_rejected_on_commands_that_never_write_it() {
+        for flags in [
+            vec!["fig1a", "--json", "/tmp/out.json"],
+            vec!["attack", "--json", "/tmp/out.json"],
+            vec!["datasets", "--json", "/tmp/out.json"],
+            vec!["all", "--json", "/tmp/out.json"],
+        ] {
+            let opts = parse_args(&args(&flags)).unwrap();
+            let err = run_command(&opts).unwrap_err();
+            assert!(err.contains("--json only applies to"), "{flags:?}: {err}");
+        }
+        // Fixture power mode has no tree report to serialize.
+        let opts = parse_args(&args(&["lint", "--fixtures", "--json", "/tmp/out.json"])).unwrap();
+        let err = run_command(&opts).unwrap_err();
+        assert!(err.contains("does not apply to `lint --fixtures`"), "{err}");
+    }
+
+    #[test]
+    fn lint_json_writes_a_stable_report() {
+        // `lint --json` must produce the machine-readable report and exit
+        // clean on the real tree — and two runs must agree byte-for-byte.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let dir = std::env::temp_dir().join("repro-lint-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let cwd = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&root).unwrap();
+        let mut opts = parse_args(&args(&["lint", "--json", out.to_str().unwrap()])).unwrap();
+        let first = run_command(&opts);
+        let run_a = std::fs::read_to_string(&out);
+        opts = parse_args(&args(&["lint", "--json", out.to_str().unwrap()])).unwrap();
+        let second = run_command(&opts);
+        let run_b = std::fs::read_to_string(&out);
+        std::env::set_current_dir(cwd).unwrap();
+        first.expect("real tree lints clean");
+        second.expect("real tree lints clean");
+        let (a, b) = (run_a.unwrap(), run_b.unwrap());
+        assert_eq!(a, b, "lint --json must be byte-stable across runs");
+        assert!(a.contains("\"schema\": \"free-gap-lint/1\""));
+        assert!(a.contains("\"active\": 0"));
     }
 }

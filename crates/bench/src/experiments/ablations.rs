@@ -11,6 +11,8 @@
 //!   the §5.2 select-then-measure protocol (paper: 1/2). The sweep traces
 //!   the MSE improvement of BLUE as the split moves.
 
+// lint:allow-file(panic-freedom): offline experiment driver with compile-time-known parameters; abort beats emitting a half-written figure
+
 use crate::runner::{mean_and_stderr, parallel_runs, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;

@@ -11,6 +11,8 @@
 //! the selected queries' estimates against their true counts, pooled over
 //! all runs.
 
+// lint:allow-file(panic-freedom): offline experiment driver with compile-time-known parameters; abort beats emitting a half-written figure
+
 use crate::runner::parallel_runs_with_state;
 use crate::table::Table;
 use crate::workloads::Workload;

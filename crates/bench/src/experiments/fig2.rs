@@ -6,6 +6,8 @@
 //! theoretical curves are flat in ε, and the empirical series should hug
 //! them at every budget.
 
+// lint:allow-file(panic-freedom): offline experiment driver with compile-time-known parameters; abort beats emitting a half-written figure
+
 use super::fig1::Panel;
 use crate::runner::parallel_runs_with_state;
 use crate::table::Table;

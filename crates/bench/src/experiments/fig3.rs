@@ -14,6 +14,8 @@
 //! with precision comparable to SVT and therefore an F-measure about 1.5×
 //! higher.
 
+// lint:allow-file(panic-freedom): offline experiment driver with compile-time-known parameters; abort beats emitting a half-written figure
+
 use crate::runner::{mean_and_stderr, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;

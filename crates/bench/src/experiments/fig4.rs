@@ -6,6 +6,8 @@
 //! far above the threshold. The paper reports roughly 40% remaining across
 //! all three datasets.
 
+// lint:allow-file(panic-freedom): offline experiment driver with compile-time-known parameters; abort beats emitting a half-written figure
+
 use crate::runner::{mean_and_stderr, parallel_runs_with_state};
 use crate::table::Table;
 use crate::workloads::Workload;

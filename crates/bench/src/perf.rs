@@ -79,6 +79,8 @@
 //! re-derives the expected cell set from the same table, which is what the
 //! CI smoke step runs against a freshly written file.
 
+// lint:allow-file(panic-freedom): the timing grid builds mechanisms from known-valid parameters; a failure must abort the run — a typed error would record a silently wrong baseline
+
 use crate::table::Table;
 use free_gap_core::api::{
     AnyMechanism, CallScratch, ExponentialTopK, Mechanism, MechanismOutput, QuerySlice,
@@ -229,7 +231,7 @@ fn synthetic_integer_counts(answers: &QueryAnswers) -> QueryAnswers {
 /// SVT threshold at descending rank `4k` (mid-range per the §7.2 protocol).
 fn rank_threshold(answers: &QueryAnswers, k: usize) -> f64 {
     let mut sorted: Vec<f64> = answers.values().to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite counts"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     sorted[(4 * k).min(sorted.len() - 1)]
 }
 
@@ -764,7 +766,7 @@ pub fn compare_against_baseline(
         return Err("baseline has no usable cells".into());
     }
     let mut sorted: Vec<f64> = ratios.iter().map(|r| r.3).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    sorted.sort_by(f64::total_cmp);
     let speed_factor = sorted[sorted.len() / 2];
     let regressions = ratios
         .iter()

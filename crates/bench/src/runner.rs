@@ -4,6 +4,8 @@
 //! vector is a pure function of `(seed, runs)` — identical no matter how
 //! many worker threads execute it.
 
+// lint:allow-file(panic-freedom): bench plumbing; a poisoned timing mutex means a worker already panicked and the run is void
+
 use free_gap_noise::rng::derive_stream;
 use rand::rngs::StdRng;
 

@@ -4,6 +4,8 @@
 //! as an aligned human-readable table and as CSV (behind `--csv`), matching
 //! the series the paper plots so EXPERIMENTS.md comparisons are one-to-one.
 
+// lint:allow-file(panic-freedom): table assembly asserts row shape; a mismatch is a driver bug that must abort rather than render a misaligned report
+
 use std::fmt;
 
 /// A cell value.

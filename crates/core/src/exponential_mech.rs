@@ -88,7 +88,13 @@ impl ExponentialMechanism {
             .values()
             .iter()
             .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+            .fold(f64::NEG_INFINITY, |a, b| {
+                if a.total_cmp(&b).is_ge() {
+                    a
+                } else {
+                    b
+                }
+            });
         let weights: Vec<f64> = answers
             .values()
             .iter()
@@ -354,7 +360,7 @@ impl ExponentialMechanism {
     /// [`gumbel_fill_offset`](DrawProvider::gumbel_fill_offset) (split
     /// across a per-block provider's threads), and the race's insertion
     /// rule replays over the precomputed scores in index order — the exact
-    /// `f64`-total-order rule of [`race_core`](Self::race_core), so the
+    /// `f64`-total-order rule of `race_core`, so the
     /// result is bit-identical for any thread count of the same provider
     /// family. (Per-chunk reduce is deliberately *not* used here: the race
     /// orders by `total_cmp`, not the Noisy-Max `>=` rule.)

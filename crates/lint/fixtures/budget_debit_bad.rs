@@ -1,0 +1,15 @@
+//! R5 power-check fixture — debit-without-reject.
+//!
+//! An early draft of the serving loop debited the tenant ledger and
+//! discarded the result: a tenant past its budget still got an answer, and
+//! the ledger's accounting silently drifted from the responses actually
+//! served. Every `try_debit` must put a typed rejection on its failure
+//! path before any noise is drawn.
+
+impl QueryServer {
+    fn handle_call(&self, tenant: &Tenant, cost: f64, worker: &mut Worker) -> MechanismResponse {
+        let _ = tenant.ledger.try_debit(cost);
+        let mut rng = derive_fast_stream(tenant.seed, 1);
+        self.run(&mut rng, worker)
+    }
+}

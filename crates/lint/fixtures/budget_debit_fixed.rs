@@ -1,0 +1,13 @@
+//! R5 fixed twin of `budget_debit_bad.rs`: the failed debit returns a
+//! typed rejection before any randomness is consumed, so the ledger and
+//! the response stream cannot diverge.
+
+impl QueryServer {
+    fn handle_call(&self, tenant: &Tenant, cost: f64, worker: &mut Worker) -> MechanismResponse {
+        if let Err(e) = tenant.ledger.try_debit(cost) {
+            return MechanismResponse::Rejected(budget_reject(e));
+        }
+        let mut rng = derive_fast_stream(tenant.seed, 1);
+        self.run(&mut rng, worker)
+    }
+}

@@ -1,0 +1,15 @@
+//! R5 power-check fixture — double release on one path.
+//!
+//! A deferred ε₂ share must reach *exactly one* `release`: this draft of
+//! session close refunded the share and then refunded it again on the
+//! cleanup path below, minting budget out of thin air — the dual of the
+//! budget-burning bug, and the exact class of accounting error Lyu et
+//! al.'s SVT-variant survey shows real deployments ship.
+
+impl QueryServer {
+    fn release_session(&self, tenant: &Tenant, session: &Session) {
+        let refunded = tenant.ledger.release(session.cost);
+        debug_assert!(refunded.is_ok());
+        tenant.ledger.release(session.cost);
+    }
+}

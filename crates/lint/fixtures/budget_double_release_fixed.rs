@@ -1,0 +1,10 @@
+//! R5 fixed twin of `budget_double_release_bad.rs`: the share reaches
+//! exactly one `release`; eviction and explicit close share this single
+//! exit point instead of each refunding on their own.
+
+impl QueryServer {
+    fn release_session(&self, tenant: &Tenant, session: &Session) {
+        let refunded = tenant.ledger.release(session.cost);
+        debug_assert!(refunded.is_ok());
+    }
+}

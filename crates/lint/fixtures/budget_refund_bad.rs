@@ -1,0 +1,22 @@
+//! R5 power-check fixture — rejection after a successful debit without a
+//! release.
+//!
+//! The serving loop debits *before* running the mechanism (so a crashed
+//! call cannot have served un-paid-for output), which means every error
+//! exit after the debit must refund the share: this draft rejected an
+//! invalid workload but kept the debit, burning tenant budget on calls
+//! that produced no output — a slow denial-of-budget on malformed input.
+
+impl QueryServer {
+    fn handle_call(&self, tenant: &Tenant, req: &Request, worker: &mut Worker) -> MechanismResponse {
+        let cost = req.mechanism.cost();
+        if let Err(e) = tenant.ledger.try_debit(cost) {
+            return MechanismResponse::Rejected(budget_reject(e));
+        }
+        let mut rng = derive_fast_stream(tenant.seed, 1);
+        match req.mechanism.call_batched(&req.queries, &mut rng, &mut worker.out) {
+            Ok(()) => MechanismResponse::Output(worker.out.clone()),
+            Err(e) => MechanismResponse::Rejected(RejectReason::Invalid(e)),
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! R5 fixed twin of `budget_refund_bad.rs`: the error arm releases the
+//! debited share before rejecting — the call drew no noise and released
+//! no output, so the budget must be refunded.
+
+impl QueryServer {
+    fn handle_call(&self, tenant: &Tenant, req: &Request, worker: &mut Worker) -> MechanismResponse {
+        let cost = req.mechanism.cost();
+        if let Err(e) = tenant.ledger.try_debit(cost) {
+            return MechanismResponse::Rejected(budget_reject(e));
+        }
+        let mut rng = derive_fast_stream(tenant.seed, 1);
+        match req.mechanism.call_batched(&req.queries, &mut rng, &mut worker.out) {
+            Ok(()) => MechanismResponse::Output(worker.out.clone()),
+            Err(e) => {
+                let refunded = tenant.ledger.release(cost);
+                debug_assert!(refunded.is_ok());
+                MechanismResponse::Rejected(RejectReason::Invalid(e))
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! R8 power-check fixture — partial float comparisons in selection
+//! positions, the PR-5 NaN bug as a permanent rule.
+//!
+//! Three shapes of the same mistake: the PR-5 sort (`partial_cmp` +
+//! `unwrap` panics on NaN, `unwrap_or(Equal)` band-aids mis-select), a
+//! `fold(f64::max)` reduction that silently *drops* NaN (`max(NaN, x) =
+//! x`, so a poisoned utility wins or vanishes depending on argument
+//! order), and a raw `<` comparator closure, which violates strict weak
+//! ordering on NaN (`sort_by` panics on that since Rust 1.81).
+
+impl ExponentialMechanism {
+    fn sample_top_k(&self, scores: &mut Vec<(f64, usize)>, k: usize) -> Vec<usize> {
+        scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scores.iter().take(k).map(|&(_, i)| i).collect()
+    }
+
+    fn max_utility(&self, values: &[f64]) -> f64 {
+        values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    fn rank_ratios(&self, ratios: &mut Vec<f64>) {
+        ratios.sort_by(|a, b| if a < b { Ordering::Less } else { Ordering::Greater });
+    }
+}

@@ -1,0 +1,24 @@
+//! R8 fixed twin of `float_totality_bad.rs`: every ordering goes through
+//! `f64::total_cmp`, which orders NaN deterministically — no panic, no
+//! silent mis-selection, no strict-weak-ordering violation.
+
+impl ExponentialMechanism {
+    fn sample_top_k(&self, scores: &mut Vec<(f64, usize)>, k: usize) -> Vec<usize> {
+        scores.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scores.iter().take(k).map(|&(_, i)| i).collect()
+    }
+
+    fn max_utility(&self, values: &[f64]) -> f64 {
+        values.iter().cloned().fold(f64::NEG_INFINITY, |a, b| {
+            if a.total_cmp(&b).is_ge() {
+                a
+            } else {
+                b
+            }
+        })
+    }
+
+    fn rank_ratios(&self, ratios: &mut Vec<f64>) {
+        ratios.sort_by(f64::total_cmp);
+    }
+}

@@ -1,0 +1,19 @@
+//! R6 power-check fixture — nested lock under a live guard.
+//!
+//! The eviction sweep held the tenant-map read guard and then took each
+//! tenant's inner lock inside the loop. With any other path taking the
+//! same two locks in the opposite order (tenant first, map second — e.g.
+//! a handler resolving a peer tenant), two threads deadlock and every
+//! tenant behind them stalls. A live guard must not cross another
+//! `.lock()`/`.read()`/`.write()`.
+
+impl QueryServer {
+    fn evicted_total(&self) -> u64 {
+        let map = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
+        let mut total = 0;
+        for t in map.values() {
+            total += t.inner.lock().unwrap_or_else(PoisonError::into_inner).evicted;
+        }
+        total
+    }
+}

@@ -1,0 +1,16 @@
+//! R6 fixed twin of `lock_order_bad.rs`: snapshot the tenant handles and
+//! drop the map guard before touching any per-tenant lock — at most one
+//! lock is ever held, so no ordering can deadlock.
+
+impl QueryServer {
+    fn evicted_total(&self) -> u64 {
+        let map = self.tenants.read().unwrap_or_else(PoisonError::into_inner);
+        let tenants: Vec<Arc<Tenant>> = map.values().map(Arc::clone).collect();
+        drop(map);
+        let mut total = 0;
+        for t in tenants {
+            total += t.inner.lock().unwrap_or_else(PoisonError::into_inner).evicted;
+        }
+        total
+    }
+}

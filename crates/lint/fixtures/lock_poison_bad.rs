@@ -1,0 +1,13 @@
+//! R6 power-check fixture — lock poisoning propagated as a panic.
+//!
+//! `.lock().unwrap()` turns one worker's panic into a poison panic on
+//! every thread that touches the same tenant afterwards: a single bad
+//! request takes the whole server down. The guarded state is only ever
+//! mutated through methods that leave it consistent, so the house pattern
+//! absorbs poisoning with `unwrap_or_else(PoisonError::into_inner)`.
+
+impl Tenant {
+    fn lock(&self) -> MutexGuard<'_, TenantInner> {
+        self.inner.lock().unwrap()
+    }
+}

@@ -1,0 +1,18 @@
+//! R7 power-check fixture — shared accumulator captured by a block-fill
+//! closure.
+//!
+//! The parallel fill's whole contract is that block `b` is a pure
+//! function of `(run_seed, b)` — that is what makes `call_par`
+//! bit-identical for every thread count. This draft threaded a progress
+//! counter through the fill closure: the captured accumulator reintroduces
+//! cross-thread ordering, and anything derived from it (logging cadence,
+//! adaptive chunking) varies run to run.
+
+fn par_fill_offset_blocks(dist: &Laplace, run_seed: u64, first_block: u64, threads: usize, base: &[f64], out: &mut [f64]) {
+    let mut filled = 0u64;
+    for_each_block_sharded(threads, base, out, |blk, b, o| {
+        let mut rng = derive_fast_stream(run_seed, first_block + blk);
+        dist.fill_into_offset(&mut rng, b, o);
+        filled += 1;
+    });
+}

@@ -1,0 +1,11 @@
+//! R7 fixed twin of `par_capture_bad.rs`: the closure touches only the
+//! run seed, its block index, and its disjoint slab — the shipped
+//! `free_gap_noise::par` engine, verbatim. Progress accounting, if
+//! needed, belongs after the join, derived from the shard sizes.
+
+fn par_fill_offset_blocks(dist: &Laplace, run_seed: u64, first_block: u64, threads: usize, base: &[f64], out: &mut [f64]) {
+    for_each_block_sharded(threads, base, out, |blk, b, o| {
+        let mut rng = derive_fast_stream(run_seed, first_block + blk);
+        dist.fill_into_offset(&mut rng, b, o);
+    });
+}

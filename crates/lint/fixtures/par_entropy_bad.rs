@@ -1,0 +1,19 @@
+//! R7 power-check fixture — OS entropy inside a parallel fill.
+//!
+//! Seeding each worker from `thread_rng` makes the fill irreproducible:
+//! the serve layer's determinism contract (same seed + same request order
+//! → bit-identical responses, any worker count) dies the moment one block
+//! draws from an entropy source instead of its derived sub-stream.
+
+fn par_fill_jitter(threads: usize, out: &mut [f64]) {
+    std::thread::scope(|scope| {
+        for chunk in out.chunks_mut(BLOCK_LEN) {
+            scope.spawn(move || {
+                let mut rng = thread_rng();
+                for v in chunk {
+                    *v = rng.sample_value();
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,16 @@
+//! R7 fixed twin of `par_entropy_bad.rs`: every block's generator is
+//! derived from `(run_seed, block index)` — scheduling, thread identity,
+//! and wall clock cannot reach the values.
+
+fn par_fill_jitter(run_seed: u64, threads: usize, out: &mut [f64]) {
+    std::thread::scope(|scope| {
+        for (i, chunk) in out.chunks_mut(BLOCK_LEN).enumerate() {
+            scope.spawn(move || {
+                let mut rng = derive_fast_stream(run_seed, i as u64);
+                for v in chunk {
+                    *v = rng.sample_value();
+                }
+            });
+        }
+    });
+}

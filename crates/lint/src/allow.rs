@@ -9,7 +9,7 @@
 //! looking like it suppresses something).
 
 use crate::lexer::LineComment;
-use crate::Rule;
+use crate::{AllowState, Rule};
 
 /// Parsed allows of one file.
 #[derive(Debug, Default)]
@@ -25,12 +25,53 @@ pub struct Allows {
 impl Allows {
     /// True when `rule` diagnostics at `line` are suppressed.
     pub fn is_allowed(&self, rule: Rule, line: u32) -> bool {
-        self.file_allows.contains(&rule)
-            || self
-                .line_allows
-                .iter()
-                .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+        self.state(rule, line) != AllowState::None
     }
+
+    /// How (if at all) `rule` diagnostics at `line` are suppressed — the
+    /// value carried into [`crate::Diagnostic::allow`] and the `--json`
+    /// report.
+    pub fn state(&self, rule: Rule, line: u32) -> AllowState {
+        if self.file_allows.contains(&rule) {
+            AllowState::File
+        } else if self
+            .line_allows
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+        {
+            AllowState::Line
+        } else {
+            AllowState::None
+        }
+    }
+}
+
+/// Plain Levenshtein distance — small inputs only (rule names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest valid rule id to a misspelled one, when it is close enough
+/// to plausibly be a typo (distance ≤ 3): `budget-balence` suggests
+/// `budget-balance`, but an unrelated name gets the full rule list.
+fn nearest_rule(name: &str) -> Option<&'static str> {
+    Rule::ALL
+        .into_iter()
+        .map(|r| (edit_distance(name, r.name()), r.name()))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, n)| n)
 }
 
 /// Parses every `lint:allow` annotation out of a file's line comments.
@@ -59,13 +100,16 @@ pub fn parse(comments: &[LineComment]) -> Allows {
             continue;
         };
         let Some(rule) = Rule::from_name(name.trim()) else {
-            allows.malformed.push((
-                c.line,
-                format!(
-                    "lint:allow names unknown rule `{}` (expected one of: {})",
-                    name.trim(),
+            let hint = match nearest_rule(name.trim()) {
+                Some(n) => format!("did you mean `{n}`?"),
+                None => format!(
+                    "expected one of: {}",
                     Rule::ALL.map(|r| r.name()).join(", ")
                 ),
+            };
+            allows.malformed.push((
+                c.line,
+                format!("lint:allow names unknown rule `{}` ({hint})", name.trim()),
             ));
             continue;
         };
@@ -140,6 +184,28 @@ mod tests {
         ]));
         assert_eq!(a.malformed.len(), 4);
         assert!(!a.is_allowed(Rule::PanicFreedom, 3));
+    }
+
+    #[test]
+    fn unknown_rule_close_to_a_real_one_gets_a_suggestion() {
+        let a = parse(&comments(&[
+            (2, " lint:allow(budget-balence): typoed rule id"),
+            (9, " lint:allow(lock-dicipline): typoed rule id"),
+        ]));
+        assert_eq!(a.malformed.len(), 2);
+        assert!(
+            a.malformed[0].1.contains("did you mean `budget-balance`?"),
+            "{}",
+            a.malformed[0].1
+        );
+        assert!(
+            a.malformed[1].1.contains("did you mean `lock-discipline`?"),
+            "{}",
+            a.malformed[1].1
+        );
+        // A name nothing like any rule falls back to the full list.
+        let far = parse(&comments(&[(1, " lint:allow(no-such-rule): why")]));
+        assert!(far.malformed[0].1.contains("expected one of:"));
     }
 
     #[test]

@@ -11,15 +11,55 @@ use std::path::Path;
 /// Which crate a file belongs to, which decides the rules that apply.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FileScope {
-    /// `crates/core/src` — mechanism cores: R1 + R3.
+    /// `crates/core/src` — mechanism cores: R1 + R3 + R5 + R7 + R8.
     Core,
-    /// `crates/noise/src` — samplers and transforms: R2 + R3.
+    /// `crates/noise/src` — samplers and transforms: R2 + R3 + R7 + R8.
     Noise,
-    /// `crates/serve/src` — the multi-tenant serving layer: R1 + R3.
-    /// Serving code dispatches through the unified `api` surface, so any
-    /// provider-generic helper it grows is held to the same stream
-    /// discipline as the cores — and a panic here takes live sessions down.
+    /// `crates/serve/src` — the multi-tenant serving layer:
+    /// R1 + R3 + R5 + R6 + R8. Serving code dispatches through the unified
+    /// `api` surface, so any provider-generic helper it grows is held to
+    /// the same stream discipline as the cores — and a panic here takes
+    /// live sessions down.
     Serve,
+    /// `crates/attack/src` — the audit harness: R3 + R8. A panic
+    /// mid-board loses the whole audit; a NaN-partial sort mis-ranks the
+    /// detection statistics it gates on.
+    Attack,
+    /// `crates/bench/src` — grid, baselines, and the `repro` CLI:
+    /// R3 + R8. A panicking cell invalidates a whole timing run; NaN
+    /// partial sorts corrupt the percentile estimates CI compares.
+    Bench,
+}
+
+impl FileScope {
+    /// The per-file rules active in this scope (R4 is tree-level and not
+    /// listed). This single table is what both the token tier and the
+    /// dataflow tier consult.
+    pub fn rules(self) -> &'static [Rule] {
+        match self {
+            FileScope::Core => &[
+                Rule::StreamDiscipline,
+                Rule::PanicFreedom,
+                Rule::BudgetBalance,
+                Rule::ParPurity,
+                Rule::FloatTotality,
+            ],
+            FileScope::Noise => &[
+                Rule::EndpointGuard,
+                Rule::PanicFreedom,
+                Rule::ParPurity,
+                Rule::FloatTotality,
+            ],
+            FileScope::Serve => &[
+                Rule::StreamDiscipline,
+                Rule::PanicFreedom,
+                Rule::BudgetBalance,
+                Rule::LockDiscipline,
+                Rule::FloatTotality,
+            ],
+            FileScope::Attack | FileScope::Bench => &[Rule::PanicFreedom, Rule::FloatTotality],
+        }
+    }
 }
 
 /// Method names whose call inside a stream-disciplined scope bypasses the
@@ -156,16 +196,15 @@ pub fn check_file(
     rules: &[Rule],
     out: &mut Vec<Diagnostic>,
 ) {
-    let want = |r: Rule| rules.contains(&r);
+    let want = |r: Rule| rules.contains(&r) && scope.rules().contains(&r);
     let push = |rule: Rule, tok: &Token, message: String, out: &mut Vec<Diagnostic>| {
-        if !allows.is_allowed(rule, tok.line) {
-            out.push(Diagnostic {
-                file: path.to_path_buf(),
-                line: tok.line,
-                rule,
-                message,
-            });
-        }
+        out.push(Diagnostic {
+            file: path.to_path_buf(),
+            line: tok.line,
+            rule,
+            message,
+            allow: allows.state(rule, tok.line),
+        });
     };
 
     for i in 0..scoped.len() {
@@ -176,10 +215,7 @@ pub fn check_file(
         let text = st.tok.text.as_str();
 
         // R1 — stream discipline.
-        if want(Rule::StreamDiscipline)
-            && matches!(scope, FileScope::Core | FileScope::Serve)
-            && r1_in_scope(&st.ctx)
-        {
+        if want(Rule::StreamDiscipline) && r1_in_scope(&st.ctx) {
             let here = st
                 .ctx
                 .fn_name
@@ -268,6 +304,7 @@ pub fn check_file(
             line: *line,
             rule: rules.first().copied().unwrap_or(Rule::PanicFreedom),
             message: message.clone(),
+            allow: crate::AllowState::None,
         });
     }
 }

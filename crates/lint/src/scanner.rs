@@ -153,8 +153,9 @@ pub fn scan(tokens: &[Token]) -> Vec<ScopedToken<'_>> {
 }
 
 /// Collects identifier text from `start` until the `[`…`]` attribute closes;
-/// returns (idents, index past the closing `]`).
-fn collect_bracketed(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+/// returns (idents, index past the closing `]`). Shared with the
+/// statement-graph pass in [`crate::flow`].
+pub(crate) fn collect_bracketed(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
     let mut idents = Vec::new();
     let mut depth = 0usize;
     let mut j = start;
@@ -178,8 +179,9 @@ fn collect_bracketed(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
 /// Collects identifier text from `start` until the opening `{` of the item
 /// body (exclusive) or a top-level `;`; returns (idents, index of that
 /// token). Paren/bracket depth is tracked so `[f64; 2]` in a signature does
-/// not end the item.
-fn collect_until_body(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
+/// not end the item. Shared with the statement-graph pass in
+/// [`crate::flow`].
+pub(crate) fn collect_until_body(tokens: &[Token], start: usize) -> (Vec<String>, usize) {
     let mut idents = Vec::new();
     let mut depth = 0usize;
     let mut j = start;

@@ -95,6 +95,7 @@ pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Dia
                         file: site.file.clone(),
                         line: site.line,
                         rule: Rule::Taxonomy,
+                        allow: crate::AllowState::None,
                         message: format!(
                             "`{ty}::{name}` has no `{twin}` twin: every scratch fast path \
                              needs the out-parameter variant the bench grid drives \
@@ -110,6 +111,7 @@ pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Dia
                 file: file.clone(),
                 line,
                 rule: Rule::Taxonomy,
+                allow: crate::AllowState::None,
                 message: format!(
                     "`{ty}` exposes a scratch fast path but never appears in the \
                      scratch_equivalence suite ({}): nothing proves the fast path \
@@ -123,6 +125,7 @@ pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Dia
                 file,
                 line,
                 rule: Rule::Taxonomy,
+                allow: crate::AllowState::None,
                 message: format!(
                     "`{ty}` exposes a scratch fast path but is missing from \
                      MECHANISM_PATHS ({}): bench-check cannot guard cells that \
@@ -138,6 +141,7 @@ pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Dia
                 file: perf.to_path_buf(),
                 line: *line,
                 rule: Rule::Taxonomy,
+                allow: crate::AllowState::None,
                 message: format!(
                     "MECHANISM_PATHS lists `{name}` but no type of that name exposes a \
                      `*_with_scratch` entry point in the core sources"
@@ -149,6 +153,7 @@ pub fn check(inv: &Inventory, equivalence: &Path, perf: &Path, out: &mut Vec<Dia
                 file: perf.to_path_buf(),
                 line: *line,
                 rule: Rule::Taxonomy,
+                allow: crate::AllowState::None,
                 message: format!(
                     "`{name}` is benched in MECHANISM_PATHS but has no \
                      scratch_equivalence entry ({}): a grid cell without an \

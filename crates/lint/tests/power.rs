@@ -6,7 +6,8 @@
 //! fails here before it can rot in CI.
 
 use free_gap_lint::{
-    fixtures_dir, lint_fixture, lint_tree, power_check, taxonomy, Rule, TreeLayout, FIXTURES,
+    fixtures_dir, lint_fixture, lint_tree, lint_tree_report, power_check, report_json, taxonomy,
+    AllowState, Diagnostic, Rule, TreeLayout, FIXTURES,
 };
 use std::path::{Path, PathBuf};
 
@@ -80,6 +81,115 @@ fn bad_fixtures_are_verbatim_reproductions() {
     assert!(pf.contains("b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))"));
     let eg = std::fs::read_to_string(fixtures_dir().join("endpoint_guard_bad.rs")).unwrap();
     assert!(eg.contains("(1.0 - 2.0 * u.abs()).ln()"));
+    // Dataflow-tier fixtures: the load-bearing bad lines, verbatim.
+    let read = |p: &str| std::fs::read_to_string(fixtures_dir().join(p)).unwrap();
+    assert!(read("budget_debit_bad.rs").contains("let _ = tenant.ledger.try_debit(cost);"));
+    assert!(read("budget_refund_bad.rs")
+        .contains("Err(e) => MechanismResponse::Rejected(RejectReason::Invalid(e)),"));
+    let dr = read("budget_double_release_bad.rs");
+    assert_eq!(dr.matches(".release(session.cost)").count(), 2);
+    assert!(read("lock_order_bad.rs").contains("for t in map.values()"));
+    assert!(read("lock_poison_bad.rs").contains("self.inner.lock().unwrap()"));
+    assert!(read("par_capture_bad.rs").contains("filled += 1;"));
+    assert!(read("par_entropy_bad.rs").contains("let mut rng = thread_rng();"));
+    let ft = read("float_totality_bad.rs");
+    assert!(ft.contains("b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1))"));
+    assert!(ft.contains("fold(f64::NEG_INFINITY, f64::max)"));
+    assert!(ft.contains("if a < b { Ordering::Less } else { Ordering::Greater }"));
+}
+
+#[test]
+fn dataflow_tier_has_a_bad_and_fixed_pair_per_shape() {
+    // The R5–R8 tier ships 8 bad/fixed pairs (16 fixtures): three R5
+    // shapes (debit-without-reject, reject-without-release, double
+    // release), two R6 (lock order, poison handling), two R7 (captured
+    // accumulator, entropy source), one R8 (partial comparisons).
+    let tier: Vec<_> = FIXTURES
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                Rule::BudgetBalance | Rule::LockDiscipline | Rule::ParPurity | Rule::FloatTotality
+            )
+        })
+        .collect();
+    assert_eq!(tier.len(), 16);
+    assert_eq!(tier.iter().filter(|f| f.expect_flagged).count(), 8);
+    assert_eq!(
+        tier.iter()
+            .filter(|f| f.rule == Rule::BudgetBalance)
+            .count(),
+        6
+    );
+    assert_eq!(
+        tier.iter()
+            .filter(|f| f.rule == Rule::LockDiscipline)
+            .count(),
+        4
+    );
+    assert_eq!(tier.iter().filter(|f| f.rule == Rule::ParPurity).count(), 4);
+    assert_eq!(
+        tier.iter()
+            .filter(|f| f.rule == Rule::FloatTotality)
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn json_report_schema_is_stable_and_escaped() {
+    let diags = vec![
+        Diagnostic {
+            file: PathBuf::from("crates/serve/src/server.rs"),
+            line: 7,
+            rule: Rule::LockDiscipline,
+            message: "guard `map` crosses `.lock()` — \"ordering\"\thazard".into(),
+            allow: AllowState::Line,
+        },
+        Diagnostic {
+            file: PathBuf::from("crates/core/src/api.rs"),
+            line: 3,
+            rule: Rule::BudgetBalance,
+            message: "debit without reject".into(),
+            allow: AllowState::None,
+        },
+    ];
+    let json = report_json(&[Rule::BudgetBalance, Rule::LockDiscipline], &diags);
+    assert!(json.contains("\"schema\": \"free-gap-lint/1\""));
+    assert!(json.contains("\"rules\": [\"budget-balance\", \"lock-discipline\"]"));
+    assert!(json.contains("\"active\": 1"));
+    assert!(json.contains("\"allowed\": 1"));
+    assert!(json.contains("\"allow\": \"line\""));
+    assert!(json.contains("\"allow\": \"none\""));
+    // Quotes and tabs in messages must arrive escaped, never raw.
+    assert!(json.contains("\\\"ordering\\\"\\thazard"));
+    // Input order is preserved verbatim (lint_tree_report pre-sorts).
+    let first = json.find("lock-discipline").unwrap();
+    let second = json.find("budget-balance").unwrap();
+    assert!(second > first || json.find("\"rules\"").unwrap() < first);
+    // Empty finding set still carries the full envelope.
+    let empty = report_json(&Rule::ALL, &[]);
+    assert!(empty.contains("\"active\": 0"));
+    assert!(empty.contains("\"findings\": []"));
+}
+
+#[test]
+fn json_report_of_the_real_tree_is_byte_stable() {
+    let layout = TreeLayout::at(&repo_root());
+    layout.validate().expect("repo layout");
+    let a = lint_tree_report(&layout, &Rule::ALL).expect("first pass");
+    let b = lint_tree_report(&layout, &Rule::ALL).expect("second pass");
+    let ja = report_json(&Rule::ALL, &a);
+    let jb = report_json(&Rule::ALL, &b);
+    assert_eq!(ja, jb, "two identical runs must serialize identically");
+    // The report keeps the allow-suppressed findings (that is its point:
+    // the allow inventory stays machine-readable) while lint_tree drops
+    // them; on today's tree everything active is fixed, so the two differ
+    // exactly by the suppressed set.
+    assert!(a.iter().any(|d| d.allow != AllowState::None));
+    assert!(a
+        .windows(2)
+        .all(|w| (&w[0].file, w[0].line) <= (&w[1].file, w[1].line)));
 }
 
 #[test]
